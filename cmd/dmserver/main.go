@@ -1,0 +1,75 @@
+// Command dmserver runs the provider as a network service — the analysis
+// server of Figure 1 in the paper. Clients connect with cmd/dmsql -connect
+// or the internal/dmclient package.
+//
+// Usage:
+//
+//	dmserver -addr :7700 -dir ./data [-init setup.dmx] [-demo 1000]
+//
+// -init executes a script before serving (schema + models). -demo populates
+// the synthetic customer warehouse with the given number of customers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/dmserver"
+	"repro/internal/lex"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	dir := flag.String("dir", "", "persistence directory")
+	initScript := flag.String("init", "", "script file executed before serving")
+	demo := flag.Int("demo", 0, "populate the synthetic customer warehouse with N customers")
+	flag.Parse()
+
+	var opts []provider.Option
+	if *dir != "" {
+		opts = append(opts, provider.WithDirectory(*dir))
+	}
+	p, err := provider.New(opts...)
+	if err != nil {
+		log.Fatalf("provider: %v", err)
+	}
+
+	if *demo > 0 {
+		if _, err := workload.Populate(p.DB, workload.Config{Customers: *demo, Seed: 1}); err != nil {
+			log.Fatalf("demo data: %v", err)
+		}
+		log.Printf("populated synthetic warehouse with %d customers", *demo)
+	}
+	if *initScript != "" {
+		src, err := os.ReadFile(*initScript)
+		if err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+		stmts, err := lex.SplitStatements(string(src))
+		if err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+		for _, s := range stmts {
+			if _, err := p.Execute(s); err != nil {
+				log.Fatalf("init statement %.60q: %v", s, err)
+			}
+		}
+		log.Printf("executed %d init statements", len(stmts))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := dmserver.New(p)
+	// Print the bound address (not the flag) so -addr :0 is usable.
+	fmt.Printf("dmserver listening on %s\n", l.Addr())
+	if err := s.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Command dmsql is an interactive shell for the OLE DB DM provider: type
+// DMX and SQL statements terminated by ';' and see rowset results. It can
+// run against an in-process provider (optionally persisted with -dir) or a
+// remote dmserver (-connect).
+//
+// Usage:
+//
+//	dmsql                      # in-memory provider, interactive
+//	dmsql -dir ./data          # persisted provider
+//	dmsql -connect :7700       # remote provider
+//	dmsql -f script.dmx        # execute a script file, then exit
+//	echo "SELECT 1;" | dmsql   # execute stdin, then exit
+//
+// Shell commands: \help, \tables, \views, \models, \d <model>, \save, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dmclient"
+	"repro/internal/lex"
+	"repro/internal/provider"
+	"repro/internal/rowset"
+)
+
+// executor abstracts local and remote providers.
+type executor interface {
+	Execute(command string) (*rowset.Rowset, error)
+}
+
+func main() {
+	dir := flag.String("dir", "", "persistence directory for the in-process provider")
+	connect := flag.String("connect", "", "address of a remote dmserver (host:port)")
+	file := flag.String("f", "", "script file to execute instead of reading stdin")
+	flag.Parse()
+
+	var exec executor
+	var local *provider.Provider
+	switch {
+	case *connect != "":
+		c, err := dmclient.Dial(*connect)
+		if err != nil {
+			fatal("connect: %v", err)
+		}
+		defer c.Close()
+		exec = c
+	default:
+		var opts []provider.Option
+		if *dir != "" {
+			opts = append(opts, provider.WithDirectory(*dir))
+		}
+		p, err := provider.New(opts...)
+		if err != nil {
+			fatal("provider: %v", err)
+		}
+		local = p
+		exec = p
+	}
+
+	in := os.Stdin
+	interactive := *file == "" && isTerminal()
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("open script: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	if interactive {
+		fmt.Println("dmsql — OLE DB for Data Mining shell. \\help for help, \\quit to exit.")
+	}
+	run(in, exec, local, interactive)
+}
+
+func run(in *os.File, exec executor, local *provider.Provider, interactive bool) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("dm> ")
+		} else {
+			fmt.Print("..> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !shellCommand(trimmed, exec, local) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmts, err := lex.SplitStatements(buf.String())
+			if err == nil && endsComplete(buf.String()) {
+				buf.Reset()
+				for _, s := range stmts {
+					execute(exec, s)
+				}
+			} else if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				buf.Reset()
+			}
+		}
+		prompt()
+	}
+	// Flush a trailing statement without ';'.
+	if s := strings.TrimSpace(buf.String()); s != "" {
+		execute(exec, s)
+	}
+}
+
+// endsComplete reports whether the buffered text ends at a statement
+// boundary (its last non-space token region closes with ';').
+func endsComplete(src string) bool {
+	toks, err := lex.Tokenize(src)
+	if err != nil || len(toks) < 2 {
+		return false
+	}
+	return toks[len(toks)-2].IsPunct(";")
+}
+
+func execute(exec executor, stmt string) {
+	rs, err := exec.Execute(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(rs.String())
+	fmt.Printf("(%d rows)\n", rs.Len())
+}
+
+// shellCommand handles backslash commands; returns false to exit.
+func shellCommand(cmd string, exec executor, local *provider.Provider) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\help", "\\h":
+		fmt.Println(`statements end with ';'. Shell commands:
+  \tables        list relational tables (local provider only)
+  \views         list views (local provider only)
+  \models        list mining models
+  \d <model>     show a model's definition (DDL)
+  \save          persist tables (requires -dir)
+  \quit          exit`)
+	case "\\tables":
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "\\tables needs a local provider")
+			break
+		}
+		for _, n := range local.DB.Names() {
+			fmt.Println(n)
+		}
+	case "\\views":
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "\\views needs a local provider")
+			break
+		}
+		for _, n := range local.Engine.ViewNames() {
+			fmt.Println(n)
+		}
+	case "\\models":
+		rs, err := exec.Execute("SELECT * FROM $SYSTEM.MINING_MODELS")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Print(rs.String())
+	case "\\d":
+		if len(fields) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\d <model>")
+			break
+		}
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "\\d needs a local provider")
+			break
+		}
+		m, err := local.Model(strings.Join(fields[1:], " "))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Println(m.Def.DDL())
+	case "\\save":
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "\\save needs a local provider")
+			break
+		}
+		if err := local.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Println("saved")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", fields[0])
+	}
+	return true
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Clickstream demonstrates the paper's "sequence analysis" capability: a
+// Sequence_Analysis model over a nested TABLE whose rows are ordered by a
+// SEQUENCE_TIME column. The model learns page-to-page transitions from
+// session logs and predicts where a live session is headed.
+//
+//	go run ./examples/clickstream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/provider"
+	"repro/internal/rowset"
+)
+
+func main() {
+	p := provider.MustNew()
+
+	// Session logs: most sessions follow home → search → product →
+	// checkout, with some wandering back to search.
+	must(p, "CREATE TABLE Visits (SessionID LONG, Step LONG, Page TEXT)")
+	rng := rand.New(rand.NewSource(17))
+	var b strings.Builder
+	b.WriteString("INSERT INTO Visits VALUES ")
+	first := true
+	write := func(session, step int, page string) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "(%d, %d, '%s')", session, step, page)
+	}
+	for s := 1; s <= 500; s++ {
+		page, step := "home", 0
+		write(s, step, page)
+		for page != "checkout" && step < 8 {
+			step++
+			switch page {
+			case "home":
+				page = "search"
+			case "search":
+				if rng.Float64() < 0.75 {
+					page = "product"
+				} else {
+					page = "home"
+				}
+			case "product":
+				switch {
+				case rng.Float64() < 0.55:
+					page = "checkout"
+				case rng.Float64() < 0.5:
+					page = "search"
+				default:
+					page = "product"
+				}
+			}
+			write(s, step, page)
+		}
+	}
+	must(p, b.String())
+
+	must(p, `CREATE MINING MODEL [Navigation] (
+		[SessionID] LONG KEY,
+		[Pages] TABLE(
+			[Page] TEXT KEY,
+			[Step] LONG SEQUENCE_TIME
+		) PREDICT
+	) USING [Sequence_Analysis]`)
+	must(p, `INSERT INTO [Navigation] ([SessionID], [Pages]([Page], [Step]))
+	SHAPE {SELECT DISTINCT SessionID FROM Visits ORDER BY SessionID}
+	APPEND ({SELECT SessionID AS SID, Page, Step FROM Visits ORDER BY SID}
+		RELATE [SessionID] TO [SID]) AS [Pages]`)
+	fmt.Println("Trained [Navigation] on 500 sessions.")
+
+	// Where is a session headed from each page?
+	must(p, "CREATE TABLE Live (SID LONG, Page TEXT, Step LONG)")
+	for _, trail := range [][]string{
+		{"home"},
+		{"home", "search"},
+		{"home", "search", "product"},
+	} {
+		must(p, "DELETE FROM Live")
+		for i, pg := range trail {
+			must(p, fmt.Sprintf("INSERT INTO Live VALUES (1, '%s', %d)", pg, i))
+		}
+		rs := must(p, `SELECT Predict([Pages], 2) AS nxt FROM [Navigation]
+		NATURAL PREDICTION JOIN
+			(SHAPE {SELECT 1 AS SessionID}
+			 APPEND ({SELECT SID, Page, Step FROM Live ORDER BY SID}
+				RELATE [SessionID] TO [SID]) AS [Pages]) AS t`)
+		nxt := rs.Row(0)[0].(*rowset.Rowset)
+		fmt.Printf("\nsession so far %v → likely next:\n%s", trail, nxt.String())
+	}
+
+	// The learned transition graph, straight from model content.
+	content := must(p, "SELECT * FROM [Navigation].CONTENT")
+	fmt.Println("\nTransition graph (per-state distributions):")
+	typeOrd, _ := content.Schema().Lookup("NODE_TYPE")
+	capOrd, _ := content.Schema().Lookup("NODE_CAPTION")
+	distOrd, _ := content.Schema().Lookup("NODE_DISTRIBUTION")
+	for _, r := range content.Rows() {
+		if r[typeOrd] != int64(3) { // state nodes
+			continue
+		}
+		dist := r[distOrd].(*rowset.Rowset)
+		if dist.Len() == 0 {
+			continue
+		}
+		fmt.Printf("  %-10v", r[capOrd])
+		for i := 0; i < dist.Len() && i < 3; i++ {
+			fmt.Printf("  %v (%.2f)", dist.Row(i)[0], dist.Row(i)[2])
+		}
+		fmt.Println()
+	}
+}
+
+func must(p *provider.Provider, cmd string) *rowset.Rowset {
+	rs, err := p.Execute(cmd)
+	if err != nil {
+		log.Fatalf("%v\nstatement:\n%.300s", err, cmd)
+	}
+	return rs
+}

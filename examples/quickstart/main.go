@@ -1,0 +1,70 @@
+// Quickstart: the mining-model lifecycle in a dozen statements.
+//
+// The paper's pitch is that a developer who knows SQL already knows how to
+// mine: define a model like a table, INSERT training data into it, SELECT
+// predictions out of it. This example does exactly that with an in-memory
+// provider and a tiny hand-written dataset.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/provider"
+)
+
+func main() {
+	p := provider.MustNew()
+
+	steps := []string{
+		// 1. Relational data, plain SQL.
+		`CREATE TABLE Players (ID LONG, Hours DOUBLE, Plan TEXT, Churned TEXT)`,
+		`INSERT INTO Players VALUES
+			(1, 2.0, 'free', 'yes'), (2, 1.5, 'free', 'yes'), (3, 3.0, 'free', 'yes'),
+			(4, 1.0, 'free', 'yes'), (5, 2.5, 'free', 'no'),
+			(6, 30.0, 'pro', 'no'), (7, 42.0, 'pro', 'no'), (8, 25.0, 'pro', 'no'),
+			(9, 38.0, 'pro', 'no'), (10, 31.0, 'pro', 'yes')`,
+
+		// 2. A mining model is created like a table (Section 3.2).
+		`CREATE MINING MODEL [Churn] (
+			[ID] LONG KEY,
+			[Hours] DOUBLE CONTINUOUS,
+			[Plan] TEXT DISCRETE,
+			[Churned] TEXT DISCRETE PREDICT
+		) USING [Decision_Trees]`,
+
+		// 3. Populated with INSERT INTO (Section 3.3).
+		`INSERT INTO [Churn] ([ID], [Hours], [Plan], [Churned])
+			SELECT ID, Hours, Plan, Churned FROM Players`,
+	}
+	for _, s := range steps {
+		if _, err := p.Execute(s); err != nil {
+			log.Fatalf("%v\nstatement: %s", err, s)
+		}
+	}
+
+	// 4. Predictions come from a PREDICTION JOIN (Section 3.3).
+	rs, err := p.Execute(`SELECT
+			t.[Plan],
+			Predict([Churned]) AS will_churn,
+			PredictProbability([Churned]) AS confidence
+		FROM [Churn] NATURAL PREDICTION JOIN
+			(SELECT 'free' AS [Plan], 2.0 AS Hours) AS t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Prediction for a 2h/week free-plan player:")
+	fmt.Print(rs.String())
+
+	// 5. The model itself is browsable (Section 3.3's CONTENT).
+	content, err := p.Execute(`SELECT * FROM [Churn].CONTENT`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nModel content graph: %d nodes. First rows:\n", content.Len())
+	lines := strings.SplitN(content.String(), "\n", 7)
+	fmt.Println(strings.Join(lines[:len(lines)-1], "\n"))
+}

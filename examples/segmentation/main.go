@@ -1,0 +1,91 @@
+// Segmentation clusters the customer warehouse — the paper's "segmentation"
+// capability — and shows the two things the API makes easy: assigning new
+// cases to clusters with the Cluster()/ClusterProbability() prediction
+// functions, and browsing cluster profiles through the content rowset.
+//
+//	go run ./examples/segmentation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/provider"
+	"repro/internal/rowset"
+	"repro/internal/workload"
+)
+
+func main() {
+	p := provider.MustNew()
+	if _, err := workload.Populate(p.DB, workload.Config{Customers: 3000, Seed: 3}); err != nil {
+		log.Fatal(err)
+	}
+
+	must(p, `CREATE MINING MODEL [Customer Segments] (
+		[Customer ID] LONG KEY,
+		[Age] DOUBLE CONTINUOUS,
+		[Product Purchases] TABLE([Product Name] TEXT KEY)
+	) USING [Clustering] (CLUSTER_COUNT = 3, SEED = 7)`)
+
+	must(p, `INSERT INTO [Customer Segments] ([Customer ID], [Age],
+		[Product Purchases]([Product Name]))
+	SHAPE {SELECT [Customer ID], Age FROM Customers ORDER BY [Customer ID]}
+	APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+		RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`)
+	fmt.Println("Clustered 3000 customers into 3 segments.")
+
+	// Assign archetypal new customers to segments.
+	fmt.Println("\nSegment assignment for three new customers:")
+	for _, c := range []struct {
+		desc  string
+		age   float64
+		items []string
+	}{
+		{"22-year-old beer+chips buyer", 22, []string{"Beer", "Chips"}},
+		{"39-year-old milk+diapers buyer", 39, []string{"Milk", "Diapers"}},
+		{"50-year-old wine+laptop buyer", 50, []string{"Wine", "Laptop"}},
+	} {
+		stageBasket(p, c.items)
+		rs := must(p, fmt.Sprintf(`SELECT Cluster() AS segment, ClusterProbability() AS prob
+		FROM [Customer Segments] NATURAL PREDICTION JOIN
+			(SHAPE {SELECT 1 AS [Customer ID], %g AS Age}
+			 APPEND ({SELECT CustID, [Product Name] FROM BasketInput ORDER BY CustID}
+				RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t`, c.age))
+		fmt.Printf("  %-32s → %v (p=%.2f)\n", c.desc, rs.Row(0)[0], rs.Row(0)[1])
+	}
+
+	// Browse cluster profiles.
+	content := must(p, "SELECT * FROM [Customer Segments].CONTENT")
+	fmt.Println("\nCluster profiles (top features per centroid):")
+	typeOrd, _ := content.Schema().Lookup("NODE_TYPE")
+	capOrd, _ := content.Schema().Lookup("NODE_CAPTION")
+	supOrd, _ := content.Schema().Lookup("NODE_SUPPORT")
+	distOrd, _ := content.Schema().Lookup("NODE_DISTRIBUTION")
+	for _, r := range content.Rows() {
+		if r[typeOrd] != int64(5) { // NodeCluster
+			continue
+		}
+		fmt.Printf("  %v (%.0f customers):\n", r[capOrd], r[supOrd])
+		dist := r[distOrd].(*rowset.Rowset)
+		for i := 0; i < dist.Len() && i < 4; i++ {
+			fmt.Printf("    %v (weight %.2f)\n", dist.Row(i)[0], dist.Row(i)[2])
+		}
+	}
+}
+
+func stageBasket(p *provider.Provider, items []string) {
+	if _, err := p.Execute("DELETE FROM BasketInput"); err != nil {
+		must(p, "CREATE TABLE BasketInput (CustID LONG, [Product Name] TEXT)")
+	}
+	for _, it := range items {
+		must(p, fmt.Sprintf("INSERT INTO BasketInput VALUES (1, '%s')", it))
+	}
+}
+
+func must(p *provider.Provider, cmd string) *rowset.Rowset {
+	rs, err := p.Execute(cmd)
+	if err != nil {
+		log.Fatalf("%v\nstatement:\n%s", err, cmd)
+	}
+	return rs
+}

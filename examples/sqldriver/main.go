@@ -1,0 +1,115 @@
+// Sqldriver shows the provider through database/sql — the Go counterpart of
+// the paper's thesis that mining should live behind the data-access API
+// developers already use. No provider types appear below the import block:
+// everything happens through sql.DB, strings, and Scan.
+//
+//	go run ./examples/sqldriver
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+
+	_ "repro/internal/dmdriver" // registers the "oledbdm" driver
+)
+
+func main() {
+	db, err := sql.Open("oledbdm", "memory:example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	exec := func(q string, args ...any) sql.Result {
+		res, err := db.Exec(q, args...)
+		if err != nil {
+			log.Fatalf("%v\nstatement: %s", err, q)
+		}
+		return res
+	}
+
+	// Stage relational data with placeholders, like any Go database app.
+	exec("CREATE TABLE Visits (UserID LONG, Country TEXT, Pages DOUBLE, Converted TEXT)")
+	seed := []struct {
+		id        int64
+		country   string
+		pages     float64
+		converted string
+	}{}
+	for i := int64(1); i <= 400; i++ {
+		country, pages, conv := "DE", 3.0+float64(i%7), "no"
+		if i%3 == 0 {
+			country = "US"
+			pages += 9
+			conv = "yes"
+		}
+		seed = append(seed, struct {
+			id        int64
+			country   string
+			pages     float64
+			converted string
+		}{i, country, pages, conv})
+	}
+	stmt, err := db.Prepare("INSERT INTO Visits VALUES (?, ?, ?, ?)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range seed {
+		if _, err := stmt.Exec(s.id, s.country, s.pages, s.converted); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stmt.Close()
+
+	// Mining models are just more statements.
+	exec(`CREATE MINING MODEL [Conversion] (
+		[UserID] LONG KEY,
+		[Country] TEXT DISCRETE,
+		[Pages] DOUBLE CONTINUOUS,
+		[Converted] TEXT DISCRETE PREDICT
+	) USING [Naive_Bayes]`)
+	res := exec(`INSERT INTO [Conversion] ([UserID], [Country], [Pages], [Converted])
+		SELECT UserID, Country, Pages, Converted FROM Visits`)
+	n, _ := res.RowsAffected()
+	fmt.Printf("Trained [Conversion] on %d visits.\n\n", n)
+
+	// Predictions scan like any query — with placeholders in the input.
+	rows, err := db.Query(`SELECT t.Country, t.Pages,
+			Predict([Converted]) AS will_convert,
+			PredictProbability([Converted], 'yes') AS p_yes
+		FROM [Conversion] NATURAL PREDICTION JOIN
+			(SELECT ? AS Country, ? AS Pages) AS t`, "US", 12.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var country, pred string
+		var pages, pYes float64
+		if err := rows.Scan(&country, &pages, &pred, &pYes); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("visitor from %s reading %.0f pages → converts? %s (P(yes)=%.2f)\n",
+			country, pages, pred, pYes)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Schema rowsets answer "what can this provider do?" over the same API.
+	var svc, desc string
+	var p1, p2, p3 bool
+	srows, err := db.Query("SELECT * FROM $SYSTEM.MINING_SERVICES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srows.Close()
+	fmt.Println("\nInstalled mining services:")
+	for srows.Next() {
+		if err := srows.Scan(&svc, &desc, &p1, &p2, &p3); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %s\n", svc, desc)
+	}
+}

@@ -1,0 +1,509 @@
+// Package dtree implements the Decision_Trees mining service: per-target
+// classification (entropy or Gini) and regression (variance-reduction) trees
+// over tokenized casesets. It is the reference algorithm for the paper's
+// running example ("USING [Decision_Trees_101]") and exercises every
+// provider code path: discrete, continuous, discretized, and nested-table
+// (existence) attributes, PREDICT columns, content browsing, and
+// prediction-join histograms.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ServiceName is the USING-clause name of this algorithm.
+const ServiceName = "Decision_Trees"
+
+// Algorithm implements core.Algorithm.
+type Algorithm struct{}
+
+// New returns the Decision_Trees service.
+func New() *Algorithm { return &Algorithm{} }
+
+// Name implements core.Algorithm.
+func (*Algorithm) Name() string { return ServiceName }
+
+// Description implements core.Algorithm.
+func (*Algorithm) Description() string {
+	return "Classification and regression trees with entropy/Gini splits and variance reduction"
+}
+
+// SupportsPredictTable implements core.Algorithm: nested TABLE targets are
+// predicted with one binary tree per existence attribute.
+func (*Algorithm) SupportsPredictTable() bool { return true }
+
+// params with defaults.
+type params struct {
+	minSupport float64 // MINIMUM_SUPPORT: do not split nodes lighter than this
+	maxDepth   int     // MAXIMUM_DEPTH
+	penalty    float64 // COMPLEXITY_PENALTY: minimum split gain hurdle
+	scoreGini  bool    // SCORE_METHOD = GINI (default ENTROPY)
+	maxThresh  int     // max candidate thresholds per continuous attribute
+}
+
+func parseParams(p map[string]string) (params, error) {
+	out := params{minSupport: 4, maxDepth: 16, penalty: 0.01, maxThresh: 32}
+	for k, v := range p {
+		switch strings.ToUpper(k) {
+		case "MINIMUM_SUPPORT":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 1 {
+				return out, fmt.Errorf("dtree: bad MINIMUM_SUPPORT %q", v)
+			}
+			out.minSupport = f
+		case "MAXIMUM_DEPTH":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return out, fmt.Errorf("dtree: bad MAXIMUM_DEPTH %q", v)
+			}
+			out.maxDepth = n
+		case "COMPLEXITY_PENALTY":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return out, fmt.Errorf("dtree: bad COMPLEXITY_PENALTY %q", v)
+			}
+			out.penalty = f
+		case "SCORE_METHOD":
+			switch strings.ToUpper(v) {
+			case "GINI":
+				out.scoreGini = true
+			case "ENTROPY":
+				out.scoreGini = false
+			default:
+				return out, fmt.Errorf("dtree: bad SCORE_METHOD %q", v)
+			}
+		default:
+			return out, fmt.Errorf("dtree: unknown parameter %q", k)
+		}
+	}
+	return out, nil
+}
+
+// Model is a trained forest: one tree per target attribute.
+type Model struct {
+	space *core.AttributeSpace
+	prm   params
+	trees map[int]*node
+	// targetOrder preserves the Train targets order for content rendering.
+	targetOrder []int
+	caseCount   int
+}
+
+// node is one tree node. Leaves have attr == -1.
+type node struct {
+	attr      int     // split attribute (-1 = leaf)
+	threshold float64 // continuous split: <= goes left (child 0)
+	children  []*node
+	missing   int // child index for cases missing the split attribute
+
+	support float64
+	// classification leaf state: weighted counts per target state.
+	classCounts []float64
+	// regression leaf state.
+	n, sum, sumsq float64
+	// score is the split gain (interior) recorded for content browsing.
+	score float64
+}
+
+// Train implements core.Algorithm.
+func (*Algorithm) Train(cs *core.Caseset, targets []int, p map[string]string) (core.TrainedModel, error) {
+	prm, err := parseParams(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("dtree: model has no PREDICT columns")
+	}
+	m := &Model{space: cs.Space, prm: prm, trees: make(map[int]*node), targetOrder: targets, caseCount: cs.Len()}
+	for _, t := range targets {
+		tree, err := m.growTree(cs, t)
+		if err != nil {
+			return nil, err
+		}
+		m.trees[t] = tree
+	}
+	return m, nil
+}
+
+// AlgorithmName implements core.TrainedModel.
+func (m *Model) AlgorithmName() string { return ServiceName }
+
+// Tree returns the root node of the tree for a target (testing/browsing).
+func (m *Model) Tree(target int) *node { return m.trees[target] }
+
+// inputAttrs lists attribute indexes usable as inputs for the given target.
+func (m *Model) inputAttrs(target int) []int {
+	ta := m.space.Attr(target)
+	var in []int
+	for i := range m.space.Attrs {
+		a := m.space.Attr(i)
+		if i == target || !a.IsInput {
+			continue
+		}
+		// Attributes derived from the same nested row as the target (e.g.
+		// Products(TV).Quantity when predicting Products(TV)) trivially
+		// leak it; sibling rows remain legitimate inputs.
+		if ta.NestedKey != "" && a.Column == ta.Column && a.NestedKey == ta.NestedKey {
+			continue
+		}
+		in = append(in, i)
+	}
+	return in
+}
+
+// targetStates returns the number of class states for a discrete-like
+// target: existence targets are binary (absent=0/present=1).
+func targetStates(a *core.Attribute) int {
+	if a.Kind == core.KindExistence {
+		return 2
+	}
+	return len(a.States)
+}
+
+// label returns the class index of the case for a discrete-like target, or
+// -1 when missing.
+func label(c *core.Case, a *core.Attribute, idx int) int {
+	if a.Kind == core.KindExistence {
+		if c.Has(idx) {
+			return 1
+		}
+		return 0
+	}
+	return c.Discrete(idx)
+}
+
+func (m *Model) growTree(cs *core.Caseset, target int) (*node, error) {
+	ta := m.space.Attr(target)
+	inputs := m.inputAttrs(target)
+	sel := make([]int, 0, cs.Len())
+	if ta.Kind == core.KindContinuous {
+		for i := range cs.Cases {
+			if _, ok := cs.Cases[i].Continuous(target); ok {
+				sel = append(sel, i)
+			}
+		}
+		return m.grow(cs, sel, target, inputs, 0), nil
+	}
+	// Discrete-like target.
+	if ta.Kind == core.KindDiscrete && len(ta.States) == 0 {
+		return nil, fmt.Errorf("dtree: target %q has no observed states", ta.Name)
+	}
+	for i := range cs.Cases {
+		if label(&cs.Cases[i], ta, target) >= 0 {
+			sel = append(sel, i)
+		}
+	}
+	return m.grow(cs, sel, target, inputs, 0), nil
+}
+
+// grow recursively builds a subtree over the selected case indexes.
+func (m *Model) grow(cs *core.Caseset, sel []int, target int, inputs []int, depth int) *node {
+	ta := m.space.Attr(target)
+	n := m.makeLeaf(cs, sel, target)
+	if n.support < m.prm.minSupport || depth >= m.prm.maxDepth || pure(n, ta) {
+		return n
+	}
+	attr, thr, gain, ok := m.bestSplit(cs, sel, target, inputs)
+	if !ok || gain <= m.prm.penalty {
+		return n
+	}
+	parts, missingSel := m.partition(cs, sel, attr, thr)
+	// A split where all data lands in one part is useless.
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return n
+	}
+	// Missing values follow the heaviest child.
+	heaviest, heaviestLen := 0, -1
+	for i, p := range parts {
+		if len(p) > heaviestLen {
+			heaviest, heaviestLen = i, len(p)
+		}
+	}
+	parts[heaviest] = append(parts[heaviest], missingSel...)
+
+	n.attr = attr
+	n.threshold = thr
+	n.missing = heaviest
+	n.score = gain
+	n.children = make([]*node, len(parts))
+	for i, p := range parts {
+		n.children[i] = m.grow(cs, p, target, inputs, depth+1)
+	}
+	return n
+}
+
+// makeLeaf computes leaf statistics over the selection.
+func (m *Model) makeLeaf(cs *core.Caseset, sel []int, target int) *node {
+	ta := m.space.Attr(target)
+	n := &node{attr: -1}
+	if ta.Kind == core.KindContinuous {
+		for _, i := range sel {
+			c := &cs.Cases[i]
+			v, ok := c.Continuous(target)
+			if !ok {
+				continue
+			}
+			w := c.Weight
+			n.n += w
+			n.sum += v * w
+			n.sumsq += v * v * w
+			n.support += w
+		}
+		return n
+	}
+	n.classCounts = make([]float64, targetStates(ta))
+	for _, i := range sel {
+		c := &cs.Cases[i]
+		l := label(c, ta, target)
+		if l < 0 || l >= len(n.classCounts) {
+			continue
+		}
+		w := c.Weight * c.ProbOf(target)
+		n.classCounts[l] += w
+		n.support += w
+	}
+	return n
+}
+
+func pure(n *node, ta *core.Attribute) bool {
+	if ta.Kind == core.KindContinuous {
+		if n.n <= 0 {
+			return true
+		}
+		mean := n.sum / n.n
+		return n.sumsq/n.n-mean*mean <= 1e-12
+	}
+	live := 0
+	for _, c := range n.classCounts {
+		if c > 0 {
+			live++
+		}
+	}
+	return live <= 1
+}
+
+// bestSplit scans every input attribute for the highest-gain split.
+func (m *Model) bestSplit(cs *core.Caseset, sel []int, target int, inputs []int) (attr int, thr float64, gain float64, ok bool) {
+	base := m.impurity(cs, sel, target)
+	bestGain := 0.0
+	bestAttr, bestThr := -1, 0.0
+	for _, a := range inputs {
+		g, t, valid := m.splitGain(cs, sel, target, a, base)
+		if valid && g > bestGain {
+			bestGain, bestAttr, bestThr = g, a, t
+		}
+	}
+	if bestAttr < 0 {
+		return 0, 0, 0, false
+	}
+	return bestAttr, bestThr, bestGain, true
+}
+
+// impurity is entropy/Gini for discrete-like targets, variance for
+// continuous ones, over the selection.
+func (m *Model) impurity(cs *core.Caseset, sel []int, target int) float64 {
+	ta := m.space.Attr(target)
+	if ta.Kind == core.KindContinuous {
+		var n, sum, sumsq float64
+		for _, i := range sel {
+			c := &cs.Cases[i]
+			if v, ok := c.Continuous(target); ok {
+				n += c.Weight
+				sum += v * c.Weight
+				sumsq += v * v * c.Weight
+			}
+		}
+		if n <= 0 {
+			return 0
+		}
+		mean := sum / n
+		return sumsq/n - mean*mean
+	}
+	counts := make([]float64, targetStates(ta))
+	var n float64
+	for _, i := range sel {
+		c := &cs.Cases[i]
+		if l := label(c, ta, target); l >= 0 && l < len(counts) {
+			counts[l] += c.Weight
+			n += c.Weight
+		}
+	}
+	return m.nodeImpurity(counts, n)
+}
+
+func (m *Model) nodeImpurity(counts []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if m.prm.scoreGini {
+		g := 1.0
+		for _, c := range counts {
+			p := c / n
+			g -= p * p
+		}
+		return g
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := c / n
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// splitGain evaluates splitting the selection on attribute a.
+func (m *Model) splitGain(cs *core.Caseset, sel []int, target, a int, base float64) (gain, thr float64, ok bool) {
+	sa := m.space.Attr(a)
+	switch sa.Kind {
+	case core.KindContinuous:
+		return m.continuousGain(cs, sel, target, a, base)
+	default:
+		return m.discreteGain(cs, sel, target, a, base)
+	}
+}
+
+func (m *Model) discreteGain(cs *core.Caseset, sel []int, target, a int, base float64) (float64, float64, bool) {
+	sa := m.space.Attr(a)
+	nStates := targetStates(sa)
+	if sa.Kind == core.KindDiscrete {
+		nStates = len(sa.States)
+	}
+	if nStates < 2 {
+		return 0, 0, false
+	}
+	parts, _ := m.partition(cs, sel, a, 0)
+	return m.gainOfParts(cs, parts, target, base), 0, true
+}
+
+func (m *Model) continuousGain(cs *core.Caseset, sel []int, target, a int, base float64) (float64, float64, bool) {
+	vals := make([]float64, 0, len(sel))
+	for _, i := range sel {
+		if v, ok := cs.Cases[i].Continuous(a); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 2 {
+		return 0, 0, false
+	}
+	sort.Float64s(vals)
+	// Candidate thresholds: up to maxThresh quantile midpoints.
+	var cands []float64
+	step := len(vals) / (m.prm.maxThresh + 1)
+	if step < 1 {
+		step = 1
+	}
+	for i := step; i < len(vals); i += step {
+		if vals[i] != vals[i-1] {
+			cands = append(cands, (vals[i]+vals[i-1])/2)
+		}
+	}
+	if len(cands) == 0 {
+		lo, hi := vals[0], vals[len(vals)-1]
+		if hi > lo {
+			cands = append(cands, (lo+hi)/2)
+		} else {
+			return 0, 0, false
+		}
+	}
+	bestGain, bestThr := -1.0, 0.0
+	for _, t := range cands {
+		parts, _ := m.partition(cs, sel, a, t)
+		g := m.gainOfParts(cs, parts, target, base)
+		if g > bestGain {
+			bestGain, bestThr = g, t
+		}
+	}
+	return bestGain, bestThr, bestGain >= 0
+}
+
+// gainOfParts computes base impurity minus the weighted impurity of parts.
+func (m *Model) gainOfParts(cs *core.Caseset, parts [][]int, target int, base float64) float64 {
+	var total float64
+	var acc float64
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		var w float64
+		for _, i := range p {
+			w += cs.Cases[i].Weight
+		}
+		total += w
+		acc += w * m.impurity(cs, p, target)
+	}
+	if total <= 0 {
+		return 0
+	}
+	return base - acc/total
+}
+
+// partition splits the selection by attribute value. For discrete-like
+// attributes there is one part per state (existence: absent/present); for
+// continuous ones two parts (<= thr, > thr). Cases with the attribute
+// missing are returned separately.
+func (m *Model) partition(cs *core.Caseset, sel []int, a int, thr float64) (parts [][]int, missing []int) {
+	sa := m.space.Attr(a)
+	switch sa.Kind {
+	case core.KindContinuous:
+		parts = make([][]int, 2)
+		for _, i := range sel {
+			v, ok := cs.Cases[i].Continuous(a)
+			switch {
+			case !ok:
+				missing = append(missing, i)
+			case v <= thr:
+				parts[0] = append(parts[0], i)
+			default:
+				parts[1] = append(parts[1], i)
+			}
+		}
+	case core.KindExistence:
+		parts = make([][]int, 2)
+		for _, i := range sel {
+			if cs.Cases[i].Has(a) {
+				parts[1] = append(parts[1], i)
+			} else {
+				parts[0] = append(parts[0], i)
+			}
+		}
+	default:
+		parts = make([][]int, len(sa.States))
+		for _, i := range sel {
+			st := cs.Cases[i].Discrete(a)
+			if st < 0 || st >= len(parts) {
+				missing = append(missing, i)
+				continue
+			}
+			parts[st] = append(parts[st], i)
+		}
+	}
+	return parts, missing
+}
+
+// Parameters implements core.ParameterDescriber.
+func (*Algorithm) Parameters() []core.ParamDesc {
+	return []core.ParamDesc{
+		{Name: "MINIMUM_SUPPORT", Type: "DOUBLE", Default: "4",
+			Description: "Minimum weighted case count required to split a node"},
+		{Name: "MAXIMUM_DEPTH", Type: "LONG", Default: "16",
+			Description: "Maximum number of split levels"},
+		{Name: "COMPLEXITY_PENALTY", Type: "DOUBLE", Default: "0.01",
+			Description: "Minimum split gain; higher values grow smaller trees"},
+		{Name: "SCORE_METHOD", Type: "TEXT", Default: "ENTROPY",
+			Description: "Split score for discrete targets: ENTROPY or GINI"},
+	}
+}

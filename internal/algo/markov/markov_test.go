@@ -1,0 +1,176 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// cyclicCases plants the pattern A → B → C (→ A ...) with n cases of varying
+// lengths.
+func cyclicCases(n int) *core.Caseset {
+	sp := core.NewAttributeSpace()
+	cs := &core.Caseset{Space: sp}
+	cycle := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		c := core.NewCase()
+		length := 2 + i%4
+		seq := make([]string, length)
+		for j := 0; j < length; j++ {
+			seq[j] = cycle[(i+j)%3]
+		}
+		c.Sequences = map[string][]string{"Clicks": seq}
+		cs.Cases = append(cs.Cases, c)
+	}
+	return cs
+}
+
+func TestLearnsTransitions(t *testing.T) {
+	cs := cyclicCases(120)
+	tm, err := New().Train(cs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tm.(*Model)
+	// After "A" the next item is always "B".
+	c := core.NewCase()
+	c.Sequences = map[string][]string{"Clicks": {"C", "A"}}
+	p, err := m.PredictTable(c, "Clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate != "B" {
+		t.Errorf("next after A = %v (%+v)", p.Estimate, p.Histogram)
+	}
+	if p.Prob < 0.9 {
+		t.Errorf("confidence = %v", p.Prob)
+	}
+	// Histogram covers every non-start state and sums to ~1.
+	if len(p.Histogram) != 3 {
+		t.Errorf("histogram states = %d", len(p.Histogram))
+	}
+	var sum float64
+	for _, b := range p.Histogram {
+		sum += b.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probs sum to %v", sum)
+	}
+}
+
+func TestEmptySequenceUsesStartState(t *testing.T) {
+	cs := cyclicCases(120)
+	tm, _ := New().Train(cs, nil, nil)
+	p, err := tm.PredictTable(core.NewCase(), "Clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cases start at A, B, or C uniformly; the top start probability is
+	// roughly a third.
+	if p.Prob < 0.2 || p.Prob > 0.5 {
+		t.Errorf("start prob = %v", p.Prob)
+	}
+}
+
+func TestUnknownLastStateFallsBack(t *testing.T) {
+	cs := cyclicCases(60)
+	tm, _ := New().Train(cs, nil, nil)
+	c := core.NewCase()
+	c.Sequences = map[string][]string{"Clicks": {"ZZZ"}}
+	p, err := tm.PredictTable(c, "Clicks")
+	if err != nil || len(p.Histogram) == 0 {
+		t.Errorf("fallback prediction = %+v, %v", p, err)
+	}
+}
+
+func TestCaseWeightCounts(t *testing.T) {
+	sp := core.NewAttributeSpace()
+	cs := &core.Caseset{Space: sp}
+	heavy := core.NewCase()
+	heavy.Weight = 9
+	heavy.Sequences = map[string][]string{"S": {"x", "y"}}
+	light := core.NewCase()
+	light.Sequences = map[string][]string{"S": {"x", "z"}}
+	cs.Cases = append(cs.Cases, heavy, light)
+	tm, err := New().Train(cs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewCase()
+	c.Sequences = map[string][]string{"S": {"x"}}
+	p, _ := tm.PredictTable(c, "S")
+	if p.Estimate != "y" {
+		t.Errorf("weighted transition = %v", p.Estimate)
+	}
+	if p.Best().Support != 9 {
+		t.Errorf("support = %v", p.Best().Support)
+	}
+}
+
+func TestContentTransitionGraph(t *testing.T) {
+	cs := cyclicCases(60)
+	tm, _ := New().Train(cs, nil, nil)
+	root := tm.Content()
+	// One chain node, 4 state nodes (start + A,B,C).
+	if len(root.Children) != 1 {
+		t.Fatalf("chains = %d", len(root.Children))
+	}
+	if got := len(root.Children[0].Children); got != 4 {
+		t.Errorf("state nodes = %d", got)
+	}
+	aNode := root.Find(func(n *core.ContentNode) bool { return n.Caption == "A" })
+	if aNode == nil || len(aNode.Distribution) == 0 {
+		t.Fatalf("state A node = %+v", aNode)
+	}
+	if aNode.Distribution[0].Value != "-> B" {
+		t.Errorf("A's top transition = %v", aNode.Distribution[0].Value)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cs := cyclicCases(10)
+	if _, err := New().Train(cs, nil, map[string]string{"PSEUDOCOUNT": "-1"}); err == nil {
+		t.Error("bad pseudocount must fail")
+	}
+	if _, err := New().Train(cs, nil, map[string]string{"X": "1"}); err == nil {
+		t.Error("unknown param must fail")
+	}
+	if _, err := New().Train(&core.Caseset{Space: core.NewAttributeSpace()}, nil, nil); err == nil {
+		t.Error("empty caseset must fail")
+	}
+	// No sequences at all.
+	noSeq := &core.Caseset{Space: core.NewAttributeSpace(), Cases: []core.Case{core.NewCase()}}
+	if _, err := New().Train(noSeq, nil, nil); err == nil {
+		t.Error("caseset without sequences must fail")
+	}
+	tm, _ := New().Train(cs, nil, nil)
+	if _, err := tm.Predict(core.NewCase(), 0); err == nil {
+		t.Error("scalar predict must fail")
+	}
+	if _, err := tm.PredictTable(core.NewCase(), "NoSuchTable"); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestMultipleChains(t *testing.T) {
+	sp := core.NewAttributeSpace()
+	cs := &core.Caseset{Space: sp}
+	c := core.NewCase()
+	c.Sequences = map[string][]string{
+		"Pages":  {"home", "cart"},
+		"Clicks": {"a", "b"},
+	}
+	cs.Cases = append(cs.Cases, c)
+	tm, err := New().Train(cs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tm.(*Model)
+	if _, ok := m.Chain("pages"); !ok {
+		t.Error("Pages chain missing (case-insensitive)")
+	}
+	if _, ok := m.Chain("Clicks"); !ok {
+		t.Error("Clicks chain missing")
+	}
+}

@@ -1,0 +1,388 @@
+// Package nbayes implements the Naive_Bayes mining service: per-target
+// class priors plus conditionally independent likelihoods — Laplace-smoothed
+// multinomials for discrete and existence inputs, Gaussians for continuous
+// inputs. Targets must be discrete-like (discrete, discretized, or
+// existence); continuous targets need Decision_Trees or Clustering.
+package nbayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ServiceName is the USING-clause name of this algorithm.
+const ServiceName = "Naive_Bayes"
+
+// Algorithm implements core.Algorithm.
+type Algorithm struct{}
+
+// New returns the Naive_Bayes service.
+func New() *Algorithm { return &Algorithm{} }
+
+// Name implements core.Algorithm.
+func (*Algorithm) Name() string { return ServiceName }
+
+// Description implements core.Algorithm.
+func (*Algorithm) Description() string {
+	return "Naive Bayes classification with Gaussian likelihoods for continuous inputs"
+}
+
+// SupportsPredictTable implements core.Algorithm.
+func (*Algorithm) SupportsPredictTable() bool { return false }
+
+type params struct {
+	// laplace is the additive smoothing constant (PSEUDOCOUNT).
+	laplace float64
+	// minVariance floors Gaussian variances to avoid singular likelihoods.
+	minVariance float64
+}
+
+func parseParams(p map[string]string) (params, error) {
+	out := params{laplace: 1, minVariance: 1e-6}
+	for k, v := range p {
+		switch strings.ToUpper(k) {
+		case "PSEUDOCOUNT":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return out, fmt.Errorf("nbayes: bad PSEUDOCOUNT %q", v)
+			}
+			out.laplace = f
+		case "MINIMUM_VARIANCE":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return out, fmt.Errorf("nbayes: bad MINIMUM_VARIANCE %q", v)
+			}
+			out.minVariance = f
+		default:
+			return out, fmt.Errorf("nbayes: unknown parameter %q", k)
+		}
+	}
+	return out, nil
+}
+
+// classifier is the trained state for one target attribute.
+type classifier struct {
+	target int
+	// prior[s] is the weighted count of class s.
+	prior []float64
+	total float64
+	// disc[input][s][state] counts input states per class (discrete and
+	// existence inputs; existence uses states {0,1}).
+	disc map[int][][]float64
+	// gauss[input][s] is a running Gaussian estimate per class.
+	gauss map[int][]gaussStat
+	// inputs in deterministic order, for content rendering.
+	inputs []int
+}
+
+type gaussStat struct{ n, sum, sumsq float64 }
+
+func (g gaussStat) meanVar(minVar float64) (float64, float64) {
+	if g.n <= 0 {
+		return 0, minVar
+	}
+	mean := g.sum / g.n
+	v := g.sumsq/g.n - mean*mean
+	if v < minVar {
+		v = minVar
+	}
+	return mean, v
+}
+
+// Model is a trained Naive Bayes model: one classifier per target.
+type Model struct {
+	space       *core.AttributeSpace
+	prm         params
+	classifiers map[int]*classifier
+	targetOrder []int
+	caseCount   int
+}
+
+// Train implements core.Algorithm.
+func (*Algorithm) Train(cs *core.Caseset, targets []int, p map[string]string) (core.TrainedModel, error) {
+	prm, err := parseParams(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("nbayes: model has no PREDICT columns")
+	}
+	m := &Model{space: cs.Space, prm: prm, classifiers: make(map[int]*classifier),
+		targetOrder: targets, caseCount: cs.Len()}
+	for _, t := range targets {
+		ta := cs.Space.Attr(t)
+		if ta.Kind == core.KindContinuous {
+			return nil, fmt.Errorf("nbayes: target %q is CONTINUOUS; use DISCRETIZED or another algorithm", ta.Name)
+		}
+		cl, err := m.trainOne(cs, t)
+		if err != nil {
+			return nil, err
+		}
+		m.classifiers[t] = cl
+	}
+	return m, nil
+}
+
+func nStates(a *core.Attribute) int {
+	if a.Kind == core.KindExistence {
+		return 2
+	}
+	return len(a.States)
+}
+
+func stateOf(c *core.Case, a *core.Attribute, idx int) int {
+	if a.Kind == core.KindExistence {
+		if c.Has(idx) {
+			return 1
+		}
+		return 0
+	}
+	return c.Discrete(idx)
+}
+
+func (m *Model) trainOne(cs *core.Caseset, target int) (*classifier, error) {
+	ta := m.space.Attr(target)
+	k := nStates(ta)
+	if k == 0 {
+		return nil, fmt.Errorf("nbayes: target %q has no observed states", ta.Name)
+	}
+	cl := &classifier{
+		target: target,
+		prior:  make([]float64, k),
+		disc:   make(map[int][][]float64),
+		gauss:  make(map[int][]gaussStat),
+	}
+	for i := range m.space.Attrs {
+		a := m.space.Attr(i)
+		if i == target || !a.IsInput {
+			continue
+		}
+		if a.NestedKey != "" && a.Column == ta.Column && a.NestedKey == ta.NestedKey {
+			continue // same nested row as the target
+		}
+		cl.inputs = append(cl.inputs, i)
+		if a.Kind == core.KindContinuous {
+			cl.gauss[i] = make([]gaussStat, k)
+		} else {
+			table := make([][]float64, k)
+			for s := range table {
+				table[s] = make([]float64, nStates(a))
+			}
+			cl.disc[i] = table
+		}
+	}
+	for ci := range cs.Cases {
+		c := &cs.Cases[ci]
+		s := stateOf(c, ta, target)
+		if s < 0 || s >= k {
+			continue
+		}
+		w := c.Weight * c.ProbOf(target)
+		cl.prior[s] += w
+		cl.total += w
+		for _, in := range cl.inputs {
+			a := m.space.Attr(in)
+			if a.Kind == core.KindContinuous {
+				if v, ok := c.Continuous(in); ok {
+					g := cl.gauss[in]
+					g[s].n += w
+					g[s].sum += v * w
+					g[s].sumsq += v * v * w
+				}
+				continue
+			}
+			st := stateOf(c, a, in)
+			if st >= 0 && st < len(cl.disc[in][s]) {
+				cl.disc[in][s][st] += w * c.ProbOf(in)
+			}
+		}
+	}
+	if cl.total <= 0 {
+		return nil, fmt.Errorf("nbayes: no labeled cases for target %q", ta.Name)
+	}
+	return cl, nil
+}
+
+// AlgorithmName implements core.TrainedModel.
+func (m *Model) AlgorithmName() string { return ServiceName }
+
+// Predict implements core.TrainedModel: posterior over target states via
+// log-likelihood accumulation.
+func (m *Model) Predict(c core.Case, target int) (core.Prediction, error) {
+	cl, ok := m.classifiers[target]
+	if !ok {
+		return core.Prediction{}, fmt.Errorf("nbayes: attribute %q is not a prediction target",
+			m.space.Attr(target).Name)
+	}
+	ta := m.space.Attr(target)
+	k := len(cl.prior)
+	logp := make([]float64, k)
+	for s := 0; s < k; s++ {
+		logp[s] = math.Log((cl.prior[s] + m.prm.laplace) / (cl.total + m.prm.laplace*float64(k)))
+	}
+	for _, in := range cl.inputs {
+		a := m.space.Attr(in)
+		if a.Kind == core.KindContinuous {
+			v, ok := c.Continuous(in)
+			if !ok {
+				continue
+			}
+			for s := 0; s < k; s++ {
+				mean, variance := cl.gauss[in][s].meanVar(m.prm.minVariance)
+				logp[s] += -0.5*math.Log(2*math.Pi*variance) - (v-mean)*(v-mean)/(2*variance)
+			}
+			continue
+		}
+		st := stateOf(&c, a, in)
+		// Discrete missing values contribute nothing; existence attributes
+		// are never missing (absent = state 0) and always contribute.
+		if a.Kind != core.KindExistence && st < 0 {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			table := cl.disc[in][s]
+			if st >= len(table) {
+				continue
+			}
+			var rowTotal float64
+			for _, v := range table {
+				rowTotal += v
+			}
+			p := (table[st] + m.prm.laplace) / (rowTotal + m.prm.laplace*float64(len(table)))
+			logp[s] += math.Log(p)
+		}
+	}
+	// Softmax in log space.
+	maxLog := math.Inf(-1)
+	for _, lp := range logp {
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	var z float64
+	probs := make([]float64, k)
+	for s, lp := range logp {
+		probs[s] = math.Exp(lp - maxLog)
+		z += probs[s]
+	}
+	var p core.Prediction
+	for s := 0; s < k; s++ {
+		p.Histogram = append(p.Histogram, core.Bucket{
+			Value:   stateName(ta, s),
+			Prob:    probs[s] / z,
+			Support: cl.prior[s],
+		})
+	}
+	p.SortHistogram()
+	return p, nil
+}
+
+func stateName(a *core.Attribute, s int) string {
+	if a.Kind == core.KindExistence {
+		if s == 1 {
+			return "present"
+		}
+		return "absent"
+	}
+	if s >= 0 && s < len(a.States) {
+		return a.States[s]
+	}
+	return fmt.Sprintf("state%d", s)
+}
+
+// PredictTable implements core.TrainedModel; Naive Bayes does not rank
+// nested-table rows.
+func (m *Model) PredictTable(core.Case, string) (core.Prediction, error) {
+	return core.Prediction{}, fmt.Errorf("nbayes: %s does not support nested TABLE prediction", ServiceName)
+}
+
+// Content implements core.TrainedModel: model root → one node per target →
+// one NAIVE_BAYES node per input attribute carrying, per class, the
+// conditional distribution (top states only, for discrete inputs) or the
+// Gaussian parameters.
+func (m *Model) Content() *core.ContentNode {
+	root := &core.ContentNode{Type: core.NodeModel, Caption: ServiceName, Support: float64(m.caseCount)}
+	for _, t := range m.targetOrder {
+		cl, ok := m.classifiers[t]
+		if !ok {
+			continue
+		}
+		ta := m.space.Attr(t)
+		tn := root.AddChild(&core.ContentNode{
+			Type: core.NodeTree, Caption: ta.Name, Attribute: ta.Name, Support: cl.total,
+		})
+		// Prior node.
+		prior := tn.AddChild(&core.ContentNode{
+			Type: core.NodeDistribution, Caption: "(prior)", Attribute: ta.Name, Support: cl.total,
+		})
+		for s, cnt := range cl.prior {
+			prior.Distribution = append(prior.Distribution, core.StateStat{
+				Value: stateName(ta, s), Support: cnt, Prob: cnt / cl.total,
+			})
+		}
+		for _, in := range cl.inputs {
+			a := m.space.Attr(in)
+			an := tn.AddChild(&core.ContentNode{
+				Type: core.NodeNaiveBayes, Caption: a.Name, Attribute: a.Name, Support: cl.total,
+			})
+			if a.Kind == core.KindContinuous {
+				for s := range cl.prior {
+					mean, variance := cl.gauss[in][s].meanVar(m.prm.minVariance)
+					an.Distribution = append(an.Distribution, core.StateStat{
+						Value:    fmt.Sprintf("%s: N(%.4g, %.4g)", stateName(ta, s), mean, variance),
+						Support:  cl.gauss[in][s].n,
+						Prob:     0,
+						Variance: variance,
+					})
+				}
+				continue
+			}
+			for s := range cl.prior {
+				table := cl.disc[in][s]
+				var rowTotal float64
+				for _, v := range table {
+					rowTotal += v
+				}
+				if rowTotal <= 0 {
+					continue
+				}
+				type sv struct {
+					st  int
+					cnt float64
+				}
+				tops := make([]sv, 0, len(table))
+				for st, cnt := range table {
+					tops = append(tops, sv{st, cnt})
+				}
+				sort.Slice(tops, func(i, j int) bool { return tops[i].cnt > tops[j].cnt })
+				if len(tops) > 3 {
+					tops = tops[:3]
+				}
+				for _, x := range tops {
+					an.Distribution = append(an.Distribution, core.StateStat{
+						Value:   fmt.Sprintf("%s | %s=%s", stateName(ta, s), a.Name, stateName(a, x.st)),
+						Support: x.cnt,
+						Prob:    x.cnt / rowTotal,
+					})
+				}
+			}
+		}
+	}
+	root.AssignIDs(1)
+	return root
+}
+
+// Parameters implements core.ParameterDescriber.
+func (*Algorithm) Parameters() []core.ParamDesc {
+	return []core.ParamDesc{
+		{Name: "PSEUDOCOUNT", Type: "DOUBLE", Default: "1",
+			Description: "Additive (Laplace) smoothing constant"},
+		{Name: "MINIMUM_VARIANCE", Type: "DOUBLE", Default: "1e-6",
+			Description: "Variance floor for Gaussian likelihoods"},
+	}
+}

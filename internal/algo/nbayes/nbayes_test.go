@@ -1,0 +1,265 @@
+package nbayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func space(attrs ...core.Attribute) *core.AttributeSpace {
+	sp := core.NewAttributeSpace()
+	for _, a := range attrs {
+		sp.Add(a)
+	}
+	return sp
+}
+
+func discrete(name string, states []string, target bool) core.Attribute {
+	return core.Attribute{Name: name, Column: name, Kind: core.KindDiscrete,
+		States: states, IsInput: true, IsTarget: target}
+}
+
+func continuous(name string) core.Attribute {
+	return core.Attribute{Name: name, Column: name, Kind: core.KindContinuous, IsInput: true}
+}
+
+// spamCaseset plants: class=spam iff word "offer" present (with noise word).
+func spamCaseset(n int) *core.Caseset {
+	sp := space(
+		discrete("offer", []string{"no", "yes"}, false),
+		discrete("noiseword", []string{"no", "yes"}, false),
+		discrete("class", []string{"ham", "spam"}, true),
+	)
+	cs := &core.Caseset{Space: sp}
+	rng := rand.New(rand.NewSource(5))
+	oi, _ := sp.Lookup("offer")
+	ni, _ := sp.Lookup("noiseword")
+	ci, _ := sp.Lookup("class")
+	for i := 0; i < n; i++ {
+		c := core.NewCase()
+		isSpam := i%2 == 0
+		offer := int64(0)
+		if isSpam && rng.Float64() < 0.95 || !isSpam && rng.Float64() < 0.05 {
+			offer = 1
+		}
+		c.Values[oi] = offer
+		c.Values[ni] = int64(rng.Intn(2))
+		if isSpam {
+			c.Values[ci] = int64(1)
+		} else {
+			c.Values[ci] = int64(0)
+		}
+		cs.Cases = append(cs.Cases, c)
+	}
+	return cs
+}
+
+func TestClassification(t *testing.T) {
+	cs := spamCaseset(400)
+	ci, _ := cs.Space.Lookup("class")
+	tm, err := New().Train(cs, []int{ci}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, _ := cs.Space.Lookup("offer")
+	c := core.NewCase()
+	c.Values[oi] = int64(1)
+	p, err := tm.Predict(c, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate != "spam" || p.Prob < 0.8 {
+		t.Errorf("offer=yes → %v (%v), want spam", p.Estimate, p.Prob)
+	}
+	c2 := core.NewCase()
+	c2.Values[oi] = int64(0)
+	p2, _ := tm.Predict(c2, ci)
+	if p2.Estimate != "ham" {
+		t.Errorf("offer=no → %v, want ham", p2.Estimate)
+	}
+}
+
+func TestGaussianLikelihood(t *testing.T) {
+	// Continuous input: height ~ N(160, 5) for class a, N(180, 5) for b.
+	sp := space(
+		continuous("height"),
+		discrete("class", []string{"a", "b"}, true),
+	)
+	cs := &core.Caseset{Space: sp}
+	rng := rand.New(rand.NewSource(9))
+	hi, _ := sp.Lookup("height")
+	ci, _ := sp.Lookup("class")
+	for i := 0; i < 500; i++ {
+		c := core.NewCase()
+		if i%2 == 0 {
+			c.Values[hi] = 160 + rng.NormFloat64()*5
+			c.Values[ci] = int64(0)
+		} else {
+			c.Values[hi] = 180 + rng.NormFloat64()*5
+			c.Values[ci] = int64(1)
+		}
+		cs.Cases = append(cs.Cases, c)
+	}
+	tm, err := New().Train(cs, []int{ci}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		h    float64
+		want string
+	}{{158, "a"}, {183, "b"}} {
+		c := core.NewCase()
+		c.Values[hi] = tc.h
+		p, _ := tm.Predict(c, ci)
+		if p.Estimate != tc.want {
+			t.Errorf("height %v → %v want %v", tc.h, p.Estimate, tc.want)
+		}
+	}
+}
+
+func TestPosteriorSumsToOne(t *testing.T) {
+	cs := spamCaseset(100)
+	ci, _ := cs.Space.Lookup("class")
+	tm, _ := New().Train(cs, []int{ci}, nil)
+	p, err := tm.Predict(core.NewCase(), ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, b := range p.Histogram {
+		sum += b.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("posterior sums to %v", sum)
+	}
+}
+
+func TestMissingInputsFallBackToPrior(t *testing.T) {
+	// Unbalanced priors: 80% class a.
+	sp := space(
+		discrete("x", []string{"u", "v"}, false),
+		discrete("class", []string{"a", "b"}, true),
+	)
+	cs := &core.Caseset{Space: sp}
+	xi, _ := sp.Lookup("x")
+	ci, _ := sp.Lookup("class")
+	for i := 0; i < 100; i++ {
+		c := core.NewCase()
+		c.Values[xi] = int64(i % 2)
+		if i%5 == 0 {
+			c.Values[ci] = int64(1)
+		} else {
+			c.Values[ci] = int64(0)
+		}
+		cs.Cases = append(cs.Cases, c)
+	}
+	tm, _ := New().Train(cs, []int{ci}, nil)
+	p, _ := tm.Predict(core.NewCase(), ci)
+	if p.Estimate != "a" {
+		t.Errorf("empty case must follow prior: %v", p.Estimate)
+	}
+	if p.Prob < 0.7 || p.Prob > 0.9 {
+		t.Errorf("prior-driven prob = %v, want ~0.8", p.Prob)
+	}
+}
+
+func TestContinuousTargetRejected(t *testing.T) {
+	sp := space(continuous("y"))
+	a := sp.Attr(0)
+	a.IsTarget = true
+	cs := &core.Caseset{Space: sp, Cases: []core.Case{core.NewCase()}}
+	if _, err := New().Train(cs, []int{0}, nil); err == nil {
+		t.Error("continuous target must be rejected")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	cs := spamCaseset(10)
+	ci, _ := cs.Space.Lookup("class")
+	for _, p := range []map[string]string{
+		{"PSEUDOCOUNT": "-1"},
+		{"MINIMUM_VARIANCE": "0"},
+		{"WHAT": "1"},
+	} {
+		if _, err := New().Train(cs, []int{ci}, p); err == nil {
+			t.Errorf("params %v must fail", p)
+		}
+	}
+	if _, err := New().Train(cs, nil, nil); err == nil {
+		t.Error("no targets must fail")
+	}
+}
+
+func TestPredictNonTarget(t *testing.T) {
+	cs := spamCaseset(50)
+	ci, _ := cs.Space.Lookup("class")
+	tm, _ := New().Train(cs, []int{ci}, nil)
+	oi, _ := cs.Space.Lookup("offer")
+	if _, err := tm.Predict(core.NewCase(), oi); err == nil {
+		t.Error("non-target prediction must fail")
+	}
+	if _, err := tm.PredictTable(core.NewCase(), "x"); err == nil {
+		t.Error("PredictTable must fail for nbayes")
+	}
+}
+
+func TestContent(t *testing.T) {
+	cs := spamCaseset(100)
+	ci, _ := cs.Space.Lookup("class")
+	tm, _ := New().Train(cs, []int{ci}, nil)
+	root := tm.Content()
+	if root.Type != core.NodeModel {
+		t.Fatal("bad root")
+	}
+	nb := root.Find(func(n *core.ContentNode) bool { return n.Type == core.NodeNaiveBayes })
+	if nb == nil || len(nb.Distribution) == 0 {
+		t.Fatalf("no NAIVE_BAYES node with distribution: %+v", nb)
+	}
+	prior := root.Find(func(n *core.ContentNode) bool { return n.Caption == "(prior)" })
+	if prior == nil {
+		t.Fatal("prior node missing")
+	}
+	var sum float64
+	for _, s := range prior.Distribution {
+		sum += s.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("prior sums to %v", sum)
+	}
+}
+
+func TestExistenceInputs(t *testing.T) {
+	// Existence attribute as input: buyers of "beer" are class "b".
+	sp := space(discrete("class", []string{"a", "b"}, true))
+	sp.Add(core.Attribute{Name: "P(beer)", Column: "P", NestedKey: "beer",
+		Kind: core.KindExistence, IsInput: true})
+	cs := &core.Caseset{Space: sp}
+	ci, _ := sp.Lookup("class")
+	bi, _ := sp.Lookup("P(beer)")
+	for i := 0; i < 100; i++ {
+		c := core.NewCase()
+		if i%2 == 0 {
+			c.Values[bi] = true
+			c.Values[ci] = int64(1)
+		} else {
+			c.Values[ci] = int64(0)
+		}
+		cs.Cases = append(cs.Cases, c)
+	}
+	tm, err := New().Train(cs, []int{ci}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewCase()
+	c.Values[bi] = true
+	p, _ := tm.Predict(c, ci)
+	if p.Estimate != "b" {
+		t.Errorf("beer buyer → %v want b", p.Estimate)
+	}
+	p2, _ := tm.Predict(core.NewCase(), ci)
+	if p2.Estimate != "a" {
+		t.Errorf("non-buyer → %v want a", p2.Estimate)
+	}
+}

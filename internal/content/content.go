@@ -1,0 +1,167 @@
+// Package content renders trained-model content graphs (core.ContentNode)
+// into the two forms the paper describes: the MINING_MODEL_CONTENT schema
+// rowset used by "SELECT * FROM <model>.CONTENT" (Section 3.3), and a
+// PMML-inspired XML document for open persistence and model sharing
+// (Section 4's nod to the PMML effort).
+package content
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/rowset"
+)
+
+// RowsetSchema is the column layout of the MINING_MODEL_CONTENT rowset. The
+// node's distribution is itself a nested table — the same hierarchical
+// rowset machinery the provider uses for casesets.
+func RowsetSchema() *rowset.Schema {
+	dist := rowset.MustSchema(
+		rowset.Column{Name: "ATTRIBUTE_VALUE", Type: rowset.TypeText},
+		rowset.Column{Name: "SUPPORT", Type: rowset.TypeDouble},
+		rowset.Column{Name: "PROBABILITY", Type: rowset.TypeDouble},
+		rowset.Column{Name: "VARIANCE", Type: rowset.TypeDouble},
+	)
+	return rowset.MustSchema(
+		rowset.Column{Name: "MODEL_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "NODE_UNIQUE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "NODE_TYPE", Type: rowset.TypeLong},
+		rowset.Column{Name: "NODE_CAPTION", Type: rowset.TypeText},
+		rowset.Column{Name: "ATTRIBUTE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "NODE_RULE", Type: rowset.TypeText},
+		rowset.Column{Name: "NODE_SUPPORT", Type: rowset.TypeDouble},
+		rowset.Column{Name: "NODE_SCORE", Type: rowset.TypeDouble},
+		rowset.Column{Name: "PARENT_UNIQUE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "CHILDREN_CARDINALITY", Type: rowset.TypeLong},
+		rowset.Column{Name: "NODE_DISTRIBUTION", Type: rowset.TypeTable, Nested: dist},
+	)
+}
+
+// Rowset flattens a content graph into the MINING_MODEL_CONTENT rowset,
+// depth-first so parents precede children.
+func Rowset(modelName string, root *core.ContentNode) *rowset.Rowset {
+	schema := RowsetSchema()
+	distSchema := schema.Columns[schema.Len()-1].Nested
+	out := rowset.New(schema)
+	if root == nil {
+		return out
+	}
+	root.Walk(func(n, parent *core.ContentNode) {
+		parentName := ""
+		if parent != nil {
+			parentName = nodeName(parent.ID)
+		}
+		dist := rowset.New(distSchema)
+		for _, s := range n.Distribution {
+			dist.MustAppend(s.Value, s.Support, s.Prob, s.Variance)
+		}
+		out.MustAppend(
+			modelName,
+			nodeName(n.ID),
+			int64(n.Type),
+			n.Caption,
+			n.Attribute,
+			n.Condition,
+			n.Support,
+			n.Score,
+			parentName,
+			int64(len(n.Children)),
+			dist,
+		)
+	})
+	return out
+}
+
+func nodeName(id int) string { return fmt.Sprintf("node%04d", id) }
+
+// ---------- PMML-inspired XML ----------
+
+// xmlModel is the document root.
+type xmlModel struct {
+	XMLName   xml.Name `xml:"MiningModel"`
+	Name      string   `xml:"name,attr"`
+	Algorithm string   `xml:"algorithm,attr"`
+	Cases     int      `xml:"cases,attr"`
+	Root      *xmlNode `xml:"Node"`
+}
+
+type xmlNode struct {
+	ID        int        `xml:"id,attr"`
+	Type      int        `xml:"type,attr"`
+	Caption   string     `xml:"caption,attr,omitempty"`
+	Attribute string     `xml:"attribute,attr,omitempty"`
+	Condition string     `xml:"condition,attr,omitempty"`
+	Support   float64    `xml:"support,attr"`
+	Score     float64    `xml:"score,attr"`
+	States    []xmlState `xml:"State"`
+	Children  []*xmlNode `xml:"Node"`
+}
+
+type xmlState struct {
+	Value    string  `xml:"value,attr"`
+	Support  float64 `xml:"support,attr"`
+	Prob     float64 `xml:"probability,attr"`
+	Variance float64 `xml:"variance,attr"`
+}
+
+// WriteXML serializes a content graph as indented XML.
+func WriteXML(w io.Writer, modelName, algorithm string, cases int, root *core.ContentNode) error {
+	doc := xmlModel{Name: modelName, Algorithm: algorithm, Cases: cases, Root: toXML(root)}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("content: encode xml: %w", err)
+	}
+	return enc.Flush()
+}
+
+func toXML(n *core.ContentNode) *xmlNode {
+	if n == nil {
+		return nil
+	}
+	x := &xmlNode{
+		ID: n.ID, Type: int(n.Type), Caption: n.Caption, Attribute: n.Attribute,
+		Condition: n.Condition, Support: n.Support, Score: n.Score,
+	}
+	for _, s := range n.Distribution {
+		x.States = append(x.States, xmlState(s))
+	}
+	for _, c := range n.Children {
+		x.Children = append(x.Children, toXML(c))
+	}
+	return x
+}
+
+// ReadXML parses a document produced by WriteXML back into a content graph,
+// returning the model name, algorithm, case count, and root node.
+func ReadXML(r io.Reader) (name, algorithm string, cases int, root *core.ContentNode, err error) {
+	var doc xmlModel
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return "", "", 0, nil, fmt.Errorf("content: decode xml: %w", err)
+	}
+	return doc.Name, doc.Algorithm, doc.Cases, fromXML(doc.Root), nil
+}
+
+func fromXML(x *xmlNode) *core.ContentNode {
+	if x == nil {
+		return nil
+	}
+	n := &core.ContentNode{
+		ID: x.ID, Type: core.NodeType(x.Type), Caption: x.Caption,
+		Attribute: x.Attribute, Condition: x.Condition,
+		Support: x.Support, Score: x.Score,
+	}
+	for _, s := range x.States {
+		n.Distribution = append(n.Distribution, core.StateStat(s))
+	}
+	for _, c := range x.Children {
+		n.Children = append(n.Children, fromXML(c))
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package core
+
+import "fmt"
+
+// NodeType enumerates MINING_MODEL_CONTENT node types. The values track the
+// OLE DB DM specification's node-type taxonomy closely enough for consumers
+// to navigate decision trees, cluster sets, and rule sets generically.
+type NodeType int
+
+const (
+	// NodeModel is the root node describing the model itself.
+	NodeModel NodeType = 1
+	// NodeTree is the root of one prediction tree.
+	NodeTree NodeType = 2
+	// NodeInterior is an internal tree split node.
+	NodeInterior NodeType = 3
+	// NodeDistribution is a leaf carrying an output distribution.
+	NodeDistribution NodeType = 4
+	// NodeCluster is one cluster of a segmentation model.
+	NodeCluster NodeType = 5
+	// NodeRule is one association rule.
+	NodeRule NodeType = 6
+	// NodeItemset is one frequent itemset.
+	NodeItemset NodeType = 7
+	// NodeNaiveBayes is a per-attribute conditional distribution node.
+	NodeNaiveBayes NodeType = 8
+)
+
+var nodeTypeNames = map[NodeType]string{
+	NodeModel:        "MODEL",
+	NodeTree:         "TREE",
+	NodeInterior:     "INTERIOR",
+	NodeDistribution: "DISTRIBUTION",
+	NodeCluster:      "CLUSTER",
+	NodeRule:         "RULE",
+	NodeItemset:      "ITEMSET",
+	NodeNaiveBayes:   "NAIVE_BAYES",
+}
+
+func (t NodeType) String() string {
+	if s, ok := nodeTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("NodeType(%d)", int(t))
+}
+
+// StateStat is one row of a node's distribution: a value with its weighted
+// support and probability.
+type StateStat struct {
+	Value    string
+	Support  float64
+	Prob     float64
+	Variance float64
+}
+
+// ContentNode is one node of a model's content graph — the paper's Section
+// 3.3 "directed graph (a set of nodes with connecting edges)" view of model
+// content. Decision trees, clusters, rules, and Naive Bayes CPTs all render
+// into this structure; the content package flattens it into the
+// MINING_MODEL_CONTENT schema rowset and serializes it as PMML-inspired XML.
+type ContentNode struct {
+	// ID is unique within the model, assigned in depth-first order.
+	ID int
+	// Type classifies the node.
+	Type NodeType
+	// Caption is the human-readable label ("Age > 35", "Cluster 3").
+	Caption string
+	// Attribute is the model attribute the node speaks about, if any.
+	Attribute string
+	// Condition is the predicate that routes cases into this node,
+	// rendered as a DMX-ish expression ("[Age] <= 42.5").
+	Condition string
+	// Support is the weighted number of training cases reaching the node.
+	Support float64
+	// Score is a node quality measure (split score, cluster log-likelihood,
+	// rule confidence — algorithm specific).
+	Score float64
+	// Distribution is the node's output distribution, when meaningful.
+	Distribution []StateStat
+	// Children are the node's outgoing edges.
+	Children []*ContentNode
+}
+
+// AddChild appends a child and returns it, for fluent construction.
+func (n *ContentNode) AddChild(c *ContentNode) *ContentNode {
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AssignIDs numbers the graph depth-first starting at base and returns the
+// next free ID. Algorithms call this once after building their content.
+func (n *ContentNode) AssignIDs(base int) int {
+	n.ID = base
+	next := base + 1
+	for _, c := range n.Children {
+		next = c.AssignIDs(next)
+	}
+	return next
+}
+
+// Walk visits the subtree rooted at n depth-first, parents before children.
+// The callback receives each node and its parent (nil for the root).
+func (n *ContentNode) Walk(fn func(node, parent *ContentNode)) {
+	var rec func(node, parent *ContentNode)
+	rec = func(node, parent *ContentNode) {
+		fn(node, parent)
+		for _, c := range node.Children {
+			rec(c, node)
+		}
+	}
+	rec(n, nil)
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *ContentNode) Count() int {
+	total := 0
+	n.Walk(func(_, _ *ContentNode) { total++ })
+	return total
+}
+
+// Find returns the first node satisfying pred in depth-first order, or nil.
+func (n *ContentNode) Find(pred func(*ContentNode) bool) *ContentNode {
+	var found *ContentNode
+	n.Walk(func(node, _ *ContentNode) {
+		if found == nil && pred(node) {
+			found = node
+		}
+	})
+	return found
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rowset"
+)
+
+// AttributeKind classifies how an attribute's values behave for modeling.
+type AttributeKind int
+
+const (
+	// KindDiscrete attributes take values from a finite state dictionary.
+	KindDiscrete AttributeKind = iota
+	// KindContinuous attributes take real values.
+	KindContinuous
+	// KindExistence attributes are binary "row with this nested key is
+	// present" attributes derived from nested tables (the tokenized form of
+	// a market-basket column).
+	KindExistence
+)
+
+func (k AttributeKind) String() string {
+	switch k {
+	case KindDiscrete:
+		return "DISCRETE"
+	case KindContinuous:
+		return "CONTINUOUS"
+	case KindExistence:
+		return "EXISTENCE"
+	}
+	return fmt.Sprintf("AttributeKind(%d)", int(k))
+}
+
+// Attribute is one dimension of the tokenized case space. Scalar model
+// columns map to one attribute each; a nested TABLE column maps to one
+// existence attribute per distinct nested key value (plus one valued
+// attribute per non-key nested column per key value).
+type Attribute struct {
+	// Name is the display name, e.g. "Gender",
+	// "Product Purchases(TV)" for an existence attribute, or
+	// "Product Purchases(TV).Quantity" for a nested valued attribute.
+	Name string
+	// Column is the top-level model column this attribute derives from.
+	Column string
+	// NestedColumn is the nested column (for nested valued attributes).
+	NestedColumn string
+	// NestedKey is the nested key value for table-derived attributes.
+	NestedKey string
+	Kind      AttributeKind
+	// IsTarget marks prediction targets.
+	IsTarget bool
+	// InputOnly marks attributes that must not be predicted (non-PREDICT
+	// inputs); target-only attributes have IsTarget and not IsInput.
+	IsInput bool
+	// States is the value dictionary for discrete attributes, in first-seen
+	// order. Existence attributes have implicit states {absent, present}.
+	States []string
+	// Cuts are discretization boundaries for DISCRETIZED attributes,
+	// filled in by the training pipeline; len(Cuts)+1 buckets. Lo and Hi
+	// record the observed value range so the RangeMin/RangeMid/RangeMax
+	// prediction functions can bound the open-ended buckets.
+	Cuts   []float64
+	Lo, Hi float64
+	// Distribution carries the column's distribution hint.
+	Distribution Distribution
+}
+
+// StateIndex returns the index of state s in the dictionary, or -1.
+func (a *Attribute) StateIndex(s string) int {
+	for i, v := range a.States {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttributeSpace is the tokenized schema of a model: the full list of
+// attributes plus the relations (RELATED TO hierarchies) discovered while
+// tokenizing. The space is built during training and reused, frozen, at
+// prediction time so attribute indexes remain stable.
+type AttributeSpace struct {
+	Attrs  []Attribute
+	byName map[string]int
+	// Relations maps "column\x00keyValue" to the relation value, e.g.
+	// Product Purchases/"Ham" -> "Food".
+	Relations map[string]string
+}
+
+// NewAttributeSpace returns an empty space.
+func NewAttributeSpace() *AttributeSpace {
+	return &AttributeSpace{byName: make(map[string]int), Relations: make(map[string]string)}
+}
+
+// Add appends an attribute and returns its index. Duplicate names return the
+// existing index.
+func (s *AttributeSpace) Add(a Attribute) int {
+	if i, ok := s.byName[a.Name]; ok {
+		return i
+	}
+	s.Attrs = append(s.Attrs, a)
+	i := len(s.Attrs) - 1
+	s.byName[a.Name] = i
+	return i
+}
+
+// Lookup returns the index of the named attribute.
+func (s *AttributeSpace) Lookup(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Len returns the number of attributes.
+func (s *AttributeSpace) Len() int { return len(s.Attrs) }
+
+// Attr returns the attribute at index i.
+func (s *AttributeSpace) Attr(i int) *Attribute { return &s.Attrs[i] }
+
+// Targets returns the indexes of all prediction-target attributes.
+func (s *AttributeSpace) Targets() []int {
+	var out []int
+	for i := range s.Attrs {
+		if s.Attrs[i].IsTarget {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TableAttrs returns the indexes of existence attributes derived from the
+// named TABLE column, sorted by nested key for deterministic iteration.
+func (s *AttributeSpace) TableAttrs(column string) []int {
+	var out []int
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		if a.Kind == KindExistence && a.Column == column {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		return s.Attrs[out[x]].NestedKey < s.Attrs[out[y]].NestedKey
+	})
+	return out
+}
+
+// Relation returns the RELATED TO value recorded for a nested key of a
+// column ("Ham" in "Product Purchases" -> "Food").
+func (s *AttributeSpace) Relation(column, key string) (string, bool) {
+	v, ok := s.Relations[column+"\x00"+key]
+	return v, ok
+}
+
+func (s *AttributeSpace) setRelation(column, key, value string) {
+	s.Relations[column+"\x00"+key] = value
+}
+
+// rebuildIndex restores the name index after decoding a persisted space.
+func (s *AttributeSpace) rebuildIndex() {
+	s.byName = make(map[string]int, len(s.Attrs))
+	for i := range s.Attrs {
+		s.byName[s.Attrs[i].Name] = i
+	}
+	if s.Relations == nil {
+		s.Relations = make(map[string]string)
+	}
+}
+
+// Case is one tokenized observation: a sparse attribute-index → value map.
+// Discrete attribute values are state indexes (int64 into Attribute.States);
+// continuous values are float64; existence attributes present in the case
+// hold true. Absent existence attributes mean "not purchased"; absent scalar
+// attributes mean SQL NULL / missing.
+type Case struct {
+	Values map[int]rowset.Value
+	// Prob holds per-attribute certainty from PROBABILITY qualifiers
+	// (attribute index → [0,1]); missing entries mean certainty 1.
+	Prob map[int]float64
+	// Weight is the case replication factor from SUPPORT qualifiers.
+	Weight float64
+	// Key is the case's KEY column value, kept for reporting.
+	Key rowset.Value
+	// Sequences holds, per nested TABLE column that carries a SEQUENCE_TIME
+	// attribute, the nested keys ordered by that time — the raw material of
+	// the paper's "sequence analysis" capability. Keys are table column
+	// names; values are ordered nested-key strings.
+	Sequences map[string][]string
+}
+
+// Sequence returns the ordered nested keys recorded for a table column.
+func (c Case) Sequence(tableColumn string) []string {
+	if c.Sequences == nil {
+		return nil
+	}
+	return c.Sequences[tableColumn]
+}
+
+// NewCase returns an empty case of weight 1.
+func NewCase() Case {
+	return Case{Values: make(map[int]rowset.Value), Weight: 1}
+}
+
+// Discrete returns the state index of attribute i in the case, or -1 when
+// the attribute is absent/NULL or not discrete-valued.
+func (c Case) Discrete(i int) int {
+	v, ok := c.Values[i]
+	if !ok {
+		return -1
+	}
+	if n, ok := v.(int64); ok {
+		return int(n)
+	}
+	return -1
+}
+
+// Continuous returns the numeric value of attribute i, with ok=false when
+// absent or non-numeric.
+func (c Case) Continuous(i int) (float64, bool) {
+	v, ok := c.Values[i]
+	if !ok {
+		return 0, false
+	}
+	return rowset.ToFloat(v)
+}
+
+// Has reports whether attribute i is present in the case.
+func (c Case) Has(i int) bool {
+	_, ok := c.Values[i]
+	return ok
+}
+
+// ProbOf returns the certainty attached to attribute i (default 1).
+func (c Case) ProbOf(i int) float64 {
+	if c.Prob == nil {
+		return 1
+	}
+	if p, ok := c.Prob[i]; ok {
+		return p
+	}
+	return 1
+}
+
+// Caseset is a tokenized training or prediction set: the attribute space
+// plus the cases expressed in it.
+type Caseset struct {
+	Space *AttributeSpace
+	Cases []Case
+}
+
+// Len returns the number of cases.
+func (cs *Caseset) Len() int { return len(cs.Cases) }
+
+// TotalWeight sums case weights (SUPPORT-adjusted case count).
+func (cs *Caseset) TotalWeight() float64 {
+	var w float64
+	for i := range cs.Cases {
+		w += cs.Cases[i].Weight
+	}
+	return w
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/rowset"
+)
+
+// Tokenizer converts hierarchical casesets (rowsets with nested TABLE
+// columns) into the sparse attribute-vector Cases consumed by mining
+// algorithms. This is the mechanism behind the paper's claim that
+// consolidating an entity's information into one case "eliminates the need
+// for data mining algorithms to do considerable bookkeeping": the provider
+// does the bookkeeping once, here.
+//
+// During training the tokenizer grows the attribute space — new discrete
+// states extend dictionaries, new nested keys mint existence attributes.
+// After Freeze (called when training completes) the space is read-only and
+// unseen values tokenize as missing.
+type Tokenizer struct {
+	Def    *ModelDef
+	Space  *AttributeSpace
+	frozen bool
+}
+
+// NewTokenizer builds a tokenizer (and the initial attribute space) for def.
+// Scalar attributes exist immediately; table-derived attributes appear as
+// training data mentions their nested keys.
+func NewTokenizer(def *ModelDef) *Tokenizer {
+	tk := &Tokenizer{Def: def, Space: NewAttributeSpace()}
+	for i := range def.Columns {
+		c := &def.Columns[i]
+		if c.Content != ContentAttribute {
+			continue
+		}
+		tk.Space.Add(scalarAttribute(c))
+	}
+	return tk
+}
+
+// NewFrozenTokenizer rebinds a persisted attribute space for prediction.
+func NewFrozenTokenizer(def *ModelDef, space *AttributeSpace) *Tokenizer {
+	space.rebuildIndex()
+	return &Tokenizer{Def: def, Space: space, frozen: true}
+}
+
+// NewTokenizerWithSpace rebinds a persisted attribute space for continued
+// training (the space may still grow).
+func NewTokenizerWithSpace(def *ModelDef, space *AttributeSpace) *Tokenizer {
+	space.rebuildIndex()
+	return &Tokenizer{Def: def, Space: space}
+}
+
+// Freeze stops the attribute space from growing; prediction-time inputs with
+// unseen states tokenize as missing values.
+func (tk *Tokenizer) Freeze() { tk.frozen = true }
+
+// Frozen reports whether the space is frozen.
+func (tk *Tokenizer) Frozen() bool { return tk.frozen }
+
+func scalarAttribute(c *ColumnDef) Attribute {
+	a := Attribute{
+		Name:         c.Name,
+		Column:       c.Name,
+		IsTarget:     c.IsOutput(),
+		IsInput:      c.IsInput(),
+		Distribution: c.Distribution,
+	}
+	switch {
+	case c.ModelExistenceOnly:
+		a.Kind = KindExistence
+	case c.AttrType == AttrContinuous || c.AttrType == AttrSequenceTime:
+		a.Kind = KindContinuous
+	case c.AttrType == AttrDiscretized:
+		// Continuous until the training pipeline installs cut points.
+		a.Kind = KindContinuous
+	default:
+		a.Kind = KindDiscrete
+	}
+	return a
+}
+
+// Tokenize converts every row of a hierarchical caseset rowset into a Case.
+// Column binding is by name; the input must carry the model's KEY column and,
+// unless the tokenizer is frozen, every input attribute column.
+func (tk *Tokenizer) Tokenize(rs *rowset.Rowset) (*Caseset, error) {
+	out := &Caseset{Space: tk.Space}
+	out.Cases = make([]Case, 0, rs.Len())
+	b, err := tk.bind(rs.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rs.Rows() {
+		c, err := tk.tokenizeRow(b, row)
+		if err != nil {
+			return nil, err
+		}
+		out.Cases = append(out.Cases, c)
+	}
+	return out, nil
+}
+
+// TokenizeCase converts a single row (prediction input). The schema binding
+// is recomputed per call; batch callers should use Tokenize.
+func (tk *Tokenizer) TokenizeCase(schema *rowset.Schema, row rowset.Row) (Case, error) {
+	b, err := tk.bind(schema)
+	if err != nil {
+		return Case{}, err
+	}
+	return tk.tokenizeRow(b, row)
+}
+
+// binding caches the model-column → input-ordinal mapping for one schema.
+type binding struct {
+	// scalar[i] is the input ordinal for model column i (-1 = absent).
+	scalar []int
+	// nested[i] describes the nested binding for TABLE model columns.
+	nested []*nestedBinding
+}
+
+type nestedBinding struct {
+	tableCol *ColumnDef
+	keyOrd   int
+	// cols[j] is the input ordinal (in the nested schema) for nested model
+	// column j; -1 = absent.
+	cols []int
+}
+
+func (tk *Tokenizer) bind(schema *rowset.Schema) (*binding, error) {
+	b := &binding{
+		scalar: make([]int, len(tk.Def.Columns)),
+		nested: make([]*nestedBinding, len(tk.Def.Columns)),
+	}
+	for i := range tk.Def.Columns {
+		c := &tk.Def.Columns[i]
+		ord, ok := schema.Lookup(c.Name)
+		if !ok {
+			b.scalar[i] = -1
+			if !tk.frozen && c.Content != ContentQualifier && c.Content != ContentRelation {
+				return nil, fmt.Errorf("core: model %s: training input lacks column %q", tk.Def.Name, c.Name)
+			}
+			continue
+		}
+		b.scalar[i] = ord
+		if c.Content != ContentTable {
+			continue
+		}
+		inCol := schema.Column(ord)
+		if inCol.Type != rowset.TypeTable || inCol.Nested == nil {
+			return nil, fmt.Errorf("core: model %s: column %q must be a nested table", tk.Def.Name, c.Name)
+		}
+		nb := &nestedBinding{tableCol: c, keyOrd: -1, cols: make([]int, len(c.Table))}
+		for j := range c.Table {
+			nc := &c.Table[j]
+			nord, ok := inCol.Nested.Lookup(nc.Name)
+			if !ok {
+				nb.cols[j] = -1
+				if !tk.frozen && nc.Content == ContentKey {
+					return nil, fmt.Errorf("core: model %s: nested table %q input lacks key column %q",
+						tk.Def.Name, c.Name, nc.Name)
+				}
+				continue
+			}
+			nb.cols[j] = nord
+			if nc.Content == ContentKey {
+				nb.keyOrd = nord
+			}
+		}
+		if nb.keyOrd < 0 {
+			return nil, fmt.Errorf("core: model %s: nested table %q input lacks its key column",
+				tk.Def.Name, c.Name)
+		}
+		b.nested[i] = nb
+	}
+	return b, nil
+}
+
+func (tk *Tokenizer) tokenizeRow(b *binding, row rowset.Row) (Case, error) {
+	c := NewCase()
+	// First pass: keys, attributes, tables. Qualifiers and relations need
+	// their targets and run second.
+	for i := range tk.Def.Columns {
+		col := &tk.Def.Columns[i]
+		ord := b.scalar[i]
+		if ord < 0 {
+			continue
+		}
+		v := row[ord]
+		switch col.Content {
+		case ContentKey:
+			c.Key = v
+		case ContentAttribute:
+			if err := tk.setScalar(&c, col, v); err != nil {
+				return Case{}, err
+			}
+		case ContentTable:
+			if v == nil {
+				continue
+			}
+			nested, ok := v.(*rowset.Rowset)
+			if !ok {
+				return Case{}, fmt.Errorf("core: column %q: expected nested table, got %s",
+					col.Name, rowset.TypeOf(v))
+			}
+			if err := tk.tokenizeNested(&c, b.nested[i], nested); err != nil {
+				return Case{}, err
+			}
+		}
+	}
+	// Second pass: top-level qualifiers and relations.
+	for i := range tk.Def.Columns {
+		col := &tk.Def.Columns[i]
+		ord := b.scalar[i]
+		if ord < 0 || row[ord] == nil {
+			continue
+		}
+		switch col.Content {
+		case ContentQualifier:
+			tk.applyQualifier(&c, col, col.QualifierOf, row[ord])
+		case ContentRelation:
+			if target, ok := findColumn(tk.Def.Columns, col.RelatedTo); ok {
+				if tOrd, ok2 := lookupOrd(b, tk.Def.Columns, target.Name); ok2 && row[tOrd] != nil {
+					tk.Space.setRelation(target.Name, rowset.FormatValue(row[tOrd]), rowset.FormatValue(row[ord]))
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+func lookupOrd(b *binding, cols []ColumnDef, name string) (int, bool) {
+	for i := range cols {
+		if strings.EqualFold(cols[i].Name, name) && b.scalar[i] >= 0 {
+			return b.scalar[i], true
+		}
+	}
+	return 0, false
+}
+
+// setScalar tokenizes one scalar attribute value into the case.
+func (tk *Tokenizer) setScalar(c *Case, col *ColumnDef, v rowset.Value) error {
+	idx, ok := tk.Space.Lookup(col.Name)
+	if !ok {
+		return fmt.Errorf("core: attribute %q missing from space", col.Name)
+	}
+	a := tk.Space.Attr(idx)
+	if v == nil {
+		if col.NotNull && !tk.frozen {
+			return fmt.Errorf("core: column %q is NOT_NULL but the input has a NULL", col.Name)
+		}
+		return nil
+	}
+	// Discretized attributes with installed cut points bucket incoming
+	// numeric values no matter their current Kind (training rewrites the
+	// kind to discrete; prediction inputs still arrive as raw numbers).
+	if len(a.Cuts) > 0 {
+		f, ok := rowset.ToFloat(v)
+		if !ok {
+			return fmt.Errorf("core: column %q: non-numeric value %v for discretized attribute",
+				col.Name, v)
+		}
+		c.Values[idx] = int64(bucketOf(f, a.Cuts))
+		return nil
+	}
+	switch a.Kind {
+	case KindExistence:
+		c.Values[idx] = true
+	case KindContinuous:
+		f, ok := rowset.ToFloat(v)
+		if !ok {
+			return fmt.Errorf("core: column %q: non-numeric value %v for continuous attribute",
+				col.Name, v)
+		}
+		c.Values[idx] = f
+	default: // KindDiscrete
+		s := rowset.FormatValue(v)
+		st := a.StateIndex(s)
+		if st < 0 {
+			if tk.frozen {
+				return nil // unseen state at prediction time = missing
+			}
+			a.States = append(a.States, s)
+			st = len(a.States) - 1
+		}
+		c.Values[idx] = int64(st)
+	}
+	return nil
+}
+
+// tokenizeNested converts a nested table cell into existence and valued
+// attributes. When the nested table carries a SEQUENCE_TIME attribute the
+// nested keys are also recorded on the case in time order (Case.Sequences),
+// preserving the ordering that existence attributes alone discard — the raw
+// material for sequence-analysis services.
+func (tk *Tokenizer) tokenizeNested(c *Case, nb *nestedBinding, nested *rowset.Rowset) error {
+	tcol := nb.tableCol
+	seqOrd := -1
+	for j := range tcol.Table {
+		nc := &tcol.Table[j]
+		if nc.Content == ContentAttribute && nc.AttrType == AttrSequenceTime && nb.cols[j] >= 0 {
+			seqOrd = nb.cols[j]
+			break
+		}
+	}
+	type seqEntry struct {
+		t   float64
+		key string
+	}
+	var seq []seqEntry
+	for _, nrow := range nested.Rows() {
+		kv := nrow[nb.keyOrd]
+		if kv == nil {
+			continue
+		}
+		key := rowset.FormatValue(kv)
+		if seqOrd >= 0 {
+			if ts, ok := rowset.ToFloat(nrow[seqOrd]); ok {
+				seq = append(seq, seqEntry{t: ts, key: key})
+			}
+		}
+		exName := fmt.Sprintf("%s(%s)", tcol.Name, key)
+		exIdx, ok := tk.Space.Lookup(exName)
+		if !ok {
+			if tk.frozen {
+				continue // unseen nested key at prediction time
+			}
+			exIdx = tk.Space.Add(Attribute{
+				Name:      exName,
+				Column:    tcol.Name,
+				NestedKey: key,
+				Kind:      KindExistence,
+				IsTarget:  tcol.IsOutput(),
+				IsInput:   tcol.IsInput(),
+			})
+		}
+		c.Values[exIdx] = true
+
+		for j := range tcol.Table {
+			ncol := &tcol.Table[j]
+			ord := nb.cols[j]
+			if ord < 0 || ncol.Content == ContentKey {
+				continue
+			}
+			v := nrow[ord]
+			if v == nil {
+				continue
+			}
+			switch ncol.Content {
+			case ContentRelation:
+				tk.Space.setRelation(tcol.Name, key, rowset.FormatValue(v))
+			case ContentQualifier:
+				// Qualifier of the nested key qualifies the existence
+				// attribute; qualifier of a nested attribute qualifies the
+				// derived valued attribute.
+				target := ncol.QualifierOf
+				if kc, ok := findColumn(tcol.Table, target); ok && kc.Content == ContentKey {
+					tk.applyQualifierIdx(c, ncol, exIdx, v)
+				} else {
+					name := fmt.Sprintf("%s(%s).%s", tcol.Name, key, target)
+					if idx, ok := tk.Space.Lookup(name); ok {
+						tk.applyQualifierIdx(c, ncol, idx, v)
+					}
+				}
+			case ContentAttribute:
+				name := fmt.Sprintf("%s(%s).%s", tcol.Name, key, ncol.Name)
+				idx, ok := tk.Space.Lookup(name)
+				if !ok {
+					if tk.frozen {
+						continue
+					}
+					kind := KindDiscrete
+					if ncol.AttrType.IsNumericLike() {
+						kind = KindContinuous
+					}
+					idx = tk.Space.Add(Attribute{
+						Name:         name,
+						Column:       tcol.Name,
+						NestedColumn: ncol.Name,
+						NestedKey:    key,
+						Kind:         kind,
+						IsTarget:     tcol.IsOutput() || ncol.IsOutput(),
+						IsInput:      tcol.IsInput(),
+						Distribution: ncol.Distribution,
+					})
+				}
+				a := tk.Space.Attr(idx)
+				if a.Kind == KindContinuous {
+					f, ok := rowset.ToFloat(v)
+					if !ok {
+						return fmt.Errorf("core: nested column %q: non-numeric value %v", ncol.Name, v)
+					}
+					c.Values[idx] = f
+				} else {
+					s := rowset.FormatValue(v)
+					st := a.StateIndex(s)
+					if st < 0 {
+						if tk.frozen {
+							continue
+						}
+						a.States = append(a.States, s)
+						st = len(a.States) - 1
+					}
+					c.Values[idx] = int64(st)
+				}
+			}
+		}
+	}
+	if len(seq) > 0 {
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].t < seq[j].t })
+		keys := make([]string, len(seq))
+		for i, e := range seq {
+			keys[i] = e.key
+		}
+		if c.Sequences == nil {
+			c.Sequences = make(map[string][]string)
+		}
+		c.Sequences[tcol.Name] = keys
+	}
+	return nil
+}
+
+func (tk *Tokenizer) applyQualifier(c *Case, col *ColumnDef, target string, v rowset.Value) {
+	if idx, ok := tk.Space.Lookup(target); ok {
+		tk.applyQualifierIdx(c, col, idx, v)
+		return
+	}
+	// SUPPORT may qualify the case as a whole (target may be the key).
+	if col.Qualifier == QualSupport {
+		if f, ok := rowset.ToFloat(v); ok && f > 0 {
+			c.Weight = f
+		}
+	}
+}
+
+func (tk *Tokenizer) applyQualifierIdx(c *Case, col *ColumnDef, idx int, v rowset.Value) {
+	f, ok := rowset.ToFloat(v)
+	if !ok {
+		return
+	}
+	switch col.Qualifier {
+	case QualProbability:
+		if c.Prob == nil {
+			c.Prob = make(map[int]float64)
+		}
+		c.Prob[idx] = clamp01(f)
+	case QualSupport:
+		if f > 0 {
+			c.Weight = f
+		}
+	default:
+		// VARIANCE, PROBABILITY_VARIANCE, and ORDER are accepted and
+		// recorded nowhere: our reference algorithms do not consume them,
+		// matching the paper's "qualifiers are all optional" stance.
+	}
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// bucketOf returns the discretization bucket of f given ascending cuts:
+// bucket i covers (cuts[i-1], cuts[i]]; bucket len(cuts) is the overflow.
+func bucketOf(f float64, cuts []float64) int {
+	return sort.SearchFloat64s(cuts, math.Nextafter(f, math.Inf(-1)))
+}
+
+// DiscretizeAttr installs cut points for attribute idx and rewrites every
+// case's value for it from a raw float to a bucket state. Bucket labels
+// become the attribute's discrete states.
+func (cs *Caseset) DiscretizeAttr(idx int, cuts []float64) {
+	a := cs.Space.Attr(idx)
+	a.Cuts = append([]float64(nil), cuts...)
+	a.Kind = KindDiscrete
+	a.States = BucketLabels(cuts)
+	first := true
+	for ci := range cs.Cases {
+		v, ok := cs.Cases[ci].Values[idx]
+		if !ok {
+			continue
+		}
+		if f, ok := rowset.ToFloat(v); ok {
+			if first || f < a.Lo {
+				a.Lo = f
+			}
+			if first || f > a.Hi {
+				a.Hi = f
+			}
+			first = false
+			cs.Cases[ci].Values[idx] = int64(bucketOf(f, cuts))
+		}
+	}
+}
+
+// BucketBounds returns the numeric bounds of discretization bucket i,
+// closing the open first/last buckets with the observed Lo/Hi range.
+func (a *Attribute) BucketBounds(i int) (lo, hi float64, ok bool) {
+	if len(a.Cuts) == 0 || i < 0 || i > len(a.Cuts) {
+		return 0, 0, false
+	}
+	lo, hi = a.Lo, a.Hi
+	if i > 0 {
+		lo = a.Cuts[i-1]
+	}
+	if i < len(a.Cuts) {
+		hi = a.Cuts[i]
+	}
+	return lo, hi, true
+}
+
+// BucketLabels renders human-readable labels for discretization buckets.
+func BucketLabels(cuts []float64) []string {
+	labels := make([]string, len(cuts)+1)
+	for i := range labels {
+		switch {
+		case len(cuts) == 0:
+			labels[i] = "(-inf, +inf)"
+		case i == 0:
+			labels[i] = fmt.Sprintf("<= %.4g", cuts[0])
+		case i == len(cuts):
+			labels[i] = fmt.Sprintf("> %.4g", cuts[len(cuts)-1])
+		default:
+			labels[i] = fmt.Sprintf("(%.4g, %.4g]", cuts[i-1], cuts[i])
+		}
+	}
+	return labels
+}

@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution as a library: the
+// data mining model (DMM) object. It defines the model metadata of Section
+// 3.2 — content types, attribute types, qualifiers, distribution hints,
+// prediction flags — the case/caseset representation of Section 3.1, the
+// pluggable algorithm interface of Section 2 ("plug in any algorithm"), and
+// the model content graph of Section 3.3.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ContentType is the role a column plays in a case (paper Section 3.2.1).
+type ContentType int
+
+const (
+	// ContentAttribute is a direct attribute of the case (the default).
+	ContentAttribute ContentType = iota
+	// ContentKey identifies a row: the case key at top level, the nested
+	// row key inside a TABLE column.
+	ContentKey
+	// ContentRelation classifies another column (RELATED TO target).
+	ContentRelation
+	// ContentQualifier attaches a statistical modifier to an attribute
+	// (OF target), e.g. PROBABILITY or SUPPORT.
+	ContentQualifier
+	// ContentTable marks a nested-table column.
+	ContentTable
+)
+
+var contentNames = map[ContentType]string{
+	ContentAttribute: "ATTRIBUTE",
+	ContentKey:       "KEY",
+	ContentRelation:  "RELATION",
+	ContentQualifier: "QUALIFIER",
+	ContentTable:     "TABLE",
+}
+
+func (c ContentType) String() string {
+	if s, ok := contentNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ContentType(%d)", int(c))
+}
+
+// AttributeType describes an ATTRIBUTE column's value semantics (Section
+// 3.2.2 of the paper).
+type AttributeType int
+
+const (
+	// AttrDiscrete is categorical with no ordering ("Area Code").
+	AttrDiscrete AttributeType = iota
+	// AttrContinuous is numeric with distance semantics ("Salary").
+	AttrContinuous
+	// AttrDiscretized is continuous data the provider must bucket into
+	// ordered states before modeling.
+	AttrDiscretized
+	// AttrOrdered is a totally ordered set without magnitude (skill level).
+	AttrOrdered
+	// AttrCyclical is ordered and wraps around (day of week).
+	AttrCyclical
+	// AttrSequenceTime is a time measurement used to order attribute values.
+	AttrSequenceTime
+)
+
+var attrTypeNames = map[AttributeType]string{
+	AttrDiscrete:     "DISCRETE",
+	AttrContinuous:   "CONTINUOUS",
+	AttrDiscretized:  "DISCRETIZED",
+	AttrOrdered:      "ORDERED",
+	AttrCyclical:     "CYCLICAL",
+	AttrSequenceTime: "SEQUENCE_TIME",
+}
+
+func (a AttributeType) String() string {
+	if s, ok := attrTypeNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("AttributeType(%d)", int(a))
+}
+
+// ParseAttributeType maps a DMX keyword to an AttributeType.
+func ParseAttributeType(s string) (AttributeType, bool) {
+	switch strings.ToUpper(s) {
+	case "DISCRETE":
+		return AttrDiscrete, true
+	case "CONTINUOUS", "CONTINOUS": // the paper's own listing spells it CONTINOUS
+		return AttrContinuous, true
+	case "DISCRETIZED":
+		return AttrDiscretized, true
+	case "ORDERED":
+		return AttrOrdered, true
+	case "CYCLICAL":
+		return AttrCyclical, true
+	case "SEQUENCE_TIME":
+		return AttrSequenceTime, true
+	}
+	return AttrDiscrete, false
+}
+
+// IsNumericLike reports whether the attribute type carries numeric values
+// before any discretization.
+func (a AttributeType) IsNumericLike() bool {
+	return a == AttrContinuous || a == AttrDiscretized || a == AttrSequenceTime
+}
+
+// QualifierKind enumerates the qualifier columns of Section 3.2.1.
+type QualifierKind int
+
+const (
+	// QualNone marks a non-qualifier column.
+	QualNone QualifierKind = iota
+	// QualProbability is the [0,1] certainty of the qualified value.
+	QualProbability
+	// QualVariance is the variance of the qualified value.
+	QualVariance
+	// QualSupport is a case-replication weight.
+	QualSupport
+	// QualProbabilityVariance is the variance of the probability estimator.
+	QualProbabilityVariance
+	// QualOrder gives an explicit ordering for ORDERED attributes.
+	QualOrder
+)
+
+var qualNames = map[QualifierKind]string{
+	QualNone:                "",
+	QualProbability:         "PROBABILITY",
+	QualVariance:            "VARIANCE",
+	QualSupport:             "SUPPORT",
+	QualProbabilityVariance: "PROBABILITY_VARIANCE",
+	QualOrder:               "ORDER",
+}
+
+func (q QualifierKind) String() string { return qualNames[q] }
+
+// ParseQualifierKind maps a DMX keyword to a QualifierKind.
+func ParseQualifierKind(s string) (QualifierKind, bool) {
+	switch strings.ToUpper(s) {
+	case "PROBABILITY":
+		return QualProbability, true
+	case "VARIANCE":
+		return QualVariance, true
+	case "SUPPORT":
+		return QualSupport, true
+	case "PROBABILITY_VARIANCE":
+		return QualProbabilityVariance, true
+	case "ORDER":
+		return QualOrder, true
+	}
+	return QualNone, false
+}
+
+// Distribution is a prior-knowledge hint about a column's data (Section
+// 3.2.3). Providers may use or ignore hints.
+type Distribution int
+
+const (
+	// DistNone means no hint was given.
+	DistNone Distribution = iota
+	// DistNormal marks Gaussian-distributed continuous data.
+	DistNormal
+	// DistLogNormal marks log-normal continuous data.
+	DistLogNormal
+	// DistUniform marks uniformly distributed continuous data.
+	DistUniform
+	// DistBinomial marks two-state discrete data.
+	DistBinomial
+	// DistMultinomial marks multi-state discrete data.
+	DistMultinomial
+	// DistPoisson marks Poisson count data.
+	DistPoisson
+	// DistMixture marks mixture-distributed data.
+	DistMixture
+)
+
+var distNames = map[Distribution]string{
+	DistNone: "", DistNormal: "NORMAL", DistLogNormal: "LOG_NORMAL",
+	DistUniform: "UNIFORM", DistBinomial: "BINOMIAL",
+	DistMultinomial: "MULTINOMIAL", DistPoisson: "POISSON", DistMixture: "MIXTURE",
+}
+
+func (d Distribution) String() string { return distNames[d] }
+
+// ParseDistribution maps a DMX keyword to a Distribution hint.
+func ParseDistribution(s string) (Distribution, bool) {
+	switch strings.ToUpper(s) {
+	case "NORMAL":
+		return DistNormal, true
+	case "LOG_NORMAL", "LOGNORMAL":
+		return DistLogNormal, true
+	case "UNIFORM":
+		return DistUniform, true
+	case "BINOMIAL":
+		return DistBinomial, true
+	case "MULTINOMIAL":
+		return DistMultinomial, true
+	case "POISSON":
+		return DistPoisson, true
+	case "MIXTURE":
+		return DistMixture, true
+	}
+	return DistNone, false
+}

@@ -1,0 +1,57 @@
+// Package dmclient is the TCP client for a dmserver provider: the consumer
+// half of the paper's Figure 1 deployment. A Client is safe for concurrent
+// use; requests serialize over one connection.
+package dmclient
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dmserver"
+	"repro/internal/rowset"
+)
+
+// Client is a connection to a remote provider.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a dmserver at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Execute runs one DMX/SQL command on the remote provider.
+func (c *Client) Execute(command string) (*rowset.Rowset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := dmserver.WriteRequest(c.bw, command); err != nil {
+		return nil, err
+	}
+	return dmserver.ReadResponse(c.br)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,312 @@
+// Package dmdriver exposes the OLE DB DM provider through database/sql —
+// Go's native counterpart of the OLE DB data-access API the paper builds on.
+// The paper's goal is that "data mining models and operations gain the
+// status of first-class objects in the mainstream database development
+// environment"; for a Go developer that environment is database/sql:
+//
+//	db, _ := sql.Open("oledbdm", "memory:myapp")
+//	db.Exec(`CREATE MINING MODEL ...`)
+//	db.Exec(`INSERT INTO [Age Prediction] ... SHAPE {...} ...`)
+//	rows, _ := db.Query(`SELECT Predict([Age]) FROM [Age Prediction] ...`)
+//
+// DSN forms:
+//
+//	memory:<name>  — shared in-memory provider instance named <name>
+//	file:<dir>     — provider persisted under directory <dir>
+//	registered:<n> — provider previously installed with RegisterProvider
+//
+// Connections to the same DSN share one provider instance, the way
+// connections to one database share its state. Statements support '?'
+// placeholders, substituted as SQL literals (DMX has no parameter protocol).
+package dmdriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lex"
+	"repro/internal/provider"
+	"repro/internal/rowset"
+)
+
+// DriverName is the name registered with database/sql.
+const DriverName = "oledbdm"
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+var (
+	providersMu sync.Mutex
+	providers   = make(map[string]*provider.Provider)
+)
+
+// RegisterProvider installs an existing provider instance under
+// "registered:<name>"; used to share a provider between direct API access
+// and database/sql access.
+func RegisterProvider(name string, p *provider.Provider) {
+	providersMu.Lock()
+	defer providersMu.Unlock()
+	providers["registered:"+name] = p
+}
+
+func providerFor(dsn string) (*provider.Provider, error) {
+	providersMu.Lock()
+	defer providersMu.Unlock()
+	if p, ok := providers[dsn]; ok {
+		return p, nil
+	}
+	switch {
+	case strings.HasPrefix(dsn, "memory:") || dsn == "memory" || dsn == "":
+		p, err := provider.New()
+		if err != nil {
+			return nil, err
+		}
+		providers[dsn] = p
+		return p, nil
+	case strings.HasPrefix(dsn, "file:"):
+		p, err := provider.New(provider.WithDirectory(strings.TrimPrefix(dsn, "file:")))
+		if err != nil {
+			return nil, err
+		}
+		providers[dsn] = p
+		return p, nil
+	case strings.HasPrefix(dsn, "registered:"):
+		return nil, fmt.Errorf("dmdriver: no provider registered as %q", dsn)
+	}
+	return nil, fmt.Errorf("dmdriver: bad DSN %q (want memory:<name>, file:<dir>, or registered:<name>)", dsn)
+}
+
+// Open implements driver.Driver.
+func (*Driver) Open(dsn string) (driver.Conn, error) {
+	p, err := providerFor(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{p: p}, nil
+}
+
+// conn implements driver.Conn, driver.QueryerContext and driver.ExecerContext.
+type conn struct {
+	p      *provider.Provider
+	closed bool
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	n, err := countPlaceholders(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{c: c, query: query, numInput: n}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Begin implements driver.Conn. The provider has no transactions; Begin
+// returns a no-op transaction so sql.DB retry logic stays happy.
+func (c *conn) Begin() (driver.Tx, error) {
+	return noopTx{}, nil
+}
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return nil }
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(_ context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	bound, err := bindArgs(query, args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.p.Execute(bound)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(rs), nil
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(_ context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	bound, err := bindArgs(query, args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.p.Execute(bound)
+	if err != nil {
+		return nil, err
+	}
+	return result{rs: rs}, nil
+}
+
+// stmt implements driver.Stmt.
+type stmt struct {
+	c        *conn
+	query    string
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, named(args))
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, named(args))
+}
+
+func named(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
+}
+
+// result implements driver.Result over a status rowset.
+type result struct {
+	rs *rowset.Rowset
+}
+
+// LastInsertId implements driver.Result; the provider has no row IDs.
+func (result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("dmdriver: LastInsertId is not supported")
+}
+
+// RowsAffected reports the single numeric cell of DML status results
+// ("rows affected", "cases consumed"), or 0 for other statements.
+func (r result) RowsAffected() (int64, error) {
+	if r.rs != nil && r.rs.Len() == 1 && r.rs.Schema().Len() == 1 {
+		if n, ok := r.rs.Row(0)[0].(int64); ok {
+			return n, nil
+		}
+	}
+	return 0, nil
+}
+
+// rows implements driver.Rows.
+type rows struct {
+	rs  *rowset.Rowset
+	pos int
+}
+
+func newRows(rs *rowset.Rowset) *rows { return &rows{rs: rs} }
+
+func (r *rows) Columns() []string { return r.rs.Schema().Names() }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= r.rs.Len() {
+		return io.EOF
+	}
+	row := r.rs.Row(r.pos)
+	r.pos++
+	for i, v := range row {
+		switch x := v.(type) {
+		case nil, int64, float64, bool, string:
+			dest[i] = x
+		case time.Time:
+			dest[i] = x
+		case *rowset.Rowset:
+			// Nested tables flatten to their compact text rendering;
+			// database/sql has no nested result concept.
+			dest[i] = rowset.FormatNested(x)
+		default:
+			dest[i] = rowset.FormatValue(v)
+		}
+	}
+	return nil
+}
+
+// countPlaceholders scans the query for '?' tokens outside strings and
+// bracketed names.
+func countPlaceholders(query string) (int, error) {
+	toks, err := lex.Tokenize(query)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range toks {
+		if t.IsPunct("?") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// bindArgs splices literal renderings of args over the '?' tokens.
+func bindArgs(query string, args []driver.NamedValue) (string, error) {
+	if len(args) == 0 {
+		return query, nil
+	}
+	toks, err := lex.Tokenize(query)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	prev := 0
+	argIdx := 0
+	for _, t := range toks {
+		if !t.IsPunct("?") {
+			continue
+		}
+		if argIdx >= len(args) {
+			return "", fmt.Errorf("dmdriver: %d placeholders but %d arguments", argIdx+1, len(args))
+		}
+		b.WriteString(query[prev:t.Pos])
+		lit, err := literal(args[argIdx].Value)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(lit)
+		prev = t.Pos + 1
+		argIdx++
+	}
+	if argIdx != len(args) {
+		return "", fmt.Errorf("dmdriver: %d placeholders but %d arguments", argIdx, len(args))
+	}
+	b.WriteString(query[prev:])
+	return b.String(), nil
+}
+
+func literal(v driver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case int64:
+		return fmt.Sprintf("%d", x), nil
+	case float64:
+		return fmt.Sprintf("%g", x), nil
+	case bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+	case []byte:
+		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
+	case time.Time:
+		return "'" + x.Format(time.RFC3339) + "'", nil
+	}
+	return "", fmt.Errorf("dmdriver: unsupported argument type %T", v)
+}

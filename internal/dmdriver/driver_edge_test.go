@@ -1,0 +1,141 @@
+package dmdriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"testing"
+	"time"
+)
+
+func TestPreparedStatements(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	if _, err := db.Exec("CREATE TABLE T (id LONG, at DATE, blob TEXT, flag BOOL)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("INSERT INTO T VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	when := time.Date(2021, 3, 5, 10, 0, 0, 0, time.UTC)
+	if _, err := stmt.Exec(int64(1), when, []byte("raw"), true); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Prepare("SELECT at, blob, flag FROM T WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var at time.Time
+	var blob string
+	var flag bool
+	if err := q.QueryRow(int64(1)).Scan(&at, &blob, &flag); err != nil {
+		t.Fatal(err)
+	}
+	if !at.Equal(when) || blob != "raw" || !flag {
+		t.Errorf("scan = %v %q %v", at, blob, flag)
+	}
+}
+
+func TestNilArgBindsNull(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	db.Exec("CREATE TABLE T (id LONG, v TEXT)")
+	if _, err := db.Exec("INSERT INTO T VALUES (?, ?)", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var v sql.NullString
+	if err := db.QueryRow("SELECT v FROM T").Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid {
+		t.Error("nil arg must bind NULL")
+	}
+}
+
+func TestTransactionNoop(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	db.Exec("CREATE TABLE T (id LONG)")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO T VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin()
+	tx2.Exec("INSERT INTO T VALUES (2)")
+	// Rollback is a no-op (documented); the row stays.
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	db.QueryRow("SELECT COUNT(*) FROM T").Scan(&n)
+	if n != 2 {
+		t.Errorf("rows = %d", n)
+	}
+}
+
+func TestLiteralRendering(t *testing.T) {
+	cases := []struct {
+		in   driver.Value
+		want string
+	}{
+		{nil, "NULL"},
+		{int64(-5), "-5"},
+		{2.5, "2.5"},
+		{true, "TRUE"},
+		{false, "FALSE"},
+		{"it's", "'it''s'"},
+		{[]byte("b"), "'b'"},
+	}
+	for _, c := range cases {
+		got, err := literal(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("literal(%#v) = %q, %v want %q", c.in, got, err, c.want)
+		}
+	}
+	if _, err := literal(struct{}{}); err == nil {
+		t.Error("unsupported literal type must fail")
+	}
+}
+
+func TestRowsAffectedShapes(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	db.Exec("CREATE TABLE T (id LONG)")
+	db.Exec("INSERT INTO T VALUES (1), (2), (3)")
+	res, err := db.Exec("DELETE FROM T WHERE id > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Errorf("delete affected = %d", n)
+	}
+	if _, err := res.LastInsertId(); err == nil {
+		t.Error("LastInsertId must be unsupported")
+	}
+	// A DDL statement reports zero.
+	res, _ = db.Exec("CREATE TABLE U (x LONG)")
+	if n, _ := res.RowsAffected(); n != 0 {
+		t.Errorf("ddl affected = %d", n)
+	}
+}
+
+func TestCountPlaceholdersSkipsQuoted(t *testing.T) {
+	n, err := countPlaceholders("SELECT '?' FROM [t?] WHERE a = ? AND b = ?")
+	if err != nil || n != 2 {
+		t.Errorf("placeholders = %d, %v", n, err)
+	}
+	if _, err := countPlaceholders("SELECT 'unterminated"); err == nil {
+		t.Error("lex error must surface")
+	}
+}
+
+func TestQueryOnClosedConn(t *testing.T) {
+	c := &conn{p: nil, closed: true}
+	if _, err := c.Prepare("SELECT 1"); err != driver.ErrBadConn {
+		t.Errorf("prepare on closed conn = %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package dmserver_test
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dmserver"
+	"repro/internal/provider"
+)
+
+// rawDial opens a plain TCP connection to poke the wire format directly.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestOversizedCommandRejected(t *testing.T) {
+	p := provider.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	// Claim a command far above MaxCommandLen; the server must drop the
+	// connection rather than allocate.
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(dmserver.MaxCommandLen)+1)
+	if _, err := conn.Write(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Error("server should close the connection on oversized command")
+	}
+}
+
+func TestGarbageFrameClosesConnection(t *testing.T) {
+	p := provider.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	// A valid length prefix followed by a command that fails to parse gets
+	// an error response, not a dropped connection.
+	bw := bufio.NewWriter(conn)
+	if err := dmserver.WriteRequest(bw, "THIS IS NOT SQL"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	_, err := dmserver.ReadResponse(br)
+	if err == nil {
+		t.Fatal("garbage command must produce an error response")
+	}
+	if _, ok := err.(*dmserver.RemoteError); !ok {
+		t.Errorf("error type = %T", err)
+	}
+	// The connection still serves the next request.
+	if err := dmserver.WriteRequest(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dmserver.ReadResponse(br)
+	if err != nil || rs.Row(0)[0] != int64(2) {
+		t.Errorf("follow-up = %v, %v", rs, err)
+	}
+}
+
+func TestBadStatusByte(t *testing.T) {
+	// ReadResponse on a stream with an unknown status byte errors cleanly.
+	br := bufio.NewReader(badStatusReader{})
+	if _, err := dmserver.ReadResponse(br); err == nil {
+		t.Error("bad status byte must error")
+	}
+}
+
+type badStatusReader struct{}
+
+func (badStatusReader) Read(p []byte) (int, error) {
+	p[0] = 0xFF
+	return 1, nil
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	s := dmserver.New(provider.MustNew())
+	if err := s.ListenAndServe("256.256.256.256:1"); err == nil {
+		t.Error("bad address must fail")
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	e := &dmserver.RemoteError{Msg: "boom"}
+	if e.Error() != "boom" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}

@@ -1,0 +1,235 @@
+// Package dmserver exposes a provider over TCP, reproducing the deployment
+// shape of Figure 1 in the paper: applications talk to an out-of-process
+// "analysis server" that owns the mining models, while the command surface
+// stays identical to the in-process API.
+//
+// Wire protocol (binary, one request/response pair at a time per connection):
+//
+//	request  := cmdlen:uvarint command:bytes
+//	response := status:byte payload
+//	  status 0 (ok):  payload = rowset in the rowset binary codec
+//	  status 1 (err): payload = msglen:uvarint message:bytes
+//
+// Connections are handled concurrently; the provider's own locking makes
+// command execution safe.
+package dmserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/provider"
+	"repro/internal/rowset"
+)
+
+// Status bytes.
+const (
+	StatusOK  = 0
+	StatusErr = 1
+)
+
+// MaxCommandLen bounds a single command (16 MiB) so a broken client cannot
+// make the server allocate unboundedly.
+const MaxCommandLen = 16 << 20
+
+// Server serves provider commands over a listener.
+type Server struct {
+	Provider *provider.Provider
+	// Logf logs connection-level failures; log.Printf by default.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// New returns a server for the provider.
+func New(p *provider.Provider) *Server {
+	return &Server{Provider: p, Logf: log.Printf, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener is closed (by Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("dmserver: server is closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the bound address, if serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting and closes every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		cmd, err := readCommand(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				s.Logf("dmserver: read: %v", err)
+			}
+			return
+		}
+		rs, execErr := s.Provider.Execute(cmd)
+		if execErr != nil {
+			if err := writeError(bw, execErr); err != nil {
+				return
+			}
+			continue
+		}
+		if err := bw.WriteByte(StatusOK); err != nil {
+			return
+		}
+		if err := rs.Encode(bw); err != nil {
+			s.Logf("dmserver: encode: %v", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readCommand(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxCommandLen {
+		return "", fmt.Errorf("dmserver: command length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeError(bw *bufio.Writer, execErr error) error {
+	if err := bw.WriteByte(StatusErr); err != nil {
+		return err
+	}
+	msg := execErr.Error()
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(msg)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(msg); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// WriteRequest frames one command onto w (shared with the client package).
+func WriteRequest(w *bufio.Writer, command string) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(command)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(command); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadResponse reads one response from br (shared with the client package).
+func ReadResponse(br *bufio.Reader) (*rowset.Rowset, error) {
+	status, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return rowset.DecodeFrom(br)
+	case StatusErr:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxCommandLen {
+			return nil, fmt.Errorf("dmserver: oversized error message")
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Msg: string(buf)}
+	}
+	return nil, fmt.Errorf("dmserver: bad response status %d", status)
+}
+
+// RemoteError is a provider-side error surfaced to the client.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }

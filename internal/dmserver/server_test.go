@@ -1,0 +1,197 @@
+package dmserver_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dmclient"
+	"repro/internal/dmserver"
+	"repro/internal/provider"
+)
+
+// startServer launches a server on a random local port.
+func startServer(t *testing.T, p *provider.Provider) (*dmserver.Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dmserver.New(p)
+	s.Logf = t.Logf
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.Serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		<-done
+	})
+	return s, l.Addr().String()
+}
+
+func TestRemoteExecution(t *testing.T) {
+	p := provider.MustNew()
+	_, addr := startServer(t, p)
+	c, err := dmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Execute("CREATE TABLE T (id LONG, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute("INSERT INTO T VALUES (1, 'a'), (2, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Execute("SELECT * FROM T ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 || rs.Row(1)[1] != "b" {
+		t.Errorf("remote rows = %v", rs.Rows())
+	}
+}
+
+func TestRemoteMiningLifecycle(t *testing.T) {
+	p := provider.MustNew()
+	_, addr := startServer(t, p)
+	c, err := dmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mustRemote := func(cmd string) {
+		t.Helper()
+		if _, err := c.Execute(cmd); err != nil {
+			t.Fatalf("Execute(%.60q): %v", cmd, err)
+		}
+	}
+	mustRemote("CREATE TABLE People (id LONG, color TEXT, class TEXT)")
+	var b strings.Builder
+	b.WriteString("INSERT INTO People VALUES ")
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		color, class := "red", "hi"
+		if i%2 == 1 {
+			color, class = "blue", "lo"
+		}
+		fmt.Fprintf(&b, "(%d, '%s', '%s')", i, color, class)
+	}
+	mustRemote(b.String())
+	mustRemote(`CREATE MINING MODEL [RM] ([id] LONG KEY, [color] TEXT DISCRETE,
+		[class] TEXT DISCRETE PREDICT) USING [Decision_Trees]`)
+	mustRemote("INSERT INTO [RM] ([id], [color], [class]) SELECT id, color, class FROM People")
+
+	rs, err := c.Execute(`SELECT Predict([class]) FROM [RM]
+		NATURAL PREDICTION JOIN (SELECT 'blue' AS color) AS t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Row(0)[0] != "lo" {
+		t.Errorf("remote prediction = %v", rs.Row(0))
+	}
+	// Content browse over the wire, nested distribution included.
+	rs, err = c.Execute("SELECT * FROM [RM].CONTENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() < 3 {
+		t.Errorf("content rows = %d", rs.Len())
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	p := provider.MustNew()
+	_, addr := startServer(t, p)
+	c, err := dmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Execute("SELECT * FROM NoSuchTable")
+	if err == nil {
+		t.Fatal("remote error expected")
+	}
+	var re *dmserver.RemoteError
+	if !errorsAs(err, &re) || !strings.Contains(re.Msg, "NoSuchTable") {
+		t.Errorf("error = %#v", err)
+	}
+	// Connection survives errors.
+	if _, err := c.Execute("SELECT 1 + 1"); err != nil {
+		t.Errorf("connection dead after error: %v", err)
+	}
+}
+
+func errorsAs(err error, target **dmserver.RemoteError) bool {
+	re, ok := err.(*dmserver.RemoteError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+func TestConcurrentClients(t *testing.T) {
+	p := provider.MustNew()
+	if _, err := p.Execute("CREATE TABLE C (x LONG)"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, p)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := dmclient.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Execute(fmt.Sprintf("INSERT INTO C VALUES (%d)", w*100+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rs, err := p.Execute("SELECT COUNT(*) FROM C")
+	if err != nil || rs.Row(0)[0] != int64(160) {
+		t.Errorf("count = %v err=%v", rs.Row(0), err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	p := provider.MustNew()
+	s, addr := startServer(t, p)
+	c, err := dmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	if _, err := c.Execute("SELECT 1"); err == nil {
+		t.Error("execute after server close must fail")
+	}
+	if err := s.Serve(nil); err == nil {
+		t.Error("serve after close must fail")
+	}
+}

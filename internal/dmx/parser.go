@@ -1,0 +1,567 @@
+package dmx
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lex"
+	"repro/internal/rowset"
+	"repro/internal/shape"
+	"repro/internal/sqlengine"
+)
+
+// Parse parses one DMX statement. isModel reports whether a name refers to a
+// catalogued mining model; it disambiguates DMX INSERT/DELETE/SELECT from
+// plain SQL, which shares the surface syntax (the paper's central design
+// decision — "maintain the SQL metaphor" — makes the two languages overlap).
+// Parse returns (nil, nil) when the statement is not DMX and should be
+// handled by the SQL engine.
+func Parse(src string, isModel func(string) bool) (Statement, error) {
+	s := lex.NewScanner(src)
+	st, err := parseStatement(s, isModel)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, nil
+	}
+	if !s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "unexpected input after statement: %s", s.Peek())
+	}
+	return st, nil
+}
+
+func parseStatement(s *lex.Scanner, isModel func(string) bool) (Statement, error) {
+	switch {
+	case s.AcceptSeq("CREATE", "MINING", "MODEL"):
+		return parseCreateModel(s)
+	case s.AcceptSeq("DROP", "MINING", "MODEL"):
+		name, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		return &DropModel{Name: name}, nil
+	case s.Peek().Is("INSERT"):
+		restore := s.Mark()
+		s.Accept("INSERT")
+		if !s.Accept("INTO") {
+			restore()
+			return nil, nil
+		}
+		// Optional MINING MODEL keywords (DMX allows INSERT INTO MINING MODEL m).
+		explicit := s.AcceptSeq("MINING", "MODEL")
+		name, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		if !explicit && !isModel(name) {
+			restore()
+			return nil, nil // plain SQL INSERT
+		}
+		return parseInsertInto(s, name)
+	case s.Peek().Is("DELETE"):
+		restore := s.Mark()
+		s.Accept("DELETE")
+		if !s.Accept("FROM") {
+			restore()
+			return nil, nil
+		}
+		name, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		if !isModel(name) || !s.AtEOF() {
+			restore()
+			return nil, nil
+		}
+		return &DeleteFrom{Model: name}, nil
+	case s.Peek().Is("SELECT"):
+		return parseSelect(s, isModel)
+	}
+	return nil, s.Err()
+}
+
+// ---------- CREATE MINING MODEL ----------
+
+func parseCreateModel(s *lex.Scanner) (Statement, error) {
+	name, err := s.Name()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ExpectPunct("("); err != nil {
+		return nil, err
+	}
+	cols, err := parseColumnDefs(s, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ExpectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := s.Expect("USING"); err != nil {
+		return nil, err
+	}
+	algo, err := s.Name()
+	if err != nil {
+		return nil, err
+	}
+	def := &core.ModelDef{Name: name, Columns: cols, Algorithm: algo}
+	if s.AcceptPunct("(") {
+		def.Params = make(map[string]string)
+		for {
+			pname, err := s.Name()
+			if err != nil {
+				return nil, err
+			}
+			if err := s.ExpectPunct("="); err != nil {
+				return nil, err
+			}
+			t, err := s.Next()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != lex.Number && t.Kind != lex.String && t.Kind != lex.Ident {
+				return nil, lex.Errorf(t, "expected parameter value, found %s", t)
+			}
+			def.Params[strings.ToUpper(pname)] = t.Text
+			if !s.AcceptPunct(",") {
+				break
+			}
+		}
+		if err := s.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &CreateModel{Def: def}, nil
+}
+
+func parseColumnDefs(s *lex.Scanner, nested bool) ([]core.ColumnDef, error) {
+	var cols []core.ColumnDef
+	for {
+		col, err := parseColumnDef(s, nested)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !s.AcceptPunct(",") {
+			break
+		}
+	}
+	return cols, nil
+}
+
+// parseColumnDef parses one column: "<name> <type> <modifiers...>" or
+// "<name> TABLE ( <columns> ) [PREDICT|PREDICT_ONLY]".
+func parseColumnDef(s *lex.Scanner, nested bool) (core.ColumnDef, error) {
+	var col core.ColumnDef
+	name, err := s.Name()
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+
+	t, err := s.Next()
+	if err != nil {
+		return col, err
+	}
+	if t.Kind != lex.Ident {
+		return col, lex.Errorf(t, "expected column type, found %s", t)
+	}
+	if t.Is("TABLE") {
+		if nested {
+			return col, lex.Errorf(t, "nested tables cannot contain TABLE columns")
+		}
+		col.Content = core.ContentTable
+		if err := s.ExpectPunct("("); err != nil {
+			return col, err
+		}
+		inner, err := parseColumnDefs(s, true)
+		if err != nil {
+			return col, err
+		}
+		if err := s.ExpectPunct(")"); err != nil {
+			return col, err
+		}
+		col.Table = inner
+		col.DataType = rowset.TypeTable
+		if s.Accept("PREDICT_ONLY") {
+			col.PredictOnly = true
+		} else if s.Accept("PREDICT") {
+			col.Predict = true
+		}
+		return col, nil
+	}
+	dt, ok := rowset.ParseType(t.Text)
+	if !ok || dt == rowset.TypeTable {
+		return col, lex.Errorf(t, "unknown data type %q", t.Text)
+	}
+	col.DataType = dt
+	col.Content = core.ContentAttribute
+	return col, parseColumnModifiers(s, &col)
+}
+
+// parseColumnModifiers consumes KEY / attribute type / distribution /
+// qualifier OF / RELATED TO / NOT_NULL / MODEL_EXISTENCE_ONLY / PREDICT
+// flags, in any order, matching the paper's loose listing style.
+func parseColumnModifiers(s *lex.Scanner, col *core.ColumnDef) error {
+	for {
+		t := s.Peek()
+		if t.Kind != lex.Ident || t.Quoted {
+			return s.Err()
+		}
+		upper := strings.ToUpper(t.Text)
+		switch {
+		case upper == "KEY":
+			s.Next()
+			col.Content = core.ContentKey
+		case upper == "PREDICT":
+			s.Next()
+			col.Predict = true
+		case upper == "PREDICT_ONLY":
+			s.Next()
+			col.PredictOnly = true
+		case upper == "NOT_NULL":
+			s.Next()
+			col.NotNull = true
+		case upper == "MODEL_EXISTENCE_ONLY":
+			s.Next()
+			col.ModelExistenceOnly = true
+		case upper == "RELATED":
+			s.Next()
+			if err := s.Expect("TO"); err != nil {
+				return err
+			}
+			target, err := s.Name()
+			if err != nil {
+				return err
+			}
+			col.Content = core.ContentRelation
+			col.RelatedTo = target
+		case upper == "OF":
+			// "<QUALIFIER> OF target" — qualifier keyword was consumed in a
+			// prior iteration and recorded below; OF alone is an error.
+			return lex.Errorf(t, "OF without a qualifier keyword")
+		default:
+			if q, ok := core.ParseQualifierKind(upper); ok {
+				s.Next()
+				if err := s.Expect("OF"); err != nil {
+					return err
+				}
+				target, err := s.Name()
+				if err != nil {
+					return err
+				}
+				col.Content = core.ContentQualifier
+				col.Qualifier = q
+				col.QualifierOf = target
+				continue
+			}
+			if d, ok := core.ParseDistribution(upper); ok {
+				s.Next()
+				col.Distribution = d
+				continue
+			}
+			if at, ok := core.ParseAttributeType(upper); ok {
+				s.Next()
+				col.AttrType = at
+				if at == core.AttrDiscretized && s.AcceptPunct("(") {
+					// DISCRETIZED(method, buckets) or DISCRETIZED(buckets).
+					t2 := s.Peek()
+					if t2.Kind == lex.Ident {
+						s.Next()
+						col.DiscretizeMethod = strings.ToUpper(t2.Text)
+						if s.AcceptPunct(",") {
+							nt, err := s.Next()
+							if err != nil {
+								return err
+							}
+							n, nerr := nt.Int()
+							if nt.Kind != lex.Number || nerr != nil || n < 2 {
+								return lex.Errorf(nt, "bad bucket count %s", nt)
+							}
+							col.DiscretizeBuckets = int(n)
+						}
+					} else if t2.Kind == lex.Number {
+						s.Next()
+						n, err := t2.Int()
+						if err != nil || n < 2 {
+							return lex.Errorf(t2, "bad bucket count %s", t2)
+						}
+						col.DiscretizeBuckets = int(n)
+					}
+					if err := s.ExpectPunct(")"); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			// Unrecognized identifier: belongs to the next clause.
+			return nil
+		}
+	}
+}
+
+// ---------- INSERT INTO ----------
+
+func parseInsertInto(s *lex.Scanner, model string) (Statement, error) {
+	ins := &InsertInto{Model: model}
+	if s.AcceptPunct("(") {
+		bindings, err := parseBindings(s, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Bindings = bindings
+	}
+	src, err := parseSource(s)
+	if err != nil {
+		return nil, err
+	}
+	ins.Source = src
+	return ins, nil
+}
+
+func parseBindings(s *lex.Scanner, nested bool) ([]Binding, error) {
+	var out []Binding
+	for {
+		if s.Accept("SKIP") {
+			out = append(out, Binding{Skip: true})
+		} else {
+			name, err := s.Name()
+			if err != nil {
+				return nil, err
+			}
+			b := Binding{Name: name}
+			if !nested && s.AcceptPunct("(") {
+				inner, err := parseBindings(s, true)
+				if err != nil {
+					return nil, err
+				}
+				if err := s.ExpectPunct(")"); err != nil {
+					return nil, err
+				}
+				b.Nested = inner
+			}
+			out = append(out, b)
+		}
+		if !s.AcceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+// parseSource parses a SHAPE statement or a SELECT, optionally parenthesized
+// or brace-delimited (the paper wraps OPENROWSET-style sources in both ways).
+func parseSource(s *lex.Scanner) (Source, error) {
+	switch {
+	case s.Peek().Is("SHAPE"):
+		q, err := shape.Parse(s)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{Shape: q}, nil
+	case s.Peek().Is("SELECT"):
+		sel, err := sqlengine.ParseSelect(s)
+		if err != nil {
+			return Source{}, err
+		}
+		return Source{Select: sel}, nil
+	case s.AcceptPunct("("):
+		src, err := parseSource(s)
+		if err != nil {
+			return Source{}, err
+		}
+		if err := s.ExpectPunct(")"); err != nil {
+			return Source{}, err
+		}
+		return src, nil
+	case s.AcceptPunct("{"):
+		src, err := parseSource(s)
+		if err != nil {
+			return Source{}, err
+		}
+		if err := s.ExpectPunct("}"); err != nil {
+			return Source{}, err
+		}
+		return src, nil
+	}
+	if err := s.Err(); err != nil {
+		return Source{}, err
+	}
+	return Source{}, lex.Errorf(s.Peek(), "expected SHAPE or SELECT source, found %s", s.Peek())
+}
+
+// ---------- SELECT (prediction join, content, schema rowsets) ----------
+
+func parseSelect(s *lex.Scanner, isModel func(string) bool) (Statement, error) {
+	restore := s.Mark()
+	s.Accept("SELECT")
+
+	top := 0
+	if s.Accept("TOP") {
+		t, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		n, nerr := t.Int()
+		if t.Kind != lex.Number || nerr != nil || n < 0 {
+			return nil, lex.Errorf(t, "bad TOP count %s", t)
+		}
+		top = int(n)
+	}
+
+	// Collect select items with the SQL item parser; DMX items are a
+	// superset only in semantics, not syntax.
+	var items []sqlengine.SelectItem
+	star := false
+	for {
+		if s.AcceptPunct("*") {
+			star = true
+			items = append(items, sqlengine.SelectItem{Star: true})
+		} else {
+			e, err := sqlengine.ParseExpr(s)
+			if err != nil {
+				restore()
+				return nil, nil // not parseable as DMX; let SQL report errors
+			}
+			item := sqlengine.SelectItem{Expr: e}
+			if s.Accept("AS") {
+				a, err := s.Name()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			items = append(items, item)
+		}
+		if !s.AcceptPunct(",") {
+			break
+		}
+	}
+	if !s.Accept("FROM") {
+		restore()
+		return nil, nil
+	}
+	modelName, err := s.Name()
+	if err != nil {
+		restore()
+		return nil, nil
+	}
+
+	// $SYSTEM schema rowsets.
+	if strings.EqualFold(modelName, "$SYSTEM") || strings.EqualFold(modelName, "SYSTEM") {
+		if err := s.ExpectPunct("."); err != nil {
+			return nil, err
+		}
+		rs, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		return &SchemaRowsetSelect{Rowset: strings.ToUpper(rs)}, nil
+	}
+
+	// <model>.CONTENT / <model>.COLUMNS
+	if s.AcceptPunct(".") {
+		what, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(what) {
+		case "CONTENT":
+			return &ContentSelect{Model: modelName}, nil
+		case "COLUMNS":
+			return &ColumnsSelect{Model: modelName}, nil
+		case "CASES":
+			return &CasesSelect{Model: modelName}, nil
+		case "PMML":
+			return &PMMLSelect{Model: modelName}, nil
+		default:
+			return nil, lex.Errorf(s.Peek(), "unknown model accessor %q (want CONTENT, COLUMNS, CASES, or PMML)", what)
+		}
+	}
+
+	natural := false
+	switch {
+	case s.AcceptSeq("NATURAL", "PREDICTION", "JOIN"):
+		natural = true
+	case s.AcceptSeq("PREDICTION", "JOIN"):
+	default:
+		// SELECT ... FROM <model> with no join: only valid if the name is a
+		// model (content-style browse is not supported without .CONTENT).
+		restore()
+		if isModel(modelName) {
+			return nil, lex.Errorf(s.Peek(), "SELECT FROM a mining model requires PREDICTION JOIN or .CONTENT")
+		}
+		return nil, nil
+	}
+	_ = star
+
+	ps := &PredictionSelect{Items: items, Model: modelName, Natural: natural, Top: top}
+	src, err := parseSource(s)
+	if err != nil {
+		return nil, err
+	}
+	ps.Source = src
+	if s.Accept("AS") {
+		a, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		ps.Alias = a
+	} else if t := s.Peek(); t.Kind == lex.Ident && !t.Is("ON") && !t.Is("WHERE") && t.Kind != lex.EOF {
+		// Implicit alias.
+		if t.Quoted || !isReserved(t.Text) {
+			s.Next()
+			ps.Alias = t.Text
+		}
+	}
+	if !natural {
+		if err := s.Expect("ON"); err != nil {
+			return nil, err
+		}
+		on, err := sqlengine.ParseExpr(s)
+		if err != nil {
+			return nil, err
+		}
+		ps.On = on
+	}
+	if s.Accept("WHERE") {
+		w, err := sqlengine.ParseExpr(s)
+		if err != nil {
+			return nil, err
+		}
+		ps.Where = w
+	}
+	if s.AcceptSeq("ORDER", "BY") {
+		for {
+			e, err := sqlengine.ParseExpr(s)
+			if err != nil {
+				return nil, err
+			}
+			item := sqlengine.OrderItem{Expr: e}
+			if s.Accept("DESC") {
+				item.Desc = true
+			} else {
+				s.Accept("ASC")
+			}
+			ps.OrderBy = append(ps.OrderBy, item)
+			if !s.AcceptPunct(",") {
+				break
+			}
+		}
+	}
+	return ps, nil
+}
+
+func isReserved(word string) bool {
+	switch strings.ToUpper(word) {
+	case "ON", "WHERE", "ORDER", "GROUP", "SELECT", "FROM", "AS", "NATURAL", "PREDICTION", "JOIN":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// small keeps CI fast; the dmbench binary runs full scale.
+var small = Config{Scale: 300, Seed: 1}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", small); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 10 || ids[0] != "E1" || ids[9] != "E10" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestE1ReproducesTwelveRows(t *testing.T) {
+	r, err := Run("e1", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "12") {
+		t.Errorf("E1 must reproduce the paper's 12-row join:\n%s", r.Table)
+	}
+	if !strings.Contains(r.Table, "Table 1 regenerated") {
+		t.Error("E1 must render Table 1")
+	}
+	// The caseset side is 2 cases.
+	if !strings.Contains(r.Measured, "2 cases") {
+		t.Errorf("measured = %s", r.Measured)
+	}
+}
+
+func TestE2InDBFasterAndZeroBytes(t *testing.T) {
+	r, err := Run("E2", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Measured, "0 bytes") {
+		t.Errorf("measured = %s", r.Measured)
+	}
+	// The export path must report positive bytes moved.
+	if !strings.Contains(r.Table, "CSV") {
+		t.Errorf("table = %s", r.Table)
+	}
+}
+
+func TestE3AllServicesTrain(t *testing.T) {
+	r, err := Run("E3", Config{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"Decision_Trees", "Naive_Bayes", "Clustering", "Association_Rules"} {
+		if !strings.Contains(r.Table, svc) {
+			t.Errorf("E3 table missing %s", svc)
+		}
+	}
+}
+
+func TestE4BothBindingsRun(t *testing.T) {
+	r, err := Run("E4", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "ON clause") || !strings.Contains(r.Table, "NATURAL") {
+		t.Errorf("table = %s", r.Table)
+	}
+}
+
+func TestE5RoundTripOK(t *testing.T) {
+	r, err := Run("E5", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table, "false") {
+		t.Errorf("round trip failed somewhere:\n%s", r.Table)
+	}
+	// Smaller MINIMUM_SUPPORT must not shrink the tree.
+	if !strings.Contains(r.Table, "64") {
+		t.Errorf("support sweep missing:\n%s", r.Table)
+	}
+}
+
+func TestE6AllMethodsScore(t *testing.T) {
+	r, err := Run("E6", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"EQUAL_RANGES", "EQUAL_AREAS", "ENTROPY"} {
+		if !strings.Contains(r.Table, m) {
+			t.Errorf("method %s missing:\n%s", m, r.Table)
+		}
+	}
+	// Accuracy values present and above chance for 4 buckets (0.25).
+	for _, line := range strings.Split(r.Table, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 3 {
+			if acc, err := strconv.ParseFloat(f[len(f)-1], 64); err == nil {
+				if acc < 0.3 {
+					t.Errorf("accuracy %v below chance: %s", acc, line)
+				}
+			}
+		}
+	}
+}
+
+func TestE7JoinBlowup(t *testing.T) {
+	r, err := Run("E7", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "noise products") {
+		t.Errorf("table = %s", r.Table)
+	}
+}
+
+func TestE8RecoversPlantedStructure(t *testing.T) {
+	r, err := Run("E8", Config{Scale: 900, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gender-from-age has a theoretical ceiling of ~0.57 on this workload
+	// (only the professional archetype skews male); both classifiers must
+	// beat the 0.5 base rate.
+	for _, line := range strings.Split(r.Table, "\n") {
+		if strings.Contains(line, "holdout accuracy") {
+			f := strings.Fields(line)
+			acc, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil || acc < 0.51 {
+				t.Errorf("classifier accuracy too low: %s", line)
+			}
+		}
+		if strings.Contains(line, "MAE") {
+			f := strings.Fields(line)
+			mae, err := strconv.ParseFloat(f[len(f)-1], 64)
+			// Archetype baskets pin age to ~22/38/48; MAE well under the
+			// ~9-year spread of guessing the global mean.
+			if err != nil || mae > 8 {
+				t.Errorf("regression MAE too high: %s", line)
+			}
+		}
+		if strings.Contains(line, "argmax recovered") && !strings.Contains(line, "3/3") {
+			t.Errorf("sequence transitions not recovered: %s", line)
+		}
+		if strings.Contains(line, "cluster purity") {
+			f := strings.Fields(line)
+			pur, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil || pur < 0.5 {
+				t.Errorf("cluster purity too low: %s", line)
+			}
+		}
+		if strings.Contains(line, "Beer=>Chips") && !strings.Contains(line, "true") {
+			t.Errorf("planted rule not recovered: %s", line)
+		}
+	}
+}
+
+func TestE9BothTransports(t *testing.T) {
+	r, err := Run("E9", Config{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "in-process") || !strings.Contains(r.Table, "TCP server") {
+		t.Errorf("table = %s", r.Table)
+	}
+}
+
+func TestE10VerbatimStatements(t *testing.T) {
+	r, err := Run("E10", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CREATE MINING MODEL", "INSERT INTO", "PREDICTION JOIN", "model dropped"} {
+		if !strings.Contains(r.Table, want) {
+			t.Errorf("E10 table missing %q:\n%s", want, r.Table)
+		}
+	}
+	if !strings.Contains(r.Measured, "300 predictions") {
+		t.Errorf("measured = %s", r.Measured)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ID: "EX", Title: "t", Paper: "p", Measured: "m", Table: "tbl\n"}
+	s := r.String()
+	for _, want := range []string{"== EX: t ==", "paper:    p", "measured: m", "tbl"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package lex implements the tokenizer shared by the SQL engine and the DMX
+// parser. Both languages use the same lexical surface: case-insensitive
+// keywords, [bracket]-delimited identifiers (the paper's naming convention),
+// 'single-quoted' strings, numbers, and SQL punctuation. Comments are
+// introduced by "--" (SQL), "//" (DMX), or "%" (the style used in the
+// paper's listings) and run to end of line.
+package lex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// Ident is a bare or [bracketed] identifier.
+	Ident
+	// Number is an integer or float literal.
+	Number
+	// String is a 'single-quoted' string literal ('' escapes a quote).
+	String
+	// Punct is an operator or delimiter: ( ) { } , . ; = <> <= >= < > * + - / !=
+	Punct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "identifier"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Punct:
+		return "punctuation"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind   Kind
+	Text   string // identifier name (unbracketed), literal text, or punct
+	Quoted bool   // true for [bracketed] identifiers
+	Pos    int    // byte offset in the input
+	Line   int    // 1-based line number
+}
+
+// Is reports whether the token is an unquoted identifier equal to the keyword
+// (case-insensitive). Bracketed identifiers never match keywords — the paper
+// uses brackets precisely to escape names like [Age Prediction].
+func (t Token) Is(keyword string) bool {
+	return t.Kind == Ident && !t.Quoted && strings.EqualFold(t.Text, keyword)
+}
+
+// IsPunct reports whether the token is the given punctuation.
+func (t Token) IsPunct(p string) bool {
+	return t.Kind == Punct && t.Text == p
+}
+
+// Int returns the token's integer value; valid only for Number tokens.
+func (t Token) Int() (int64, error) {
+	return strconv.ParseInt(t.Text, 10, 64)
+}
+
+// Float returns the token's float value; valid only for Number tokens.
+func (t Token) Float() (float64, error) {
+	return strconv.ParseFloat(t.Text, 64)
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Ident:
+		if t.Quoted {
+			return "[" + t.Text + "]"
+		}
+		return t.Text
+	case String:
+		return "'" + t.Text + "'"
+	default:
+		return t.Text
+	}
+}
+
+// Error is a lexical or syntactic error with position information.
+type Error struct {
+	Line int
+	Pos  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Errorf builds an *Error at the given token.
+func Errorf(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Pos: t.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenizes an input string. Create one with New, then call Next (or
+// use the Peek/Expect helpers on Scanner below).
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{"<=", ">=", "<>", "!=", "||"}
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start, line := l.pos, l.line
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: start, Line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '[':
+		return l.bracketIdent()
+	case c == '\'':
+		return l.stringLit()
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.number()
+	case isIdentStart(rune(c)):
+		return l.ident()
+	}
+	for _, p := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			return Token{Kind: Punct, Text: p, Pos: start, Line: line}, nil
+		}
+	}
+	if strings.ContainsRune("(){},.;=<>*+-/?", rune(c)) {
+		l.pos++
+		return Token{Kind: Punct, Text: string(c), Pos: start, Line: line}, nil
+	}
+	return Token{}, &Error{Line: line, Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%',
+			c == '-' && strings.HasPrefix(l.src[l.pos:], "--"),
+			c == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) bracketIdent() (Token, error) {
+	start, line := l.pos, l.line
+	l.pos++ // consume '['
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ']' {
+			// "]]" escapes a literal ']' inside a bracketed name.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == ']' {
+				b.WriteByte(']')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: Ident, Text: b.String(), Quoted: true, Pos: start, Line: line}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, &Error{Line: line, Pos: start, Msg: "unterminated bracketed identifier"}
+}
+
+func (l *Lexer) stringLit() (Token, error) {
+	start, line := l.pos, l.line
+	l.pos++ // consume opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: String, Text: b.String(), Pos: start, Line: line}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, &Error{Line: line, Pos: start, Msg: "unterminated string literal"}
+}
+
+func (l *Lexer) number() (Token, error) {
+	start, line := l.pos, l.line
+	sawDot, sawExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !sawDot && !sawExp:
+			sawDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !sawExp && l.pos > start:
+			sawExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return Token{}, &Error{Line: line, Pos: start, Msg: fmt.Sprintf("malformed number %q", text)}
+	}
+	return Token{Kind: Number, Text: text, Pos: start, Line: line}, nil
+}
+
+func (l *Lexer) ident() (Token, error) {
+	start, line := l.pos, l.line
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return Token{Kind: Ident, Text: l.src[start:l.pos], Pos: start, Line: line}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '@' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '@' || r == '$' || r == '#' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

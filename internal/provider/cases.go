@@ -1,0 +1,83 @@
+package provider
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/rowset"
+)
+
+// casesRowset renders the training cases a model has consumed (SELECT *
+// FROM <model>.CASES) in tokenized attribute/value form: one row per
+// (case, present attribute). This is the case-browsing accessor of the
+// OLE DB DM specification; it also makes the tokenizer's work inspectable —
+// useful when debugging why a model sees the data the way it does.
+func (p *Provider) casesRowset(name string) (*rowset.Rowset, error) {
+	e, err := p.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	schema := rowset.MustSchema(
+		rowset.Column{Name: "CASE_KEY", Type: rowset.TypeText},
+		rowset.Column{Name: "ATTRIBUTE", Type: rowset.TypeText},
+		rowset.Column{Name: "VALUE", Type: rowset.TypeText},
+		rowset.Column{Name: "PROBABILITY", Type: rowset.TypeDouble},
+		rowset.Column{Name: "WEIGHT", Type: rowset.TypeDouble},
+	)
+	out := rowset.New(schema)
+	space := e.tokenizer.Space
+	for ci := range e.cases {
+		c := &e.cases[ci]
+		key := rowset.FormatValue(c.Key)
+		// Deterministic attribute order: space index order.
+		for idx := 0; idx < space.Len(); idx++ {
+			v, ok := c.Values[idx]
+			if !ok {
+				continue
+			}
+			a := space.Attr(idx)
+			out.MustAppend(key, a.Name, renderCaseValue(a, v), c.ProbOf(idx), c.Weight)
+		}
+	}
+	return out, nil
+}
+
+// renderCaseValue maps a tokenized value back to its display form.
+func renderCaseValue(a *core.Attribute, v rowset.Value) string {
+	switch a.Kind {
+	case core.KindExistence:
+		return "present"
+	case core.KindDiscrete:
+		if st, ok := v.(int64); ok && int(st) >= 0 && int(st) < len(a.States) {
+			return a.States[st]
+		}
+	}
+	return rowset.FormatValue(v)
+}
+
+// pmmlRowset renders a trained model's content graph as a single-cell XML
+// document (SELECT * FROM <model>.PMML).
+func (p *Provider) pmmlRowset(name string) (*rowset.Rowset, error) {
+	e, err := p.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	trained := e.model.Trained
+	caseCount := e.model.CaseCount
+	p.mu.RUnlock()
+	if trained == nil {
+		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", name)
+	}
+	var buf bytes.Buffer
+	if err := content.WriteXML(&buf, e.model.Def.Name, trained.AlgorithmName(), caseCount, trained.Content()); err != nil {
+		return nil, err
+	}
+	out := rowset.New(rowset.MustSchema(rowset.Column{Name: "PMML", Type: rowset.TypeText}))
+	out.MustAppend(buf.String())
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package provider
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algo/discretize"
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/lex"
+	"repro/internal/rowset"
+)
+
+func splitStatements(script string) ([]string, error) {
+	return lex.SplitStatements(script)
+}
+
+// insertInto populates a mining model (paper Section 3.3): execute the
+// source, bind its columns to the model's columns, tokenize into cases, run
+// the discretization pipeline, and (re)train the model's algorithm over all
+// cases consumed so far.
+func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
+	e, err := p.entry(ins.Model)
+	if err != nil {
+		return nil, err
+	}
+	src, err := p.executeSource(ins.Source)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := applyBindings(e.model.Def, ins.Bindings, src)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	cs, err := e.tokenizer.Tokenize(bound)
+	if err != nil {
+		return nil, err
+	}
+	e.cases = append(e.cases, cs.Cases...)
+	full := &core.Caseset{Space: e.tokenizer.Space, Cases: e.cases}
+
+	if err := p.discretizePipeline(e, full); err != nil {
+		return nil, err
+	}
+
+	algo, err := p.Registry.Lookup(e.model.Def.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	targets := full.Space.Targets()
+	trained, err := algo.Train(full, targets, e.model.Def.Params)
+	if err != nil {
+		return nil, err
+	}
+	e.model.Trained = trained
+	e.model.Space = full.Space
+	e.model.CaseCount = len(e.cases)
+	if err := p.saveModel(e); err != nil {
+		return nil, err
+	}
+
+	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "cases consumed", Type: rowset.TypeLong}))
+	rs.MustAppend(int64(len(cs.Cases)))
+	return rs, nil
+}
+
+// executeSource runs a SHAPE or SELECT source against the SQL engine.
+func (p *Provider) executeSource(src dmx.Source) (*rowset.Rowset, error) {
+	switch {
+	case src.Shape != nil:
+		return src.Shape.Execute(p.Engine)
+	case src.Select != nil:
+		return p.Engine.Query(src.Select)
+	}
+	return nil, fmt.Errorf("provider: statement has no data source")
+}
+
+// discretizePipeline installs cut points for every DISCRETIZED column that
+// does not have them yet. Cut points are computed once, from the first
+// training batch that mentions the attribute, and frozen thereafter —
+// prediction inputs bucket through the same cuts.
+func (p *Provider) discretizePipeline(e *modelEntry, full *core.Caseset) error {
+	def := e.model.Def
+	for i := range def.Columns {
+		col := &def.Columns[i]
+		if col.Content != core.ContentAttribute || col.AttrType != core.AttrDiscretized {
+			continue
+		}
+		idx, ok := full.Space.Lookup(col.Name)
+		if !ok {
+			continue
+		}
+		attr := full.Space.Attr(idx)
+		if len(attr.Cuts) > 0 {
+			continue // already discretized in an earlier INSERT
+		}
+		var values []float64
+		for ci := range full.Cases {
+			if v, ok := full.Cases[ci].Continuous(idx); ok {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			continue
+		}
+		labels := p.entropyLabels(full, idx)
+		cuts, err := discretize.Cuts(col.DiscretizeMethod, values, labels, col.DiscretizeBuckets)
+		if err != nil {
+			return fmt.Errorf("provider: column %q: %w", col.Name, err)
+		}
+		full.DiscretizeAttr(idx, cuts)
+	}
+	return nil
+}
+
+// entropyLabels supplies class labels for supervised (ENTROPY) discretization
+// when the model has a discrete target other than the column being cut.
+func (p *Provider) entropyLabels(full *core.Caseset, exclude int) []int {
+	var labelAttr = -1
+	for _, t := range full.Space.Targets() {
+		if t == exclude {
+			continue
+		}
+		if full.Space.Attr(t).Kind == core.KindDiscrete {
+			labelAttr = t
+			break
+		}
+	}
+	if labelAttr < 0 {
+		return nil
+	}
+	labels := make([]int, 0, full.Len())
+	for ci := range full.Cases {
+		if _, ok := full.Cases[ci].Continuous(exclude); !ok {
+			continue
+		}
+		st := full.Cases[ci].Discrete(labelAttr)
+		if st < 0 {
+			st = 0
+		}
+		labels = append(labels, st)
+	}
+	return labels
+}
+
+// applyBindings reshapes the source rowset into the model's caseset layout.
+// With an explicit binding list, bindings map positionally onto the source
+// columns when the counts line up (SKIP entries consume unbound source
+// columns, the DMX idiom for RELATE keys); otherwise, and when no bindings
+// are given, columns bind by name.
+func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowset) (*rowset.Rowset, error) {
+	if len(bindings) == 0 {
+		bindings = make([]dmx.Binding, 0, len(def.Columns))
+		for i := range def.Columns {
+			bindings = append(bindings, dmx.Binding{Name: def.Columns[i].Name})
+		}
+	}
+	plan, outCols, err := bindColumns(def.Name, def.Columns, bindings, src.Schema(), false)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := rowset.NewSchema(outCols...)
+	if err != nil {
+		return nil, err
+	}
+	out := rowset.New(outSchema)
+	for _, r := range src.Rows() {
+		row := make(rowset.Row, 0, len(plan))
+		for _, b := range plan {
+			v := r[b.srcOrd]
+			if b.nestedSchema != nil {
+				nested, ok := v.(*rowset.Rowset)
+				if v == nil {
+					nested = rowset.New(b.nestedSrcSchema)
+					ok = true
+				}
+				if !ok {
+					return nil, fmt.Errorf("provider: binding %q: expected nested table", b.name)
+				}
+				nv, err := reshapeNested(nested, b)
+				if err != nil {
+					return nil, err
+				}
+				v = nv
+			}
+			row = append(row, v)
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// boundCol is one resolved binding: which source ordinal feeds which model
+// column, plus the nested projection for TABLE columns.
+type boundCol struct {
+	name            string
+	srcOrd          int
+	nestedSchema    *rowset.Schema // output nested schema (model names)
+	nestedSrcSchema *rowset.Schema // source nested schema
+	nestedOrds      []int          // source ordinals inside the nested table
+}
+
+// bindColumns resolves a binding list against model columns and a source
+// schema, returning the projection plan and the output columns. INSERT INTO
+// binds positionally when the binding list covers every source column (the
+// DMX convention, with SKIP consuming unbound columns) and by name
+// otherwise; prediction joins pass byNameOnly because their bindings are
+// derived from names in the first place.
+func bindColumns(model string, cols []core.ColumnDef, bindings []dmx.Binding, src *rowset.Schema, byNameOnly bool) ([]boundCol, []rowset.Column, error) {
+	positional := !byNameOnly && len(bindings) == len(src.Columns)
+	var plan []boundCol
+	var outCols []rowset.Column
+	for bi, b := range bindings {
+		if b.Skip {
+			if !positional {
+				return nil, nil, fmt.Errorf("provider: model %s: SKIP requires the binding list to match the source column count", model)
+			}
+			continue
+		}
+		mc, ok := findColumnDef(cols, b.Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("provider: model %s has no column %q", model, b.Name)
+		}
+		var srcOrd int
+		if positional {
+			srcOrd = bi
+		} else {
+			srcOrd, ok = src.Lookup(b.Name)
+			if !ok {
+				return nil, nil, fmt.Errorf("provider: source has no column %q for model %s (source columns: %v)",
+					b.Name, model, src.Names())
+			}
+		}
+		bc := boundCol{name: mc.Name, srcOrd: srcOrd}
+		outCol := rowset.Column{Name: mc.Name, Type: src.Column(srcOrd).Type, Nested: src.Column(srcOrd).Nested}
+		if mc.Content == core.ContentTable {
+			nestedSrc := src.Column(srcOrd).Nested
+			if nestedSrc == nil {
+				return nil, nil, fmt.Errorf("provider: model %s column %q: source column is not a nested table", model, mc.Name)
+			}
+			nb := b.Nested
+			if len(nb) == 0 {
+				nb = make([]dmx.Binding, 0, len(mc.Table))
+				for i := range mc.Table {
+					nb = append(nb, dmx.Binding{Name: mc.Table[i].Name})
+				}
+			}
+			nplan, ncols, err := bindColumns(model, mc.Table, nb, nestedSrc, byNameOnly)
+			if err != nil {
+				return nil, nil, err
+			}
+			nschema, err := rowset.NewSchema(ncols...)
+			if err != nil {
+				return nil, nil, err
+			}
+			bc.nestedSchema = nschema
+			bc.nestedSrcSchema = nestedSrc
+			for _, np := range nplan {
+				bc.nestedOrds = append(bc.nestedOrds, np.srcOrd)
+			}
+			outCol.Type = rowset.TypeTable
+			outCol.Nested = nschema
+		}
+		plan = append(plan, bc)
+		outCols = append(outCols, outCol)
+	}
+	if len(plan) == 0 {
+		return nil, nil, fmt.Errorf("provider: model %s: binding list binds no columns", model)
+	}
+	return plan, outCols, nil
+}
+
+func findColumnDef(cols []core.ColumnDef, name string) (*core.ColumnDef, bool) {
+	for i := range cols {
+		if strings.EqualFold(cols[i].Name, name) {
+			return &cols[i], true
+		}
+	}
+	return nil, false
+}
+
+// reshapeNested projects a nested source rowset through the nested binding.
+func reshapeNested(nested *rowset.Rowset, b boundCol) (*rowset.Rowset, error) {
+	out := rowset.New(b.nestedSchema)
+	for _, r := range nested.Rows() {
+		row := make(rowset.Row, 0, len(b.nestedOrds))
+		for _, o := range b.nestedOrds {
+			row = append(row, r[o])
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package provider
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Model persistence: each model is one gob file under <dir>/models holding
+// the definition, the attribute space, and the accumulated training cases.
+// On load, populated models are retrained from their cases — deterministic
+// for every bundled algorithm — so the provider resumes exactly where it
+// stopped. Relational tables persist separately under <dir>/tables via the
+// storage engine's binary format; call Save to snapshot them.
+
+func init() {
+	// Case.Values carries rowset.Value (any); register the concrete types.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(time.Time{})
+}
+
+// modelFile is the on-disk model representation.
+type modelFile struct {
+	Def       *core.ModelDef
+	Space     *core.AttributeSpace
+	Cases     []core.Case
+	CaseCount int
+}
+
+func (p *Provider) modelsDir() string { return filepath.Join(p.dir, "models") }
+func (p *Provider) tablesDir() string { return filepath.Join(p.dir, "tables") }
+
+func modelFileName(name string) string {
+	// Model names may contain spaces and punctuation; keep letters/digits,
+	// map the rest to '_'.
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + ".dmm"
+}
+
+// saveModel persists one model entry; a no-op without a directory.
+func (p *Provider) saveModel(e *modelEntry) error {
+	if p.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.modelsDir(), 0o755); err != nil {
+		return fmt.Errorf("provider: save model: %w", err)
+	}
+	path := filepath.Join(p.modelsDir(), modelFileName(e.model.Def.Name))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("provider: save model: %w", err)
+	}
+	mf := modelFile{
+		Def:       e.model.Def,
+		Space:     e.tokenizer.Space,
+		Cases:     e.cases,
+		CaseCount: e.model.CaseCount,
+	}
+	if err := gob.NewEncoder(f).Encode(&mf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("provider: save model %s: %w", e.model.Def.Name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (p *Provider) removeModelFile(name string) error {
+	if p.dir == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(p.modelsDir(), modelFileName(name)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Save snapshots the relational tables (models persist on every change).
+func (p *Provider) Save() error {
+	if p.dir == "" {
+		return fmt.Errorf("provider: no persistence directory configured")
+	}
+	return p.DB.Save(p.tablesDir())
+}
+
+// load restores tables and models from the persistence directory.
+func (p *Provider) load() error {
+	if err := p.DB.Load(p.tablesDir()); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(p.modelsDir())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("provider: load models: %w", err)
+	}
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".dmm") {
+			continue
+		}
+		if err := p.loadModel(filepath.Join(p.modelsDir(), de.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Provider) loadModel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("provider: load model: %w", err)
+	}
+	defer f.Close()
+	var mf modelFile
+	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
+		return fmt.Errorf("provider: load model %s: %w", path, err)
+	}
+	if err := mf.Def.Validate(); err != nil {
+		return fmt.Errorf("provider: load model %s: %w", path, err)
+	}
+	e := &modelEntry{
+		model:     &core.Model{Def: mf.Def, Space: mf.Space, CaseCount: mf.CaseCount},
+		tokenizer: core.NewTokenizerWithSpace(mf.Def, mf.Space),
+		cases:     mf.Cases,
+	}
+	if len(e.cases) > 0 {
+		algo, err := p.Registry.Lookup(mf.Def.Algorithm)
+		if err != nil {
+			return fmt.Errorf("provider: load model %s: %w", mf.Def.Name, err)
+		}
+		full := &core.Caseset{Space: mf.Space, Cases: e.cases}
+		trained, err := algo.Train(full, mf.Space.Targets(), mf.Def.Params)
+		if err != nil {
+			return fmt.Errorf("provider: load model %s: retrain: %w", mf.Def.Name, err)
+		}
+		e.model.Trained = trained
+	}
+	p.mu.Lock()
+	p.models[strings.ToLower(mf.Def.Name)] = e
+	p.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,767 @@
+package provider
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/rowset"
+	"repro/internal/sqlengine"
+)
+
+// predictionSelect executes SELECT ... FROM <model> PREDICTION JOIN
+// (<source>) — the paper's Section 3.3 prediction operation. Each source
+// case is bound to the model (by the ON clause or by name for NATURAL
+// joins), tokenized through the model's frozen attribute space, and the
+// select items are evaluated with the DMX prediction functions available.
+func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, error) {
+	e, err := p.entry(ps.Model)
+	if err != nil {
+		return nil, err
+	}
+	// Hold the provider read lock for the whole statement: a concurrent
+	// INSERT INTO would otherwise retrain the model (and grow the shared
+	// attribute space) underneath us. Readers still run concurrently.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if !e.model.IsTrained() {
+		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", ps.Model)
+	}
+	src, err := p.executeSource(ps.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	var bindings []dmx.Binding
+	if ps.Natural {
+		bindings = naturalBindings(e.model.Def, src.Schema())
+	} else {
+		bindings, err = onClauseBindings(e.model.Def, ps.Model, ps.Alias, ps.On, src.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("provider: prediction join binds no model columns (source columns: %v)",
+			src.Schema().Names())
+	}
+	plan, outCols, err := bindColumns(e.model.Def.Name, e.model.Def.Columns, bindings, src.Schema(), true)
+	if err != nil {
+		return nil, err
+	}
+	modelSchema, err := rowset.NewSchema(outCols...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frozen tokenizer view: prediction never grows the attribute space.
+	frozen := *e.tokenizer
+	frozen.Freeze()
+
+	// Qualify the source schema with the join alias so t.[col] resolves.
+	evalSchema := src.Schema()
+	if ps.Alias != "" {
+		cols := make([]rowset.Column, evalSchema.Len())
+		for i, c := range evalSchema.Columns {
+			cols[i] = rowset.Column{Name: ps.Alias + "." + c.Name, Type: c.Type, Nested: c.Nested}
+		}
+		evalSchema, err = rowset.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	items, err := expandPredictionItems(ps.Items, e.model.Def, evalSchema)
+	if err != nil {
+		return nil, err
+	}
+	names := itemNames(items)
+
+	// Uncorrelated SQL subqueries in the WHERE/ORDER BY clauses resolve once
+	// against the relational engine before the per-case loop.
+	where, err := p.Engine.ResolveSubqueries(ps.Where)
+	if err != nil {
+		return nil, err
+	}
+	orderBy := append([]sqlengine.OrderItem(nil), ps.OrderBy...)
+	for i := range orderBy {
+		if orderBy[i].Expr, err = p.Engine.ResolveSubqueries(orderBy[i].Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]rowset.Row, 0, src.Len())
+	var orderKeys []rowset.Row
+	for _, srcRow := range src.Rows() {
+		modelRow := make(rowset.Row, 0, len(plan))
+		for _, b := range plan {
+			v := srcRow[b.srcOrd]
+			if b.nestedSchema != nil {
+				nested, _ := v.(*rowset.Rowset)
+				if nested == nil {
+					nested = rowset.New(b.nestedSrcSchema)
+				}
+				nv, nerr := reshapeNested(nested, b)
+				if nerr != nil {
+					return nil, nerr
+				}
+				v = nv
+			}
+			modelRow = append(modelRow, v)
+		}
+		c, err := frozen.TokenizeCase(modelSchema, modelRow)
+		if err != nil {
+			return nil, err
+		}
+
+		pc := &predictionContext{
+			provider: p,
+			entry:    e,
+			c:        c,
+			cache:    make(map[string]core.Prediction),
+		}
+		env := &sqlengine.Env{
+			Schema:   evalSchema,
+			Row:      srcRow,
+			External: pc.resolveExternal(ps.Model, ps.Alias),
+			Funcs:    pc.callUDF,
+		}
+		if where != nil {
+			v, err := sqlengine.Eval(where, env)
+			if err != nil {
+				return nil, err
+			}
+			keep, err := sqlengine.Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		row := make(rowset.Row, len(items))
+		for i, it := range items {
+			v, err := sqlengine.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = rowset.Normalize(v)
+		}
+		if len(orderBy) > 0 {
+			keys := make(rowset.Row, len(orderBy))
+			for i, o := range orderBy {
+				v, err := sqlengine.Eval(o.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = rowset.Normalize(v)
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+		out = append(out, row)
+		// Without ORDER BY, TOP short-circuits the scan; with it, every row
+		// must be seen before the sort decides the winners.
+		if len(orderBy) == 0 && ps.Top > 0 && len(out) >= ps.Top {
+			break
+		}
+	}
+
+	if len(orderBy) > 0 {
+		sortPredictionRows(out, orderKeys, orderBy)
+		if ps.Top > 0 && len(out) > ps.Top {
+			out = out[:ps.Top]
+		}
+	}
+
+	schema, err := predictionOutputSchema(items, names, evalSchema, out)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.FromRows(schema, out)
+}
+
+// sortPredictionRows stable-sorts rows by the precomputed key columns.
+func sortPredictionRows(rows []rowset.Row, keys []rowset.Row, order []sqlengine.OrderItem) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for k, o := range order {
+			c := rowset.Compare(keys[a][k], keys[b][k])
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	tmp := make([]rowset.Row, len(rows))
+	for i, j := range idx {
+		tmp[i] = rows[j]
+	}
+	copy(rows, tmp)
+}
+
+// naturalBindings binds model columns to same-named source columns; nested
+// tables bind their nested columns by name too. Missing columns are simply
+// absent (prediction inputs are partial by design).
+func naturalBindings(def *core.ModelDef, src *rowset.Schema) []dmx.Binding {
+	var out []dmx.Binding
+	for i := range def.Columns {
+		mc := &def.Columns[i]
+		ord, ok := src.Lookup(mc.Name)
+		if !ok {
+			continue
+		}
+		b := dmx.Binding{Name: mc.Name}
+		if mc.Content == core.ContentTable {
+			nestedSrc := src.Column(ord).Nested
+			if nestedSrc == nil {
+				continue
+			}
+			for j := range mc.Table {
+				if _, ok := nestedSrc.Lookup(mc.Table[j].Name); ok {
+					b.Nested = append(b.Nested, dmx.Binding{Name: mc.Table[j].Name})
+				}
+			}
+			if len(b.Nested) == 0 {
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// onClauseBindings interprets the ON clause: a conjunction of equalities
+// between model column paths ([Model].[Col] or [Model].[Table].[Col]) and
+// source column paths (t.[Col] or t.[Table].[Col]).
+func onClauseBindings(def *core.ModelDef, model, alias string, on sqlengine.Expr, src *rowset.Schema) ([]dmx.Binding, error) {
+	pairs, err := equalityPairs(on)
+	if err != nil {
+		return nil, err
+	}
+	var scalars []dmx.Binding
+	nestedBy := make(map[string][]dmx.Binding) // lower table name → nested bindings
+	var nestedOrder []string
+	for _, pr := range pairs {
+		mPath, sPath, err := classifySides(model, alias, pr)
+		if err != nil {
+			return nil, err
+		}
+		if len(mPath) == 1 {
+			mc, ok := def.Column(mPath[0])
+			if !ok {
+				return nil, fmt.Errorf("provider: model %s has no column %q", model, mPath[0])
+			}
+			if len(sPath) != 1 {
+				return nil, fmt.Errorf("provider: ON clause binds scalar %q to nested source path %v", mc.Name, sPath)
+			}
+			if _, ok := src.Lookup(sPath[0]); !ok {
+				return nil, fmt.Errorf("provider: source has no column %q", sPath[0])
+			}
+			// bindColumns binds by the model column name; requiring source
+			// columns to share it keeps the semantics of the paper's
+			// examples without a separate rename layer.
+			if !strings.EqualFold(mc.Name, sPath[0]) {
+				return nil, fmt.Errorf("provider: ON clause binds model column %q to differently-named source column %q; "+
+					"alias the source column to the model column name", mc.Name, sPath[0])
+			}
+			scalars = append(scalars, dmx.Binding{Name: mc.Name})
+			continue
+		}
+		// Nested: mPath = [table, col].
+		tableCol, ok := def.Column(mPath[0])
+		if !ok || tableCol.Content != core.ContentTable {
+			return nil, fmt.Errorf("provider: model %s has no nested table %q", model, mPath[0])
+		}
+		if len(sPath) != 2 {
+			return nil, fmt.Errorf("provider: ON clause binds nested %s.%s to non-nested source path %v",
+				mPath[0], mPath[1], sPath)
+		}
+		if !strings.EqualFold(mPath[1], sPath[1]) {
+			return nil, fmt.Errorf("provider: ON clause binds nested column %q to differently-named source column %q",
+				mPath[1], sPath[1])
+		}
+		key := strings.ToLower(tableCol.Name)
+		if _, seen := nestedBy[key]; !seen {
+			nestedOrder = append(nestedOrder, tableCol.Name)
+		}
+		nestedBy[key] = append(nestedBy[key], dmx.Binding{Name: mPath[1]})
+	}
+	out := scalars
+	for _, tname := range nestedOrder {
+		out = append(out, dmx.Binding{Name: tname, Nested: nestedBy[strings.ToLower(tname)]})
+	}
+	return out, nil
+}
+
+// equalityPairs flattens an AND-tree of equality comparisons.
+func equalityPairs(e sqlengine.Expr) ([][2]*sqlengine.ColumnRef, error) {
+	b, ok := e.(*sqlengine.Binary)
+	if !ok {
+		return nil, fmt.Errorf("provider: ON clause must be a conjunction of equalities, found %s", e)
+	}
+	switch b.Op {
+	case sqlengine.OpAnd:
+		l, err := equalityPairs(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := equalityPairs(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case sqlengine.OpEq:
+		lc, ok1 := b.L.(*sqlengine.ColumnRef)
+		rc, ok2 := b.R.(*sqlengine.ColumnRef)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("provider: ON clause equality must compare columns, found %s", b)
+		}
+		return [][2]*sqlengine.ColumnRef{{lc, rc}}, nil
+	}
+	return nil, fmt.Errorf("provider: unsupported ON clause operator in %s", b)
+}
+
+// classifySides determines which side of an equality names the model and
+// returns (model path, source path) with qualifiers stripped.
+func classifySides(model, alias string, pr [2]*sqlengine.ColumnRef) (mPath, sPath []string, err error) {
+	a := refPath(pr[0])
+	b := refPath(pr[1])
+	switch {
+	case pathHasPrefix(a, model):
+		return a[1:], stripAlias(b, alias), nil
+	case pathHasPrefix(b, model):
+		return b[1:], stripAlias(a, alias), nil
+	}
+	return nil, nil, fmt.Errorf("provider: ON clause equality does not reference model %q: %s = %s",
+		model, pr[0], pr[1])
+}
+
+func refPath(c *sqlengine.ColumnRef) []string {
+	var parts []string
+	if c.Qualifier != "" {
+		parts = strings.Split(c.Qualifier, ".")
+	}
+	return append(parts, c.Name)
+}
+
+func pathHasPrefix(path []string, name string) bool {
+	return len(path) > 1 && strings.EqualFold(path[0], name)
+}
+
+func stripAlias(path []string, alias string) []string {
+	if alias != "" && len(path) > 1 && strings.EqualFold(path[0], alias) {
+		return path[1:]
+	}
+	return path
+}
+
+// predictionContext evaluates the DMX prediction functions for one case.
+type predictionContext struct {
+	provider *Provider
+	entry    *modelEntry
+	c        core.Case
+	cache    map[string]core.Prediction
+}
+
+// predictFor resolves a model column name to a Prediction, caching per case.
+func (pc *predictionContext) predictFor(column string) (core.Prediction, error) {
+	key := strings.ToLower(column)
+	if p, ok := pc.cache[key]; ok {
+		return p, nil
+	}
+	def := pc.entry.model.Def
+	mc, ok := def.Column(column)
+	if !ok {
+		return core.Prediction{}, fmt.Errorf("provider: model %s has no column %q", def.Name, column)
+	}
+	var p core.Prediction
+	var err error
+	if mc.Content == core.ContentTable {
+		p, err = pc.entry.model.Trained.PredictTable(pc.c, mc.Name)
+	} else {
+		idx, ok := pc.entry.model.Space.Lookup(mc.Name)
+		if !ok {
+			return core.Prediction{}, fmt.Errorf("provider: column %q has no trained attribute", column)
+		}
+		p, err = pc.entry.model.Trained.Predict(pc.c, idx)
+	}
+	if err != nil {
+		return core.Prediction{}, err
+	}
+	pc.cache[key] = p
+	return p, nil
+}
+
+// resolveExternal answers column references outside the source schema:
+// [Model].[Col] and bare references to the model's PREDICT columns yield the
+// prediction estimate.
+func (pc *predictionContext) resolveExternal(model, alias string) func(string, string) (rowset.Value, bool, error) {
+	return func(qualifier, name string) (rowset.Value, bool, error) {
+		def := pc.entry.model.Def
+		switch {
+		case strings.EqualFold(qualifier, model):
+		case qualifier == "":
+			mc, ok := def.Column(name)
+			if !ok || !mc.IsOutput() {
+				return nil, false, nil
+			}
+		default:
+			return nil, false, nil
+		}
+		mc, ok := def.Column(name)
+		if !ok {
+			return nil, false, nil
+		}
+		if mc.Content == core.ContentTable {
+			return pc.predictTableRowset(mc, 0)
+		}
+		p, err := pc.predictFor(name)
+		if err != nil {
+			return nil, false, err
+		}
+		return p.Estimate, true, nil
+	}
+}
+
+// callUDF dispatches the DMX prediction functions.
+func (pc *predictionContext) callUDF(f *sqlengine.FuncCall, env *sqlengine.Env) (rowset.Value, bool, error) {
+	if !dmx.IsPredictionFunc(f.Name) {
+		return nil, false, nil
+	}
+	argColumn := func() (string, error) {
+		if len(f.Args) < 1 {
+			return "", fmt.Errorf("provider: %s needs a model column argument", f.Name)
+		}
+		cr, ok := f.Args[0].(*sqlengine.ColumnRef)
+		if !ok {
+			return "", fmt.Errorf("provider: %s: first argument must be a model column reference", f.Name)
+		}
+		return cr.Name, nil
+	}
+	switch f.Name {
+	case dmx.FuncPredict, dmx.FuncPredictAssociation:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		def := pc.entry.model.Def
+		mc, ok := def.Column(col)
+		if !ok {
+			return nil, false, fmt.Errorf("provider: model %s has no column %q", def.Name, col)
+		}
+		if mc.Content == core.ContentTable {
+			maxRows := 0
+			if len(f.Args) > 1 {
+				n, err := intArg(f.Args[1], env)
+				if err != nil {
+					return nil, false, err
+				}
+				maxRows = n
+			}
+			v, _, err := pc.predictTableRowset(mc, maxRows)
+			return v, true, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		return p.Estimate, true, nil
+	case dmx.FuncPredictProbability:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(f.Args) > 1 {
+			want, err := sqlengine.Eval(f.Args[1], env)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, b := range p.Histogram {
+				if rowset.Equal(b.Value, rowset.Normalize(want)) {
+					return b.Prob, true, nil
+				}
+			}
+			return 0.0, true, nil
+		}
+		return p.Prob, true, nil
+	case dmx.FuncPredictSupport:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		return p.Support, true, nil
+	case dmx.FuncPredictStdev:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		return p.Stdev, true, nil
+	case dmx.FuncPredictVariance:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		return p.Stdev * p.Stdev, true, nil
+	case dmx.FuncPredictHistogram:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := pc.predictFor(col)
+		if err != nil {
+			return nil, false, err
+		}
+		return histogramRowset(col, p), true, nil
+	case dmx.FuncTopCount:
+		if len(f.Args) != 3 {
+			return nil, false, fmt.Errorf("provider: TopCount(<table>, <rank column>, <n>)")
+		}
+		tv, err := sqlengine.Eval(f.Args[0], env)
+		if err != nil {
+			return nil, false, err
+		}
+		table, ok := tv.(*rowset.Rowset)
+		if !ok {
+			return nil, false, fmt.Errorf("provider: TopCount: first argument is %s, not a table", rowset.TypeOf(tv))
+		}
+		rankRef, ok := f.Args[1].(*sqlengine.ColumnRef)
+		if !ok {
+			return nil, false, fmt.Errorf("provider: TopCount: second argument must be a column of the table")
+		}
+		n, err := intArg(f.Args[2], env)
+		if err != nil {
+			return nil, false, err
+		}
+		ord, ok := table.Schema().Lookup(rankRef.Name)
+		if !ok {
+			return nil, false, fmt.Errorf("provider: TopCount: table has no column %q", rankRef.Name)
+		}
+		sorted := table.Clone()
+		sorted.Sort([]int{ord}, []bool{true})
+		out := rowset.New(sorted.Schema())
+		for i := 0; i < sorted.Len() && i < n; i++ {
+			if err := out.Append(sorted.Row(i)); err != nil {
+				return nil, false, err
+			}
+		}
+		return out, true, nil
+	case dmx.FuncRangeMid, dmx.FuncRangeMin, dmx.FuncRangeMax:
+		col, err := argColumn()
+		if err != nil {
+			return nil, false, err
+		}
+		return pc.rangeOf(f.Name, col)
+	case dmx.FuncCluster, dmx.FuncClusterProbability:
+		cp, ok := pc.entry.model.Trained.(core.ClusterPredictor)
+		if !ok {
+			return nil, false, fmt.Errorf("provider: model %s (%s) is not a clustering model",
+				pc.entry.model.Def.Name, pc.entry.model.Trained.AlgorithmName())
+		}
+		p, err := cp.PredictCluster(pc.c)
+		if err != nil {
+			return nil, false, err
+		}
+		if f.Name == dmx.FuncCluster {
+			return p.Estimate, true, nil
+		}
+		return p.Prob, true, nil
+	}
+	return nil, false, nil
+}
+
+func intArg(e sqlengine.Expr, env *sqlengine.Env) (int, error) {
+	v, err := sqlengine.Eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := rowset.Normalize(v).(int64)
+	if !ok {
+		return 0, fmt.Errorf("provider: expected an integer argument, got %s", rowset.TypeOf(v))
+	}
+	return int(n), nil
+}
+
+// rangeOf implements RangeMin/RangeMid/RangeMax: the numeric bounds of the
+// predicted DISCRETIZED bucket, turning a bucket label back into a usable
+// number (the open first/last buckets close over the observed data range).
+func (pc *predictionContext) rangeOf(fn, column string) (rowset.Value, bool, error) {
+	idx, ok := pc.entry.model.Space.Lookup(column)
+	if !ok {
+		return nil, false, fmt.Errorf("provider: column %q has no trained attribute", column)
+	}
+	a := pc.entry.model.Space.Attr(idx)
+	if len(a.Cuts) == 0 {
+		return nil, false, fmt.Errorf("provider: %s requires a DISCRETIZED column, %q is not", fn, column)
+	}
+	p, err := pc.predictFor(column)
+	if err != nil {
+		return nil, false, err
+	}
+	label, _ := p.Estimate.(string)
+	bucket := a.StateIndex(label)
+	lo, hi, ok := a.BucketBounds(bucket)
+	if !ok {
+		return nil, true, nil
+	}
+	switch fn {
+	case dmx.FuncRangeMin:
+		return lo, true, nil
+	case dmx.FuncRangeMax:
+		return hi, true, nil
+	default:
+		return (lo + hi) / 2, true, nil
+	}
+}
+
+// predictTableRowset renders a nested-table prediction as a rowset whose key
+// column carries the model's nested key column name.
+func (pc *predictionContext) predictTableRowset(mc *core.ColumnDef, maxRows int) (rowset.Value, bool, error) {
+	p, err := pc.predictFor(mc.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	keyName := "KEY"
+	for i := range mc.Table {
+		if mc.Table[i].Content == core.ContentKey {
+			keyName = mc.Table[i].Name
+			break
+		}
+	}
+	schema := rowset.MustSchema(
+		rowset.Column{Name: keyName, Type: rowset.TypeText},
+		rowset.Column{Name: "$PROBABILITY", Type: rowset.TypeDouble},
+		rowset.Column{Name: "$SUPPORT", Type: rowset.TypeDouble},
+	)
+	out := rowset.New(schema)
+	for i, b := range p.Histogram {
+		if maxRows > 0 && i >= maxRows {
+			break
+		}
+		out.MustAppend(rowset.FormatValue(b.Value), b.Prob, b.Support)
+	}
+	return out, true, nil
+}
+
+// histogramRowset renders PredictHistogram output (Section 3.2.4: "a
+// histogram provides multiple possible prediction values, each accompanied
+// by a probability and other statistics").
+func histogramRowset(column string, p core.Prediction) *rowset.Rowset {
+	valueType := rowset.TypeText
+	if len(p.Histogram) > 0 && rowset.TypeOf(p.Histogram[0].Value) != rowset.TypeNull {
+		valueType = rowset.TypeOf(p.Histogram[0].Value)
+	}
+	schema := rowset.MustSchema(
+		rowset.Column{Name: column, Type: valueType},
+		rowset.Column{Name: "$PROBABILITY", Type: rowset.TypeDouble},
+		rowset.Column{Name: "$SUPPORT", Type: rowset.TypeDouble},
+		rowset.Column{Name: "$VARIANCE", Type: rowset.TypeDouble},
+	)
+	out := rowset.New(schema)
+	for _, b := range p.Histogram {
+		out.MustAppend(b.Value, b.Prob, b.Support, b.Variance)
+	}
+	return out
+}
+
+// expandPredictionItems expands * into the source columns.
+func expandPredictionItems(items []sqlengine.SelectItem, def *core.ModelDef, evalSchema *rowset.Schema) ([]sqlengine.SelectItem, error) {
+	var out []sqlengine.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range evalSchema.Columns {
+			name := c.Name
+			if dot := strings.LastIndex(name, "."); dot >= 0 {
+				name = name[dot+1:]
+			}
+			out = append(out, sqlengine.SelectItem{
+				Expr:  &sqlengine.ColumnRef{Name: c.Name},
+				Alias: name,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("provider: prediction select has no items")
+	}
+	return out, nil
+}
+
+func itemNames(items []sqlengine.SelectItem) []string {
+	names := make([]string, len(items))
+	seen := map[string]int{}
+	for i, it := range items {
+		n := it.Alias
+		if n == "" {
+			if cr, ok := it.Expr.(*sqlengine.ColumnRef); ok {
+				n = cr.Name
+			} else {
+				n = it.Expr.String()
+			}
+		}
+		key := strings.ToLower(n)
+		if c := seen[key]; c > 0 {
+			seen[key] = c + 1
+			n = fmt.Sprintf("%s_%d", n, c+1)
+			key = strings.ToLower(n)
+		}
+		seen[key]++
+		names[i] = n
+	}
+	return names
+}
+
+func predictionOutputSchema(items []sqlengine.SelectItem, names []string, evalSchema *rowset.Schema, rows []rowset.Row) (*rowset.Schema, error) {
+	cols := make([]rowset.Column, len(items))
+	for i, it := range items {
+		col := rowset.Column{Name: names[i], Type: rowset.TypeNull}
+		if cr, ok := it.Expr.(*sqlengine.ColumnRef); ok {
+			if ord, err := sqlengine.ResolveColumn(evalSchema, cr.Qualifier, cr.Name); err == nil {
+				col.Type = evalSchema.Column(ord).Type
+				col.Nested = evalSchema.Column(ord).Nested
+			}
+		}
+		if col.Type == rowset.TypeNull {
+			for _, r := range rows {
+				if r[i] != nil {
+					col.Type = rowset.TypeOf(r[i])
+					if nested, ok := r[i].(*rowset.Rowset); ok {
+						col.Nested = nested.Schema()
+					}
+					break
+				}
+			}
+		}
+		if col.Type == rowset.TypeNull {
+			col.Type = rowset.TypeText
+		}
+		cols[i] = col
+	}
+	return rowset.NewSchema(cols...)
+}

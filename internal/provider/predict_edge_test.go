@@ -1,0 +1,192 @@
+package provider
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rowset"
+)
+
+// trainedProvider returns a provider with the running-example model trained.
+func trainedProvider(t *testing.T, n int) *Provider {
+	t.Helper()
+	p := MustNew()
+	setupCustomerData(t, p, n)
+	mustExec(t, p, createAgeModel)
+	mustExec(t, p, insertAgeModel)
+	return p
+}
+
+func TestPredictionSelectStar(t *testing.T) {
+	p := trainedProvider(t, 50)
+	out := mustExec(t, p, `SELECT *, Predict([Age]) AS est FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t`)
+	if out.Len() != 50 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// Star expands to the source columns plus the explicit item.
+	names := out.Schema().Names()
+	if len(names) != 3 {
+		t.Fatalf("columns = %v", names)
+	}
+	if _, ok := out.Schema().Lookup("est"); !ok {
+		t.Errorf("est column missing: %v", names)
+	}
+}
+
+func TestPredictionBareModelColumnRef(t *testing.T) {
+	p := trainedProvider(t, 50)
+	// Bare [Age] (a PREDICT column, absent from the source) resolves to the
+	// prediction estimate via the External hook.
+	out := mustExec(t, p, `SELECT [Age] FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`)
+	if _, ok := out.Row(0)[0].(string); !ok { // discretized bucket label
+		t.Errorf("bare Age ref = %#v", out.Row(0)[0])
+	}
+}
+
+func TestPredictionUDFErrors(t *testing.T) {
+	p := trainedProvider(t, 50)
+	bad := []struct{ name, q string }{
+		{"unknown column", `SELECT Predict([Nope]) FROM [Age Prediction]
+			NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"Predict without args", `SELECT Predict() FROM [Age Prediction]
+			NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"Predict on literal", `SELECT Predict(1) FROM [Age Prediction]
+			NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"TopCount arity", `SELECT TopCount(PredictHistogram([Age]), [$PROBABILITY])
+			FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"TopCount non-table", `SELECT TopCount(1, [$PROBABILITY], 2)
+			FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"TopCount bad rank column", `SELECT TopCount(PredictHistogram([Age]), [$NOPE], 2)
+			FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+		{"TopCount non-integer n", `SELECT TopCount(PredictHistogram([Age]), [$PROBABILITY], 'x')
+			FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`},
+	}
+	for _, c := range bad {
+		if _, err := p.Execute(c.q); err == nil {
+			t.Errorf("%s: must fail", c.name)
+		}
+	}
+}
+
+func TestPredictionOnClauseErrors(t *testing.T) {
+	p := trainedProvider(t, 50)
+	bad := []struct{ name, q string }{
+		{"no model reference", `SELECT t.Gender FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS Gender) AS t ON t.Gender = t.Gender`},
+		{"non-equality", `SELECT t.Gender FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS Gender) AS t ON [Age Prediction].Gender < t.Gender`},
+		{"literal comparison", `SELECT t.Gender FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS Gender) AS t ON [Age Prediction].Gender = 'Male'`},
+		{"unknown model column", `SELECT t.Gender FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS Gender) AS t ON [Age Prediction].Nope = t.Gender`},
+		{"name mismatch", `SELECT t.G FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS G) AS t ON [Age Prediction].Gender = t.G`},
+		{"unknown source column", `SELECT t.Gender FROM [Age Prediction]
+			PREDICTION JOIN (SELECT 'Male' AS Gender) AS t ON [Age Prediction].Gender = t.Zzz`},
+	}
+	for _, c := range bad {
+		if _, err := p.Execute(c.q); err == nil {
+			t.Errorf("%s: must fail", c.name)
+		}
+	}
+}
+
+func TestPredictionNoBindableColumns(t *testing.T) {
+	p := trainedProvider(t, 50)
+	_, err := p.Execute(`SELECT 1 FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SELECT 'x' AS Unrelated) AS t`)
+	if err == nil || !strings.Contains(err.Error(), "binds no model columns") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPredictVarianceMatchesStdev(t *testing.T) {
+	p := MustNew()
+	setupCustomerData(t, p, 200)
+	mustExec(t, p, `CREATE MINING MODEL [CAge] (
+		[Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+		[Age] DOUBLE CONTINUOUS PREDICT
+	) USING [Decision_Trees]`)
+	mustExec(t, p, `INSERT INTO [CAge] ([Customer ID], [Gender], [Age])
+		SELECT [Customer ID], Gender, Age FROM Customers`)
+	out := mustExec(t, p, `SELECT PredictStdev([Age]) AS sd, PredictVariance([Age]) AS v
+	FROM [CAge] NATURAL PREDICTION JOIN (SELECT 'Male' AS Gender) AS t`)
+	sd := out.Row(0)[0].(float64)
+	v := out.Row(0)[1].(float64)
+	if sd <= 0 || v <= 0 {
+		t.Fatalf("sd=%v v=%v", sd, v)
+	}
+	if diff := v - sd*sd; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("variance %v != stdev² %v", v, sd*sd)
+	}
+}
+
+func TestPredictionJoinNestedTableCellInOutput(t *testing.T) {
+	p := trainedProvider(t, 50)
+	// Selecting the raw nested source column passes the nested rowset
+	// through to the output schema.
+	out := mustExec(t, p, `SELECT t.[Customer ID], t.[Product Purchases] FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SHAPE {SELECT [Customer ID], Gender FROM Customers ORDER BY [Customer ID]}
+		APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t`)
+	if _, ok := out.Row(0)[1].(*rowset.Rowset); !ok {
+		t.Errorf("nested passthrough = %T", out.Row(0)[1])
+	}
+	i, _ := out.Schema().Lookup("Product Purchases")
+	if out.Schema().Column(i).Type != rowset.TypeTable {
+		t.Error("output schema lost the TABLE type")
+	}
+}
+
+func TestSourceErrorsPropagate(t *testing.T) {
+	p := trainedProvider(t, 10)
+	if _, err := p.Execute(`SELECT Predict([Age]) FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SELECT Gender FROM NoSuchTable) AS t`); err == nil {
+		t.Error("bad source must fail")
+	}
+	if _, err := p.Execute(`INSERT INTO [Age Prediction] ([Customer ID], [Gender], [Age])
+		SELECT x FROM NoSuchTable`); err == nil {
+		t.Error("bad insert source must fail")
+	}
+}
+
+func TestModelAndTableNamespacesCoexist(t *testing.T) {
+	// A mining model and a table may share a name context-free; the DMX
+	// dispatcher routes by catalog. Create a table named like the model's
+	// output and query both.
+	p := trainedProvider(t, 20)
+	mustExec(t, p, "CREATE TABLE Results (k LONG)")
+	mustExec(t, p, "INSERT INTO Results VALUES (1)")
+	rs := mustExec(t, p, "SELECT COUNT(*) FROM Results")
+	if rs.Row(0)[0] != int64(1) {
+		t.Errorf("table query = %v", rs.Row(0))
+	}
+}
+
+func TestPredictionOrderBy(t *testing.T) {
+	p := trainedProvider(t, 60)
+	out := mustExec(t, p, `SELECT TOP 5 t.[Customer ID], PredictProbability([Age]) AS prob
+	FROM [Age Prediction]
+	NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t
+	ORDER BY PredictProbability([Age]) DESC, t.[Customer ID]`)
+	if out.Len() != 5 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	prev := out.Row(0)[1].(float64)
+	for i := 1; i < out.Len(); i++ {
+		cur := out.Row(i)[1].(float64)
+		if cur > prev {
+			t.Fatalf("not sorted desc: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+	// Ascending by source column.
+	out = mustExec(t, p, `SELECT t.[Customer ID] FROM [Age Prediction]
+	NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t
+	ORDER BY t.[Customer ID] DESC`)
+	if out.Row(0)[0].(int64) != 60 {
+		t.Errorf("desc order head = %v", out.Row(0)[0])
+	}
+}

@@ -1,0 +1,298 @@
+// Package provider implements the OLE DB for Data Mining provider: the
+// component that accepts DMX/SQL command text and exposes mining models as
+// first-class objects next to relational tables (Figure 1 of the paper).
+//
+// A Provider owns a relational database (storage + sqlengine), a mining
+// model catalog, and an algorithm registry. Execute dispatches command text:
+// DMX statements (CREATE MINING MODEL, INSERT INTO a model, PREDICTION JOIN,
+// SELECT FROM <model>.CONTENT, DELETE FROM a model, DROP MINING MODEL, and
+// $SYSTEM schema rowsets) run on the mining engine; everything else runs on
+// the SQL engine. This mirrors the paper's design: "the mining model can
+// participate in interaction with other objects using the primitives listed
+// above" without leaving the SQL surface.
+package provider
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/algo/assoc"
+	"repro/internal/algo/cluster"
+	"repro/internal/algo/dtree"
+	"repro/internal/algo/linreg"
+	"repro/internal/algo/markov"
+	"repro/internal/algo/nbayes"
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/lex"
+	"repro/internal/rowset"
+	"repro/internal/schemarowset"
+	"repro/internal/shape"
+	"repro/internal/sqlengine"
+	"repro/internal/storage"
+)
+
+// Provider is an in-process OLE DB DM provider instance.
+type Provider struct {
+	// DB is the relational substrate holding source tables.
+	DB *storage.Database
+	// Engine executes the SQL subset over DB.
+	Engine *sqlengine.Engine
+	// Registry holds the installed mining services.
+	Registry *core.Registry
+
+	mu     sync.RWMutex
+	models map[string]*modelEntry // keyed by lower-cased model name
+
+	// dir enables persistence when non-empty (see persist.go).
+	dir string
+}
+
+// modelEntry couples a catalogued model with its tokenizer and accumulated
+// training cases (INSERT INTO may run repeatedly; each run retrains over
+// everything consumed so far).
+type modelEntry struct {
+	model     *core.Model
+	tokenizer *core.Tokenizer
+	cases     []core.Case
+}
+
+// Option configures a Provider.
+type Option func(*Provider)
+
+// WithDirectory enables disk persistence: tables under dir/tables, models
+// under dir/models. Existing state is loaded by New.
+func WithDirectory(dir string) Option {
+	return func(p *Provider) { p.dir = dir }
+}
+
+// New creates a provider with the six reference mining services installed
+// (Decision_Trees, Naive_Bayes, Clustering, Association_Rules,
+// Linear_Regression, Sequence_Analysis).
+func New(opts ...Option) (*Provider, error) {
+	db := storage.NewDatabase()
+	p := &Provider{
+		DB:       db,
+		Engine:   sqlengine.NewEngine(db),
+		Registry: core.NewRegistry(),
+		models:   make(map[string]*modelEntry),
+	}
+	p.Registry.Register(dtree.New())
+	p.Registry.Register(nbayes.New())
+	p.Registry.Register(cluster.New())
+	p.Registry.Register(assoc.New())
+	p.Registry.Register(linreg.New())
+	p.Registry.Register(markov.New())
+	// The paper's running example names its service [Decision_Trees_101].
+	p.Registry.RegisterAs("Decision_Trees_101", dtree.New())
+	for _, o := range opts {
+		o(p)
+	}
+	if p.dir != "" {
+		if err := p.load(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(opts ...Option) *Provider {
+	p, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IsModel reports whether name refers to a catalogued mining model.
+func (p *Provider) IsModel(name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.models[strings.ToLower(name)]
+	return ok
+}
+
+// Model returns the catalogued model by name.
+func (p *Provider) Model(name string) (*core.Model, error) {
+	e, err := p.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.model, nil
+}
+
+func (p *Provider) entry(name string) (*modelEntry, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.models[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("provider: no mining model named %q", name)
+	}
+	return e, nil
+}
+
+// ModelNames lists catalogued models, sorted.
+func (p *Provider) ModelNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.models))
+	for _, e := range p.models {
+		names = append(names, e.model.Def.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *Provider) allModels() []*core.Model {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*core.Model, 0, len(p.models))
+	for _, e := range p.models {
+		out = append(out, e.model)
+	}
+	return out
+}
+
+// Execute runs one DMX or SQL statement and returns its result rowset.
+// Standalone SHAPE statements are also accepted and return the hierarchical
+// rowset they assemble.
+func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
+	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
+		return shape.ExecuteString(p.Engine, command)
+	}
+	st, err := dmx.Parse(command, p.IsModel)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return p.Engine.Exec(command)
+	}
+	return p.ExecuteDMX(st)
+}
+
+// ExecuteScript runs a multi-statement script (statements separated by
+// semicolons) and returns the last statement's result.
+func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
+	stmts, err := splitStatements(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *rowset.Rowset
+	for _, s := range stmts {
+		last, err = p.Execute(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteDMX runs a parsed DMX statement.
+func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
+	switch s := st.(type) {
+	case *dmx.CreateModel:
+		return p.createModel(s.Def)
+	case *dmx.InsertInto:
+		return p.insertInto(s)
+	case *dmx.PredictionSelect:
+		return p.predictionSelect(s)
+	case *dmx.ContentSelect:
+		e, err := p.entry(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.RLock()
+		trained := e.model.Trained
+		p.mu.RUnlock()
+		if trained == nil {
+			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", s.Model)
+		}
+		return content.Rowset(e.model.Def.Name, trained.Content()), nil
+	case *dmx.ColumnsSelect:
+		e, err := p.entry(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		return schemarowset.ModelColumns(e.model), nil
+	case *dmx.CasesSelect:
+		return p.casesRowset(s.Model)
+	case *dmx.PMMLSelect:
+		return p.pmmlRowset(s.Model)
+	case *dmx.SchemaRowsetSelect:
+		return schemarowset.Build(s.Rowset, p.allModels(), p.Registry)
+	case *dmx.DeleteFrom:
+		return p.deleteFrom(s.Model)
+	case *dmx.DropModel:
+		return p.dropModel(s.Name)
+	}
+	return nil, fmt.Errorf("provider: unsupported DMX statement %T", st)
+}
+
+// createModel registers a validated model definition.
+func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
+	if _, err := p.Registry.Lookup(def.Algorithm); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	key := strings.ToLower(def.Name)
+	if _, dup := p.models[key]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("provider: mining model %q already exists", def.Name)
+	}
+	e := &modelEntry{
+		model:     &core.Model{Def: def},
+		tokenizer: core.NewTokenizer(def),
+	}
+	e.model.Space = e.tokenizer.Space
+	p.models[key] = e
+	p.mu.Unlock()
+	if err := p.saveModel(e); err != nil {
+		return nil, err
+	}
+	return status("model created"), nil
+}
+
+// deleteFrom resets a model (the paper's "emptied (reset) via DELETE").
+func (p *Provider) deleteFrom(name string) (*rowset.Rowset, error) {
+	e, err := p.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	e.model.Reset()
+	e.tokenizer = core.NewTokenizer(e.model.Def)
+	e.model.Space = e.tokenizer.Space
+	e.cases = nil
+	p.mu.Unlock()
+	if err := p.saveModel(e); err != nil {
+		return nil, err
+	}
+	return status("model reset"), nil
+}
+
+func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
+	p.mu.Lock()
+	key := strings.ToLower(name)
+	_, ok := p.models[key]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("provider: no mining model named %q", name)
+	}
+	delete(p.models, key)
+	p.mu.Unlock()
+	if err := p.removeModelFile(name); err != nil {
+		return nil, err
+	}
+	return status("model dropped"), nil
+}
+
+// status renders a one-cell result for DDL-style statements.
+func status(msg string) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "status", Type: rowset.TypeText}))
+	rs.MustAppend(msg)
+	return rs
+}

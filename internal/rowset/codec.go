@@ -1,0 +1,264 @@
+package rowset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Binary wire/storage format for rowsets. Used by the storage engine for
+// table persistence and by the client/server protocol. The format is
+// self-describing and handles nested-table values recursively:
+//
+//	rowset  := schema rowcount:uvarint row*
+//	schema  := ncols:uvarint (name:str type:byte [schema if TABLE])*
+//	row     := value*            (one per column, in schema order)
+//	value   := tag:byte payload  (tag = Type; NULL has no payload)
+//	str     := len:uvarint bytes
+//
+// Integers are varint-encoded; doubles are fixed 8-byte little-endian.
+
+const codecVersion = 1
+
+// Encode writes the rowset to w in the binary format.
+func (rs *Rowset) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	if err := encodeSchema(bw, rs.schema); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(rs.Len()))
+	for _, r := range rs.rows {
+		for _, v := range r {
+			if err := encodeValue(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a rowset in the binary format.
+func Decode(r io.Reader) (*Rowset, error) {
+	br := bufio.NewReader(r)
+	return decode(br)
+}
+
+// DecodeFrom reads a rowset from an existing buffered reader, consuming
+// exactly one encoded rowset. Stream protocols (the dmclient/dmserver wire
+// format) use it to read several rowsets from one connection without losing
+// buffered bytes between messages.
+func DecodeFrom(br *bufio.Reader) (*Rowset, error) {
+	return decode(br)
+}
+
+func decode(br *bufio.Reader) (*Rowset, error) {
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("rowset: decode: %w", err)
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("rowset: decode: unsupported version %d", ver)
+	}
+	schema, err := decodeSchema(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rowset: decode row count: %w", err)
+	}
+	rs := New(schema)
+	rs.rows = make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		row := make(Row, schema.Len())
+		for j := range row {
+			v, err := decodeValue(br)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		rs.rows = append(rs.rows, row)
+	}
+	return rs, nil
+}
+
+func encodeSchema(w *bufio.Writer, s *Schema) error {
+	writeUvarint(w, uint64(s.Len()))
+	for _, c := range s.Columns {
+		writeString(w, c.Name)
+		if err := w.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+		if c.Type == TypeTable {
+			nested := c.Nested
+			if nested == nil {
+				nested = MustSchema()
+			}
+			if err := encodeSchema(w, nested); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decodeSchema(br *bufio.Reader) (*Schema, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rowset: decode schema: %w", err)
+	}
+	cols := make([]Column, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: name, Type: Type(tb)}
+		if col.Type == TypeTable {
+			nested, err := decodeSchema(br)
+			if err != nil {
+				return nil, err
+			}
+			col.Nested = nested
+		}
+		cols = append(cols, col)
+	}
+	return NewSchema(cols...)
+}
+
+func encodeValue(w *bufio.Writer, v Value) error {
+	switch x := v.(type) {
+	case nil:
+		return w.WriteByte(byte(TypeNull))
+	case int64:
+		if err := w.WriteByte(byte(TypeLong)); err != nil {
+			return err
+		}
+		writeVarint(w, x)
+	case float64:
+		if err := w.WriteByte(byte(TypeDouble)); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		_, err := w.Write(buf[:])
+		return err
+	case string:
+		if err := w.WriteByte(byte(TypeText)); err != nil {
+			return err
+		}
+		writeString(w, x)
+	case bool:
+		if err := w.WriteByte(byte(TypeBool)); err != nil {
+			return err
+		}
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return w.WriteByte(b)
+	case time.Time:
+		if err := w.WriteByte(byte(TypeDate)); err != nil {
+			return err
+		}
+		writeVarint(w, x.UnixNano())
+	case *Rowset:
+		if err := w.WriteByte(byte(TypeTable)); err != nil {
+			return err
+		}
+		if err := w.WriteByte(codecVersion); err != nil {
+			return err
+		}
+		if err := encodeSchema(w, x.schema); err != nil {
+			return err
+		}
+		writeUvarint(w, uint64(x.Len()))
+		for _, r := range x.rows {
+			for _, nv := range r {
+				if err := encodeValue(w, nv); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("rowset: encode: unsupported value type %T", v)
+	}
+	return nil
+}
+
+func decodeValue(br *bufio.Reader) (Value, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("rowset: decode value: %w", err)
+	}
+	switch Type(tag) {
+	case TypeNull:
+		return nil, nil
+	case TypeLong:
+		n, err := binary.ReadVarint(br)
+		return n, err
+	case TypeDouble:
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	case TypeText:
+		return readString(br)
+	case TypeBool:
+		b, err := br.ReadByte()
+		return b != 0, err
+	case TypeDate:
+		n, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		return time.Unix(0, n).UTC(), nil
+	case TypeTable:
+		return decode(br)
+	}
+	return nil, fmt.Errorf("rowset: decode: unknown value tag %d", tag)
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio.Writer errors surface at Flush
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s) //nolint:errcheck
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("rowset: decode: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,150 @@
+package rowset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, rs *Rowset) *Rowset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rs.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestCodecScalars(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "l", Type: TypeLong},
+		Column{Name: "d", Type: TypeDouble},
+		Column{Name: "t", Type: TypeText},
+		Column{Name: "b", Type: TypeBool},
+		Column{Name: "ts", Type: TypeDate},
+	)
+	rs := New(s)
+	now := time.Now().UTC().Truncate(time.Microsecond)
+	rs.MustAppend(int64(-42), 3.125, "héllo", true, now)
+	rs.MustAppend(nil, nil, nil, nil, nil)
+	rs.MustAppend(int64(1<<40), math.Inf(1), "", false, time.Unix(0, 0).UTC())
+
+	got := roundTrip(t, rs)
+	if !got.Schema().Equal(rs.Schema()) {
+		t.Fatalf("schema mismatch: %v vs %v", got.Schema(), rs.Schema())
+	}
+	if got.Len() != rs.Len() {
+		t.Fatalf("len = %d want %d", got.Len(), rs.Len())
+	}
+	for i := range rs.Rows() {
+		for j := range rs.Row(i) {
+			a, b := rs.Row(i)[j], got.Row(i)[j]
+			if ta, ok := a.(time.Time); ok {
+				if !ta.Equal(b.(time.Time)) {
+					t.Errorf("row %d col %d: %v != %v", i, j, a, b)
+				}
+				continue
+			}
+			if a != b {
+				t.Errorf("row %d col %d: %#v != %#v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestCodecNested(t *testing.T) {
+	inner := New(MustSchema(Column{Name: "p", Type: TypeText}, Column{Name: "q", Type: TypeLong}))
+	inner.MustAppend("TV", int64(1))
+	inner.MustAppend("Beer", int64(6))
+	outer := New(MustSchema(
+		Column{Name: "id", Type: TypeLong},
+		Column{Name: "purchases", Type: TypeTable, Nested: inner.Schema()},
+	))
+	outer.MustAppend(int64(1), inner)
+	outer.MustAppend(int64(2), New(inner.Schema())) // empty nested table
+
+	got := roundTrip(t, outer)
+	n := got.Row(0)[1].(*Rowset)
+	if n.Len() != 2 || n.Row(1)[0] != "Beer" || n.Row(1)[1] != int64(6) {
+		t.Errorf("nested decode wrong: %v", n.Rows())
+	}
+	if got.Row(1)[1].(*Rowset).Len() != 0 {
+		t.Error("empty nested table must decode empty")
+	}
+}
+
+func TestCodecEmptyRowset(t *testing.T) {
+	rs := New(MustSchema())
+	got := roundTrip(t, rs)
+	if got.Len() != 0 || got.Schema().Len() != 0 {
+		t.Error("empty rowset round trip failed")
+	}
+}
+
+func TestCodecBadInput(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := Decode(bytes.NewReader([]byte{99})); err == nil {
+		t.Error("bad version must error")
+	}
+	// Truncated stream.
+	var buf bytes.Buffer
+	rs := New(MustSchema(Column{Name: "x", Type: TypeText}))
+	rs.MustAppend("abcdefghij")
+	if err := rs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input must error")
+	}
+}
+
+// Property: arbitrary (long, double, text) rows survive a round trip.
+func TestCodecRoundTripProperty(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "l", Type: TypeLong},
+		Column{Name: "d", Type: TypeDouble},
+		Column{Name: "t", Type: TypeText},
+	)
+	f := func(ls []int64, ds []float64, ts []string) bool {
+		rs := New(s)
+		n := len(ls)
+		if len(ds) < n {
+			n = len(ds)
+		}
+		if len(ts) < n {
+			n = len(ts)
+		}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(ds[i]) {
+				ds[i] = 0
+			}
+			rs.MustAppend(ls[i], ds[i], ts[i])
+		}
+		var buf bytes.Buffer
+		if err := rs.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Row(i)[0] != ls[i] || got.Row(i)[1] != ds[i] || got.Row(i)[2] != ts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

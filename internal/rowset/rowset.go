@@ -1,0 +1,243 @@
+package rowset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one record: one Value per schema column.
+type Row []Value
+
+// Clone returns a shallow copy of the row (nested *Rowset values are shared).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Rowset is a materialized, ordered collection of rows sharing a schema.
+// It is the unit of data exchange across the provider: SQL query results,
+// SHAPE output, prediction-join output, and schema rowsets are all Rowsets.
+type Rowset struct {
+	schema *Schema
+	rows   []Row
+}
+
+// New creates an empty rowset with the given schema.
+func New(schema *Schema) *Rowset {
+	return &Rowset{schema: schema}
+}
+
+// FromRows creates a rowset from pre-built rows. Rows are validated for
+// arity; values are normalized to canonical dynamic types.
+func FromRows(schema *Schema, rows []Row) (*Rowset, error) {
+	rs := New(schema)
+	for _, r := range rows {
+		if err := rs.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// Schema returns the rowset's schema.
+func (rs *Rowset) Schema() *Schema { return rs.schema }
+
+// Len returns the number of rows.
+func (rs *Rowset) Len() int { return len(rs.rows) }
+
+// Row returns row i. The caller must not mutate it.
+func (rs *Rowset) Row(i int) Row { return rs.rows[i] }
+
+// Rows returns the backing slice of rows; callers must treat it as read-only.
+func (rs *Rowset) Rows() []Row { return rs.rows }
+
+// Append adds a row after normalizing values and checking arity.
+func (rs *Rowset) Append(r Row) error {
+	if len(r) != rs.schema.Len() {
+		return fmt.Errorf("rowset: row has %d values, schema has %d columns", len(r), rs.schema.Len())
+	}
+	norm := make(Row, len(r))
+	for i, v := range r {
+		norm[i] = Normalize(v)
+	}
+	rs.rows = append(rs.rows, norm)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for fixtures.
+func (rs *Rowset) MustAppend(vals ...Value) {
+	if err := rs.Append(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns the cell at (row, named column).
+func (rs *Rowset) Value(row int, col string) (Value, error) {
+	i, ok := rs.schema.Lookup(col)
+	if !ok {
+		return nil, fmt.Errorf("rowset: unknown column %q", col)
+	}
+	return rs.rows[row][i], nil
+}
+
+// Sort orders rows by the given column ordinals; desc[i] flips ordinal i.
+// The sort is stable.
+func (rs *Rowset) Sort(ords []int, desc []bool) {
+	sort.SliceStable(rs.rows, func(a, b int) bool {
+		ra, rb := rs.rows[a], rs.rows[b]
+		for k, o := range ords {
+			c := Compare(ra[o], rb[o])
+			if len(desc) > k && desc[k] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// Clone returns a deep copy of the rowset structure. Scalar values are
+// immutable and shared; nested rowsets are cloned recursively.
+func (rs *Rowset) Clone() *Rowset {
+	out := New(rs.schema)
+	out.rows = make([]Row, len(rs.rows))
+	for i, r := range rs.rows {
+		nr := r.Clone()
+		for j, v := range nr {
+			if nested, ok := v.(*Rowset); ok {
+				nr[j] = nested.Clone()
+			}
+		}
+		out.rows[i] = nr
+	}
+	return out
+}
+
+// FlatWidth returns the total number of scalar cells in the rowset, counting
+// nested tables recursively. Used by the experiments to quantify the size of
+// hierarchical vs flattened representations.
+func (rs *Rowset) FlatWidth() int {
+	n := 0
+	for _, r := range rs.rows {
+		for _, v := range r {
+			if nested, ok := v.(*Rowset); ok {
+				n += nested.FlatWidth()
+			} else {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String renders the rowset as an aligned text table; nested tables render
+// inline in brace-delimited compact form. Intended for the shell and tests.
+func (rs *Rowset) String() string {
+	var b strings.Builder
+	names := rs.schema.Names()
+	widths := make([]int, len(names))
+	cells := make([][]string, rs.Len())
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	for i, r := range rs.rows {
+		cells[i] = make([]string, len(r))
+		for j, v := range r {
+			s := formatCell(v)
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for j := range sep {
+		sep[j] = strings.Repeat("-", widths[j])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatNested renders a nested rowset in the compact single-line brace form
+// used by String: {(v, v) (v, v)}. Consumers without a nested-table concept
+// (database/sql, CSV export) use it to flatten TABLE cells.
+func FormatNested(rs *Rowset) string { return formatCell(rs) }
+
+func formatCell(v Value) string {
+	nested, ok := v.(*Rowset)
+	if !ok {
+		return FormatValue(v)
+	}
+	parts := make([]string, nested.Len())
+	for i, r := range nested.Rows() {
+		vals := make([]string, len(r))
+		for j, nv := range r {
+			vals[j] = formatCell(nv)
+		}
+		parts[i] = "(" + strings.Join(vals, ", ") + ")"
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Iterator yields rows one at a time. Streaming operators accept an Iterator
+// so large intermediate results need not be materialized.
+type Iterator interface {
+	// Next returns the next row, or (nil, nil) at end of stream.
+	Next() (Row, error)
+	// Schema describes the rows produced.
+	Schema() *Schema
+}
+
+// Iter returns an iterator over the materialized rowset.
+func (rs *Rowset) Iter() Iterator { return &sliceIter{rs: rs} }
+
+type sliceIter struct {
+	rs *Rowset
+	i  int
+}
+
+func (it *sliceIter) Next() (Row, error) {
+	if it.i >= it.rs.Len() {
+		return nil, nil
+	}
+	r := it.rs.Row(it.i)
+	it.i++
+	return r, nil
+}
+
+func (it *sliceIter) Schema() *Schema { return it.rs.schema }
+
+// Materialize drains an iterator into a Rowset.
+func Materialize(it Iterator) (*Rowset, error) {
+	rs := New(it.Schema())
+	for {
+		r, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return rs, nil
+		}
+		if err := rs.Append(r); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package rowset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Type
+	}{
+		{nil, TypeNull},
+		{int64(3), TypeLong},
+		{3.5, TypeDouble},
+		{"x", TypeText},
+		{true, TypeBool},
+		{time.Unix(0, 0), TypeDate},
+		{New(MustSchema()), TypeTable},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.v); got != c.want {
+			t.Errorf("TypeOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"long": TypeLong, "LONG": TypeLong, "Integer": TypeLong,
+		"double": TypeDouble, "FLOAT": TypeDouble,
+		"text": TypeText, "VARCHAR": TypeText,
+		"bool": TypeBool, "DATE": TypeDate, "table": TypeTable,
+	}
+	for s, want := range cases {
+		got, ok := ParseType(s)
+		if !ok || got != want {
+			t.Errorf("ParseType(%q) = %v,%v want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := ParseType("blob"); ok {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if v := Normalize(int(7)); v != int64(7) {
+		t.Errorf("Normalize(int) = %#v", v)
+	}
+	if v := Normalize(float32(1.5)); v != float64(1.5) {
+		t.Errorf("Normalize(float32) = %#v", v)
+	}
+	if v := Normalize(uint16(9)); v != int64(9) {
+		t.Errorf("Normalize(uint16) = %#v", v)
+	}
+	if v := Normalize([]byte("ab")); v != "ab" {
+		t.Errorf("Normalize([]byte) = %#v", v)
+	}
+	if v := Normalize("s"); v != "s" {
+		t.Errorf("Normalize(string) = %#v", v)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		v    Value
+		t    Type
+		want Value
+	}{
+		{int64(3), TypeDouble, float64(3)},
+		{3.7, TypeLong, int64(3)},
+		{"42", TypeLong, int64(42)},
+		{"42.5", TypeLong, int64(42)},
+		{"3.5", TypeDouble, 3.5},
+		{true, TypeLong, int64(1)},
+		{false, TypeDouble, float64(0)},
+		{int64(0), TypeBool, false},
+		{"yes", TypeBool, true},
+		{"no", TypeBool, false},
+		{int64(5), TypeText, "5"},
+		{nil, TypeLong, nil},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.v, c.t)
+		if err != nil {
+			t.Errorf("Coerce(%v,%v): %v", c.v, c.t, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Coerce(%v,%v) = %#v want %#v", c.v, c.t, got, c.want)
+		}
+	}
+	if _, err := Coerce("abc", TypeLong); err == nil {
+		t.Error("Coerce(abc,LONG) should fail")
+	}
+	if _, err := Coerce("maybe", TypeBool); err == nil {
+		t.Error("Coerce(maybe,BOOL) should fail")
+	}
+}
+
+func TestCoerceDate(t *testing.T) {
+	got, err := Coerce("2021-03-05", TypeDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := got.(time.Time)
+	if ts.Year() != 2021 || ts.Month() != 3 || ts.Day() != 5 {
+		t.Errorf("Coerce date = %v", ts)
+	}
+	if _, err := Coerce("not a date", TypeDate); err == nil {
+		t.Error("bad date should fail")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(nil, int64(0)) >= 0 {
+		t.Error("NULL must sort before values")
+	}
+	if Compare(int64(1), 1.0) != 0 {
+		t.Error("LONG 1 must equal DOUBLE 1.0")
+	}
+	if Compare(int64(1), 2.5) >= 0 {
+		t.Error("1 < 2.5")
+	}
+	if Compare("a", "b") >= 0 {
+		t.Error("a < b")
+	}
+	if Compare("b", "a") <= 0 {
+		t.Error("b > a")
+	}
+	if Compare(nil, nil) != 0 {
+		t.Error("NULL == NULL for ordering")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(a, b string) bool {
+		c1, c2 := Compare(a, b), Compare(b, a)
+		return (c1 < 0) == (c2 > 0) && (c1 == 0) == (c2 == 0)
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyDistinguishesValues(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (Key(a) == Key(b)) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// LONG/DOUBLE of equal magnitude share a key.
+	if Key(int64(3)) != Key(3.0) {
+		t.Error("Key(3) != Key(3.0)")
+	}
+	if Key("3") == Key(int64(3)) {
+		t.Error("text and number must not collide")
+	}
+	if Key(nil) == Key("") {
+		t.Error("NULL and empty string must not collide")
+	}
+	if Key(true) == Key(int64(1)) {
+		t.Error("bool and number keys must not collide")
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	if f, ok := ToFloat(int64(4)); !ok || f != 4 {
+		t.Error("ToFloat(4)")
+	}
+	if f, ok := ToFloat(true); !ok || f != 1 {
+		t.Error("ToFloat(true)")
+	}
+	if _, ok := ToFloat("x"); ok {
+		t.Error("ToFloat(text) must fail")
+	}
+	if _, ok := ToFloat(nil); ok {
+		t.Error("ToFloat(nil) must fail")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "NULL"},
+		{int64(12), "12"},
+		{3.0, "3.0"},
+		{2.5, "2.5"},
+		{"hi", "hi"},
+		{true, "true"},
+		{false, "false"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%#v) = %q want %q", c.v, got, c.want)
+		}
+	}
+}

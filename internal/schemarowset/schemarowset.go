@@ -1,0 +1,238 @@
+// Package schemarowset builds the OLE DB schema rowsets through which "a
+// provider describes information about itself to potential consumers"
+// (paper Section 3): the model catalog, per-model column metadata, the
+// installed mining services and their parameters, and the prediction
+// functions the provider supports.
+package schemarowset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rowset"
+)
+
+// Names of the supported schema rowsets (SELECT * FROM $SYSTEM.<name>).
+const (
+	RowsetModels        = "MINING_MODELS"
+	RowsetColumns       = "MINING_COLUMNS"
+	RowsetServices      = "MINING_SERVICES"
+	RowsetServiceParams = "SERVICE_PARAMETERS"
+	RowsetFunctions     = "MINING_FUNCTIONS"
+)
+
+// Names lists the available schema rowsets.
+func Names() []string {
+	return []string{RowsetModels, RowsetColumns, RowsetServices, RowsetServiceParams, RowsetFunctions}
+}
+
+// Build dispatches a schema rowset by name.
+func Build(name string, models []*core.Model, reg *core.Registry) (*rowset.Rowset, error) {
+	switch strings.ToUpper(name) {
+	case RowsetModels:
+		return MiningModels(models), nil
+	case RowsetColumns:
+		return MiningColumns(models), nil
+	case RowsetServices:
+		return MiningServices(reg), nil
+	case RowsetServiceParams:
+		return ServiceParameters(reg), nil
+	case RowsetFunctions:
+		return MiningFunctions(), nil
+	}
+	return nil, fmt.Errorf("schemarowset: no schema rowset named %q (available: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// MiningModels lists every catalogued model with its population state.
+func MiningModels(models []*core.Model) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "MODEL_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "IS_POPULATED", Type: rowset.TypeBool},
+		rowset.Column{Name: "CASE_COUNT", Type: rowset.TypeLong},
+		rowset.Column{Name: "ATTRIBUTE_COUNT", Type: rowset.TypeLong},
+		rowset.Column{Name: "PREDICTION_COLUMNS", Type: rowset.TypeText},
+	))
+	sorted := append([]*core.Model(nil), models...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Def.Name < sorted[j].Def.Name })
+	for _, m := range sorted {
+		attrs := int64(0)
+		if m.Space != nil {
+			attrs = int64(m.Space.Len())
+		}
+		rs.MustAppend(
+			m.Def.Name,
+			m.Def.Algorithm,
+			m.IsTrained(),
+			int64(m.CaseCount),
+			attrs,
+			strings.Join(m.Def.OutputColumns(), ", "),
+		)
+	}
+	return rs
+}
+
+// MiningColumns lists the column metadata of every model — the Section 3.2
+// meta-information as a browsable rowset.
+func MiningColumns(models []*core.Model) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "MODEL_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "COLUMN_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "CONTAINING_TABLE", Type: rowset.TypeText},
+		rowset.Column{Name: "DATA_TYPE", Type: rowset.TypeText},
+		rowset.Column{Name: "CONTENT_TYPE", Type: rowset.TypeText},
+		rowset.Column{Name: "ATTRIBUTE_TYPE", Type: rowset.TypeText},
+		rowset.Column{Name: "DISTRIBUTION", Type: rowset.TypeText},
+		rowset.Column{Name: "IS_INPUT", Type: rowset.TypeBool},
+		rowset.Column{Name: "IS_PREDICTABLE", Type: rowset.TypeBool},
+		rowset.Column{Name: "RELATED_TO", Type: rowset.TypeText},
+		rowset.Column{Name: "QUALIFIER", Type: rowset.TypeText},
+		rowset.Column{Name: "QUALIFIER_OF", Type: rowset.TypeText},
+	))
+	sorted := append([]*core.Model(nil), models...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Def.Name < sorted[j].Def.Name })
+	for _, m := range sorted {
+		appendColumns(rs, m.Def.Name, "", m.Def.Columns)
+	}
+	return rs
+}
+
+// ModelColumns is MiningColumns restricted to one model — the result of
+// SELECT * FROM <model>.COLUMNS.
+func ModelColumns(m *core.Model) *rowset.Rowset {
+	return MiningColumns([]*core.Model{m})
+}
+
+func appendColumns(rs *rowset.Rowset, model, containing string, cols []core.ColumnDef) {
+	for i := range cols {
+		c := &cols[i]
+		attrType := ""
+		if c.Content == core.ContentAttribute {
+			attrType = c.AttrType.String()
+		}
+		rs.MustAppend(
+			model,
+			c.Name,
+			containing,
+			c.DataType.String(),
+			c.Content.String(),
+			attrType,
+			c.Distribution.String(),
+			c.IsInput(),
+			c.IsOutput(),
+			c.RelatedTo,
+			c.Qualifier.String(),
+			c.QualifierOf,
+		)
+		if c.Content == core.ContentTable {
+			appendColumns(rs, model, c.Name, c.Table)
+		}
+	}
+}
+
+// MiningServices describes the installed algorithms — the paper's mechanism
+// for discovering "supported capabilities (e.g. prediction, segmentation,
+// sequence analysis, etc.)".
+func MiningServices(reg *core.Registry) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "DESCRIPTION", Type: rowset.TypeText},
+		rowset.Column{Name: "SUPPORTS_PREDICTION", Type: rowset.TypeBool},
+		rowset.Column{Name: "SUPPORTS_TABLE_PREDICTION", Type: rowset.TypeBool},
+		rowset.Column{Name: "SUPPORTS_INCREMENTAL_INSERT", Type: rowset.TypeBool},
+	))
+	for _, name := range reg.Names() {
+		a, err := reg.Lookup(name)
+		if err != nil {
+			continue
+		}
+		rs.MustAppend(
+			a.Name(),
+			a.Description(),
+			true,
+			a.SupportsPredictTable(),
+			// Repeated INSERT INTO retrains from accumulated cases rather
+			// than updating incrementally; reported honestly as false.
+			false,
+		)
+	}
+	return rs
+}
+
+// ServiceParameters lists the USING-clause parameters of every service that
+// documents them.
+func ServiceParameters(reg *core.Registry) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "PARAMETER_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "PARAMETER_TYPE", Type: rowset.TypeText},
+		rowset.Column{Name: "DEFAULT_VALUE", Type: rowset.TypeText},
+		rowset.Column{Name: "DESCRIPTION", Type: rowset.TypeText},
+	))
+	for _, name := range reg.Names() {
+		a, err := reg.Lookup(name)
+		if err != nil {
+			continue
+		}
+		pd, ok := a.(core.ParameterDescriber)
+		if !ok {
+			continue
+		}
+		for _, p := range pd.Parameters() {
+			rs.MustAppend(a.Name(), p.Name, p.Type, p.Default, p.Description)
+		}
+	}
+	return rs
+}
+
+// miningFunction describes one prediction function.
+type miningFunction struct {
+	name, signature, returns, description string
+}
+
+var miningFunctions = []miningFunction{
+	{"Predict", "Predict(<column> [, <max rows>])", "scalar or TABLE",
+		"Best estimate for a scalar PREDICT column; top rows for a TABLE column"},
+	{"PredictProbability", "PredictProbability(<column> [, <value>])", "DOUBLE",
+		"Probability of the best estimate, or of a specific value"},
+	{"PredictSupport", "PredictSupport(<column>)", "DOUBLE",
+		"Training support behind the best estimate"},
+	{"PredictStdev", "PredictStdev(<column>)", "DOUBLE",
+		"Predictive standard deviation (continuous targets)"},
+	{"PredictVariance", "PredictVariance(<column>)", "DOUBLE",
+		"Predictive variance (continuous targets)"},
+	{"PredictHistogram", "PredictHistogram(<column>)", "TABLE",
+		"Full candidate histogram: value, probability, support, variance"},
+	{"TopCount", "TopCount(<table expr>, <rank column>, <n>)", "TABLE",
+		"First n rows of a table expression by descending rank column"},
+	{"Cluster", "Cluster()", "TEXT",
+		"Caption of the most likely cluster (segmentation models)"},
+	{"ClusterProbability", "ClusterProbability()", "DOUBLE",
+		"Probability of the most likely cluster"},
+	{"PredictAssociation", "PredictAssociation(<table column> [, <max rows>])", "TABLE",
+		"Ranked nested-table rows the case is likely to contain"},
+	{"RangeMin", "RangeMin(<discretized column>)", "DOUBLE",
+		"Lower bound of the predicted bucket"},
+	{"RangeMid", "RangeMid(<discretized column>)", "DOUBLE",
+		"Midpoint of the predicted bucket"},
+	{"RangeMax", "RangeMax(<discretized column>)", "DOUBLE",
+		"Upper bound of the predicted bucket"},
+}
+
+// MiningFunctions lists the provider's prediction functions (Section 3.2.4's
+// user-defined functions on output columns).
+func MiningFunctions() *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "FUNCTION_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "SIGNATURE", Type: rowset.TypeText},
+		rowset.Column{Name: "RETURNS", Type: rowset.TypeText},
+		rowset.Column{Name: "DESCRIPTION", Type: rowset.TypeText},
+	))
+	for _, f := range miningFunctions {
+		rs.MustAppend(f.name, f.signature, f.returns, f.description)
+	}
+	return rs
+}

@@ -1,0 +1,149 @@
+package schemarowset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo/dtree"
+	"repro/internal/algo/nbayes"
+	"repro/internal/core"
+	"repro/internal/rowset"
+)
+
+func testModels() []*core.Model {
+	def := &core.ModelDef{
+		Name: "M1", Algorithm: "Decision_Trees",
+		Columns: []core.ColumnDef{
+			{Name: "ID", DataType: rowset.TypeLong, Content: core.ContentKey},
+			{Name: "Age", DataType: rowset.TypeDouble, Content: core.ContentAttribute,
+				AttrType: core.AttrContinuous, Distribution: core.DistNormal, Predict: true},
+			{Name: "AgeP", DataType: rowset.TypeDouble, Content: core.ContentQualifier,
+				Qualifier: core.QualProbability, QualifierOf: "Age"},
+			{Name: "Basket", Content: core.ContentTable, Table: []core.ColumnDef{
+				{Name: "Item", DataType: rowset.TypeText, Content: core.ContentKey},
+				{Name: "Type", DataType: rowset.TypeText, Content: core.ContentRelation, RelatedTo: "Item"},
+			}},
+		},
+	}
+	sp := core.NewAttributeSpace()
+	sp.Add(core.Attribute{Name: "Age", Column: "Age", Kind: core.KindContinuous})
+	return []*core.Model{{Def: def, Space: sp, CaseCount: 42}}
+}
+
+func testRegistry() *core.Registry {
+	r := core.NewRegistry()
+	r.Register(dtree.New())
+	r.Register(nbayes.New())
+	return r
+}
+
+func TestMiningModels(t *testing.T) {
+	rs := MiningModels(testModels())
+	if rs.Len() != 1 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	r := rs.Row(0)
+	if r[0] != "M1" || r[1] != "Decision_Trees" {
+		t.Errorf("row = %v", r)
+	}
+	if r[2] != false { // no Trained → unpopulated
+		t.Error("IS_POPULATED must be false")
+	}
+	if r[3] != int64(42) || r[4] != int64(1) {
+		t.Errorf("counts = %v %v", r[3], r[4])
+	}
+	if !strings.Contains(r[5].(string), "Age") {
+		t.Errorf("prediction columns = %v", r[5])
+	}
+}
+
+func TestMiningColumnsRecursesNested(t *testing.T) {
+	rs := MiningColumns(testModels())
+	if rs.Len() != 6 { // 4 top-level + 2 nested
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	// The nested Item row carries its containing table.
+	var found bool
+	for _, r := range rs.Rows() {
+		if r[1] == "Item" {
+			found = true
+			if r[2] != "Basket" || r[4] != "KEY" {
+				t.Errorf("nested row = %v", r)
+			}
+		}
+		if r[1] == "AgeP" && (r[10] != "PROBABILITY" || r[11] != "Age") {
+			t.Errorf("qualifier row = %v", r)
+		}
+		if r[1] == "Type" && r[9] != "Item" {
+			t.Errorf("relation row = %v", r)
+		}
+		if r[1] == "Age" && (r[6] != "NORMAL" || r[8] != true) {
+			t.Errorf("attribute row = %v", r)
+		}
+	}
+	if !found {
+		t.Error("nested column missing")
+	}
+}
+
+func TestMiningServicesAndParams(t *testing.T) {
+	reg := testRegistry()
+	rs := MiningServices(reg)
+	if rs.Len() != 2 {
+		t.Fatalf("services = %d", rs.Len())
+	}
+	// Sorted by name: Decision_Trees then Naive_Bayes.
+	if rs.Row(0)[0] != "Decision_Trees" || rs.Row(1)[0] != "Naive_Bayes" {
+		t.Errorf("order = %v %v", rs.Row(0)[0], rs.Row(1)[0])
+	}
+	if rs.Row(0)[3] != true || rs.Row(1)[3] != false {
+		t.Error("SUPPORTS_TABLE_PREDICTION flags wrong")
+	}
+
+	params := ServiceParameters(reg)
+	if params.Len() != 6 { // 4 dtree + 2 nbayes
+		t.Errorf("params = %d", params.Len())
+	}
+	seen := map[string]bool{}
+	for _, r := range params.Rows() {
+		seen[r[1].(string)] = true
+	}
+	for _, want := range []string{"MINIMUM_SUPPORT", "MAXIMUM_DEPTH", "PSEUDOCOUNT"} {
+		if !seen[want] {
+			t.Errorf("parameter %s missing", want)
+		}
+	}
+}
+
+func TestMiningFunctions(t *testing.T) {
+	rs := MiningFunctions()
+	if rs.Len() < 10 {
+		t.Fatalf("functions = %d", rs.Len())
+	}
+	names := map[string]bool{}
+	for _, r := range rs.Rows() {
+		names[r[0].(string)] = true
+	}
+	for _, want := range []string{"Predict", "PredictHistogram", "TopCount", "Cluster"} {
+		if !names[want] {
+			t.Errorf("function %s missing", want)
+		}
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	models, reg := testModels(), testRegistry()
+	for _, name := range Names() {
+		rs, err := Build(name, models, reg)
+		if err != nil || rs == nil {
+			t.Errorf("Build(%s): %v", name, err)
+		}
+	}
+	// Case-insensitive.
+	if _, err := Build("mining_models", models, reg); err != nil {
+		t.Errorf("lower-case dispatch: %v", err)
+	}
+	if _, err := Build("NOPE", models, reg); err == nil {
+		t.Error("unknown rowset must fail")
+	}
+}

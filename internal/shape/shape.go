@@ -1,0 +1,213 @@
+// Package shape implements the Data Shaping Service used by the paper
+// (Section 3.1): the SHAPE statement that assembles a hierarchical rowset —
+// a caseset — from flat SQL queries. It is the Go equivalent of the MDAC
+// Data Shaping Service the paper's provider relies on.
+//
+// Grammar (brace-delimited inner queries, as in the paper's listings):
+//
+//	SHAPE {<select>}
+//	  APPEND ( {<select>} RELATE <parent col> TO <child col> ) AS <name>
+//	  [ APPEND ... ]*
+//
+// A child may itself be a SHAPE, producing deeper nesting. The RELATE clause
+// names the linking columns; children are grouped per parent key into nested
+// TABLE-valued columns. Child rows keep all their columns (including the
+// relating key), matching the Data Shaping Service; consumers bind the
+// columns they need by name.
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/lex"
+	"repro/internal/rowset"
+	"repro/internal/sqlengine"
+)
+
+// Query is a parsed SHAPE statement (or a bare inner query with no appends).
+type Query struct {
+	Root    *sqlengine.SelectStmt
+	Appends []Append
+}
+
+// Append is one APPEND clause: a child query related to the parent.
+type Append struct {
+	Child     *Query
+	ParentCol string
+	ChildCol  string
+	As        string
+}
+
+// Parse parses a SHAPE statement starting at the scanner's position. The
+// scanner is left after the statement, so SHAPE can be embedded in DMX.
+func Parse(s *lex.Scanner) (*Query, error) {
+	if err := s.Expect("SHAPE"); err != nil {
+		return nil, err
+	}
+	return parseBody(s)
+}
+
+func parseBody(s *lex.Scanner) (*Query, error) {
+	root, err := parseBraceQuery(s)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Root: root}
+	for s.Accept("APPEND") {
+		if err := s.ExpectPunct("("); err != nil {
+			return nil, err
+		}
+		var child *Query
+		if s.Accept("SHAPE") {
+			child, err = parseBody(s)
+		} else {
+			var inner *sqlengine.SelectStmt
+			inner, err = parseBraceQuery(s)
+			child = &Query{Root: inner}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Expect("RELATE"); err != nil {
+			return nil, err
+		}
+		parentCol, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Expect("TO"); err != nil {
+			return nil, err
+		}
+		childCol, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := s.Expect("AS"); err != nil {
+			return nil, err
+		}
+		name, err := s.Name()
+		if err != nil {
+			return nil, err
+		}
+		q.Appends = append(q.Appends, Append{
+			Child: child, ParentCol: parentCol, ChildCol: childCol, As: name,
+		})
+	}
+	return q, nil
+}
+
+func parseBraceQuery(s *lex.Scanner) (*sqlengine.SelectStmt, error) {
+	if err := s.ExpectPunct("{"); err != nil {
+		return nil, err
+	}
+	sel, err := sqlengine.ParseSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ExpectPunct("}"); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// ParseString parses a complete SHAPE statement from src.
+func ParseString(src string) (*Query, error) {
+	s := lex.NewScanner(src)
+	q, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	if !s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "unexpected input after SHAPE statement: %s", s.Peek())
+	}
+	return q, nil
+}
+
+// Execute runs the shaped query against the engine and returns the
+// hierarchical rowset: the root query's columns plus one TABLE column per
+// APPEND, each cell holding the child rows whose relate key matches.
+func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
+	parent, err := e.Query(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Appends) == 0 {
+		return parent, nil
+	}
+
+	cols := append([]rowset.Column(nil), parent.Schema().Columns...)
+	type childGroup struct {
+		byKey  map[string]*rowset.Rowset
+		schema *rowset.Schema
+	}
+	groups := make([]childGroup, len(q.Appends))
+	for i, ap := range q.Appends {
+		child, err := ap.Child.Execute(e)
+		if err != nil {
+			return nil, err
+		}
+		keyOrd, ok := child.Schema().Lookup(ap.ChildCol)
+		if !ok {
+			return nil, fmt.Errorf("shape: RELATE child column %q not in child query output %v",
+				ap.ChildCol, child.Schema().Names())
+		}
+		g := childGroup{byKey: make(map[string]*rowset.Rowset), schema: child.Schema()}
+		for _, r := range child.Rows() {
+			k := rowset.Key(r[keyOrd])
+			sub, ok := g.byKey[k]
+			if !ok {
+				sub = rowset.New(child.Schema())
+				g.byKey[k] = sub
+			}
+			if err := sub.Append(r); err != nil {
+				return nil, err
+			}
+		}
+		groups[i] = g
+		cols = append(cols, rowset.Column{Name: ap.As, Type: rowset.TypeTable, Nested: child.Schema()})
+	}
+
+	schema, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	parentOrds := make([]int, len(q.Appends))
+	for i, ap := range q.Appends {
+		ord, ok := parent.Schema().Lookup(ap.ParentCol)
+		if !ok {
+			return nil, fmt.Errorf("shape: RELATE parent column %q not in parent query output %v",
+				ap.ParentCol, parent.Schema().Names())
+		}
+		parentOrds[i] = ord
+	}
+
+	out := rowset.New(schema)
+	for _, pr := range parent.Rows() {
+		row := make(rowset.Row, 0, schema.Len())
+		row = append(row, pr...)
+		for i := range q.Appends {
+			k := rowset.Key(pr[parentOrds[i]])
+			sub, ok := groups[i].byKey[k]
+			if !ok {
+				sub = rowset.New(groups[i].schema)
+			}
+			row = append(row, sub)
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExecuteString parses and executes a SHAPE statement in one call.
+func ExecuteString(e *sqlengine.Engine, src string) (*rowset.Rowset, error) {
+	q, err := ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(e)
+}

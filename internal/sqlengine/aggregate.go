@@ -1,0 +1,270 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rowset"
+)
+
+// aggregate executes a SELECT with GROUP BY and/or aggregate functions.
+// For each group it computes every aggregate call in the statement, then
+// evaluates the projection with those calls replaced by their values.
+func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
+	var aggs []*FuncCall
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqlengine: SELECT * cannot be combined with aggregation")
+		}
+		collectAggs(it.Expr, &aggs)
+	}
+	if sel.Having != nil {
+		collectAggs(sel.Having, &aggs)
+	}
+	for _, o := range sel.OrderBy {
+		collectAggs(o.Expr, &aggs)
+	}
+
+	type group struct {
+		first rowset.Row
+		rows  []rowset.Row
+	}
+	env := &Env{Schema: src.Schema()}
+	groups := make(map[string]*group)
+	var keyOrder []string
+	for _, r := range src.Rows() {
+		env.Row = r
+		var b strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := Eval(g, env)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(rowset.Key(v))
+			b.WriteByte('|')
+		}
+		k := b.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{first: r}
+			groups[k] = grp
+			keyOrder = append(keyOrder, k)
+		}
+		grp.rows = append(grp.rows, r)
+	}
+	// Aggregation without GROUP BY over empty input still yields one group.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		nulls := make(rowset.Row, src.Schema().Len())
+		groups[""] = &group{first: nulls}
+		keyOrder = append(keyOrder, "")
+	}
+
+	names := outputNames(sel.Items)
+	var outRows []rowset.Row
+	var keyRows []rowset.Row
+	for _, k := range keyOrder {
+		grp := groups[k]
+		vals := make(map[*FuncCall]rowset.Value, len(aggs))
+		for _, f := range aggs {
+			v, err := computeAggregate(f, grp.rows, src.Schema())
+			if err != nil {
+				return nil, err
+			}
+			vals[f] = v
+		}
+		genv := &Env{Schema: src.Schema(), Row: grp.first}
+		if sel.Having != nil {
+			hv, err := Eval(substituteAggs(sel.Having, vals), genv)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := Truthy(hv)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out := make(rowset.Row, len(sel.Items))
+		for i, it := range sel.Items {
+			v, err := Eval(substituteAggs(it.Expr, vals), genv)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		subOrder := make([]OrderItem, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			subOrder[i] = OrderItem{Expr: substituteAggs(o.Expr, vals), Desc: o.Desc}
+		}
+		keys, err := orderKeys(subOrder, sel.Items, names, out, genv)
+		if err != nil {
+			return nil, err
+		}
+		outRows = append(outRows, out)
+		keyRows = append(keyRows, keys)
+	}
+	sortByKeys(outRows, keyRows, sel.OrderBy)
+
+	schema, err := outputSchema(sel.Items, names, src.Schema(), outRows)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.FromRows(schema, outRows)
+}
+
+func collectAggs(e Expr, out *[]*FuncCall) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			*out = append(*out, x)
+			return // aggregates cannot nest
+		}
+		for _, a := range x.Args {
+			collectAggs(a, out)
+		}
+	case *Binary:
+		collectAggs(x.L, out)
+		collectAggs(x.R, out)
+	case *Unary:
+		collectAggs(x.X, out)
+	case *IsNull:
+		collectAggs(x.X, out)
+	case *Between:
+		collectAggs(x.X, out)
+		collectAggs(x.Lo, out)
+		collectAggs(x.Hi, out)
+	case *In:
+		collectAggs(x.X, out)
+		for _, i := range x.List {
+			collectAggs(i, out)
+		}
+	}
+}
+
+// substituteAggs returns a copy of e with aggregate calls replaced by their
+// computed values. Non-aggregate subtrees are shared, not copied.
+func substituteAggs(e Expr, vals map[*FuncCall]rowset.Value) Expr {
+	switch x := e.(type) {
+	case *FuncCall:
+		if v, ok := vals[x]; ok {
+			return &Literal{Val: v}
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteAggs(a, vals)
+		}
+		return &FuncCall{Name: x.Name, Args: args, Star: x.Star, Distinct: x.Distinct}
+	case *Binary:
+		return &Binary{Op: x.Op, L: substituteAggs(x.L, vals), R: substituteAggs(x.R, vals)}
+	case *Unary:
+		return &Unary{Op: x.Op, X: substituteAggs(x.X, vals)}
+	case *IsNull:
+		return &IsNull{X: substituteAggs(x.X, vals), Negate: x.Negate}
+	case *Between:
+		return &Between{
+			X: substituteAggs(x.X, vals), Lo: substituteAggs(x.Lo, vals),
+			Hi: substituteAggs(x.Hi, vals), Negate: x.Negate,
+		}
+	case *In:
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = substituteAggs(it, vals)
+		}
+		return &In{X: substituteAggs(x.X, vals), List: list, Negate: x.Negate}
+	}
+	return e
+}
+
+func computeAggregate(f *FuncCall, rows []rowset.Row, schema *rowset.Schema) (rowset.Value, error) {
+	if f.Name == "COUNT" && f.Star {
+		return int64(len(rows)), nil
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("sqlengine: %s takes exactly one argument", f.Name)
+	}
+	env := &Env{Schema: schema}
+	var vals []rowset.Value
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		env.Row = r
+		v, err := Eval(f.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		if f.Distinct {
+			k := rowset.Key(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch f.Name {
+	case "COUNT":
+		return int64(len(vals)), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := rowset.Compare(v, best)
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SUM", "AVG", "STDEV", "VAR":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		allInt := true
+		var sum float64
+		var isum int64
+		for _, v := range vals {
+			fv, ok := rowset.ToFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("sqlengine: %s requires numeric values, got %s", f.Name, rowset.TypeOf(v))
+			}
+			sum += fv
+			if iv, ok := v.(int64); ok {
+				isum += iv
+			} else {
+				allInt = false
+			}
+		}
+		switch f.Name {
+		case "SUM":
+			if allInt {
+				return isum, nil
+			}
+			return sum, nil
+		case "AVG":
+			return sum / float64(len(vals)), nil
+		default: // STDEV, VAR: sample statistics
+			if len(vals) < 2 {
+				return nil, nil
+			}
+			mean := sum / float64(len(vals))
+			var ss float64
+			for _, v := range vals {
+				fv, _ := rowset.ToFloat(v)
+				d := fv - mean
+				ss += d * d
+			}
+			variance := ss / float64(len(vals)-1)
+			if f.Name == "VAR" {
+				return variance, nil
+			}
+			return math.Sqrt(variance), nil
+		}
+	}
+	return nil, fmt.Errorf("sqlengine: unknown aggregate %s", f.Name)
+}

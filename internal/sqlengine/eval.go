@@ -1,0 +1,579 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rowset"
+)
+
+// Env is the evaluation environment: a row and the schema describing it.
+// The two optional hooks let embedders (the DMX prediction-join evaluator)
+// extend resolution: External answers column references the schema cannot,
+// and Funcs intercepts function calls before the builtin scalar functions —
+// receiving the raw call so it can treat arguments as names, not values.
+type Env struct {
+	Schema *rowset.Schema
+	Row    rowset.Row
+
+	// External resolves a column reference not found in Schema. It returns
+	// handled=false to fall through to the normal unknown-column error.
+	External func(qualifier, name string) (v rowset.Value, handled bool, err error)
+	// Funcs intercepts a function call. It returns handled=false to fall
+	// through to the builtin functions.
+	Funcs func(f *FuncCall, env *Env) (v rowset.Value, handled bool, err error)
+}
+
+// ResolveColumn resolves a (possibly qualified) column name against a schema
+// whose columns may themselves carry "alias.name" qualified names (as built
+// by joins). Resolution tries, in order: exact match of the full name; for
+// unqualified names, a unique suffix match on the last dot component.
+// Ambiguous unqualified names are an error.
+func ResolveColumn(schema *rowset.Schema, qualifier, name string) (int, error) {
+	full := name
+	if qualifier != "" {
+		full = qualifier + "." + name
+	}
+	// Exact (case-insensitive) match first.
+	for i, c := range schema.Columns {
+		if strings.EqualFold(c.Name, full) {
+			return i, nil
+		}
+	}
+	if qualifier == "" {
+		found := -1
+		for i, c := range schema.Columns {
+			cn := c.Name
+			if dot := strings.LastIndex(cn, "."); dot >= 0 {
+				cn = cn[dot+1:]
+			}
+			if strings.EqualFold(cn, name) {
+				if found >= 0 {
+					return 0, fmt.Errorf("sqlengine: ambiguous column %q", name)
+				}
+				found = i
+			}
+		}
+		if found >= 0 {
+			return found, nil
+		}
+	}
+	return 0, fmt.Errorf("sqlengine: unknown column %q", full)
+}
+
+// Eval evaluates an expression against env. Aggregate function calls are
+// rejected here; the executor rewrites them before projection.
+func Eval(e Expr, env *Env) (rowset.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		i, err := ResolveColumn(env.Schema, x.Qualifier, x.Name)
+		if err != nil {
+			if env.External != nil {
+				v, handled, eerr := env.External(x.Qualifier, x.Name)
+				if eerr != nil {
+					return nil, eerr
+				}
+				if handled {
+					return v, nil
+				}
+			}
+			return nil, err
+		}
+		return env.Row[i], nil
+	case *Binary:
+		return evalBinary(x, env)
+	case *Unary:
+		return evalUnary(x, env)
+	case *IsNull:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Negate, nil
+	case *In:
+		return evalIn(x, env)
+	case *Between:
+		return evalBetween(x, env)
+	case *FuncCall:
+		return evalFunc(x, env)
+	}
+	return nil, fmt.Errorf("sqlengine: cannot evaluate %T", e)
+}
+
+// Truthy interprets a value as a WHERE-clause condition: only boolean true
+// passes; NULL and false do not. Non-boolean values are an error.
+func Truthy(v rowset.Value) (bool, error) {
+	switch x := v.(type) {
+	case nil:
+		return false, nil
+	case bool:
+		return x, nil
+	}
+	return false, fmt.Errorf("sqlengine: condition is %s, not BOOL", rowset.TypeOf(v))
+}
+
+func evalBinary(b *Binary, env *Env) (rowset.Value, error) {
+	// AND/OR implement SQL three-valued logic with short-circuiting.
+	if b.Op == OpAnd || b.Op == OpOr {
+		return evalLogical(b, env)
+	}
+	l, err := Eval(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil // NULL propagates
+	}
+	switch b.Op {
+	case OpEq:
+		return rowset.Compare(l, r) == 0, nil
+	case OpNe:
+		return rowset.Compare(l, r) != 0, nil
+	case OpLt:
+		return rowset.Compare(l, r) < 0, nil
+	case OpLe:
+		return rowset.Compare(l, r) <= 0, nil
+	case OpGt:
+		return rowset.Compare(l, r) > 0, nil
+	case OpGe:
+		return rowset.Compare(l, r) >= 0, nil
+	case OpLike:
+		ls, lok := l.(string)
+		rs, rok := r.(string)
+		if !lok || !rok {
+			return nil, fmt.Errorf("sqlengine: LIKE requires TEXT operands")
+		}
+		return likeMatch(ls, rs), nil
+	case OpConcat:
+		return rowset.FormatValue(l) + rowset.FormatValue(r), nil
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return evalArith(b.Op, l, r)
+	}
+	return nil, fmt.Errorf("sqlengine: unknown operator")
+}
+
+func evalLogical(b *Binary, env *Env) (rowset.Value, error) {
+	l, err := Eval(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	lb, lIsBool := l.(bool)
+	if l != nil && !lIsBool {
+		return nil, fmt.Errorf("sqlengine: %s requires BOOL operands", binOpNames[b.Op])
+	}
+	if b.Op == OpAnd && l != nil && !lb {
+		return false, nil
+	}
+	if b.Op == OpOr && l != nil && lb {
+		return true, nil
+	}
+	r, err := Eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	rb, rIsBool := r.(bool)
+	if r != nil && !rIsBool {
+		return nil, fmt.Errorf("sqlengine: %s requires BOOL operands", binOpNames[b.Op])
+	}
+	switch {
+	case b.Op == OpAnd && r != nil && !rb:
+		return false, nil
+	case b.Op == OpOr && r != nil && rb:
+		return true, nil
+	case l == nil || r == nil:
+		return nil, nil
+	case b.Op == OpAnd:
+		return lb && rb, nil
+	default:
+		return lb || rb, nil
+	}
+}
+
+func evalArith(op BinaryOp, l, r rowset.Value) (rowset.Value, error) {
+	// Integer arithmetic stays integral except division, which follows SQL
+	// Server semantics only loosely: we promote to DOUBLE to avoid the
+	// surprise of silent truncation in mining workloads.
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return li + ri, nil
+		case OpSub:
+			return li - ri, nil
+		case OpMul:
+			return li * ri, nil
+		}
+	}
+	lf, lok := rowset.ToFloat(l)
+	rf, rok := rowset.ToFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("sqlengine: arithmetic on non-numeric values (%s, %s)",
+			rowset.TypeOf(l), rowset.TypeOf(r))
+	}
+	switch op {
+	case OpAdd:
+		return lf + rf, nil
+	case OpSub:
+		return lf - rf, nil
+	case OpMul:
+		return lf * rf, nil
+	case OpDiv:
+		if rf == 0 {
+			return nil, nil // SQL: division by zero yields NULL here
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("sqlengine: unknown arithmetic operator")
+}
+
+func evalUnary(u *Unary, env *Env) (rowset.Value, error) {
+	v, err := Eval(u.X, env)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	switch u.Op {
+	case "NOT":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: NOT requires BOOL")
+		}
+		return !b, nil
+	case "-":
+		switch x := v.(type) {
+		case int64:
+			return -x, nil
+		case float64:
+			return -x, nil
+		}
+		return nil, fmt.Errorf("sqlengine: cannot negate %s", rowset.TypeOf(v))
+	}
+	return nil, fmt.Errorf("sqlengine: unknown unary operator %q", u.Op)
+}
+
+func evalIn(in *In, env *Env) (rowset.Value, error) {
+	if in.Subquery != nil {
+		return nil, fmt.Errorf("sqlengine: unresolved IN subquery (execute through the engine)")
+	}
+	x, err := Eval(in.X, env)
+	if err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, nil
+	}
+	sawNull := false
+	for _, item := range in.List {
+		v, err := Eval(item, env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			sawNull = true
+			continue
+		}
+		if rowset.Compare(x, v) == 0 {
+			return !in.Negate, nil
+		}
+	}
+	if sawNull {
+		return nil, nil
+	}
+	return in.Negate, nil
+}
+
+func evalBetween(b *Between, env *Env) (rowset.Value, error) {
+	x, err := Eval(b.X, env)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := Eval(b.Lo, env)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := Eval(b.Hi, env)
+	if err != nil {
+		return nil, err
+	}
+	if x == nil || lo == nil || hi == nil {
+		return nil, nil
+	}
+	res := rowset.Compare(x, lo) >= 0 && rowset.Compare(x, hi) <= 0
+	return res != b.Negate, nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one character),
+// case-insensitively (SQL Server default collation behaviour).
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// aggregateFuncs are handled by the executor's GROUP BY machinery, never by
+// scalar evaluation.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"STDEV": true, "VAR": true,
+}
+
+// IsAggregate reports whether e is a call to an aggregate function.
+func IsAggregate(e Expr) bool {
+	f, ok := e.(*FuncCall)
+	return ok && aggregateFuncs[f.Name]
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call.
+func ContainsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return ContainsAggregate(x.L) || ContainsAggregate(x.R)
+	case *Unary:
+		return ContainsAggregate(x.X)
+	case *IsNull:
+		return ContainsAggregate(x.X)
+	case *Between:
+		return ContainsAggregate(x.X) || ContainsAggregate(x.Lo) || ContainsAggregate(x.Hi)
+	case *In:
+		if ContainsAggregate(x.X) {
+			return true
+		}
+		for _, i := range x.List {
+			if ContainsAggregate(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func evalFunc(f *FuncCall, env *Env) (rowset.Value, error) {
+	if env.Funcs != nil {
+		v, handled, err := env.Funcs(f, env)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return v, nil
+		}
+	}
+	if aggregateFuncs[f.Name] {
+		return nil, fmt.Errorf("sqlengine: aggregate %s used outside GROUP BY context", f.Name)
+	}
+	args := make([]rowset.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return callScalar(f.Name, args)
+}
+
+func callScalar(name string, args []rowset.Value) (rowset.Value, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqlengine: %s takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "LEN", "LENGTH":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: LEN requires TEXT")
+		}
+		return int64(len(s)), nil
+	case "UPPER":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return textFn(args[0], strings.ToUpper)
+	case "LOWER":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return textFn(args[0], strings.ToLower)
+	case "TRIM":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return textFn(args[0], strings.TrimSpace)
+	case "SUBSTRING":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		s, ok := args[0].(string)
+		start, ok2 := args[1].(int64)
+		length, ok3 := args[2].(int64)
+		if !ok || !ok2 || !ok3 {
+			return nil, fmt.Errorf("sqlengine: SUBSTRING(text, long, long)")
+		}
+		// SQL is 1-based.
+		i := int(start) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(s) {
+			return "", nil
+		}
+		j := i + int(length)
+		if j > len(s) {
+			j = len(s)
+		}
+		if j < i {
+			j = i
+		}
+		return s[i:j], nil
+	case "ABS":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case nil:
+			return nil, nil
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		}
+		return nil, fmt.Errorf("sqlengine: ABS requires a number")
+	case "ROUND":
+		if len(args) == 1 {
+			args = append(args, int64(0))
+		}
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		f, ok := rowset.ToFloat(args[0])
+		d, ok2 := args[1].(int64)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("sqlengine: ROUND(number, long)")
+		}
+		p := math.Pow(10, float64(d))
+		return math.Round(f*p) / p, nil
+	case "FLOOR":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return floatFn(args[0], math.Floor)
+	case "CEILING", "CEIL":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return floatFn(args[0], math.Ceil)
+	case "SQRT":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return floatFn(args[0], math.Sqrt)
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "IIF":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		cond, err := Truthy(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return args[1], nil
+		}
+		return args[2], nil
+	}
+	return nil, fmt.Errorf("sqlengine: unknown function %s", name)
+}
+
+func textFn(v rowset.Value, fn func(string) string) (rowset.Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: function requires TEXT, got %s", rowset.TypeOf(v))
+	}
+	return fn(s), nil
+}
+
+func floatFn(v rowset.Value, fn func(float64) float64) (rowset.Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	f, ok := rowset.ToFloat(v)
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: function requires a number, got %s", rowset.TypeOf(v))
+	}
+	return fn(f), nil
+}

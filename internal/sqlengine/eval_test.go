@@ -1,0 +1,282 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rowset"
+)
+
+func evalStr(t *testing.T, src string, env *Env) rowset.Value {
+	t.Helper()
+	if env == nil {
+		env = &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	}
+	v, err := Eval(mustParseExpr(src), env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// SQL 3VL truth tables, NULL written as NULL.
+	cases := []struct {
+		src  string
+		want rowset.Value
+	}{
+		{"TRUE AND NULL", nil},
+		{"FALSE AND NULL", false},
+		{"NULL AND NULL", nil},
+		{"TRUE OR NULL", true},
+		{"FALSE OR NULL", nil},
+		{"NULL OR NULL", nil},
+		{"NOT NULL", nil},
+		{"NULL = NULL", nil},
+		{"NULL <> 1", nil},
+		{"NULL + 1", nil},
+		{"NULL IS NULL", true},
+		{"NULL IS NOT NULL", false},
+		{"1 IN (NULL, 2)", nil},  // not found, NULL present → unknown
+		{"2 IN (NULL, 2)", true}, // found → true regardless of NULL
+		{"NULL IN (1, 2)", nil},
+		{"NULL BETWEEN 1 AND 2", nil},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right side errors, but short-circuiting never evaluates it.
+	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	v, err := Eval(mustParseExpr("FALSE AND NOSUCHFUNC(1)"), env)
+	if err != nil || v != false {
+		t.Errorf("FALSE AND <err> = %v, %v", v, err)
+	}
+	v, err = Eval(mustParseExpr("TRUE OR NOSUCHFUNC(1)"), env)
+	if err != nil || v != true {
+		t.Errorf("TRUE OR <err> = %v, %v", v, err)
+	}
+}
+
+func TestLogicalTypeErrors(t *testing.T) {
+	// Note: TRUE OR <non-bool> short-circuits before typing the right side,
+	// so the error cases below all force right-side evaluation.
+	for _, src := range []string{"1 AND TRUE", "FALSE OR 'x'", "TRUE AND 1", "NOT 3"} {
+		if _, err := Eval(mustParseExpr(src), &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}); err == nil {
+			t.Errorf("%s must error", src)
+		}
+	}
+}
+
+func TestConcatOperator(t *testing.T) {
+	if v := evalStr(t, "'a' || 'b' || 'c'", nil); v != "abc" {
+		t.Errorf("concat = %v", v)
+	}
+	if v := evalStr(t, "'n=' || 5", nil); v != "n=5" {
+		t.Errorf("mixed concat = %v", v)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if ok, err := Truthy(true); !ok || err != nil {
+		t.Error("Truthy(true)")
+	}
+	if ok, err := Truthy(nil); ok || err != nil {
+		t.Error("Truthy(NULL)")
+	}
+	if _, err := Truthy(int64(1)); err == nil {
+		t.Error("Truthy(number) must error")
+	}
+}
+
+func TestLikeMatchCases(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "HELLO", true}, // case-insensitive
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true}, // _ _ cover 'e','l'
+		{"hello", "h___lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%%", true},
+		{"ab", "a%b%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+// Properties of LIKE: s LIKE s, s LIKE '%', s LIKE s+'%' prefix truncation.
+func TestLikeProperties(t *testing.T) {
+	// likeMatch folds case per rune; keep inputs ASCII so byte slicing in
+	// the property cannot split a rune.
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' || r > 126 || r < 32 {
+				return 'x'
+			}
+			return r
+		}, s)
+	}
+	f := func(raw string) bool {
+		s := clean(raw)
+		if !likeMatch(s, s) {
+			return false
+		}
+		if !likeMatch(s, "%") {
+			return false
+		}
+		if len(s) > 1 {
+			if !likeMatch(s, s[:1]+"%") {
+				return false
+			}
+			if !likeMatch(s, "%"+s[len(s)-1:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolveColumnQualified(t *testing.T) {
+	schema := rowset.MustSchema(
+		rowset.Column{Name: "c.Age", Type: rowset.TypeDouble},
+		rowset.Column{Name: "s.Age", Type: rowset.TypeDouble},
+		rowset.Column{Name: "s.Qty", Type: rowset.TypeDouble},
+	)
+	if i, err := ResolveColumn(schema, "c", "Age"); err != nil || i != 0 {
+		t.Errorf("c.Age = %d, %v", i, err)
+	}
+	if i, err := ResolveColumn(schema, "", "Qty"); err != nil || i != 2 {
+		t.Errorf("bare Qty = %d, %v", i, err)
+	}
+	if _, err := ResolveColumn(schema, "", "Age"); err == nil {
+		t.Error("bare Age must be ambiguous")
+	}
+	if _, err := ResolveColumn(schema, "x", "Age"); err == nil {
+		t.Error("unknown qualifier must fail")
+	}
+}
+
+func TestExternalHook(t *testing.T) {
+	env := &Env{
+		Schema: rowset.MustSchema(rowset.Column{Name: "a", Type: rowset.TypeLong}),
+		Row:    rowset.Row{int64(1)},
+		External: func(q, n string) (rowset.Value, bool, error) {
+			if q == "m" && n == "magic" {
+				return int64(99), true, nil
+			}
+			if n == "boom" {
+				return nil, false, fmt.Errorf("boom")
+			}
+			return nil, false, nil
+		},
+	}
+	if v, err := Eval(mustParseExpr("m.magic + a"), env); err != nil || v != int64(100) {
+		t.Errorf("external = %v, %v", v, err)
+	}
+	if _, err := Eval(mustParseExpr("boom"), env); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("external error = %v", err)
+	}
+	if _, err := Eval(mustParseExpr("unknown"), env); err == nil {
+		t.Error("unhandled external ref must fall through to error")
+	}
+}
+
+func TestFuncsHook(t *testing.T) {
+	env := &Env{
+		Schema: rowset.MustSchema(),
+		Row:    rowset.Row{},
+		Funcs: func(f *FuncCall, env *Env) (rowset.Value, bool, error) {
+			if f.Name == "ANSWER" {
+				return int64(42), true, nil
+			}
+			return nil, false, nil
+		},
+	}
+	if v, err := Eval(mustParseExpr("ANSWER() * 2"), env); err != nil || v != int64(84) {
+		t.Errorf("funcs hook = %v, %v", v, err)
+	}
+	// Unhandled names still reach builtins.
+	if v, err := Eval(mustParseExpr("UPPER('x')"), env); err != nil || v != "X" {
+		t.Errorf("builtin fallthrough = %v, %v", v, err)
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	for _, src := range []string{
+		"LEN(1)",
+		"LEN('a', 'b')",
+		"UPPER(3)",
+		"SUBSTRING('x', 'a', 1)",
+		"ABS('x')",
+		"ROUND('x')",
+		"IIF(1, 2, 3)", // condition not boolean
+	} {
+		if _, err := Eval(mustParseExpr(src), env); err == nil {
+			t.Errorf("%s must error", src)
+		}
+	}
+	// NULL-propagating scalar functions.
+	for _, src := range []string{"LEN(NULL)", "UPPER(NULL)", "ABS(NULL)", "FLOOR(NULL)"} {
+		if v := evalStr(t, src, nil); v != nil {
+			t.Errorf("%s = %v, want NULL", src, v)
+		}
+	}
+}
+
+func TestSubstringEdges(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"SUBSTRING('hello', 1, 2)", "he"},
+		{"SUBSTRING('hello', 4, 10)", "lo"},
+		{"SUBSTRING('hello', 99, 2)", ""},
+		{"SUBSTRING('hello', 0, 2)", "he"}, // clamped to start
+		{"SUBSTRING('hello', 2, 0)", ""},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, nil); got != c.want {
+			t.Errorf("%s = %q want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	for _, src := range []string{"'a' + 1", "1 - 'b'", "-'x'"} {
+		if _, err := Eval(mustParseExpr(src), env); err == nil {
+			t.Errorf("%s must error", src)
+		}
+	}
+}
+
+func TestLikeRequiresText(t *testing.T) {
+	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	if _, err := Eval(mustParseExpr("1 LIKE 'x'"), env); err == nil {
+		t.Error("LIKE on numbers must error")
+	}
+	if v := evalStr(t, "NULL LIKE 'x'", nil); v != nil {
+		t.Error("NULL LIKE propagates NULL")
+	}
+}

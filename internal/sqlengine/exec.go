@@ -1,0 +1,703 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rowset"
+	"repro/internal/storage"
+)
+
+// Engine executes SQL statements against a storage database, plus the
+// engine-level view catalog.
+type Engine struct {
+	DB    *storage.Database
+	views viewCatalog
+}
+
+// NewEngine wraps db.
+func NewEngine(db *storage.Database) *Engine {
+	return &Engine{DB: db}
+}
+
+// Exec parses and executes one SQL statement. Every statement returns a
+// rowset; DML statements return a single-row ([rows affected]) result.
+func (e *Engine) Exec(sql string) (*rowset.Rowset, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		return e.Query(st)
+	case *CreateTableStmt:
+		schema, err := rowset.NewSchema(st.Columns...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.DB.CreateTable(st.Name, schema); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	case *InsertStmt:
+		return e.execInsert(st)
+	case *DeleteStmt:
+		return e.execDelete(st)
+	case *UpdateStmt:
+		return e.execUpdate(st)
+	case *DropTableStmt:
+		if err := e.DB.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	case *CreateViewStmt:
+		return e.execCreateView(st)
+	case *DropViewStmt:
+		if err := e.views.drop(st.Name); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	}
+	return nil, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
+}
+
+func affected(n int) *rowset.Rowset {
+	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "rows affected", Type: rowset.TypeLong}))
+	rs.MustAppend(int64(n))
+	return rs
+}
+
+// ---------- SELECT ----------
+
+// Query executes a SELECT and returns the result rowset.
+func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
+	sel, err := e.resolveStatementSubqueries(sel)
+	if err != nil {
+		return nil, err
+	}
+	src, err := e.buildSource(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		src, err = filterRowset(src, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !needAgg {
+		for _, it := range sel.Items {
+			if !it.Star && ContainsAggregate(it.Expr) {
+				needAgg = true
+				break
+			}
+		}
+	}
+	var out *rowset.Rowset
+	if needAgg {
+		out, err = e.aggregate(sel, src)
+	} else {
+		out, err = e.project(sel, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sel.Distinct {
+		out = distinct(out)
+	}
+	if sel.Top > 0 && out.Len() > sel.Top {
+		trimmed := rowset.New(out.Schema())
+		for i := 0; i < sel.Top; i++ {
+			if err := trimmed.Append(out.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+		out = trimmed
+	}
+	return out, nil
+}
+
+// buildSource scans and joins the FROM clause into one rowset whose columns
+// are qualified "alias.column" so references resolve unambiguously.
+func (e *Engine) buildSource(from []TableRef) (*rowset.Rowset, error) {
+	if len(from) == 0 {
+		// FROM-less SELECT evaluates items once against an empty row.
+		rs := rowset.New(rowset.MustSchema())
+		rs.MustAppend()
+		return rs, nil
+	}
+	acc, err := e.scanQualified(from[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range from[1:] {
+		right, err := e.scanQualified(ref)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = join(acc, right, ref.Kind, ref.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func (e *Engine) scanQualified(ref TableRef) (*rowset.Rowset, error) {
+	var scan *rowset.Rowset
+	if view, ok := e.views.get(ref.Name); ok {
+		// Views are registered only after their query validates, and can
+		// reference only pre-existing views, so expansion cannot cycle.
+		vr, err := e.Query(view)
+		if err != nil {
+			return nil, fmt.Errorf("sqlengine: view %s: %w", ref.Name, err)
+		}
+		scan = vr
+	} else {
+		tbl, err := e.DB.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		scan = tbl.Scan()
+	}
+	q := ref.AliasOrName()
+	cols := make([]rowset.Column, scan.Schema().Len())
+	for i, c := range scan.Schema().Columns {
+		cols[i] = rowset.Column{Name: q + "." + c.Name, Type: c.Type, Nested: c.Nested}
+	}
+	schema, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: %w (duplicate alias %q?)", err, q)
+	}
+	return rowset.FromRows(schema, scan.Rows())
+}
+
+func concatSchemas(a, b *rowset.Schema) (*rowset.Schema, error) {
+	cols := make([]rowset.Column, 0, a.Len()+b.Len())
+	cols = append(cols, a.Columns...)
+	cols = append(cols, b.Columns...)
+	return rowset.NewSchema(cols...)
+}
+
+// join combines two qualified rowsets. Equi-joins on column pairs use a hash
+// join; everything else falls back to a filtered nested loop.
+func join(left, right *rowset.Rowset, kind JoinKind, on Expr) (*rowset.Rowset, error) {
+	schema, err := concatSchemas(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := rowset.New(schema)
+	appendJoined := func(l, r rowset.Row) error {
+		row := make(rowset.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		return out.Append(row)
+	}
+	nullRight := make(rowset.Row, right.Schema().Len())
+
+	if kind == JoinCross {
+		for _, l := range left.Rows() {
+			for _, r := range right.Rows() {
+				if err := appendJoined(l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Hash-join fast path: ON is a single equality between one column from
+	// each side.
+	if lo, ro, ok := equiJoinOrdinals(on, left.Schema(), right.Schema()); ok {
+		ht := make(map[string][]rowset.Row, right.Len())
+		for _, r := range right.Rows() {
+			if r[ro] == nil {
+				continue // NULL never matches in an equi-join
+			}
+			k := rowset.Key(r[ro])
+			ht[k] = append(ht[k], r)
+		}
+		for _, l := range left.Rows() {
+			var matches []rowset.Row
+			if l[lo] != nil {
+				matches = ht[rowset.Key(l[lo])]
+			}
+			if len(matches) == 0 {
+				if kind == JoinLeft {
+					if err := appendJoined(l, nullRight); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			for _, r := range matches {
+				if err := appendJoined(l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// General nested loop.
+	env := &Env{Schema: schema}
+	probe := make(rowset.Row, 0, schema.Len())
+	for _, l := range left.Rows() {
+		matched := false
+		for _, r := range right.Rows() {
+			probe = probe[:0]
+			probe = append(probe, l...)
+			probe = append(probe, r...)
+			env.Row = probe
+			v, err := Eval(on, env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				if err := appendJoined(l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !matched && kind == JoinLeft {
+			if err := appendJoined(l, nullRight); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// equiJoinOrdinals recognizes "a.x = b.y" ON clauses where the two refs
+// resolve to opposite sides, returning the left and right ordinals.
+func equiJoinOrdinals(on Expr, left, right *rowset.Schema) (int, int, bool) {
+	b, ok := on.(*Binary)
+	if !ok || b.Op != OpEq {
+		return 0, 0, false
+	}
+	lc, ok1 := b.L.(*ColumnRef)
+	rc, ok2 := b.R.(*ColumnRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if lo, err := ResolveColumn(left, lc.Qualifier, lc.Name); err == nil {
+		if ro, err := ResolveColumn(right, rc.Qualifier, rc.Name); err == nil {
+			return lo, ro, true
+		}
+	}
+	if lo, err := ResolveColumn(left, rc.Qualifier, rc.Name); err == nil {
+		if ro, err := ResolveColumn(right, lc.Qualifier, lc.Name); err == nil {
+			return lo, ro, true
+		}
+	}
+	return 0, 0, false
+}
+
+func filterRowset(src *rowset.Rowset, cond Expr) (*rowset.Rowset, error) {
+	out := rowset.New(src.Schema())
+	env := &Env{Schema: src.Schema()}
+	for _, r := range src.Rows() {
+		env.Row = r
+		v, err := Eval(cond, env)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := Truthy(v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := out.Append(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------- projection (no aggregation) ----------
+
+func (e *Engine) project(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
+	items, err := expandStars(sel.Items, src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	names := outputNames(items)
+	env := &Env{Schema: src.Schema()}
+
+	// Compute output values and ORDER BY keys per row.
+	type sortableRow struct {
+		out  rowset.Row
+		keys rowset.Row
+	}
+	rows := make([]sortableRow, 0, src.Len())
+	for _, r := range src.Rows() {
+		env.Row = r
+		out := make(rowset.Row, len(items))
+		for i, it := range items {
+			v, err := Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		keys, err := orderKeys(sel.OrderBy, items, names, out, env)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sortableRow{out: out, keys: keys})
+	}
+	sortRows := make([]rowset.Row, len(rows))
+	keyRows := make([]rowset.Row, len(rows))
+	for i, sr := range rows {
+		sortRows[i], keyRows[i] = sr.out, sr.keys
+	}
+	sortByKeys(sortRows, keyRows, sel.OrderBy)
+
+	schema, err := outputSchema(items, names, src.Schema(), sortRows)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.FromRows(schema, sortRows)
+}
+
+// expandStars replaces * and q.* items with explicit column refs.
+func expandStars(items []SelectItem, schema *rowset.Schema) ([]SelectItem, error) {
+	out := make([]SelectItem, 0, len(items))
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, c := range schema.Columns {
+			name := c.Name
+			if it.Qualifier != "" && !strings.HasPrefix(strings.ToLower(name), strings.ToLower(it.Qualifier)+".") {
+				continue
+			}
+			matched = true
+			bare := name
+			if dot := strings.LastIndex(bare, "."); dot >= 0 {
+				bare = bare[dot+1:]
+			}
+			out = append(out, SelectItem{
+				Expr:  &ColumnRef{Name: name},
+				Alias: bare,
+			})
+		}
+		if it.Qualifier != "" && !matched {
+			return nil, fmt.Errorf("sqlengine: unknown qualifier %q in %s.*", it.Qualifier, it.Qualifier)
+		}
+	}
+	return out, nil
+}
+
+// outputNames assigns unique output column names.
+func outputNames(items []SelectItem) []string {
+	names := make([]string, len(items))
+	seen := make(map[string]int)
+	for i, it := range items {
+		var n string
+		switch {
+		case it.Alias != "":
+			n = it.Alias
+		default:
+			if cr, ok := it.Expr.(*ColumnRef); ok {
+				n = cr.Name
+			} else {
+				n = it.Expr.String()
+			}
+		}
+		key := strings.ToLower(n)
+		if c, dup := seen[key]; dup {
+			seen[key] = c + 1
+			n = fmt.Sprintf("%s_%d", n, c+1)
+			key = strings.ToLower(n)
+		}
+		seen[key] = 1
+		names[i] = n
+	}
+	return names
+}
+
+// outputSchema infers output column types: declared types for direct column
+// references, value-based inference otherwise.
+func outputSchema(items []SelectItem, names []string, srcSchema *rowset.Schema, rows []rowset.Row) (*rowset.Schema, error) {
+	cols := make([]rowset.Column, len(items))
+	for i, it := range items {
+		col := rowset.Column{Name: names[i], Type: rowset.TypeNull}
+		if cr, ok := it.Expr.(*ColumnRef); ok {
+			if ord, err := ResolveColumn(srcSchema, cr.Qualifier, cr.Name); err == nil {
+				col.Type = srcSchema.Column(ord).Type
+				col.Nested = srcSchema.Column(ord).Nested
+			}
+		}
+		if col.Type == rowset.TypeNull {
+			for _, r := range rows {
+				if r[i] != nil {
+					col.Type = rowset.TypeOf(r[i])
+					if nested, ok := r[i].(*rowset.Rowset); ok {
+						col.Nested = nested.Schema()
+					}
+					break
+				}
+			}
+		}
+		cols[i] = col
+	}
+	return rowset.NewSchema(cols...)
+}
+
+// orderKeys evaluates ORDER BY expressions for one row. Each key expression
+// resolves first against the projected output (aliases), then the source row.
+func orderKeys(order []OrderItem, items []SelectItem, names []string, out rowset.Row, srcEnv *Env) (rowset.Row, error) {
+	if len(order) == 0 {
+		return nil, nil
+	}
+	keys := make(rowset.Row, len(order))
+	for i, o := range order {
+		// Alias reference?
+		if cr, ok := o.Expr.(*ColumnRef); ok && cr.Qualifier == "" {
+			found := false
+			for j, n := range names {
+				if strings.EqualFold(n, cr.Name) {
+					keys[i] = out[j]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		v, err := Eval(o.Expr, srcEnv)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func sortByKeys(rows []rowset.Row, keys []rowset.Row, order []OrderItem) {
+	if len(order) == 0 {
+		return
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for k, o := range order {
+			c := rowset.Compare(keys[a][k], keys[b][k])
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	tmpR := make([]rowset.Row, len(rows))
+	for i, j := range idx {
+		tmpR[i] = rows[j]
+	}
+	copy(rows, tmpR)
+}
+
+func distinct(rs *rowset.Rowset) *rowset.Rowset {
+	out := rowset.New(rs.Schema())
+	seen := make(map[string]bool, rs.Len())
+	for _, r := range rs.Rows() {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(rowset.Key(v))
+			b.WriteByte('|')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			// Append is safe: rows came from a valid rowset.
+			_ = out.Append(r)
+		}
+	}
+	return out
+}
+
+// ---------- DML ----------
+
+func (e *Engine) execInsert(st *InsertStmt) (*rowset.Rowset, error) {
+	tbl, err := e.DB.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+
+	// Map the statement's column list to table ordinals.
+	ords := make([]int, 0, len(st.Columns))
+	if len(st.Columns) > 0 {
+		for _, c := range st.Columns {
+			i, ok := schema.Lookup(c)
+			if !ok {
+				return nil, fmt.Errorf("sqlengine: table %s has no column %q", st.Table, c)
+			}
+			ords = append(ords, i)
+		}
+	} else {
+		for i := 0; i < schema.Len(); i++ {
+			ords = append(ords, i)
+		}
+	}
+
+	buildRow := func(vals rowset.Row) (rowset.Row, error) {
+		if len(vals) != len(ords) {
+			return nil, fmt.Errorf("sqlengine: INSERT has %d values for %d columns", len(vals), len(ords))
+		}
+		full := make(rowset.Row, schema.Len())
+		for i, o := range ords {
+			full[o] = vals[i]
+		}
+		return full, nil
+	}
+
+	n := 0
+	if st.Query != nil {
+		res, err := e.Query(st.Query)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res.Rows() {
+			full, err := buildRow(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Insert(full); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return affected(n), nil
+	}
+	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
+	for _, exprs := range st.Rows {
+		vals := make(rowset.Row, len(exprs))
+		for i, ex := range exprs {
+			v, err := Eval(ex, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		full, err := buildRow(vals)
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.Insert(full); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return affected(n), nil
+}
+
+func (e *Engine) execDelete(st *DeleteStmt) (*rowset.Rowset, error) {
+	tbl, err := e.DB.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.Where == nil {
+		n := tbl.Len()
+		tbl.Truncate()
+		return affected(n), nil
+	}
+	scan := tbl.Scan()
+	env := &Env{Schema: scan.Schema()}
+	var keep []rowset.Row
+	removed := 0
+	for _, r := range scan.Rows() {
+		env.Row = r
+		v, err := Eval(st.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := Truthy(v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			removed++
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	if err := tbl.Replace(keep); err != nil {
+		return nil, err
+	}
+	return affected(removed), nil
+}
+
+func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
+	tbl, err := e.DB.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	scan := tbl.Scan()
+	schema := scan.Schema()
+	env := &Env{Schema: schema}
+	setOrds := make([]int, len(st.Set))
+	for i, sc := range st.Set {
+		o, ok := schema.Lookup(sc.Column)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: table %s has no column %q", st.Table, sc.Column)
+		}
+		setOrds[i] = o
+	}
+	rows := make([]rowset.Row, scan.Len())
+	n := 0
+	for i, r := range scan.Rows() {
+		match := true
+		env.Row = r
+		if st.Where != nil {
+			v, err := Eval(st.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			match, err = Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !match {
+			rows[i] = r
+			continue
+		}
+		nr := r.Clone()
+		for j, sc := range st.Set {
+			v, err := Eval(sc.Value, env)
+			if err != nil {
+				return nil, err
+			}
+			nr[setOrds[j]] = v
+		}
+		rows[i] = nr
+		n++
+	}
+	if err := tbl.Replace(rows); err != nil {
+		return nil, err
+	}
+	return affected(n), nil
+}

@@ -1,0 +1,102 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalarSubquery(t *testing.T) {
+	e := newTestEngine(t)
+	rs := mustQuery(t, e, `SELECT [Customer ID] FROM Customers
+		WHERE Age = (SELECT MAX(Age) FROM Customers)`)
+	if rs.Len() != 1 || rs.Row(0)[0] != int64(3) {
+		t.Errorf("oldest customer = %v", rs.Rows())
+	}
+	// Scalar subquery as a projection item.
+	rs = mustQuery(t, e, "SELECT (SELECT COUNT(*) FROM Sales) AS n")
+	if rs.Row(0)[0] != int64(6) {
+		t.Errorf("projection subquery = %v", rs.Row(0))
+	}
+	// Empty scalar subquery is NULL.
+	rs = mustQuery(t, e, "SELECT (SELECT Age FROM Customers WHERE Age > 1000) AS a")
+	if rs.Row(0)[0] != nil {
+		t.Errorf("empty scalar subquery = %v", rs.Row(0))
+	}
+}
+
+func TestScalarSubqueryErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec("SELECT (SELECT Age FROM Customers) AS a"); err == nil ||
+		!strings.Contains(err.Error(), "more than one row") && !strings.Contains(err.Error(), "returned") {
+		t.Errorf("multi-row scalar subquery: %v", err)
+	}
+	if _, err := e.Exec("SELECT (SELECT Age, Gender FROM Customers) AS a"); err == nil {
+		t.Error("multi-column scalar subquery must fail")
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	e := newTestEngine(t)
+	// Customers who bought electronics: 1 (TV, VCR) and 2 (TV).
+	rs := mustQuery(t, e, `SELECT [Customer ID] FROM Customers
+		WHERE [Customer ID] IN (SELECT CustID FROM Sales WHERE [Product Type] = 'Electronic')
+		ORDER BY [Customer ID]`)
+	if rs.Len() != 2 || rs.Row(0)[0] != int64(1) || rs.Row(1)[0] != int64(2) {
+		t.Errorf("IN subquery = %v", rs.Rows())
+	}
+	rs = mustQuery(t, e, `SELECT [Customer ID] FROM Customers
+		WHERE [Customer ID] NOT IN (SELECT CustID FROM Sales WHERE [Product Type] = 'Electronic')`)
+	if rs.Len() != 1 || rs.Row(0)[0] != int64(3) {
+		t.Errorf("NOT IN subquery = %v", rs.Rows())
+	}
+	if _, err := e.Exec(`SELECT 1 WHERE 1 IN (SELECT CustID, Quantity FROM Sales)`); err == nil {
+		t.Error("multi-column IN subquery must fail")
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	e := newTestEngine(t)
+	rs := mustQuery(t, e, `SELECT COUNT(*) FROM Customers
+		WHERE EXISTS (SELECT 1 FROM Cars WHERE Probability > 0.9)`)
+	// EXISTS is uncorrelated: true overall, so every customer passes.
+	if rs.Row(0)[0] != int64(3) {
+		t.Errorf("EXISTS = %v", rs.Row(0))
+	}
+	rs = mustQuery(t, e, `SELECT COUNT(*) FROM Customers
+		WHERE NOT EXISTS (SELECT 1 FROM Cars WHERE Probability > 99)`)
+	if rs.Row(0)[0] != int64(3) {
+		t.Errorf("NOT EXISTS = %v", rs.Row(0))
+	}
+}
+
+func TestSubqueryInHavingAndOrderBy(t *testing.T) {
+	e := newTestEngine(t)
+	rs := mustQuery(t, e, `SELECT CustID, COUNT(*) AS n FROM Sales
+		GROUP BY CustID
+		HAVING COUNT(*) > (SELECT 1 + 0)
+		ORDER BY CustID`)
+	if rs.Len() != 1 || rs.Row(0)[0] != int64(1) {
+		t.Errorf("having subquery = %v", rs.Rows())
+	}
+}
+
+func TestSubqueryOverView(t *testing.T) {
+	e := newTestEngine(t)
+	mustQuery(t, e, "CREATE VIEW Electro AS SELECT CustID FROM Sales WHERE [Product Type] = 'Electronic'")
+	rs := mustQuery(t, e, `SELECT COUNT(*) FROM Customers
+		WHERE [Customer ID] IN (SELECT CustID FROM Electro)`)
+	if rs.Row(0)[0] != int64(2) {
+		t.Errorf("subquery over view = %v", rs.Row(0))
+	}
+}
+
+func TestCorrelatedSubqueryRejected(t *testing.T) {
+	e := newTestEngine(t)
+	// The inner query references the outer alias; unsupported, and the error
+	// should say the column is unknown rather than silently misbehaving.
+	_, err := e.Exec(`SELECT [Customer ID] FROM Customers c
+		WHERE EXISTS (SELECT 1 FROM Sales s WHERE s.CustID = c.[Customer ID])`)
+	if err == nil {
+		t.Error("correlated subquery must be rejected")
+	}
+}

@@ -1,0 +1,80 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCreateViewAndSelect(t *testing.T) {
+	e := newTestEngine(t)
+	mustQuery(t, e, `CREATE VIEW Adults AS
+		SELECT [Customer ID] AS ID, Age FROM Customers WHERE Age >= 30`)
+	rs := mustQuery(t, e, "SELECT COUNT(*) FROM Adults")
+	if rs.Row(0)[0] != int64(2) {
+		t.Errorf("view rows = %v", rs.Row(0))
+	}
+	// Views join with tables.
+	rs = mustQuery(t, e, `SELECT a.ID, s.[Product Name]
+		FROM Adults a JOIN Sales s ON a.ID = s.CustID ORDER BY a.ID, s.[Product Name]`)
+	if rs.Len() != 5 { // cust 1: 4 products, cust 3: 1 product
+		t.Errorf("view join rows = %d", rs.Len())
+	}
+	// Views are live: new qualifying base rows appear.
+	mustQuery(t, e, "INSERT INTO Customers VALUES (9, 'Male', 'Grey', 70)")
+	rs = mustQuery(t, e, "SELECT COUNT(*) FROM Adults")
+	if rs.Row(0)[0] != int64(3) {
+		t.Errorf("view after insert = %v", rs.Row(0))
+	}
+}
+
+func TestViewOverView(t *testing.T) {
+	e := newTestEngine(t)
+	mustQuery(t, e, "CREATE VIEW V1 AS SELECT [Customer ID] AS ID, Age FROM Customers")
+	mustQuery(t, e, "CREATE VIEW V2 AS SELECT ID FROM V1 WHERE Age > 30")
+	rs := mustQuery(t, e, "SELECT COUNT(*) FROM V2")
+	if rs.Row(0)[0] != int64(2) {
+		t.Errorf("stacked views = %v", rs.Row(0))
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	e := newTestEngine(t)
+	// View over a missing table fails at create time.
+	if _, err := e.Exec("CREATE VIEW Bad AS SELECT x FROM NoSuchTable"); err == nil {
+		t.Error("invalid view must fail eagerly")
+	}
+	// Self-reference fails at create time (name not yet resolvable).
+	if _, err := e.Exec("CREATE VIEW SelfRef AS SELECT * FROM SelfRef"); err == nil {
+		t.Error("self-referencing view must fail")
+	}
+	mustQuery(t, e, "CREATE VIEW V AS SELECT Gender FROM Customers")
+	if _, err := e.Exec("CREATE VIEW V AS SELECT Age FROM Customers"); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	if _, err := e.Exec("CREATE VIEW Customers AS SELECT 1"); err == nil ||
+		!strings.Contains(err.Error(), "table") {
+		t.Errorf("view shadowing a table must fail: %v", err)
+	}
+	mustQuery(t, e, "DROP VIEW V")
+	if _, err := e.Exec("SELECT * FROM V"); err == nil {
+		t.Error("dropped view must be gone")
+	}
+	if _, err := e.Exec("DROP VIEW V"); err == nil {
+		t.Error("double drop must fail")
+	}
+	if names := e.ViewNames(); len(names) != 0 {
+		t.Errorf("views left: %v", names)
+	}
+}
+
+func TestViewInShapeSource(t *testing.T) {
+	// The paper's Section 3.1 use: a view pulls entity data together, SHAPE
+	// consumes it. Exercised through the engine used by shape.
+	e := newTestEngine(t)
+	mustQuery(t, e, `CREATE VIEW CustomerBase AS
+		SELECT [Customer ID], Gender FROM Customers WHERE Age IS NOT NULL`)
+	rs := mustQuery(t, e, "SELECT * FROM CustomerBase ORDER BY [Customer ID]")
+	if rs.Len() != 3 {
+		t.Errorf("view base rows = %d", rs.Len())
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rowset"
+)
+
+func TestReplaceValidatesAtomically(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.Insert(rowset.Row{int64(1), "a", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	// Second row is bad: nothing changes.
+	err := tbl.Replace([]rowset.Row{
+		{int64(2), "b", 2.0},
+		{int64(3), "c"},
+	})
+	if err == nil {
+		t.Fatal("bad arity must fail")
+	}
+	if tbl.Len() != 1 || tbl.Scan().Row(0)[0] != int64(1) {
+		t.Error("failed Replace must leave the table unchanged")
+	}
+	// Coercion failure also aborts.
+	err = tbl.Replace([]rowset.Row{{int64(2), "b", "not-a-number"}})
+	if err == nil {
+		t.Fatal("bad coercion must fail")
+	}
+	if tbl.Len() != 1 {
+		t.Error("failed Replace must leave the table unchanged")
+	}
+}
+
+func TestReplaceRebuildsIndexes(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(rowset.Row{int64(1), "old", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Replace([]rowset.Row{
+		{int64(2), "new", 2.0},
+		{int64(3), "new", 3.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tbl.LookupEqual("name", "new")
+	if err != nil || rs.Len() != 2 {
+		t.Errorf("index after replace = %d rows, %v", rs.Len(), err)
+	}
+	rs, _ = tbl.LookupEqual("name", "old")
+	if rs.Len() != 0 {
+		t.Error("stale index entry survived Replace")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "Broken.tbl"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	if err := db.Load(dir); err == nil {
+		t.Error("corrupt table file must fail to load")
+	}
+}
+
+func TestLoadSkipsNonTableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.tbl"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	if err := db.Load(dir); err != nil {
+		t.Errorf("unrelated files must be skipped: %v", err)
+	}
+}
+
+func TestSaveReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase()
+	tbl, _ := db.CreateTable("T", testSchema())
+	tbl.Insert(rowset.Row{int64(1), "a", 1.0})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(rowset.Row{int64(2), "b", 2.0})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// No leftover temp files.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	db2 := NewDatabase()
+	if err := db2.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db2.Table("T")
+	if got.Len() != 2 {
+		t.Errorf("reloaded rows = %d", got.Len())
+	}
+}

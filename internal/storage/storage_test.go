@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/rowset"
+)
+
+func testSchema() *rowset.Schema {
+	return rowset.MustSchema(
+		rowset.Column{Name: "id", Type: rowset.TypeLong},
+		rowset.Column{Name: "name", Type: rowset.TypeText},
+		rowset.Column{Name: "score", Type: rowset.TypeDouble},
+	)
+}
+
+func TestInsertCoercion(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	// "7" coerces to LONG; int 3 coerces to DOUBLE.
+	if err := tbl.Insert(rowset.Row{"7", "a", 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Scan().Row(0)
+	if got[0] != int64(7) || got[2] != float64(3) {
+		t.Errorf("coercion wrong: %#v", got)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.Insert(rowset.Row{int64(1)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if err := tbl.Insert(rowset.Row{"abc", "a", 1.0}); err == nil {
+		t.Error("uncoercible value must error")
+	}
+	if tbl.Len() != 0 {
+		t.Error("failed insert must not add rows")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.Insert(rowset.Row{int64(1), "a", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Truncate()
+	if tbl.Len() != 0 {
+		t.Error("truncate must empty table")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	for i := 0; i < 100; i++ {
+		if err := tbl.Insert(rowset.Row{int64(i), fmt.Sprintf("n%d", i%10), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tbl.LookupEqual("name", "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 10 {
+		t.Errorf("indexed lookup = %d rows, want 10", rs.Len())
+	}
+	// Unindexed lookup falls back to scan with same answer.
+	rs2, err := tbl.LookupEqual("score", 42.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() != 1 || rs2.Row(0)[0] != int64(42) {
+		t.Errorf("scan lookup wrong: %v", rs2.Rows())
+	}
+	// Index stays consistent after more inserts.
+	if err := tbl.Insert(rowset.Row{int64(100), "n3", 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	rs3, _ := tbl.LookupEqual("name", "n3")
+	if rs3.Len() != 11 {
+		t.Errorf("index not maintained: %d", rs3.Len())
+	}
+	if err := tbl.CreateIndex("nope"); err == nil {
+		t.Error("index on unknown column must error")
+	}
+	if _, err := tbl.LookupEqual("nope", 1); err == nil {
+		t.Error("lookup on unknown column must error")
+	}
+}
+
+func TestIndexAfterTruncate(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	if err := tbl.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(rowset.Row{int64(1), "a", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Truncate()
+	rs, err := tbl.LookupEqual("id", int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Error("index must be reset on truncate")
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	tbl := NewTable("t", testSchema())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = tbl.Insert(rowset.Row{int64(w*100 + i), "x", 0.0})
+				_ = tbl.Scan()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() != 400 {
+		t.Errorf("len = %d want 400", tbl.Len())
+	}
+}
+
+func TestDatabaseCatalog(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.CreateTable("Customers", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("customers", testSchema()); err == nil {
+		t.Error("duplicate table (case-insensitive) must error")
+	}
+	if _, err := db.Table("CUSTOMERS"); err != nil {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := db.Table("nope"); err == nil {
+		t.Error("missing table must error")
+	}
+	if _, err := db.CreateTable("Sales", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "Customers" || names[1] != "Sales" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := db.DropTable("Sales"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("Sales"); err == nil {
+		t.Error("dropping missing table must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase()
+	tbl, err := db.CreateTable("People", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := tbl.Insert(rowset.Row{int64(i), fmt.Sprintf("p%d", i), float64(i) / 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDatabase()
+	if err := db2.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Table("People")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 25 {
+		t.Fatalf("loaded %d rows, want 25", got.Len())
+	}
+	r := got.Scan().Row(24)
+	if r[0] != int64(24) || r[1] != "p24" || r[2] != 12.0 {
+		t.Errorf("row = %#v", r)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Load(filepath.Join(t.TempDir(), "nothere")); err != nil {
+		t.Errorf("missing dir must not error: %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package storage implements the relational substrate under the provider:
+// an in-memory heap-table engine with a catalog, optional hash indexes, and
+// binary disk persistence. It plays the role of the "core relational engine"
+// in Figure 1 of the paper — the thing that stores training data and answers
+// the SELECT queries embedded in SHAPE statements.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rowset"
+)
+
+// Table is a heap table: an append-ordered collection of rows plus optional
+// hash indexes. All methods are safe for concurrent use.
+type Table struct {
+	name   string
+	schema *rowset.Schema
+
+	mu      sync.RWMutex
+	rows    []rowset.Row
+	indexes map[string]*hashIndex // keyed by lower-cased column name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *rowset.Schema) *Table {
+	return &Table{name: name, schema: schema, indexes: make(map[string]*hashIndex)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *rowset.Schema { return t.schema }
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row. Values are coerced to the column types; arity and
+// coercion failures are errors and leave the table unchanged.
+func (t *Table) Insert(r rowset.Row) error {
+	if len(r) != t.schema.Len() {
+		return fmt.Errorf("storage: table %s: row has %d values, want %d", t.name, len(r), t.schema.Len())
+	}
+	row := make(rowset.Row, len(r))
+	for i, v := range r {
+		cv, err := rowset.Coerce(rowset.Normalize(v), t.schema.Column(i).Type)
+		if err != nil {
+			return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Column(i).Name, err)
+		}
+		row[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := len(t.rows)
+	t.rows = append(t.rows, row)
+	for _, idx := range t.indexes {
+		idx.add(row[idx.ord], pos)
+	}
+	return nil
+}
+
+// InsertMany appends rows, stopping at the first error.
+func (t *Table) InsertMany(rows []rowset.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replace atomically substitutes the table's contents with rows (used by
+// UPDATE and predicated DELETE). Rows are validated and coerced like Insert;
+// on any error the table is left unchanged.
+func (t *Table) Replace(rows []rowset.Row) error {
+	coerced := make([]rowset.Row, len(rows))
+	for i, r := range rows {
+		if len(r) != t.schema.Len() {
+			return fmt.Errorf("storage: table %s: row has %d values, want %d", t.name, len(r), t.schema.Len())
+		}
+		row := make(rowset.Row, len(r))
+		for j, v := range r {
+			cv, err := rowset.Coerce(rowset.Normalize(v), t.schema.Column(j).Type)
+			if err != nil {
+				return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Column(j).Name, err)
+			}
+			row[j] = cv
+		}
+		coerced[i] = row
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = coerced
+	for _, idx := range t.indexes {
+		idx.reset()
+		for pos, r := range t.rows {
+			idx.add(r[idx.ord], pos)
+		}
+	}
+	return nil
+}
+
+// Truncate removes all rows (DELETE FROM with no predicate).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.reset()
+	}
+}
+
+// Scan returns a point-in-time snapshot of the table as a Rowset. The rows
+// are shared (not copied); callers must not mutate them.
+func (t *Table) Scan() *rowset.Rowset {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rs, err := rowset.FromRows(t.schema, t.rows)
+	if err != nil {
+		// Rows were validated on insert; this is unreachable.
+		panic(fmt.Sprintf("storage: corrupt table %s: %v", t.name, err))
+	}
+	return rs
+}
+
+// CreateIndex builds a hash index on the named column. Indexing an already
+// indexed column is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	ord, ok := t.schema.Lookup(col)
+	if !ok {
+		return fmt.Errorf("storage: table %s: unknown column %q", t.name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.schema.Column(ord).Name
+	if _, exists := t.indexes[key]; exists {
+		return nil
+	}
+	idx := newHashIndex(ord)
+	for pos, r := range t.rows {
+		idx.add(r[ord], pos)
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// LookupEqual returns the rows whose indexed column equals v. It falls back
+// to a scan when no index exists on col.
+func (t *Table) LookupEqual(col string, v rowset.Value) (*rowset.Rowset, error) {
+	ord, ok := t.schema.Lookup(col)
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s: unknown column %q", t.name, col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := rowset.New(t.schema)
+	if idx, ok := t.indexes[t.schema.Column(ord).Name]; ok {
+		for _, pos := range idx.lookup(v) {
+			if err := out.Append(t.rows[pos]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for _, r := range t.rows {
+		if rowset.Equal(r[ord], v) {
+			if err := out.Append(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// hashIndex maps value keys to row positions.
+type hashIndex struct {
+	ord  int
+	rows map[string][]int
+}
+
+func newHashIndex(ord int) *hashIndex {
+	return &hashIndex{ord: ord, rows: make(map[string][]int)}
+}
+
+func (ix *hashIndex) add(v rowset.Value, pos int) {
+	k := rowset.Key(v)
+	ix.rows[k] = append(ix.rows[k], pos)
+}
+
+func (ix *hashIndex) lookup(v rowset.Value) []int {
+	return ix.rows[rowset.Key(v)]
+}
+
+func (ix *hashIndex) reset() {
+	ix.rows = make(map[string][]int)
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/rowset"
+	"repro/internal/storage"
+)
+
+// CSV export/import models the pre-provider workflow the paper argues
+// against (Section 1): "data is dumped or sampled out of the database, and
+// then a series of Perl, Awk, and special purpose programs are used for data
+// preparation ... creating an entire new data management problem outside the
+// database". Experiment E2 uses these helpers to measure that pipeline
+// against in-provider mining.
+
+// ExportCSV writes each named table to <dir>/<table>.csv and returns the
+// total bytes written (the data movement cost of the export pipeline).
+// The header row encodes "name:TYPE" so the files round-trip.
+func ExportCSV(db *storage.Database, dir string, tables ...string) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, name := range tables {
+		tbl, err := db.Table(name)
+		if err != nil {
+			return 0, err
+		}
+		n, err := exportTable(tbl, filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func exportTable(tbl *storage.Table, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := csv.NewWriter(f)
+	scan := tbl.Scan()
+	header := make([]string, scan.Schema().Len())
+	for i, c := range scan.Schema().Columns {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return 0, err
+	}
+	record := make([]string, scan.Schema().Len())
+	for _, r := range scan.Rows() {
+		for i, v := range r {
+			if v == nil {
+				record[i] = ""
+			} else {
+				record[i] = rowset.FormatValue(v)
+			}
+		}
+		if err := w.Write(record); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// ImportCSV reads a file written by ExportCSV back into a rowset, parsing
+// values through the types recorded in the header — the "re-parse it all"
+// step of the export pipeline.
+func ImportCSV(path string) (*rowset.Rowset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv header: %w", err)
+	}
+	cols := make([]rowset.Column, len(header))
+	for i, h := range header {
+		colon := strings.LastIndex(h, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("workload: csv header %q lacks a type", h)
+		}
+		t, ok := rowset.ParseType(h[colon+1:])
+		if !ok {
+			return nil, fmt.Errorf("workload: csv header %q has unknown type", h)
+		}
+		cols[i] = rowset.Column{Name: h[:colon], Type: t}
+	}
+	schema, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := rowset.New(schema)
+	for {
+		record, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		row := make(rowset.Row, len(record))
+		for i, field := range record {
+			if field == "" {
+				continue
+			}
+			v, err := rowset.Coerce(field, cols[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("workload: csv field %q: %w", field, err)
+			}
+			row[i] = v
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
