@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench-parallel check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector, including the concurrent
+# predict-vs-retrain stress test in internal/provider.
+race:
+	$(GO) test -race ./...
+
+# One pass of the parallel PREDICTION JOIN benchmark (workers=1/2/4/8),
+# reporting rows/sec. Numbers are recorded in EXPERIMENTS.md.
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkPredictionJoinParallel -benchtime=1x .
+
+check: vet race bench-parallel

@@ -28,6 +28,8 @@ func main() {
 	dir := flag.String("dir", "", "persistence directory")
 	initScript := flag.String("init", "", "script file executed before serving")
 	demo := flag.Int("demo", 0, "populate the synthetic customer warehouse with N customers")
+	idle := flag.Duration("idle-timeout", dmserver.DefaultIdleTimeout,
+		"drop connections idle for this long between requests; <=0 disables")
 	flag.Parse()
 
 	var opts []provider.Option
@@ -67,6 +69,11 @@ func main() {
 		log.Fatal(err)
 	}
 	s := dmserver.New(p)
+	if *idle <= 0 {
+		s.IdleTimeout = -1
+	} else {
+		s.IdleTimeout = *idle
+	}
 	// Print the bound address (not the flag) so -addr :0 is usable.
 	fmt.Printf("dmserver listening on %s\n", l.Addr())
 	if err := s.Serve(l); err != nil {

@@ -82,13 +82,26 @@ type classifier struct {
 
 type gaussStat struct{ n, sum, sumsq float64 }
 
+// varianceFloor is the absolute lower bound on Gaussian variances. parseParams
+// rejects MINIMUM_VARIANCE <= 0, but a Model can reach meanVar with a
+// zero-value params struct (e.g. one rebuilt by a future decoder), and a
+// constant attribute then yields σ²=0 — whose log-likelihood term
+// -0.5·log(2πσ²) is +Inf/NaN and poisons every posterior. meanVar therefore
+// clamps unconditionally, regardless of the configured parameter.
+const varianceFloor = 1e-12
+
 func (g gaussStat) meanVar(minVar float64) (float64, float64) {
+	if minVar < varianceFloor {
+		minVar = varianceFloor
+	}
 	if g.n <= 0 {
 		return 0, minVar
 	}
 	mean := g.sum / g.n
 	v := g.sumsq/g.n - mean*mean
-	if v < minVar {
+	// v can also go slightly negative (or NaN on overflow) from floating-point
+	// cancellation in sumsq/n - mean²; the same clamp catches both.
+	if !(v >= minVar) {
 		v = minVar
 	}
 	return mean, v

@@ -263,3 +263,62 @@ func TestExistenceInputs(t *testing.T) {
 		t.Errorf("non-buyer → %v want a", p2.Estimate)
 	}
 }
+
+// TestConstantContinuousColumn trains on an attribute whose value never
+// varies: σ²=0 before the unconditional clamp in meanVar, which made the
+// Gaussian log-likelihood NaN/-Inf and poisoned the posterior.
+func TestConstantContinuousColumn(t *testing.T) {
+	sp := space(
+		continuous("flat"),
+		discrete("class", []string{"a", "b"}, true),
+	)
+	cs := &core.Caseset{Space: sp}
+	fi, _ := sp.Lookup("flat")
+	ci, _ := sp.Lookup("class")
+	for i := 0; i < 20; i++ {
+		c := core.NewCase()
+		c.Values[fi] = 42.0 // constant for every case and both classes
+		c.Values[ci] = int64(i % 2)
+		cs.Cases = append(cs.Cases, c)
+	}
+	m, err := (&Algorithm{}).Train(cs, []int{ci}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.NewCase()
+	q.Values[fi] = 42.0
+	p, err := m.Predict(q, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range p.Histogram {
+		if math.IsNaN(b.Prob) || math.IsInf(b.Prob, 0) {
+			t.Fatalf("constant column produced non-finite probability %v", b.Prob)
+		}
+		total += b.Prob
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("posterior does not normalize: sum = %v", total)
+	}
+}
+
+// TestMeanVarClampsZeroFloor exercises meanVar directly with minVariance
+// forced to 0, the raw bug condition parseParams normally guards against.
+func TestMeanVarClampsZeroFloor(t *testing.T) {
+	g := gaussStat{n: 3, sum: 30, sumsq: 300} // three observations of 10 → variance 0
+	mean, v := g.meanVar(0)
+	if mean != 10 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if v <= 0 {
+		t.Fatalf("variance not clamped positive: %v", v)
+	}
+	ll := -0.5*math.Log(2*math.Pi*v) - (10-mean)*(10-mean)/(2*v)
+	if math.IsNaN(ll) || math.IsInf(ll, 0) {
+		t.Fatalf("log-likelihood still non-finite: %v", ll)
+	}
+	if _, v0 := (gaussStat{}).meanVar(0); v0 <= 0 {
+		t.Fatalf("empty-stat variance not clamped: %v", v0)
+	}
+}

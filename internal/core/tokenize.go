@@ -104,13 +104,37 @@ func (tk *Tokenizer) Tokenize(rs *rowset.Rowset) (*Caseset, error) {
 }
 
 // TokenizeCase converts a single row (prediction input). The schema binding
-// is recomputed per call; batch callers should use Tokenize.
+// is recomputed per call; batch callers should use Tokenize or a CaseBinder.
 func (tk *Tokenizer) TokenizeCase(schema *rowset.Schema, row rowset.Row) (Case, error) {
-	b, err := tk.bind(schema)
+	cb, err := tk.NewCaseBinder(schema)
 	if err != nil {
 		return Case{}, err
 	}
-	return tk.tokenizeRow(b, row)
+	return cb.TokenizeRow(row)
+}
+
+// CaseBinder is a schema binding resolved once and reused across rows. The
+// binding itself is read-only after construction, so a single CaseBinder over
+// a frozen tokenizer may be shared by concurrent goroutines: frozen
+// tokenization touches no tokenizer or space state (unseen states and nested
+// keys are treated as missing, relations are ignored — see tokenizeRow).
+type CaseBinder struct {
+	tk *Tokenizer
+	b  *binding
+}
+
+// NewCaseBinder resolves the model-column → input-ordinal binding for schema.
+func (tk *Tokenizer) NewCaseBinder(schema *rowset.Schema) (*CaseBinder, error) {
+	b, err := tk.bind(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &CaseBinder{tk: tk, b: b}, nil
+}
+
+// TokenizeRow converts one row through the pre-resolved binding.
+func (cb *CaseBinder) TokenizeRow(row rowset.Row) (Case, error) {
+	return cb.tk.tokenizeRow(cb.b, row)
 }
 
 // binding caches the model-column → input-ordinal mapping for one schema.
@@ -221,6 +245,13 @@ func (tk *Tokenizer) tokenizeRow(b *binding, row rowset.Row) (Case, error) {
 		case ContentQualifier:
 			tk.applyQualifier(&c, col, col.QualifierOf, row[ord])
 		case ContentRelation:
+			// Relations are training metadata. A frozen space is shared
+			// read-only across concurrent prediction workers and must not be
+			// written; prediction inputs carrying RELATED TO columns are
+			// simply ignored.
+			if tk.frozen {
+				continue
+			}
 			if target, ok := findColumn(tk.Def.Columns, col.RelatedTo); ok {
 				if tOrd, ok2 := lookupOrd(b, tk.Def.Columns, target.Name); ok2 && row[tOrd] != nil {
 					tk.Space.setRelation(target.Name, rowset.FormatValue(row[tOrd]), rowset.FormatValue(row[ord]))
@@ -350,6 +381,9 @@ func (tk *Tokenizer) tokenizeNested(c *Case, nb *nestedBinding, nested *rowset.R
 			}
 			switch ncol.Content {
 			case ContentRelation:
+				if tk.frozen {
+					continue // read-only space at prediction time
+				}
 				tk.Space.setRelation(tcol.Name, key, rowset.FormatValue(v))
 			case ContentQualifier:
 				// Qualifier of the nested key qualifies the existence

@@ -408,3 +408,65 @@ func (fakeAlgo) SupportsPredictTable() bool { return false }
 func (fakeAlgo) Train(*Caseset, []int, map[string]string) (TrainedModel, error) {
 	return nil, nil
 }
+
+// TestFrozenTokenizationIsReadOnly pins down the invariant the parallel
+// prediction scan depends on: tokenizing through a frozen tokenizer must not
+// mutate the shared attribute space — no new attributes, no new discrete
+// states, and (the historical leak) no relation writes from RELATED TO
+// columns in prediction inputs.
+func TestFrozenTokenizationIsReadOnly(t *testing.T) {
+	tk := NewTokenizer(tableModelDef())
+	if _, err := tk.Tokenize(paperCaseset(t)); err != nil {
+		t.Fatal(err)
+	}
+	nAttrs := tk.Space.Len()
+	nRel := len(tk.Space.Relations)
+	states := append([]string(nil), tk.Space.Attr(mustLookup(t, tk.Space, "Gender")).States...)
+
+	frozen := *tk
+	frozen.Freeze()
+
+	// A prediction input full of unseen values: new gender state, new nested
+	// key, and a RELATED TO value that would have registered a new relation.
+	purchSchema := rowset.MustSchema(
+		rowset.Column{Name: "Product Name", Type: rowset.TypeText},
+		rowset.Column{Name: "Quantity", Type: rowset.TypeDouble},
+		rowset.Column{Name: "Product Type", Type: rowset.TypeText},
+	)
+	schema := rowset.MustSchema(
+		rowset.Column{Name: "Customer ID", Type: rowset.TypeLong},
+		rowset.Column{Name: "Gender", Type: rowset.TypeText},
+		rowset.Column{Name: "Age", Type: rowset.TypeDouble},
+		rowset.Column{Name: "Product Purchases", Type: rowset.TypeTable, Nested: purchSchema},
+	)
+	basket := rowset.New(purchSchema)
+	basket.MustAppend("Spaceship", 1.0, "Vehicle")   // unseen key + new relation value
+	basket.MustAppend("TV", 1.0, "Refurbished")      // seen key, contradicting relation value
+	row := rowset.Row{int64(9), "Nonbinary", 40.0, basket}
+	if _, err := frozen.TokenizeCase(schema, row); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tk.Space.Len(); got != nAttrs {
+		t.Errorf("frozen tokenization grew the space: %d -> %d attributes", nAttrs, got)
+	}
+	if got := len(tk.Space.Relations); got != nRel {
+		t.Errorf("frozen tokenization wrote relations: %d -> %d", nRel, got)
+	}
+	if rel, _ := tk.Space.Relation("Product Purchases", "TV"); rel != "Electronic" {
+		t.Errorf("relation for TV overwritten: %q", rel)
+	}
+	gotStates := tk.Space.Attr(mustLookup(t, tk.Space, "Gender")).States
+	if len(gotStates) != len(states) {
+		t.Errorf("frozen tokenization grew Gender states: %v -> %v", states, gotStates)
+	}
+}
+
+func mustLookup(t *testing.T, sp *AttributeSpace, name string) int {
+	t.Helper()
+	i, ok := sp.Lookup(name)
+	if !ok {
+		t.Fatalf("attribute %q missing", name)
+	}
+	return i
+}

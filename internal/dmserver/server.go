@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/provider"
 	"repro/internal/rowset"
@@ -38,11 +39,20 @@ const (
 // make the server allocate unboundedly.
 const MaxCommandLen = 16 << 20
 
+// DefaultIdleTimeout is how long a connection may sit idle between requests
+// before the server drops it: without a read deadline, a dead client that
+// never closes its socket pins a handler goroutine forever.
+const DefaultIdleTimeout = 5 * time.Minute
+
 // Server serves provider commands over a listener.
 type Server struct {
 	Provider *provider.Provider
 	// Logf logs connection-level failures; log.Printf by default.
 	Logf func(format string, args ...any)
+	// IdleTimeout bounds the wait for the next request on an open
+	// connection. Zero means DefaultIdleTimeout; negative disables the
+	// deadline. Set before calling Serve.
+	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -55,12 +65,19 @@ func New(p *provider.Provider) *Server {
 	return &Server{Provider: p, Logf: log.Printf, conns: make(map[net.Conn]struct{})}
 }
 
-// Serve accepts connections until the listener is closed (by Close).
+// Serve accepts connections until the listener is closed (by Close). A
+// Server serves at most one listener: a second Serve call would silently
+// overwrite s.listener and orphan the first accept loop (Close could no
+// longer reach it), so it is rejected.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return fmt.Errorf("dmserver: server is closed")
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("dmserver: Serve called twice on the same Server")
 	}
 	s.listener = l
 	s.mu.Unlock()
@@ -123,15 +140,31 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	idle := s.IdleTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	}
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		if idle > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return
+			}
+		}
 		cmd, err := readCommand(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) && !isTimeout(err) {
 				s.Logf("dmserver: read: %v", err)
 			}
 			return
+		}
+		// The deadline covers idle waiting only; command execution and the
+		// response write are not bounded by it.
+		if idle > 0 {
+			if err := conn.SetReadDeadline(time.Time{}); err != nil {
+				return
+			}
 		}
 		rs, execErr := s.Provider.Execute(cmd)
 		if execErr != nil {
@@ -186,6 +219,11 @@ func writeError(bw *bufio.Writer, execErr error) error {
 
 func isClosedConn(err error) bool {
 	return errors.Is(err, net.ErrClosed)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // WriteRequest frames one command onto w (shared with the client package).

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dmclient"
 	"repro/internal/dmserver"
@@ -193,5 +194,63 @@ func TestServerClose(t *testing.T) {
 	}
 	if err := s.Serve(nil); err == nil {
 		t.Error("serve after close must fail")
+	}
+}
+
+func TestServeTwiceRejected(t *testing.T) {
+	p := provider.MustNew()
+	s, _ := startServer(t, p)
+	defer s.Close()
+	// Wait for the startServer goroutine's Serve to register its listener,
+	// so this call is unambiguously the second one.
+	for s.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := s.Serve(l2); err == nil {
+		t.Fatal("second Serve on the same Server must be rejected")
+	}
+}
+
+func TestIdleReadDeadline(t *testing.T) {
+	p := provider.MustNew()
+	s := dmserver.New(p)
+	s.Logf = func(string, ...any) {}
+	s.IdleTimeout = 50 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); s.Serve(l) }() //nolint:errcheck
+	defer func() { s.Close(); <-done }()
+
+	// A client that connects and never sends anything must be dropped once
+	// the idle deadline lapses — observed as EOF/reset on its next read.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection was not closed by the server")
+	}
+
+	// A client that stays within the deadline keeps working across requests.
+	c, err := dmclient.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := c.Execute("SELECT 1 AS x"); err != nil {
+			t.Fatalf("request %d after idle wait: %v", i, err)
+		}
 	}
 }

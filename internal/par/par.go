@@ -1,0 +1,84 @@
+// Package par provides the bounded worker pool used by the provider's
+// parallel scan paths (PREDICTION JOIN case evaluation, INSERT INTO row
+// reshaping). The index space is split into contiguous chunks, one goroutine
+// per chunk up to the worker bound, so results keep their source order and
+// callers can merge deterministically.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// workers <= 0 means runtime.GOMAXPROCS(0). The index space is partitioned
+// into contiguous chunks; fn must therefore be safe to call concurrently for
+// distinct i but may assume it is called at most once per index.
+//
+// On error, remaining work is cancelled best-effort and the error with the
+// LOWEST index is returned — the same error a sequential left-to-right scan
+// would have surfaced first, keeping error reporting deterministic.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// firstIdx holds the lowest failing index seen so far (n = none).
+	// Workers stop once every index they could contribute is above it.
+	var (
+		firstIdx atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	firstIdx.Store(int64(n))
+	fail := func(i int, err error) {
+		mu.Lock()
+		if int64(i) < firstIdx.Load() {
+			firstIdx.Store(int64(i))
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start, end := w*chunk, (w+1)*chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				if int64(i) > firstIdx.Load() {
+					return // a lower index already failed; our results past it are moot
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,75 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		counts := make([]atomic.Int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty index space")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Errors at several indexes; the lowest one must win regardless of
+	// scheduling, matching what a sequential scan would report.
+	bad := map[int]bool{5: true, 20: true, 41: true}
+	for _, workers := range []int{2, 4, 16} {
+		err := ForEach(50, workers, func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 5" {
+			t.Fatalf("workers=%d: err = %v, want fail at 5", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsAtFirstError(t *testing.T) {
+	var ran []int
+	sentinel := errors.New("stop")
+	err := ForEach(10, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %v, want [0 1 2 3]", ran)
+	}
+}

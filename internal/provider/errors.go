@@ -1,0 +1,19 @@
+package provider
+
+import "fmt"
+
+// NestedColumnTypeError reports a source column that is bound to a nested
+// TABLE model column but whose cell value is not a nested rowset. Before this
+// error existed, a mistyped nested column was silently treated as an empty
+// nested table, which yields wrong predictions instead of a diagnosis.
+type NestedColumnTypeError struct {
+	// Column is the model's TABLE column name.
+	Column string
+	// Got is the rowset type name of the offending value.
+	Got string
+}
+
+func (e *NestedColumnTypeError) Error() string {
+	return fmt.Sprintf("provider: column %q is bound to a nested TABLE column but the source value is %s, not a nested table",
+		e.Column, e.Got)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmx"
 	"repro/internal/lex"
+	"repro/internal/par"
 	"repro/internal/rowset"
 )
 
@@ -28,7 +29,7 @@ func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	bound, err := applyBindings(e.model.Def, ins.Bindings, src)
+	bound, err := applyBindings(e.model.Def, ins.Bindings, src, p.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -36,6 +37,11 @@ func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	// Tokenization stays on this single consumer goroutine: it grows the
+	// shared attribute space, and state dictionaries are built in first-seen
+	// order, so a parallel tokenize would make attribute indexes depend on
+	// scheduling. The parallelizable part of the training scan — per-row
+	// binding and nested reshaping — already ran above, outside the lock.
 	cs, err := e.tokenizer.Tokenize(bound)
 	if err != nil {
 		return nil, err
@@ -151,8 +157,10 @@ func (p *Provider) entropyLabels(full *core.Caseset, exclude int) []int {
 // With an explicit binding list, bindings map positionally onto the source
 // columns when the counts line up (SKIP entries consume unbound source
 // columns, the DMX idiom for RELATE keys); otherwise, and when no bindings
-// are given, columns bind by name.
-func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowset) (*rowset.Rowset, error) {
+// are given, columns bind by name. The per-row projection (including nested
+// reshaping, the expensive part of a hierarchical training scan) runs on the
+// workers pool; rows keep their source order.
+func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowset, workers int) (*rowset.Rowset, error) {
 	if len(bindings) == 0 {
 		bindings = make([]dmx.Binding, 0, len(def.Columns))
 		for i := range def.Columns {
@@ -167,8 +175,10 @@ func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowse
 	if err != nil {
 		return nil, err
 	}
-	out := rowset.New(outSchema)
-	for _, r := range src.Rows() {
+	srcRows := src.Rows()
+	rows := make([]rowset.Row, len(srcRows))
+	err = par.ForEach(len(srcRows), workers, func(i int) error {
+		r := srcRows[i]
 		row := make(rowset.Row, 0, len(plan))
 		for _, b := range plan {
 			v := r[b.srcOrd]
@@ -179,21 +189,23 @@ func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowse
 					ok = true
 				}
 				if !ok {
-					return nil, fmt.Errorf("provider: binding %q: expected nested table", b.name)
+					return &NestedColumnTypeError{Column: b.name, Got: rowset.TypeOf(v).String()}
 				}
 				nv, err := reshapeNested(nested, b)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				v = nv
 			}
 			row = append(row, v)
 		}
-		if err := out.Append(row); err != nil {
-			return nil, err
-		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return rowset.FromRows(outSchema, rows)
 }
 
 // boundCol is one resolved binding: which source ordinal feeds which model

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmx"
+	"repro/internal/par"
 	"repro/internal/rowset"
 	"repro/internal/sqlengine"
 )
@@ -92,77 +93,73 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 		}
 	}
 
-	out := make([]rowset.Row, 0, src.Len())
-	var orderKeys []rowset.Row
-	for _, srcRow := range src.Rows() {
-		modelRow := make(rowset.Row, 0, len(plan))
-		for _, b := range plan {
-			v := srcRow[b.srcOrd]
-			if b.nestedSchema != nil {
-				nested, _ := v.(*rowset.Rowset)
-				if nested == nil {
-					nested = rowset.New(b.nestedSrcSchema)
-				}
-				nv, nerr := reshapeNested(nested, b)
-				if nerr != nil {
-					return nil, nerr
-				}
-				v = nv
+	// The binding is resolved once and shared read-only by every worker;
+	// each case gets its own predictionContext (prediction cache) and Env.
+	binder, err := frozen.NewCaseBinder(modelSchema)
+	if err != nil {
+		return nil, err
+	}
+	pp := &predictPlan{
+		provider: p,
+		entry:    e,
+		ps:       ps,
+		plan:     plan,
+		binder:   binder,
+		schema:   evalSchema,
+		items:    items,
+		where:    where,
+		orderBy:  orderBy,
+	}
+
+	rows := src.Rows()
+	results := make([]caseResult, len(rows))
+	workers := p.workers()
+	if workers > 1 && len(rows) >= minParallelCases {
+		// Parallel scan: contiguous chunks, merged back in source order below,
+		// so output (and therefore ORDER BY/TOP semantics) is byte-identical
+		// to the sequential path. TOP without ORDER BY cannot short-circuit a
+		// chunked scan; every case is evaluated and the merge truncates.
+		err = par.ForEach(len(rows), workers, func(i int) error {
+			r, cerr := pp.evalCase(rows[i])
+			if cerr != nil {
+				return cerr
 			}
-			modelRow = append(modelRow, v)
-		}
-		c, err := frozen.TokenizeCase(modelSchema, modelRow)
+			results[i] = r
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		kept := 0
+		for i, srcRow := range rows {
+			r, cerr := pp.evalCase(srcRow)
+			if cerr != nil {
+				return nil, cerr
+			}
+			results[i] = r
+			if r.keep {
+				kept++
+			}
+			// Without ORDER BY, TOP short-circuits the scan; with it, every
+			// row must be seen before the sort decides the winners.
+			if len(orderBy) == 0 && ps.Top > 0 && kept >= ps.Top {
+				break
+			}
+		}
+	}
 
-		pc := &predictionContext{
-			provider: p,
-			entry:    e,
-			c:        c,
-			cache:    make(map[string]core.Prediction),
+	// Merge in source order.
+	out := make([]rowset.Row, 0, len(rows))
+	var orderKeys []rowset.Row
+	for i := range results {
+		if !results[i].keep {
+			continue
 		}
-		env := &sqlengine.Env{
-			Schema:   evalSchema,
-			Row:      srcRow,
-			External: pc.resolveExternal(ps.Model, ps.Alias),
-			Funcs:    pc.callUDF,
-		}
-		if where != nil {
-			v, err := sqlengine.Eval(where, env)
-			if err != nil {
-				return nil, err
-			}
-			keep, err := sqlengine.Truthy(v)
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				continue
-			}
-		}
-		row := make(rowset.Row, len(items))
-		for i, it := range items {
-			v, err := sqlengine.Eval(it.Expr, env)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = rowset.Normalize(v)
-		}
+		out = append(out, results[i].row)
 		if len(orderBy) > 0 {
-			keys := make(rowset.Row, len(orderBy))
-			for i, o := range orderBy {
-				v, err := sqlengine.Eval(o.Expr, env)
-				if err != nil {
-					return nil, err
-				}
-				keys[i] = rowset.Normalize(v)
-			}
-			orderKeys = append(orderKeys, keys)
+			orderKeys = append(orderKeys, results[i].keys)
 		}
-		out = append(out, row)
-		// Without ORDER BY, TOP short-circuits the scan; with it, every row
-		// must be seen before the sort decides the winners.
 		if len(orderBy) == 0 && ps.Top > 0 && len(out) >= ps.Top {
 			break
 		}
@@ -180,6 +177,109 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 		return nil, err
 	}
 	return rowset.FromRows(schema, out)
+}
+
+// minParallelCases is the source size below which the goroutine fan-out costs
+// more than the scan; tiny inputs stay on the calling goroutine.
+const minParallelCases = 8
+
+// predictPlan is the per-statement read-only state shared by every prediction
+// worker: resolved bindings, frozen-tokenizer case binder, pre-resolved
+// WHERE/ORDER BY expressions, and the projection items.
+type predictPlan struct {
+	provider *Provider
+	entry    *modelEntry
+	ps       *dmx.PredictionSelect
+	plan     []boundCol
+	binder   *core.CaseBinder
+	schema   *rowset.Schema // alias-qualified source schema
+	items    []sqlengine.SelectItem
+	where    sqlengine.Expr
+	orderBy  []sqlengine.OrderItem
+}
+
+// caseResult is one source row's evaluated output: whether WHERE kept it, the
+// projected row, and its ORDER BY keys.
+type caseResult struct {
+	keep bool
+	row  rowset.Row
+	keys rowset.Row
+}
+
+// evalCase tokenizes and evaluates one source row. It reads only shared
+// immutable state (plan, binder, trained model) and is safe to call from
+// concurrent workers.
+func (pp *predictPlan) evalCase(srcRow rowset.Row) (caseResult, error) {
+	modelRow := make(rowset.Row, 0, len(pp.plan))
+	for _, b := range pp.plan {
+		v := srcRow[b.srcOrd]
+		if b.nestedSchema != nil {
+			nested, ok := v.(*rowset.Rowset)
+			switch {
+			case v == nil:
+				nested = rowset.New(b.nestedSrcSchema)
+			case !ok:
+				return caseResult{}, &NestedColumnTypeError{Column: b.name, Got: rowset.TypeOf(v).String()}
+			}
+			nv, nerr := reshapeNested(nested, b)
+			if nerr != nil {
+				return caseResult{}, nerr
+			}
+			v = nv
+		}
+		modelRow = append(modelRow, v)
+	}
+	c, err := pp.binder.TokenizeRow(modelRow)
+	if err != nil {
+		return caseResult{}, err
+	}
+
+	pc := &predictionContext{
+		provider: pp.provider,
+		entry:    pp.entry,
+		c:        c,
+		cache:    make(map[string]core.Prediction),
+	}
+	env := &sqlengine.Env{
+		Schema:   pp.schema,
+		Row:      srcRow,
+		External: pc.resolveExternal(pp.ps.Model, pp.ps.Alias),
+		Funcs:    pc.callUDF,
+	}
+	if pp.where != nil {
+		v, err := sqlengine.Eval(pp.where, env)
+		if err != nil {
+			return caseResult{}, err
+		}
+		keep, err := sqlengine.Truthy(v)
+		if err != nil {
+			return caseResult{}, err
+		}
+		if !keep {
+			return caseResult{}, nil
+		}
+	}
+	row := make(rowset.Row, len(pp.items))
+	for i, it := range pp.items {
+		v, err := sqlengine.Eval(it.Expr, env)
+		if err != nil {
+			return caseResult{}, err
+		}
+		row[i] = rowset.Normalize(v)
+	}
+	res := caseResult{keep: true, row: row}
+	if len(pp.orderBy) > 0 {
+		keys := make(rowset.Row, len(pp.orderBy))
+		for i, o := range pp.orderBy {
+			v, err := sqlengine.Eval(o.Expr, env)
+			if err != nil {
+				return caseResult{}, err
+			}
+			keys[i] = rowset.Normalize(v)
+		}
+		res.keys = keys
+	}
+	return res, nil
 }
 
 // sortPredictionRows stable-sorts rows by the precomputed key columns.

@@ -14,6 +14,7 @@ package provider
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -49,6 +50,19 @@ type Provider struct {
 
 	// dir enables persistence when non-empty (see persist.go).
 	dir string
+
+	// parallelism bounds the worker pool used by the per-case scan loops
+	// (PREDICTION JOIN evaluation, INSERT INTO row reshaping). Defaults to
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	parallelism int
+}
+
+// workers returns the effective worker-pool bound.
+func (p *Provider) workers() int {
+	if p.parallelism > 0 {
+		return p.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // modelEntry couples a catalogued model with its tokenizer and accumulated
@@ -67,6 +81,13 @@ type Option func(*Provider)
 // under dir/models. Existing state is loaded by New.
 func WithDirectory(dir string) Option {
 	return func(p *Provider) { p.dir = dir }
+}
+
+// WithParallelism bounds the worker pool for the parallel scan paths.
+// n <= 0 restores the default (runtime.GOMAXPROCS(0)); n == 1 forces
+// sequential execution.
+func WithParallelism(n int) Option {
+	return func(p *Provider) { p.parallelism = n }
 }
 
 // New creates a provider with the six reference mining services installed
@@ -150,6 +171,11 @@ func (p *Provider) ModelNames() []string {
 func (p *Provider) allModels() []*core.Model {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	return p.modelsLocked()
+}
+
+// modelsLocked lists the catalogued models; p.mu must be held.
+func (p *Provider) modelsLocked() []*core.Model {
 	out := make([]*core.Model, 0, len(p.models))
 	for _, e := range p.models {
 		out = append(out, e.model)
@@ -223,7 +249,12 @@ func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
 	case *dmx.PMMLSelect:
 		return p.pmmlRowset(s.Model)
 	case *dmx.SchemaRowsetSelect:
-		return schemarowset.Build(s.Rowset, p.allModels(), p.Registry)
+		// Build reads Trained/Space/CaseCount off every model, so the read
+		// lock must cover the build itself, not just the catalogue snapshot —
+		// a concurrent INSERT INTO rewrites those fields under the write lock.
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		return schemarowset.Build(s.Rowset, p.modelsLocked(), p.Registry)
 	case *dmx.DeleteFrom:
 		return p.deleteFrom(s.Model)
 	case *dmx.DropModel:
