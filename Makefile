@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench-parallel check
+.PHONY: build test vet race bench-parallel lint check
 
 build:
 	$(GO) build ./...
@@ -21,4 +21,15 @@ race:
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkPredictionJoinParallel -benchtime=1x .
 
-check: vet race bench-parallel
+# Project-specific static analysis (tools/dmlint) plus formatting and vet.
+# dmlint type-checks the module with the stdlib toolchain and enforces the
+# invariants documented in DESIGN.md § Static analysis.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:" $$unformatted; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./tools/dmlint ./...
+
+check: lint race bench-parallel

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dmx"
 	"repro/internal/experiments"
 	"repro/internal/provider"
+	"repro/internal/provider/providertest"
 	"repro/internal/rowset"
 	"repro/internal/shape"
 	"repro/internal/workload"
@@ -28,7 +29,7 @@ const benchScale = 1000
 // benchmark.
 func benchWarehouse(b *testing.B, n int) *provider.Provider {
 	b.Helper()
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: n, Seed: 1}); err != nil {
 		b.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func BenchmarkE10_PaperLifecycle(b *testing.B) {
 func BenchmarkPredictionJoinParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			p := provider.MustNew(provider.WithParallelism(workers))
+			p := providertest.MustNew(provider.WithParallelism(workers))
 			if _, err := workload.Populate(p.DB, workload.Config{Customers: benchScale, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}

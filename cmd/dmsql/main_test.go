@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/provider"
+)
+
+// script drives the shell exactly as `dmsql -f script.dmx` would: schema and
+// model DDL first, then four statements that are each semantically invalid
+// and must be rejected by the binder — before execution, which would have
+// failed differently (the model is never trained, so reaching the executor
+// would report an untrained model, not a positioned diagnostic).
+const script = `CREATE TABLE Customers ([Customer ID] LONG, Gender TEXT, Age DOUBLE);
+CREATE MINING MODEL [Age Prediction] (
+	[Customer ID] LONG KEY,
+	Gender TEXT DISCRETE,
+	Age DOUBLE DISCRETIZED PREDICT,
+	[Product Purchases] TABLE(
+		[Product Name] TEXT KEY,
+		Quantity DOUBLE CONTINUOUS
+	)
+) USING Decision_Trees;
+SELECT Predict([Shoe Size]) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t;
+SELECT PredictSupport([Product Purchases]) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t;
+SELECT Cluster(Age) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t;
+SELECT Predict(Age) FROM [Age Prediction] PREDICTION JOIN (SELECT [Customer ID], Gender AS Age FROM Customers) AS t ON [Age Prediction].[Age] = t.[Age];
+`
+
+// TestScriptSurfacesBindDiagnostics runs the shell loop over a script file
+// and checks that every bind-time error reaches stderr as a positioned
+// diagnostic. This is the end-to-end path a user sees: parse → bind →
+// reject, with line:column offsets into the statement they typed.
+func TestScriptSurfacesBindDiagnostics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "script.dmx")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	p, err := provider.New()
+	if err != nil {
+		t.Fatalf("provider.New: %v", err)
+	}
+
+	stderr := captureStderr(t, func() {
+		run(f, p, p, false)
+	})
+
+	for _, want := range []string{
+		`error: 1:16: unknown column "Shoe Size" in model Age Prediction`,
+		`error: 1:23: PREDICTSUPPORT: column "Product Purchases" of model Age Prediction is a TABLE column`,
+		`error: 1:8: CLUSTER takes 0 arguments, got 1`,
+		"incompatible types",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q\nstderr:\n%s", want, stderr)
+		}
+	}
+	// The model was never trained: had any of the four statements reached the
+	// executor, stderr would name the untrained model instead of a position.
+	if strings.Contains(stderr, "not populated") || strings.Contains(stderr, "untrained") {
+		t.Errorf("a statement reached the executor past the binder\nstderr:\n%s", stderr)
+	}
+}
+
+// TestScriptExecutesValidStatements is the control: a well-formed script
+// produces no diagnostics on stderr.
+func TestScriptExecutesValidStatements(t *testing.T) {
+	const ok = "CREATE TABLE T (A LONG);\nINSERT INTO T VALUES (1), (2);\nSELECT A FROM T;\n"
+	path := filepath.Join(t.TempDir(), "ok.dmx")
+	if err := os.WriteFile(path, []byte(ok), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	p, err := provider.New()
+	if err != nil {
+		t.Fatalf("provider.New: %v", err)
+	}
+	stderr := captureStderr(t, func() {
+		run(f, p, p, false)
+	})
+	if stderr != "" {
+		t.Errorf("clean script wrote to stderr:\n%s", stderr)
+	}
+}
+
+// captureStderr swaps os.Stderr for a temp file around fn and returns what
+// was written. The shell's rowset output on stdout is left alone.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stderr
+	os.Stderr = tmp
+	defer func() {
+		os.Stderr = orig
+		tmp.Close()
+	}()
+	fn()
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

@@ -19,7 +19,10 @@ import (
 const customers = 2000
 
 func main() {
-	p := provider.MustNew()
+	p, err := provider.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: customers, Seed: 42}); err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,10 @@ import (
 )
 
 func main() {
-	p := provider.MustNew()
+	p, err := provider.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Session logs: most sessions follow home → search → product →
 	// checkout, with some wandering back to search.

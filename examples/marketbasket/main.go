@@ -16,7 +16,10 @@ import (
 )
 
 func main() {
-	p := provider.MustNew()
+	p, err := provider.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: 3000, Seed: 7}); err != nil {
 		log.Fatal(err)
 	}

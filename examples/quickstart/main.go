@@ -17,7 +17,10 @@ import (
 )
 
 func main() {
-	p := provider.MustNew()
+	p, err := provider.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	steps := []string{
 		// 1. Relational data, plain SQL.

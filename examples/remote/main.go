@@ -19,7 +19,10 @@ import (
 
 func main() {
 	// Server side: a provider with the demo warehouse, exposed on a socket.
-	p := provider.MustNew()
+	p, err := provider.New()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: 1000, Seed: 9}); err != nil {
 		log.Fatal(err)
 	}

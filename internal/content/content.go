@@ -41,23 +41,32 @@ func RowsetSchema() *rowset.Schema {
 
 // Rowset flattens a content graph into the MINING_MODEL_CONTENT rowset,
 // depth-first so parents precede children.
-func Rowset(modelName string, root *core.ContentNode) *rowset.Rowset {
+func Rowset(modelName string, root *core.ContentNode) (*rowset.Rowset, error) {
 	schema := RowsetSchema()
 	distSchema := schema.Columns[schema.Len()-1].Nested
 	out := rowset.New(schema)
 	if root == nil {
-		return out
+		return out, nil
 	}
+	// Walk has no error channel, so the first append failure is recorded and
+	// the remaining nodes are skipped.
+	var walkErr error
 	root.Walk(func(n, parent *core.ContentNode) {
+		if walkErr != nil {
+			return
+		}
 		parentName := ""
 		if parent != nil {
 			parentName = nodeName(parent.ID)
 		}
 		dist := rowset.New(distSchema)
 		for _, s := range n.Distribution {
-			dist.MustAppend(s.Value, s.Support, s.Prob, s.Variance)
+			if err := dist.AppendVals(s.Value, s.Support, s.Prob, s.Variance); err != nil {
+				walkErr = err
+				return
+			}
 		}
-		out.MustAppend(
+		walkErr = out.AppendVals(
 			modelName,
 			nodeName(n.ID),
 			int64(n.Type),
@@ -71,7 +80,10 @@ func Rowset(modelName string, root *core.ContentNode) *rowset.Rowset {
 			dist,
 		)
 	})
-	return out
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return out, nil
 }
 
 func nodeName(id int) string { return fmt.Sprintf("node%04d", id) }

@@ -37,7 +37,10 @@ func sampleGraph() *core.ContentNode {
 }
 
 func TestRowsetFlattening(t *testing.T) {
-	rs := Rowset("Age Prediction", sampleGraph())
+	rs, err := Rowset("Age Prediction", sampleGraph())
+	if err != nil {
+		t.Fatalf("Rowset: %v", err)
+	}
 	if rs.Len() != 5 {
 		t.Fatalf("rows = %d want 5", rs.Len())
 	}
@@ -80,7 +83,10 @@ func TestRowsetFlattening(t *testing.T) {
 }
 
 func TestRowsetEmptyGraph(t *testing.T) {
-	rs := Rowset("m", nil)
+	rs, err := Rowset("m", nil)
+	if err != nil {
+		t.Fatalf("Rowset: %v", err)
+	}
 	if rs.Len() != 0 {
 		t.Error("nil graph must yield empty rowset")
 	}

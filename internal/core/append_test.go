@@ -1,0 +1,11 @@
+package core
+
+import "repro/internal/rowset"
+
+// mustAppend appends one row built from vals, failing loudly on error;
+// test fixtures only (the library itself returns append errors).
+func mustAppend(rs *rowset.Rowset, vals ...rowset.Value) {
+	if err := rs.AppendVals(vals...); err != nil {
+		panic(err)
+	}
+}

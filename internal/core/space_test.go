@@ -97,7 +97,7 @@ func TestFrozenTokenizerFromPersistedSpace(t *testing.T) {
 		rowset.Column{Name: "id", Type: rowset.TypeLong},
 		rowset.Column{Name: "g", Type: rowset.TypeText},
 	))
-	rs.MustAppend(int64(1), "b")
+	mustAppend(rs, int64(1), "b")
 	cs, err := tk.Tokenize(rs)
 	if err != nil {
 		t.Fatal(err)

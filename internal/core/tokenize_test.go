@@ -28,21 +28,21 @@ func paperCaseset(t *testing.T) *rowset.Rowset {
 	)
 
 	p1 := rowset.New(purchSchema)
-	p1.MustAppend("TV", 1.0, "Electronic")
-	p1.MustAppend("VCR", 1.0, "Electronic")
-	p1.MustAppend("Ham", 2.0, "Food")
-	p1.MustAppend("Beer", 6.0, "Beverage")
+	mustAppend(p1, "TV", 1.0, "Electronic")
+	mustAppend(p1, "VCR", 1.0, "Electronic")
+	mustAppend(p1, "Ham", 2.0, "Food")
+	mustAppend(p1, "Beer", 6.0, "Beverage")
 	c1 := rowset.New(carSchema)
-	c1.MustAppend("Truck", 1.0)
-	c1.MustAppend("Van", 0.5)
+	mustAppend(c1, "Truck", 1.0)
+	mustAppend(c1, "Van", 0.5)
 
 	p2 := rowset.New(purchSchema)
-	p2.MustAppend("TV", 1.0, "Electronic")
+	mustAppend(p2, "TV", 1.0, "Electronic")
 	c2 := rowset.New(carSchema)
 
 	rs := rowset.New(schema)
-	rs.MustAppend(int64(1), "Male", 35.0, p1, c1)
-	rs.MustAppend(int64(2), "Female", 28.0, p2, c2)
+	mustAppend(rs, int64(1), "Male", 35.0, p1, c1)
+	mustAppend(rs, int64(2), "Female", 28.0, p2, c2)
 	return rs
 }
 
@@ -166,7 +166,7 @@ func TestTokenizeMissingColumnTraining(t *testing.T) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "Customer ID", Type: rowset.TypeLong},
 	))
-	rs.MustAppend(int64(1))
+	mustAppend(rs, int64(1))
 	if _, err := tk.Tokenize(rs); err == nil {
 		t.Error("training without attribute columns must fail")
 	}
@@ -184,7 +184,7 @@ func TestFrozenTokenizerAllowsSubset(t *testing.T) {
 		rowset.Column{Name: "Customer ID", Type: rowset.TypeLong},
 		rowset.Column{Name: "Gender", Type: rowset.TypeText},
 	))
-	rs.MustAppend(int64(9), "Male")
+	mustAppend(rs, int64(9), "Male")
 	cs, err := tk.Tokenize(rs)
 	if err != nil {
 		t.Fatal(err)
@@ -195,7 +195,7 @@ func TestFrozenTokenizerAllowsSubset(t *testing.T) {
 	}
 	// Unseen state is missing, not a new state.
 	rs2 := rowset.New(rs.Schema())
-	rs2.MustAppend(int64(10), "Other")
+	mustAppend(rs2, int64(10), "Other")
 	cs2, err := tk.Tokenize(rs2)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestDiscretizeAttr(t *testing.T) {
 		rowset.Column{Name: "v", Type: rowset.TypeDouble},
 	))
 	for i, f := range []float64{1, 5, 10, 20, 50} {
-		rs.MustAppend(int64(i), f)
+		mustAppend(rs, int64(i), f)
 	}
 	cs, err := tk.Tokenize(rs)
 	if err != nil {
@@ -243,7 +243,7 @@ func TestDiscretizeAttr(t *testing.T) {
 	// Frozen tokenization of a new value must bucket it.
 	tk.Freeze()
 	rs2 := rowset.New(rs.Schema())
-	rs2.MustAppend(int64(99), 7.0)
+	mustAppend(rs2, int64(99), 7.0)
 	cs2, err := tk.Tokenize(rs2)
 	if err != nil {
 		t.Fatal(err)
@@ -282,8 +282,8 @@ func TestSupportQualifierSetsWeight(t *testing.T) {
 		rowset.Column{Name: "g", Type: rowset.TypeText},
 		rowset.Column{Name: "w", Type: rowset.TypeDouble},
 	))
-	rs.MustAppend(int64(1), "a", 3.0)
-	rs.MustAppend(int64(2), "b", nil)
+	mustAppend(rs, int64(1), "a", 3.0)
+	mustAppend(rs, int64(2), "b", nil)
 	cs, err := tk.Tokenize(rs)
 	if err != nil {
 		t.Fatal(err)
@@ -309,7 +309,7 @@ func TestNotNullEnforced(t *testing.T) {
 		rowset.Column{Name: "id", Type: rowset.TypeLong},
 		rowset.Column{Name: "g", Type: rowset.TypeText},
 	))
-	rs.MustAppend(int64(1), nil)
+	mustAppend(rs, int64(1), nil)
 	if _, err := tk.Tokenize(rs); err == nil {
 		t.Error("NOT_NULL violation must fail in training")
 	}
@@ -329,8 +329,8 @@ func TestModelExistenceOnly(t *testing.T) {
 		rowset.Column{Name: "id", Type: rowset.TypeLong},
 		rowset.Column{Name: "Age", Type: rowset.TypeDouble},
 	))
-	rs.MustAppend(int64(1), 35.0)
-	rs.MustAppend(int64(2), nil)
+	mustAppend(rs, int64(1), 35.0)
+	mustAppend(rs, int64(2), nil)
 	cs, err := tk.Tokenize(rs)
 	if err != nil {
 		t.Fatal(err)
@@ -440,8 +440,8 @@ func TestFrozenTokenizationIsReadOnly(t *testing.T) {
 		rowset.Column{Name: "Product Purchases", Type: rowset.TypeTable, Nested: purchSchema},
 	)
 	basket := rowset.New(purchSchema)
-	basket.MustAppend("Spaceship", 1.0, "Vehicle")   // unseen key + new relation value
-	basket.MustAppend("TV", 1.0, "Refurbished")      // seen key, contradicting relation value
+	mustAppend(basket, "Spaceship", 1.0, "Vehicle") // unseen key + new relation value
+	mustAppend(basket, "TV", 1.0, "Refurbished")    // seen key, contradicting relation value
 	row := rowset.Row{int64(9), "Nonbinary", 40.0, basket}
 	if _, err := frozen.TokenizeCase(schema, row); err != nil {
 		t.Fatal(err)

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/provider"
+	"repro/internal/provider/providertest"
 )
 
 func openDB(t *testing.T, dsn string) *sql.DB {
@@ -171,7 +171,7 @@ func TestSharedProviderAcrossConnections(t *testing.T) {
 }
 
 func TestRegisteredProvider(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	if _, err := p.Execute("CREATE TABLE R (x LONG)"); err != nil {
 		t.Fatal(err)
 	}

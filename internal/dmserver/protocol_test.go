@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dmserver"
-	"repro/internal/provider"
+	"repro/internal/provider/providertest"
 )
 
 // rawDial opens a plain TCP connection to poke the wire format directly.
@@ -23,7 +23,7 @@ func rawDial(t *testing.T, addr string) net.Conn {
 }
 
 func TestOversizedCommandRejected(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	conn := rawDial(t, addr)
 	// Claim a command far above MaxCommandLen; the server must drop the
@@ -41,7 +41,7 @@ func TestOversizedCommandRejected(t *testing.T) {
 }
 
 func TestGarbageFrameClosesConnection(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	conn := rawDial(t, addr)
 	// A valid length prefix followed by a command that fails to parse gets
@@ -84,7 +84,7 @@ func (badStatusReader) Read(p []byte) (int, error) {
 }
 
 func TestListenAndServeBadAddr(t *testing.T) {
-	s := dmserver.New(provider.MustNew())
+	s := dmserver.New(providertest.MustNew())
 	if err := s.ListenAndServe("256.256.256.256:1"); err == nil {
 		t.Error("bad address must fail")
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dmclient"
 	"repro/internal/dmserver"
 	"repro/internal/provider"
+	"repro/internal/provider/providertest"
 )
 
 // startServer launches a server on a random local port.
@@ -37,7 +38,7 @@ func startServer(t *testing.T, p *provider.Provider) (*dmserver.Server, string) 
 }
 
 func TestRemoteExecution(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	c, err := dmclient.Dial(addr)
 	if err != nil {
@@ -61,7 +62,7 @@ func TestRemoteExecution(t *testing.T) {
 }
 
 func TestRemoteMiningLifecycle(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	c, err := dmclient.Dial(addr)
 	if err != nil {
@@ -112,7 +113,7 @@ func TestRemoteMiningLifecycle(t *testing.T) {
 }
 
 func TestRemoteErrorPropagation(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	c, err := dmclient.Dial(addr)
 	if err != nil {
@@ -143,7 +144,7 @@ func errorsAs(err error, target **dmserver.RemoteError) bool {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	if _, err := p.Execute("CREATE TABLE C (x LONG)"); err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestServerClose(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	s, addr := startServer(t, p)
 	c, err := dmclient.Dial(addr)
 	if err != nil {
@@ -198,7 +199,7 @@ func TestServerClose(t *testing.T) {
 }
 
 func TestServeTwiceRejected(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	s, _ := startServer(t, p)
 	defer s.Close()
 	// Wait for the startServer goroutine's Serve to register its listener,
@@ -217,7 +218,7 @@ func TestServeTwiceRejected(t *testing.T) {
 }
 
 func TestIdleReadDeadline(t *testing.T) {
-	p := provider.MustNew()
+	p := providertest.MustNew()
 	s := dmserver.New(p)
 	s.Logf = func(string, ...any) {}
 	s.IdleTimeout = 50 * time.Millisecond

@@ -9,6 +9,7 @@ package dmx
 
 import (
 	"repro/internal/core"
+	"repro/internal/lex"
 	"repro/internal/shape"
 	"repro/internal/sqlengine"
 )
@@ -30,6 +31,8 @@ type Binding struct {
 	Name   string
 	Skip   bool
 	Nested []Binding // non-nil for TABLE-column bindings
+	// Pos locates the binding's name token for semantic diagnostics.
+	Pos lex.Pos
 }
 
 // Source is the data source of an INSERT INTO or PREDICTION JOIN: either a
@@ -45,6 +48,8 @@ type InsertInto struct {
 	Model    string
 	Bindings []Binding
 	Source   Source
+	// ModelPos locates the model name token.
+	ModelPos lex.Pos
 }
 
 func (*InsertInto) dmxStmt() {}
@@ -67,6 +72,8 @@ type PredictionSelect struct {
 	OrderBy []sqlengine.OrderItem
 	// Top limits the result (SELECT TOP n ...), applied after OrderBy.
 	Top int
+	// ModelPos locates the model name token.
+	ModelPos lex.Pos
 }
 
 func (*PredictionSelect) dmxStmt() {}

@@ -50,15 +50,15 @@ func parseStatement(s *lex.Scanner, isModel func(string) bool) (Statement, error
 		}
 		// Optional MINING MODEL keywords (DMX allows INSERT INTO MINING MODEL m).
 		explicit := s.AcceptSeq("MINING", "MODEL")
-		name, err := s.Name()
+		nameTok, err := s.NameToken()
 		if err != nil {
 			return nil, err
 		}
-		if !explicit && !isModel(name) {
+		if !explicit && !isModel(nameTok.Text) {
 			restore()
 			return nil, nil // plain SQL INSERT
 		}
-		return parseInsertInto(s, name)
+		return parseInsertInto(s, nameTok.Text, nameTok.Position())
 	case s.Peek().Is("DELETE"):
 		restore := s.Mark()
 		s.Accept("DELETE")
@@ -306,8 +306,8 @@ func parseColumnModifiers(s *lex.Scanner, col *core.ColumnDef) error {
 
 // ---------- INSERT INTO ----------
 
-func parseInsertInto(s *lex.Scanner, model string) (Statement, error) {
-	ins := &InsertInto{Model: model}
+func parseInsertInto(s *lex.Scanner, model string, modelPos lex.Pos) (Statement, error) {
+	ins := &InsertInto{Model: model, ModelPos: modelPos}
 	if s.AcceptPunct("(") {
 		bindings, err := parseBindings(s, false)
 		if err != nil {
@@ -332,11 +332,11 @@ func parseBindings(s *lex.Scanner, nested bool) ([]Binding, error) {
 		if s.Accept("SKIP") {
 			out = append(out, Binding{Skip: true})
 		} else {
-			name, err := s.Name()
+			nameTok, err := s.NameToken()
 			if err != nil {
 				return nil, err
 			}
-			b := Binding{Name: name}
+			b := Binding{Name: nameTok.Text, Pos: nameTok.Position()}
 			if !nested && s.AcceptPunct("(") {
 				inner, err := parseBindings(s, true)
 				if err != nil {
@@ -447,11 +447,12 @@ func parseSelect(s *lex.Scanner, isModel func(string) bool) (Statement, error) {
 		restore()
 		return nil, nil
 	}
-	modelName, err := s.Name()
+	modelTok, err := s.NameToken()
 	if err != nil {
 		restore()
 		return nil, nil
 	}
+	modelName := modelTok.Text
 
 	// $SYSTEM schema rowsets.
 	if strings.EqualFold(modelName, "$SYSTEM") || strings.EqualFold(modelName, "SYSTEM") {
@@ -501,7 +502,7 @@ func parseSelect(s *lex.Scanner, isModel func(string) bool) (Statement, error) {
 	}
 	_ = star
 
-	ps := &PredictionSelect{Items: items, Model: modelName, Natural: natural, Top: top}
+	ps := &PredictionSelect{Items: items, Model: modelName, Natural: natural, Top: top, ModelPos: modelTok.Position()}
 	src, err := parseSource(s)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,596 @@
+// Package sem implements the semantic binder that sits between the DMX
+// parser and the provider's executor. It resolves column references against
+// model metadata and (best-effort) source schemas, checks scalar-vs-TABLE
+// usage, prediction-function arity and argument shape, and PREDICTION JOIN
+// ON-clause type compatibility — reporting every violation as a positioned
+// diagnostic ("line:col: message") before any execution work starts.
+//
+// The binder is deliberately conservative: whenever a fact cannot be
+// established statically (an opaque source schema, an expression-valued
+// item), the corresponding check is skipped rather than guessed. A statement
+// sem accepts may still fail at execution time; a statement sem rejects would
+// always have failed.
+package sem
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/lex"
+	"repro/internal/rowset"
+	"repro/internal/sqlengine"
+)
+
+// Catalog is the metadata surface the binder resolves names against. The
+// provider implements it; tests use lightweight fakes.
+type Catalog interface {
+	// ModelDef returns the definition of a catalogued mining model.
+	ModelDef(name string) (*core.ModelDef, bool)
+	// TableSchema returns the schema of a relational table, when known.
+	TableSchema(name string) (*rowset.Schema, bool)
+}
+
+// Diagnostic is one positioned semantic error.
+type Diagnostic struct {
+	Pos lex.Pos
+	Msg string
+}
+
+func (d Diagnostic) Error() string {
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	}
+	return d.Msg
+}
+
+// Diagnostics is an ordered list of semantic errors; it implements error so
+// callers can return the whole batch at once.
+type Diagnostics []Diagnostic
+
+func (ds Diagnostics) Error() string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.Error()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Check binds st against cat and returns nil if the statement is
+// semantically well-formed, or a Diagnostics value listing every violation
+// found (in source order).
+func Check(st dmx.Statement, cat Catalog) error {
+	c := &checker{cat: cat}
+	switch s := st.(type) {
+	case *dmx.InsertInto:
+		c.checkInsert(s)
+	case *dmx.PredictionSelect:
+		c.checkPrediction(s)
+	}
+	if len(c.diags) == 0 {
+		return nil
+	}
+	return c.diags
+}
+
+type checker struct {
+	cat   Catalog
+	diags Diagnostics
+}
+
+func (c *checker) errorf(pos lex.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---- INSERT INTO ----
+
+func (c *checker) checkInsert(ins *dmx.InsertInto) {
+	def, ok := c.cat.ModelDef(ins.Model)
+	if !ok {
+		c.errorf(ins.ModelPos, "unknown mining model %q", ins.Model)
+		return
+	}
+	srcSchema := c.sourceSchema(ins.Source)
+	// With an explicit binding list that covers every source column, bindings
+	// map positionally and SKIP entries are legal; otherwise columns bind by
+	// name. When the source schema cannot be inferred the positional question
+	// is open, so SKIP and source-name checks are skipped.
+	positional := srcSchema != nil && len(ins.Bindings) == len(srcSchema.Columns)
+	for _, b := range ins.Bindings {
+		c.checkBinding(def.Name, def.Columns, b, srcSchema, positional)
+	}
+}
+
+func (c *checker) checkBinding(model string, cols []core.ColumnDef, b dmx.Binding, src *rowset.Schema, positional bool) {
+	if b.Skip {
+		if src != nil && !positional {
+			c.errorf(b.Pos, "SKIP requires the binding list to match the source column count")
+		}
+		return
+	}
+	mc, ok := findColumn(cols, b.Name)
+	if !ok {
+		c.errorf(b.Pos, "unknown column %q in model %s", b.Name, model)
+		return
+	}
+	if len(b.Nested) > 0 && mc.Content != core.ContentTable {
+		c.errorf(b.Pos, "column %q of model %s is not a TABLE column; it cannot take a nested binding list", b.Name, model)
+		return
+	}
+	if !positional && src != nil {
+		if _, ok := src.Lookup(b.Name); !ok {
+			c.errorf(b.Pos, "source has no column %q (source columns: %v)", b.Name, src.Names())
+		}
+	}
+	if mc.Content == core.ContentTable {
+		for _, nb := range b.Nested {
+			// Nested bindings always bind by name against the nested source
+			// table, whose schema is not inferred here.
+			c.checkBinding(model, mc.Table, nb, nil, false)
+		}
+	}
+}
+
+// ---- PREDICTION JOIN ----
+
+// predCtx carries the resolution context for one PredictionSelect.
+type predCtx struct {
+	def   *core.ModelDef
+	model string
+	alias string
+	// eval is the alias-qualified source schema the executor evaluates
+	// against; nil when the source schema cannot be inferred.
+	eval *rowset.Schema
+	// src is the raw (unqualified) source schema, used by the ON clause.
+	src *rowset.Schema
+}
+
+func (c *checker) checkPrediction(ps *dmx.PredictionSelect) {
+	def, ok := c.cat.ModelDef(ps.Model)
+	if !ok {
+		c.errorf(ps.ModelPos, "unknown mining model %q", ps.Model)
+		return
+	}
+	pc := &predCtx{def: def, model: ps.Model, alias: ps.Alias}
+	pc.src = c.sourceSchema(ps.Source)
+	pc.eval = qualifySchema(pc.src, ps.Alias)
+
+	for _, it := range ps.Items {
+		if it.Star {
+			continue
+		}
+		c.walkExpr(it.Expr, pc)
+	}
+	if !ps.Natural && ps.On != nil {
+		c.checkOn(ps.On, pc)
+	}
+	if ps.Where != nil {
+		c.walkExpr(ps.Where, pc)
+	}
+	for _, o := range ps.OrderBy {
+		c.walkExpr(o.Expr, pc)
+	}
+}
+
+// qualifySchema mirrors the executor's alias qualification of the source
+// schema (predictionSelect): with an alias, every column is visible as
+// "alias.Name".
+func qualifySchema(src *rowset.Schema, alias string) *rowset.Schema {
+	if src == nil || alias == "" {
+		return src
+	}
+	cols := make([]rowset.Column, src.Len())
+	for i, col := range src.Columns {
+		cols[i] = rowset.Column{Name: alias + "." + col.Name, Type: col.Type, Nested: col.Nested}
+	}
+	q, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil
+	}
+	return q
+}
+
+// walkExpr visits an expression in prediction-item position, checking column
+// references and prediction-function calls.
+func (c *checker) walkExpr(e sqlengine.Expr, pc *predCtx) {
+	switch x := e.(type) {
+	case nil, *sqlengine.Literal:
+	case *sqlengine.ColumnRef:
+		c.resolveRef(x, pc)
+	case *sqlengine.FuncCall:
+		if dmx.IsPredictionFunc(x.Name) {
+			c.checkPredFunc(x, pc)
+			return
+		}
+		for _, a := range x.Args {
+			c.walkExpr(a, pc)
+		}
+	case *sqlengine.Binary:
+		c.walkExpr(x.L, pc)
+		c.walkExpr(x.R, pc)
+	case *sqlengine.Unary:
+		c.walkExpr(x.X, pc)
+	case *sqlengine.IsNull:
+		c.walkExpr(x.X, pc)
+	case *sqlengine.In:
+		c.walkExpr(x.X, pc)
+		for _, it := range x.List {
+			c.walkExpr(it, pc)
+		}
+		// x.Subquery resolves against the relational engine, not this scope.
+	case *sqlengine.Between:
+		c.walkExpr(x.X, pc)
+		c.walkExpr(x.Lo, pc)
+		c.walkExpr(x.Hi, pc)
+	}
+}
+
+// resolveRef checks one column reference the executor would evaluate: first
+// against the (alias-qualified) source schema, then against the model via the
+// prediction-join External hook ([Model].[Col], or a bare reference to an
+// output column).
+func (c *checker) resolveRef(cr *sqlengine.ColumnRef, pc *predCtx) {
+	if pc.eval != nil {
+		if _, err := sqlengine.ResolveColumn(pc.eval, cr.Qualifier, cr.Name); err == nil {
+			return
+		}
+	}
+	if strings.EqualFold(cr.Qualifier, pc.model) {
+		if _, ok := pc.def.Column(cr.Name); !ok {
+			c.errorf(cr.Pos, "unknown column %q in model %s", cr.Name, pc.def.Name)
+		}
+		return
+	}
+	if cr.Qualifier == "" {
+		if mc, ok := pc.def.Column(cr.Name); ok && mc.IsOutput() {
+			return
+		}
+	}
+	if pc.eval == nil {
+		return // source schema unknown; cannot decide
+	}
+	c.errorf(cr.Pos, "unknown column %q (not in the prediction source or among model %s outputs)",
+		cr.Full(), pc.def.Name)
+}
+
+// funcSig describes one prediction function's accepted shape.
+type funcSig struct {
+	min, max int
+	// colArg: the first argument must be a model column reference.
+	colArg bool
+	// scalarOnly: that column must not be a TABLE column.
+	scalarOnly bool
+}
+
+var predFuncSigs = map[string]funcSig{
+	dmx.FuncPredict:            {min: 1, max: 2, colArg: true},
+	dmx.FuncPredictAssociation: {min: 1, max: 2, colArg: true},
+	dmx.FuncPredictProbability: {min: 1, max: 2, colArg: true, scalarOnly: true},
+	dmx.FuncPredictSupport:     {min: 1, max: 1, colArg: true, scalarOnly: true},
+	dmx.FuncPredictStdev:       {min: 1, max: 1, colArg: true, scalarOnly: true},
+	dmx.FuncPredictVariance:    {min: 1, max: 1, colArg: true, scalarOnly: true},
+	dmx.FuncPredictHistogram:   {min: 1, max: 1, colArg: true},
+	dmx.FuncTopCount:           {min: 3, max: 3},
+	dmx.FuncCluster:            {min: 0, max: 0},
+	dmx.FuncClusterProbability: {min: 0, max: 0},
+	dmx.FuncRangeMid:           {min: 1, max: 1, colArg: true, scalarOnly: true},
+	dmx.FuncRangeMin:           {min: 1, max: 1, colArg: true, scalarOnly: true},
+	dmx.FuncRangeMax:           {min: 1, max: 1, colArg: true, scalarOnly: true},
+}
+
+func (c *checker) checkPredFunc(f *sqlengine.FuncCall, pc *predCtx) {
+	sig, ok := predFuncSigs[f.Name]
+	if !ok {
+		return
+	}
+	if len(f.Args) < sig.min || len(f.Args) > sig.max {
+		c.errorf(f.Pos, "%s takes %s, got %d", f.Name, argCountText(sig.min, sig.max), len(f.Args))
+		return
+	}
+	if f.Name == dmx.FuncTopCount {
+		// TopCount(<table expr>, <rank column of that table>, <n>): the rank
+		// column belongs to the (runtime) nested table, so only its shape is
+		// checked; the table expression and count are walked normally.
+		c.walkExpr(f.Args[0], pc)
+		if _, ok := f.Args[1].(*sqlengine.ColumnRef); !ok {
+			c.errorf(f.Pos, "%s: second argument must be a column of the table argument", f.Name)
+		}
+		c.walkExpr(f.Args[2], pc)
+		return
+	}
+	if !sig.colArg {
+		return
+	}
+	cr, ok := f.Args[0].(*sqlengine.ColumnRef)
+	if !ok {
+		c.errorf(f.Pos, "%s: first argument must be a model column reference", f.Name)
+		return
+	}
+	mc, ok := pc.def.Column(cr.Name)
+	if !ok {
+		c.errorf(refPos(cr, f.Pos), "unknown column %q in model %s", cr.Name, pc.def.Name)
+		return
+	}
+	if mc.Content == core.ContentTable && sig.scalarOnly {
+		c.errorf(refPos(cr, f.Pos), "%s: column %q of model %s is a TABLE column; a scalar column is required",
+			f.Name, mc.Name, pc.def.Name)
+		return
+	}
+	if mc.Content != core.ContentTable && len(f.Args) > 1 &&
+		(f.Name == dmx.FuncPredict || f.Name == dmx.FuncPredictAssociation) {
+		c.errorf(f.Pos, "%s: the row-limit argument applies only to TABLE columns, and %q is scalar",
+			f.Name, mc.Name)
+		return
+	}
+	for _, a := range f.Args[1:] {
+		c.walkExpr(a, pc)
+	}
+}
+
+func argCountText(min, max int) string {
+	switch {
+	case min == max && min == 1:
+		return "1 argument"
+	case min == max:
+		return fmt.Sprintf("%d arguments", min)
+	default:
+		return fmt.Sprintf("%d to %d arguments", min, max)
+	}
+}
+
+// ---- ON clause ----
+
+// checkOn validates the ON clause the way onClauseBindings interprets it: a
+// conjunction of equalities between model column paths and source column
+// paths, bound by name, with compatible column types.
+func (c *checker) checkOn(on sqlengine.Expr, pc *predCtx) {
+	switch x := on.(type) {
+	case *sqlengine.Binary:
+		switch x.Op {
+		case sqlengine.OpAnd:
+			c.checkOn(x.L, pc)
+			c.checkOn(x.R, pc)
+			return
+		case sqlengine.OpEq:
+			lc, ok1 := x.L.(*sqlengine.ColumnRef)
+			rc, ok2 := x.R.(*sqlengine.ColumnRef)
+			if !ok1 || !ok2 {
+				c.errorf(exprPos(on), "ON clause equality must compare columns, found %s", on)
+				return
+			}
+			c.checkOnPair(lc, rc, pc)
+			return
+		}
+	}
+	c.errorf(exprPos(on), "ON clause must be a conjunction of equalities, found %s", on)
+}
+
+func (c *checker) checkOnPair(l, r *sqlengine.ColumnRef, pc *predCtx) {
+	lp, rp := refPath(l), refPath(r)
+	var mRef, sRef *sqlengine.ColumnRef
+	var mPath, sPath []string
+	switch {
+	case pathHasPrefix(lp, pc.model):
+		mRef, sRef, mPath, sPath = l, r, lp[1:], stripAlias(rp, pc.alias)
+	case pathHasPrefix(rp, pc.model):
+		mRef, sRef, mPath, sPath = r, l, rp[1:], stripAlias(lp, pc.alias)
+	default:
+		c.errorf(refPos(l, lex.Pos{}), "ON clause equality does not reference model %q: %s = %s", pc.model, l, r)
+		return
+	}
+	switch len(mPath) {
+	case 1:
+		mc, ok := pc.def.Column(mPath[0])
+		if !ok {
+			c.errorf(mRef.Pos, "unknown column %q in model %s", mPath[0], pc.def.Name)
+			return
+		}
+		if mc.Content == core.ContentTable {
+			c.errorf(mRef.Pos, "TABLE column %q of model %s cannot be bound as a scalar in the ON clause", mc.Name, pc.def.Name)
+			return
+		}
+		if len(sPath) != 1 {
+			c.errorf(sRef.Pos, "ON clause binds scalar column %q to nested source path %q", mc.Name, strings.Join(sPath, "."))
+			return
+		}
+		if !strings.EqualFold(mc.Name, sPath[0]) {
+			c.errorf(sRef.Pos, "ON clause binds model column %q to differently-named source column %q; alias the source column to the model column name", mc.Name, sPath[0])
+			return
+		}
+		if pc.src != nil {
+			ord, ok := pc.src.Lookup(sPath[0])
+			if !ok {
+				c.errorf(sRef.Pos, "source has no column %q (source columns: %v)", sPath[0], pc.src.Names())
+				return
+			}
+			if st := pc.src.Column(ord).Type; !typesCompatible(mc.DataType, st) {
+				c.errorf(sRef.Pos, "ON clause binds model column %q (%s) to source column %q (%s): incompatible types",
+					mc.Name, mc.DataType, sPath[0], st)
+			}
+		}
+	case 2:
+		tc, ok := pc.def.Column(mPath[0])
+		if !ok || tc.Content != core.ContentTable {
+			c.errorf(mRef.Pos, "model %s has no nested table %q", pc.def.Name, mPath[0])
+			return
+		}
+		nc, ok := findColumn(tc.Table, mPath[1])
+		if !ok {
+			c.errorf(mRef.Pos, "unknown column %q in nested table %s of model %s", mPath[1], tc.Name, pc.def.Name)
+			return
+		}
+		if len(sPath) != 2 {
+			c.errorf(sRef.Pos, "ON clause binds nested column %s.%s to non-nested source path %q",
+				tc.Name, nc.Name, strings.Join(sPath, "."))
+			return
+		}
+		if !strings.EqualFold(nc.Name, sPath[1]) {
+			c.errorf(sRef.Pos, "ON clause binds nested column %q to differently-named source column %q", nc.Name, sPath[1])
+		}
+	default:
+		c.errorf(mRef.Pos, "model column path %q nests too deeply (at most table.column)",
+			strings.Join(mPath, "."))
+	}
+}
+
+// typesCompatible reports whether a model column of type m can bind a source
+// column of type s in an ON clause. The numeric types coerce to one another;
+// everything else must match exactly. Unknown source types skip the check.
+func typesCompatible(m, s rowset.Type) bool {
+	if s == rowset.TypeNull || m == s {
+		return true
+	}
+	numeric := func(t rowset.Type) bool { return t == rowset.TypeLong || t == rowset.TypeDouble }
+	return numeric(m) && numeric(s)
+}
+
+// ---- source schema inference ----
+
+// sourceSchema infers the output schema of an INSERT INTO / PREDICTION JOIN
+// data source, best-effort. It handles plain SELECT statements whose items
+// are stars or column references over tables the catalog knows; anything
+// else (SHAPE sources, expressions without aliases, unknown tables) yields
+// nil, which downstream checks treat as "unknown — skip".
+func (c *checker) sourceSchema(src dmx.Source) *rowset.Schema {
+	if src.Select == nil {
+		return nil
+	}
+	return c.inferSelect(src.Select)
+}
+
+func (c *checker) inferSelect(sel *sqlengine.SelectStmt) *rowset.Schema {
+	if len(sel.From) == 0 || len(sel.GroupBy) > 0 {
+		return nil
+	}
+	type fromTable struct {
+		name   string
+		schema *rowset.Schema
+	}
+	froms := make([]fromTable, 0, len(sel.From))
+	for _, tr := range sel.From {
+		ts, ok := c.cat.TableSchema(tr.Name)
+		if !ok {
+			return nil
+		}
+		froms = append(froms, fromTable{name: tr.AliasOrName(), schema: ts})
+	}
+	resolve := func(qualifier, name string) (rowset.Column, bool) {
+		for _, ft := range froms {
+			if qualifier != "" && !strings.EqualFold(qualifier, ft.name) {
+				continue
+			}
+			if ord, ok := ft.schema.Lookup(name); ok {
+				return ft.schema.Column(ord), true
+			}
+		}
+		return rowset.Column{}, false
+	}
+	var cols []rowset.Column
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			for _, ft := range froms {
+				if it.Qualifier != "" && !strings.EqualFold(it.Qualifier, ft.name) {
+					continue
+				}
+				cols = append(cols, ft.schema.Columns...)
+			}
+		default:
+			cr, ok := it.Expr.(*sqlengine.ColumnRef)
+			if !ok {
+				if it.Alias == "" {
+					return nil
+				}
+				// Expression item: the name is knowable, the type is not.
+				cols = append(cols, rowset.Column{Name: it.Alias, Type: rowset.TypeNull})
+				continue
+			}
+			col, ok := resolve(cr.Qualifier, cr.Name)
+			if !ok {
+				return nil
+			}
+			if it.Alias != "" {
+				col.Name = it.Alias
+			} else {
+				col.Name = cr.Name
+			}
+			cols = append(cols, col)
+		}
+	}
+	schema, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil
+	}
+	return schema
+}
+
+// ---- helpers ----
+
+func findColumn(cols []core.ColumnDef, name string) (*core.ColumnDef, bool) {
+	for i := range cols {
+		if strings.EqualFold(cols[i].Name, name) {
+			return &cols[i], true
+		}
+	}
+	return nil, false
+}
+
+// refPath splits a possibly-qualified reference into its dot components.
+func refPath(c *sqlengine.ColumnRef) []string {
+	var parts []string
+	if c.Qualifier != "" {
+		parts = strings.Split(c.Qualifier, ".")
+	}
+	return append(parts, c.Name)
+}
+
+func pathHasPrefix(path []string, name string) bool {
+	return len(path) > 1 && strings.EqualFold(path[0], name)
+}
+
+func stripAlias(path []string, alias string) []string {
+	if alias != "" && len(path) > 1 && strings.EqualFold(path[0], alias) {
+		return path[1:]
+	}
+	return path
+}
+
+// refPos prefers the reference's own position, falling back to fb.
+func refPos(cr *sqlengine.ColumnRef, fb lex.Pos) lex.Pos {
+	if cr.Pos.IsValid() {
+		return cr.Pos
+	}
+	return fb
+}
+
+// exprPos finds the first positioned node in an expression tree.
+func exprPos(e sqlengine.Expr) lex.Pos {
+	switch x := e.(type) {
+	case *sqlengine.ColumnRef:
+		return x.Pos
+	case *sqlengine.FuncCall:
+		if x.Pos.IsValid() {
+			return x.Pos
+		}
+		for _, a := range x.Args {
+			if p := exprPos(a); p.IsValid() {
+				return p
+			}
+		}
+	case *sqlengine.Binary:
+		if p := exprPos(x.L); p.IsValid() {
+			return p
+		}
+		return exprPos(x.R)
+	case *sqlengine.Unary:
+		return exprPos(x.X)
+	case *sqlengine.IsNull:
+		return exprPos(x.X)
+	case *sqlengine.In:
+		return exprPos(x.X)
+	case *sqlengine.Between:
+		return exprPos(x.X)
+	}
+	return lex.Pos{}
+}

@@ -68,6 +68,10 @@ func RunE1(Config) (*Result, error) {
 	t.add("flattened 3-way join", flat.Len(), flat.FlatWidth())
 	t.add("SHAPE caseset (Table 1)", shaped.Len(), shaped.FlatWidth())
 
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E1",
 		Title: "Table 1: flattened join vs hierarchical caseset",
@@ -76,7 +80,7 @@ func RunE1(Config) (*Result, error) {
 		Measured: fmt.Sprintf("join: %d rows / %d cells; caseset: %d cases / %d cells — "+
 			"customer 1 renders exactly as Table 1 below",
 			flat.Len(), flat.FlatWidth(), shaped.Len(), shaped.FlatWidth()),
-		Table: t.String() + "\nTable 1 regenerated (customer 1):\n" + renderCase(shaped, 0),
+		Table: tbl + "\nTable 1 regenerated (customer 1):\n" + renderCase(shaped, 0),
 	}, nil
 }
 
@@ -179,6 +183,10 @@ func RunE2(cfg Config) (*Result, error) {
 	default:
 		verdict = "wall times are comparable at this scale — the decisive gap is that in-provider"
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E2",
 		Title: "In-provider mining vs export-and-mine pipeline",
@@ -186,7 +194,7 @@ func RunE2(cfg Config) (*Result, error) {
 			"in the file system\"; in-DB mining avoids \"excessive data movement, extraction, copying\"",
 		Measured: fmt.Sprintf("%s moves 0 bytes vs %d bytes and leaves no stale file copies to "+
 			"keep consistent (%d customers)", verdict, bytesMoved, cfg.Scale),
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 

@@ -106,6 +106,10 @@ func RunE3(cfg Config) (*Result, error) {
 			t.add(m.service, n, dur.Round(time.Millisecond), perSecond(n, dur.Seconds()))
 		}
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E3",
 		Title: "Training throughput per mining service",
@@ -113,7 +117,7 @@ func RunE3(cfg Config) (*Result, error) {
 			"no absolute numbers are reported",
 		Measured: "all six bundled services consume their casesets through the same " +
 			"INSERT INTO path; throughput below",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 
@@ -158,6 +162,10 @@ func RunE4(cfg Config) (*Result, error) {
 			perSecond(rs.Len(), dur.Seconds()),
 			fmt.Sprintf("%.1f", float64(dur.Microseconds())/float64(rs.Len())))
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E4",
 		Title: "Prediction-join throughput (ON vs NATURAL)",
@@ -165,7 +173,7 @@ func RunE4(cfg Config) (*Result, error) {
 			"world\"; NATURAL PREDICTION JOIN obviates the ON clause",
 		Measured: "both bindings run at the same rate (binding is resolved once per statement); " +
 			"hierarchical inputs pay case-assembly cost",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 
@@ -221,6 +229,10 @@ func RunE5(cfg Config) (*Result, error) {
 		t.add(minSupport, root.Count(), buildDur.Round(time.Microsecond),
 			encDur.Round(time.Microsecond), buf.Len(), ok)
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E5",
 		Title: "Content browsing and PMML round trip",
@@ -228,6 +240,6 @@ func RunE5(cfg Config) (*Result, error) {
 			"PMML is adopted as \"an open persistence format\"",
 		Measured: "content rowsets build in microseconds even for hundred-node trees; " +
 			"XML round trips losslessly (node counts match)",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }

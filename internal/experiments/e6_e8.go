@@ -22,6 +22,10 @@ func RunE6(cfg Config) (*Result, error) {
 		}
 		t.add(method, buckets, fmt.Sprintf("%.3f", acc))
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E6",
 		Title: "Discretization method ablation",
@@ -29,7 +33,7 @@ func RunE6(cfg Config) (*Result, error) {
 			"states by the provider\"; the policy is the provider's choice",
 		Measured: "supervised (ENTROPY/MDL) discretization finds the natural age segments and can " +
 			"use fewer buckets at equal or better accuracy than unsupervised policies",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 
@@ -152,6 +156,10 @@ func RunE7(cfg Config) (*Result, error) {
 		t.add(noise, flat.Len(), shaped.Len(),
 			shapeDur.Round(msRound), (joinDur + regroupDur).Round(msRound))
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E7",
 		Title: "Case assembly: SHAPE vs flat-join regrouping",
@@ -159,7 +167,7 @@ func RunE7(cfg Config) (*Result, error) {
 			"and consolidation \"increases scalability as it eliminates ... considerable bookkeeping\"",
 		Measured: "the flattened join materializes several times more rows than there are cases, " +
 			"growing with basket fanout; SHAPE output stays one row per case",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 
@@ -296,6 +304,10 @@ func RunE8(cfg Config) (*Result, error) {
 	t.add("Sequence_Analysis", "planted page transitions", "argmax recovered",
 		fmt.Sprintf("%d/%d", recovered, total))
 
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E8",
 		Title: "Cross-algorithm accuracy on planted ground truth",
@@ -303,7 +315,7 @@ func RunE8(cfg Config) (*Result, error) {
 			"cater to all well-known mining models\"",
 		Measured: "all six services recover their planted structure through the identical " +
 			"CREATE / INSERT INTO / PREDICTION JOIN surface",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 

@@ -70,6 +70,10 @@ func RunE9(cfg Config) (*Result, error) {
 		t.add(q.name, "in-process", inProc.Round(time.Microsecond))
 		t.add(q.name, "TCP server", remote.Round(time.Microsecond))
 	}
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E9",
 		Title: "In-process vs out-of-process provider",
@@ -77,7 +81,7 @@ func RunE9(cfg Config) (*Result, error) {
 			"transport-independent",
 		Measured: "the wire adds fixed per-command overhead that vanishes on bulk statements — " +
 			"the deployment choice does not change the API or the results",
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }
 
@@ -162,6 +166,10 @@ func RunE10(cfg Config) (*Result, error) {
 	}
 	t.add("DROP MINING MODEL (Section 2)", "model dropped")
 
+	tbl, err := t.render()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:    "E10",
 		Title: "The paper's running example, verbatim",
@@ -170,6 +178,6 @@ func RunE10(cfg Config) (*Result, error) {
 		Measured: fmt.Sprintf("every printed statement parses and executes unmodified "+
 			"(comments and the paper's CONTINOUS/To spellings included); "+
 			"the prediction join returns %d predictions", predicted),
-		Table: t.String(),
+		Table: tbl,
 	}, nil
 }

@@ -117,7 +117,8 @@ func RunAll(cfg Config) ([]*Result, error) {
 
 // table accumulates rows and renders an aligned text table via rowset.
 type table struct {
-	rs *rowset.Rowset
+	rs  *rowset.Rowset
+	err error
 }
 
 func newTable(cols ...string) *table {
@@ -128,7 +129,12 @@ func newTable(cols ...string) *table {
 	return &table{rs: rowset.New(rowset.MustSchema(cs...))}
 }
 
+// add appends one display row. The first append failure is recorded and
+// subsequent adds become no-ops; render reports it.
 func (t *table) add(vals ...any) {
+	if t.err != nil {
+		return
+	}
 	row := make(rowset.Row, len(vals))
 	for i, v := range vals {
 		switch x := v.(type) {
@@ -138,12 +144,16 @@ func (t *table) add(vals ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
-	if err := t.rs.Append(row); err != nil {
-		panic(err)
-	}
+	t.err = t.rs.Append(row)
 }
 
-func (t *table) String() string { return t.rs.String() }
+// render returns the formatted table, or the first error add recorded.
+func (t *table) render() (string, error) {
+	if t.err != nil {
+		return "", t.err
+	}
+	return t.rs.String(), nil
+}
 
 // freshWarehouse builds a provider over a freshly generated warehouse.
 func freshWarehouse(cfg Config, extraNoise int) (*provider.Provider, *workload.Truth, error) {

@@ -52,6 +52,27 @@ type Token struct {
 	Quoted bool   // true for [bracketed] identifiers
 	Pos    int    // byte offset in the input
 	Line   int    // 1-based line number
+	Col    int    // 1-based byte column within the line
+}
+
+// Pos is a source position: the line and column of a token's first byte.
+// Both are 1-based; the zero Pos means "position unknown" and renders empty.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Position returns the token's line/column position.
+func (t Token) Position() Pos { return Pos{Line: t.Line, Col: t.Col} }
+
+// IsValid reports whether the position carries real line/column data.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
 }
 
 // Is reports whether the token is an unquoted identifier equal to the keyword
@@ -96,30 +117,47 @@ func (t Token) String() string {
 // Error is a lexical or syntactic error with position information.
 type Error struct {
 	Line int
+	Col  int // 1-based column; 0 when unknown (errors predating column tracking)
 	Pos  int
 	Msg  string
 }
 
 func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
 }
 
+// Position returns the error's line/column position.
+func (e *Error) Position() Pos { return Pos{Line: e.Line, Col: e.Col} }
+
 // Errorf builds an *Error at the given token.
 func Errorf(t Token, format string, args ...any) error {
-	return &Error{Line: t.Line, Pos: t.Pos, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Line: t.Line, Col: t.Col, Pos: t.Pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Lexer tokenizes an input string. Create one with New, then call Next (or
 // use the Peek/Expect helpers on Scanner below).
 type Lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the first byte of the current line
 }
 
 // New returns a Lexer over src.
 func New(src string) *Lexer {
 	return &Lexer{src: src, line: 1}
+}
+
+// col returns the 1-based column of byte offset pos on the current line.
+func (l *Lexer) col(pos int) int { return pos - l.lineStart + 1 }
+
+// newline records that the byte at offset pos is a '\n'.
+func (l *Lexer) newline(pos int) {
+	l.line++
+	l.lineStart = pos + 1
 }
 
 // multi-character punctuation, longest first.
@@ -128,9 +166,9 @@ var multiPunct = []string{"<=", ">=", "<>", "!=", "||"}
 // Next returns the next token, or an error on malformed input.
 func (l *Lexer) Next() (Token, error) {
 	l.skipSpaceAndComments()
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.col(l.pos)
 	if l.pos >= len(l.src) {
-		return Token{Kind: EOF, Pos: start, Line: line}, nil
+		return Token{Kind: EOF, Pos: start, Line: line, Col: col}, nil
 	}
 	c := l.src[l.pos]
 	switch {
@@ -146,14 +184,14 @@ func (l *Lexer) Next() (Token, error) {
 	for _, p := range multiPunct {
 		if strings.HasPrefix(l.src[l.pos:], p) {
 			l.pos += len(p)
-			return Token{Kind: Punct, Text: p, Pos: start, Line: line}, nil
+			return Token{Kind: Punct, Text: p, Pos: start, Line: line, Col: col}, nil
 		}
 	}
 	if strings.ContainsRune("(){},.;=<>*+-/?", rune(c)) {
 		l.pos++
-		return Token{Kind: Punct, Text: string(c), Pos: start, Line: line}, nil
+		return Token{Kind: Punct, Text: string(c), Pos: start, Line: line, Col: col}, nil
 	}
-	return Token{}, &Error{Line: line, Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+	return Token{}, &Error{Line: line, Col: col, Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
 }
 
 func (l *Lexer) skipSpaceAndComments() {
@@ -161,7 +199,7 @@ func (l *Lexer) skipSpaceAndComments() {
 		c := l.src[l.pos]
 		switch {
 		case c == '\n':
-			l.line++
+			l.newline(l.pos)
 			l.pos++
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
@@ -178,7 +216,7 @@ func (l *Lexer) skipSpaceAndComments() {
 }
 
 func (l *Lexer) bracketIdent() (Token, error) {
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.col(l.pos)
 	l.pos++ // consume '['
 	var b strings.Builder
 	for l.pos < len(l.src) {
@@ -191,19 +229,19 @@ func (l *Lexer) bracketIdent() (Token, error) {
 				continue
 			}
 			l.pos++
-			return Token{Kind: Ident, Text: b.String(), Quoted: true, Pos: start, Line: line}, nil
+			return Token{Kind: Ident, Text: b.String(), Quoted: true, Pos: start, Line: line, Col: col}, nil
 		}
 		if c == '\n' {
-			l.line++
+			l.newline(l.pos)
 		}
 		b.WriteByte(c)
 		l.pos++
 	}
-	return Token{}, &Error{Line: line, Pos: start, Msg: "unterminated bracketed identifier"}
+	return Token{}, &Error{Line: line, Col: col, Pos: start, Msg: "unterminated bracketed identifier"}
 }
 
 func (l *Lexer) stringLit() (Token, error) {
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.col(l.pos)
 	l.pos++ // consume opening quote
 	var b strings.Builder
 	for l.pos < len(l.src) {
@@ -215,19 +253,19 @@ func (l *Lexer) stringLit() (Token, error) {
 				continue
 			}
 			l.pos++
-			return Token{Kind: String, Text: b.String(), Pos: start, Line: line}, nil
+			return Token{Kind: String, Text: b.String(), Pos: start, Line: line, Col: col}, nil
 		}
 		if c == '\n' {
-			l.line++
+			l.newline(l.pos)
 		}
 		b.WriteByte(c)
 		l.pos++
 	}
-	return Token{}, &Error{Line: line, Pos: start, Msg: "unterminated string literal"}
+	return Token{}, &Error{Line: line, Col: col, Pos: start, Msg: "unterminated string literal"}
 }
 
 func (l *Lexer) number() (Token, error) {
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.col(l.pos)
 	sawDot, sawExp := false, false
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
@@ -250,17 +288,17 @@ func (l *Lexer) number() (Token, error) {
 done:
 	text := l.src[start:l.pos]
 	if _, err := strconv.ParseFloat(text, 64); err != nil {
-		return Token{}, &Error{Line: line, Pos: start, Msg: fmt.Sprintf("malformed number %q", text)}
+		return Token{}, &Error{Line: line, Col: col, Pos: start, Msg: fmt.Sprintf("malformed number %q", text)}
 	}
-	return Token{Kind: Number, Text: text, Pos: start, Line: line}, nil
+	return Token{Kind: Number, Text: text, Pos: start, Line: line, Col: col}, nil
 }
 
 func (l *Lexer) ident() (Token, error) {
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.col(l.pos)
 	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
 		l.pos++
 	}
-	return Token{Kind: Ident, Text: l.src[start:l.pos], Pos: start, Line: line}, nil
+	return Token{Kind: Ident, Text: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -112,15 +112,22 @@ func (s *Scanner) ExpectPunct(p string) error {
 // Name consumes an identifier (bare or bracketed) and returns its text.
 // Dotted names are handled by callers; Name consumes a single component.
 func (s *Scanner) Name() (string, error) {
+	t, err := s.NameToken()
+	return t.Text, err
+}
+
+// NameToken is Name but returns the whole token, for callers that record
+// source positions alongside the identifier text.
+func (s *Scanner) NameToken() (Token, error) {
 	if s.Err() != nil {
-		return "", s.Err()
+		return Token{}, s.Err()
 	}
 	t := s.Peek()
 	if t.Kind != Ident {
-		return "", Errorf(t, "expected identifier, found %s", t)
+		return Token{}, Errorf(t, "expected identifier, found %s", t)
 	}
 	s.Next()
-	return t.Text, nil
+	return t, nil
 }
 
 // AtEOF reports whether all input has been consumed.

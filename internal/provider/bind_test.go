@@ -1,0 +1,71 @@
+package provider
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dmx/sem"
+)
+
+// TestBindTimeDiagnostics verifies that semantic errors surface through
+// Provider.Execute as positioned sem.Diagnostics before the executor touches
+// the model — the full parse → bind → reject path a client sees.
+func TestBindTimeDiagnostics(t *testing.T) {
+	p := MustNew()
+	setupCustomerData(t, p, 40)
+	mustExec(t, p, createAgeModel)
+	mustExec(t, p, insertAgeModel)
+
+	tests := []struct {
+		name, src, want string
+	}{
+		{
+			name: "unknown model column in prediction function",
+			src:  "SELECT Predict([Shoe Size]) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t",
+			want: `1:16: unknown column "Shoe Size" in model Age Prediction`,
+		},
+		{
+			name: "TABLE column as scalar",
+			src:  "SELECT PredictSupport([Product Purchases]) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t",
+			want: `1:23: PREDICTSUPPORT: column "Product Purchases" of model Age Prediction is a TABLE column`,
+		},
+		{
+			name: "arity",
+			src:  "SELECT Cluster(Age) FROM [Age Prediction] NATURAL PREDICTION JOIN (SELECT Gender FROM Customers) AS t",
+			want: "1:8: CLUSTER takes 0 arguments, got 1",
+		},
+		{
+			name: "ON clause type mismatch",
+			src: "SELECT Predict(Age) FROM [Age Prediction] PREDICTION JOIN " +
+				"(SELECT [Customer ID], Gender AS Age FROM Customers) AS t ON [Age Prediction].[Age] = t.[Age]",
+			want: "incompatible types",
+		},
+		{
+			name: "insert binding against missing model column",
+			src:  "INSERT INTO [Age Prediction] ([Customer ID], [Bogus]) SELECT [Customer ID], Gender FROM Customers",
+			want: `1:46: unknown column "Bogus" in model Age Prediction`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := p.Execute(tt.src)
+			if err == nil {
+				t.Fatalf("Execute(%q) succeeded, want bind error", tt.src)
+			}
+			if _, ok := err.(sem.Diagnostics); !ok {
+				t.Fatalf("Execute(%q) error is %T (%v), want sem.Diagnostics", tt.src, err, err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Execute(%q) = %q, want substring %q", tt.src, err, tt.want)
+			}
+		})
+	}
+
+	// A statement the binder cannot fully see through (SHAPE source) must
+	// still execute; the clean path stays clean.
+	clean := "SELECT [Customer ID], Predict(Age) FROM [Age Prediction] NATURAL PREDICTION JOIN " +
+		"(SELECT [Customer ID], Gender FROM Customers) AS t"
+	if _, err := p.Execute(clean); err != nil {
+		t.Fatalf("clean prediction join rejected: %v", err)
+	}
+}

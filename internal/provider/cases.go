@@ -40,7 +40,9 @@ func (p *Provider) casesRowset(name string) (*rowset.Rowset, error) {
 				continue
 			}
 			a := space.Attr(idx)
-			out.MustAppend(key, a.Name, renderCaseValue(a, v), c.ProbOf(idx), c.Weight)
+			if err := out.AppendVals(key, a.Name, renderCaseValue(a, v), c.ProbOf(idx), c.Weight); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -78,6 +80,8 @@ func (p *Provider) pmmlRowset(name string) (*rowset.Rowset, error) {
 		return nil, err
 	}
 	out := rowset.New(rowset.MustSchema(rowset.Column{Name: "PMML", Type: rowset.TypeText}))
-	out.MustAppend(buf.String())
+	if err := out.AppendVals(buf.String()); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -1,0 +1,11 @@
+package provider
+
+// MustNew is New for this package's tests; it panics on error. The exported
+// equivalent for other packages is providertest.MustNew.
+func MustNew(opts ...Option) *Provider {
+	p, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -65,12 +65,14 @@ func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
 	e.model.Trained = trained
 	e.model.Space = full.Space
 	e.model.CaseCount = len(e.cases)
-	if err := p.saveModel(e); err != nil {
+	if err := p.saveModelLocked(e); err != nil {
 		return nil, err
 	}
 
 	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "cases consumed", Type: rowset.TypeLong}))
-	rs.MustAppend(int64(len(cs.Cases)))
+	if err := rs.AppendVals(int64(len(cs.Cases))); err != nil {
+		return nil, err
+	}
 	return rs, nil
 }
 

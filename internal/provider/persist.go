@@ -53,8 +53,11 @@ func modelFileName(name string) string {
 	return b.String() + ".dmm"
 }
 
-// saveModel persists one model entry; a no-op without a directory.
-func (p *Provider) saveModel(e *modelEntry) error {
+// saveModelLocked persists one model entry; a no-op without a directory.
+// p.mu must be held (read or write): the entry's cases, tokenizer, and case
+// count are guarded state, and encoding them during a concurrent INSERT INTO
+// would snapshot a torn model.
+func (p *Provider) saveModelLocked(e *modelEntry) error {
 	if p.dir == "" {
 		return nil
 	}

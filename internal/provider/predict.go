@@ -473,6 +473,8 @@ type predictionContext struct {
 }
 
 // predictFor resolves a model column name to a Prediction, caching per case.
+//
+//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) predictFor(column string) (core.Prediction, error) {
 	key := strings.ToLower(column)
 	if p, ok := pc.cache[key]; ok {
@@ -533,6 +535,8 @@ func (pc *predictionContext) resolveExternal(model, alias string) func(string, s
 }
 
 // callUDF dispatches the DMX prediction functions.
+//
+//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) callUDF(f *sqlengine.FuncCall, env *sqlengine.Env) (rowset.Value, bool, error) {
 	if !dmx.IsPredictionFunc(f.Name) {
 		return nil, false, nil
@@ -636,7 +640,11 @@ func (pc *predictionContext) callUDF(f *sqlengine.FuncCall, env *sqlengine.Env) 
 		if err != nil {
 			return nil, false, err
 		}
-		return histogramRowset(col, p), true, nil
+		hs, err := histogramRowset(col, p)
+		if err != nil {
+			return nil, false, err
+		}
+		return hs, true, nil
 	case dmx.FuncTopCount:
 		if len(f.Args) != 3 {
 			return nil, false, fmt.Errorf("provider: TopCount(<table>, <rank column>, <n>)")
@@ -709,6 +717,8 @@ func intArg(e sqlengine.Expr, env *sqlengine.Env) (int, error) {
 // rangeOf implements RangeMin/RangeMid/RangeMax: the numeric bounds of the
 // predicted DISCRETIZED bucket, turning a bucket label back into a usable
 // number (the open first/last buckets close over the observed data range).
+//
+//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) rangeOf(fn, column string) (rowset.Value, bool, error) {
 	idx, ok := pc.entry.model.Space.Lookup(column)
 	if !ok {
@@ -762,7 +772,9 @@ func (pc *predictionContext) predictTableRowset(mc *core.ColumnDef, maxRows int)
 		if maxRows > 0 && i >= maxRows {
 			break
 		}
-		out.MustAppend(rowset.FormatValue(b.Value), b.Prob, b.Support)
+		if err := out.AppendVals(rowset.FormatValue(b.Value), b.Prob, b.Support); err != nil {
+			return nil, false, err
+		}
 	}
 	return out, true, nil
 }
@@ -770,7 +782,7 @@ func (pc *predictionContext) predictTableRowset(mc *core.ColumnDef, maxRows int)
 // histogramRowset renders PredictHistogram output (Section 3.2.4: "a
 // histogram provides multiple possible prediction values, each accompanied
 // by a probability and other statistics").
-func histogramRowset(column string, p core.Prediction) *rowset.Rowset {
+func histogramRowset(column string, p core.Prediction) (*rowset.Rowset, error) {
 	valueType := rowset.TypeText
 	if len(p.Histogram) > 0 && rowset.TypeOf(p.Histogram[0].Value) != rowset.TypeNull {
 		valueType = rowset.TypeOf(p.Histogram[0].Value)
@@ -783,9 +795,11 @@ func histogramRowset(column string, p core.Prediction) *rowset.Rowset {
 	)
 	out := rowset.New(schema)
 	for _, b := range p.Histogram {
-		out.MustAppend(b.Value, b.Prob, b.Support, b.Variance)
+		if err := out.AppendVals(b.Value, b.Prob, b.Support, b.Variance); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // expandPredictionItems expands * into the source columns.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/dmx"
+	"repro/internal/dmx/sem"
 	"repro/internal/lex"
 	"repro/internal/rowset"
 	"repro/internal/schemarowset"
@@ -45,6 +46,10 @@ type Provider struct {
 	// Registry holds the installed mining services.
 	Registry *core.Registry
 
+	// mu guards the model catalogue and every trained model's mutable state;
+	// the annotation below is machine-checked by tools/dmlint (lockcheck).
+	//
+	//dmlint:guard mu: Provider.models, modelEntry.cases, modelEntry.tokenizer, core.Model.Trained, core.Model.Space, core.Model.CaseCount
 	mu     sync.RWMutex
 	models map[string]*modelEntry // keyed by lower-cased model name
 
@@ -118,15 +123,6 @@ func New(opts ...Option) (*Provider, error) {
 		}
 	}
 	return p, nil
-}
-
-// MustNew is New for tests and examples; it panics on error.
-func MustNew(opts ...Option) *Provider {
-	p, err := New(opts...)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // IsModel reports whether name refers to a catalogued mining model.
@@ -217,8 +213,33 @@ func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
 	return last, nil
 }
 
-// ExecuteDMX runs a parsed DMX statement.
+// ModelDef implements sem.Catalog: the definition of a catalogued model.
+func (p *Provider) ModelDef(name string) (*core.ModelDef, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.models[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return e.model.Def, true
+}
+
+// TableSchema implements sem.Catalog: the schema of a relational table.
+func (p *Provider) TableSchema(name string) (*rowset.Schema, bool) {
+	t, err := p.DB.Table(name)
+	if err != nil {
+		return nil, false
+	}
+	return t.Schema(), true
+}
+
+// ExecuteDMX runs a parsed DMX statement. Statements are bound by the
+// semantic checker first, so name and type errors surface with source
+// positions before any execution work starts.
 func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
+	if err := sem.Check(st, p); err != nil {
+		return nil, err
+	}
 	switch s := st.(type) {
 	case *dmx.CreateModel:
 		return p.createModel(s.Def)
@@ -237,13 +258,13 @@ func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
 		if trained == nil {
 			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", s.Model)
 		}
-		return content.Rowset(e.model.Def.Name, trained.Content()), nil
+		return content.Rowset(e.model.Def.Name, trained.Content())
 	case *dmx.ColumnsSelect:
 		e, err := p.entry(s.Model)
 		if err != nil {
 			return nil, err
 		}
-		return schemarowset.ModelColumns(e.model), nil
+		return schemarowset.ModelColumns(e.model)
 	case *dmx.CasesSelect:
 		return p.casesRowset(s.Model)
 	case *dmx.PMMLSelect:
@@ -268,10 +289,13 @@ func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 	if _, err := p.Registry.Lookup(def.Algorithm); err != nil {
 		return nil, err
 	}
+	// The lock covers the save too: the entry is visible in the catalogue the
+	// moment it is inserted, and persisting it outside the lock would race a
+	// concurrent INSERT INTO mutating the very state being encoded.
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	key := strings.ToLower(def.Name)
 	if _, dup := p.models[key]; dup {
-		p.mu.Unlock()
 		return nil, fmt.Errorf("provider: mining model %q already exists", def.Name)
 	}
 	e := &modelEntry{
@@ -280,11 +304,10 @@ func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 	}
 	e.model.Space = e.tokenizer.Space
 	p.models[key] = e
-	p.mu.Unlock()
-	if err := p.saveModel(e); err != nil {
+	if err := p.saveModelLocked(e); err != nil {
 		return nil, err
 	}
-	return status("model created"), nil
+	return status("model created")
 }
 
 // deleteFrom resets a model (the paper's "emptied (reset) via DELETE").
@@ -294,15 +317,15 @@ func (p *Provider) deleteFrom(name string) (*rowset.Rowset, error) {
 		return nil, err
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	e.model.Reset()
 	e.tokenizer = core.NewTokenizer(e.model.Def)
 	e.model.Space = e.tokenizer.Space
 	e.cases = nil
-	p.mu.Unlock()
-	if err := p.saveModel(e); err != nil {
+	if err := p.saveModelLocked(e); err != nil {
 		return nil, err
 	}
-	return status("model reset"), nil
+	return status("model reset")
 }
 
 func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
@@ -318,12 +341,14 @@ func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
 	if err := p.removeModelFile(name); err != nil {
 		return nil, err
 	}
-	return status("model dropped"), nil
+	return status("model dropped")
 }
 
 // status renders a one-cell result for DDL-style statements.
-func status(msg string) *rowset.Rowset {
+func status(msg string) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "status", Type: rowset.TypeText}))
-	rs.MustAppend(msg)
-	return rs
+	if err := rs.AppendVals(msg); err != nil {
+		return nil, err
+	}
+	return rs, nil
 }

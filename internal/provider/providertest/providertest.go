@@ -1,0 +1,16 @@
+// Package providertest holds test-only helpers for packages that exercise a
+// provider: the panicking constructor lives here, outside the library proper,
+// so production code paths surface errors instead of panicking (the dmlint
+// nopanic rule).
+package providertest
+
+import "repro/internal/provider"
+
+// MustNew is provider.New for tests and benchmarks; it panics on error.
+func MustNew(opts ...provider.Option) *provider.Provider {
+	p, err := provider.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,9 @@
+package rowset
+
+// mustAppend appends one row built from vals, failing loudly on error;
+// test fixtures only (the library itself returns append errors).
+func mustAppend(rs *Rowset, vals ...Value) {
+	if err := rs.AppendVals(vals...); err != nil {
+		panic(err)
+	}
+}

@@ -31,9 +31,9 @@ func TestCodecScalars(t *testing.T) {
 	)
 	rs := New(s)
 	now := time.Now().UTC().Truncate(time.Microsecond)
-	rs.MustAppend(int64(-42), 3.125, "héllo", true, now)
-	rs.MustAppend(nil, nil, nil, nil, nil)
-	rs.MustAppend(int64(1<<40), math.Inf(1), "", false, time.Unix(0, 0).UTC())
+	mustAppend(rs, int64(-42), 3.125, "héllo", true, now)
+	mustAppend(rs, nil, nil, nil, nil, nil)
+	mustAppend(rs, int64(1<<40), math.Inf(1), "", false, time.Unix(0, 0).UTC())
 
 	got := roundTrip(t, rs)
 	if !got.Schema().Equal(rs.Schema()) {
@@ -60,14 +60,14 @@ func TestCodecScalars(t *testing.T) {
 
 func TestCodecNested(t *testing.T) {
 	inner := New(MustSchema(Column{Name: "p", Type: TypeText}, Column{Name: "q", Type: TypeLong}))
-	inner.MustAppend("TV", int64(1))
-	inner.MustAppend("Beer", int64(6))
+	mustAppend(inner, "TV", int64(1))
+	mustAppend(inner, "Beer", int64(6))
 	outer := New(MustSchema(
 		Column{Name: "id", Type: TypeLong},
 		Column{Name: "purchases", Type: TypeTable, Nested: inner.Schema()},
 	))
-	outer.MustAppend(int64(1), inner)
-	outer.MustAppend(int64(2), New(inner.Schema())) // empty nested table
+	mustAppend(outer, int64(1), inner)
+	mustAppend(outer, int64(2), New(inner.Schema())) // empty nested table
 
 	got := roundTrip(t, outer)
 	n := got.Row(0)[1].(*Rowset)
@@ -97,7 +97,7 @@ func TestCodecBadInput(t *testing.T) {
 	// Truncated stream.
 	var buf bytes.Buffer
 	rs := New(MustSchema(Column{Name: "x", Type: TypeText}))
-	rs.MustAppend("abcdefghij")
+	mustAppend(rs, "abcdefghij")
 	if err := rs.Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 			if math.IsNaN(ds[i]) {
 				ds[i] = 0
 			}
-			rs.MustAppend(ls[i], ds[i], ts[i])
+			mustAppend(rs, ls[i], ds[i], ts[i])
 		}
 		var buf bytes.Buffer
 		if err := rs.Encode(&buf); err != nil {

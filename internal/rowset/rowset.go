@@ -66,11 +66,10 @@ func (rs *Rowset) Append(r Row) error {
 	return nil
 }
 
-// MustAppend is Append that panics on error; for fixtures.
-func (rs *Rowset) MustAppend(vals ...Value) {
-	if err := rs.Append(Row(vals)); err != nil {
-		panic(err)
-	}
+// AppendVals is Append over a variadic value list, saving callers the
+// Row conversion when assembling rows cell by cell.
+func (rs *Rowset) AppendVals(vals ...Value) error {
+	return rs.Append(Row(vals))
 }
 
 // Value returns the cell at (row, named column).

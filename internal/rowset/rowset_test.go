@@ -102,9 +102,9 @@ func TestAppendAndValue(t *testing.T) {
 
 func TestSort(t *testing.T) {
 	rs := New(custSchema(t))
-	rs.MustAppend(int64(3), "b", 10.0)
-	rs.MustAppend(int64(1), "a", 30.0)
-	rs.MustAppend(int64(2), "a", 20.0)
+	mustAppend(rs, int64(3), "b", 10.0)
+	mustAppend(rs, int64(1), "a", 30.0)
+	mustAppend(rs, int64(2), "a", 20.0)
 	rs.Sort([]int{1, 2}, []bool{false, true})
 	// Gender asc, Age desc: (a,30), (a,20), (b,10)
 	if rs.Row(0)[0] != int64(1) || rs.Row(1)[0] != int64(2) || rs.Row(2)[0] != int64(3) {
@@ -116,7 +116,7 @@ func TestSortStable(t *testing.T) {
 	s := MustSchema(Column{Name: "k", Type: TypeLong}, Column{Name: "seq", Type: TypeLong})
 	rs := New(s)
 	for i := 0; i < 20; i++ {
-		rs.MustAppend(int64(i%3), int64(i))
+		mustAppend(rs, int64(i%3), int64(i))
 	}
 	rs.Sort([]int{0}, nil)
 	last := map[int64]int64{}
@@ -131,12 +131,12 @@ func TestSortStable(t *testing.T) {
 
 func TestCloneIsDeep(t *testing.T) {
 	inner := New(MustSchema(Column{Name: "x", Type: TypeLong}))
-	inner.MustAppend(int64(1))
+	mustAppend(inner, int64(1))
 	outer := New(MustSchema(Column{Name: "t", Type: TypeTable, Nested: inner.Schema()}))
-	outer.MustAppend(inner)
+	mustAppend(outer, inner)
 
 	cl := outer.Clone()
-	inner.MustAppend(int64(2))
+	mustAppend(inner, int64(2))
 	got := cl.Row(0)[0].(*Rowset)
 	if got.Len() != 1 {
 		t.Errorf("clone shares nested rowset: len=%d", got.Len())
@@ -145,13 +145,13 @@ func TestCloneIsDeep(t *testing.T) {
 
 func TestFlatWidth(t *testing.T) {
 	inner := New(MustSchema(Column{Name: "x", Type: TypeLong}, Column{Name: "y", Type: TypeText}))
-	inner.MustAppend(int64(1), "a")
-	inner.MustAppend(int64(2), "b")
+	mustAppend(inner, int64(1), "a")
+	mustAppend(inner, int64(2), "b")
 	outer := New(MustSchema(
 		Column{Name: "id", Type: TypeLong},
 		Column{Name: "t", Type: TypeTable, Nested: inner.Schema()},
 	))
-	outer.MustAppend(int64(9), inner)
+	mustAppend(outer, int64(9), inner)
 	if w := outer.FlatWidth(); w != 5 { // id + 2*2 nested cells
 		t.Errorf("FlatWidth = %d want 5", w)
 	}
@@ -159,8 +159,8 @@ func TestFlatWidth(t *testing.T) {
 
 func TestIteratorAndMaterialize(t *testing.T) {
 	rs := New(custSchema(t))
-	rs.MustAppend(int64(1), "M", 20.0)
-	rs.MustAppend(int64(2), "F", 30.0)
+	mustAppend(rs, int64(1), "M", 20.0)
+	mustAppend(rs, int64(2), "F", 30.0)
 	it := rs.Iter()
 	got, err := Materialize(it)
 	if err != nil {
@@ -178,7 +178,7 @@ func TestIteratorAndMaterialize(t *testing.T) {
 
 func TestStringRendering(t *testing.T) {
 	rs := New(custSchema(t))
-	rs.MustAppend(int64(1), "Male", 35.0)
+	mustAppend(rs, int64(1), "Male", 35.0)
 	out := rs.String()
 	for _, want := range []string{"Customer ID", "Gender", "Age", "Male", "35.0"} {
 		if !strings.Contains(out, want) {
@@ -189,9 +189,9 @@ func TestStringRendering(t *testing.T) {
 
 func TestStringNested(t *testing.T) {
 	inner := New(MustSchema(Column{Name: "p", Type: TypeText}))
-	inner.MustAppend("TV")
+	mustAppend(inner, "TV")
 	outer := New(MustSchema(Column{Name: "t", Type: TypeTable, Nested: inner.Schema()}))
-	outer.MustAppend(inner)
+	mustAppend(outer, inner)
 	if !strings.Contains(outer.String(), "{(TV)}") {
 		t.Errorf("nested rendering wrong:\n%s", outer.String())
 	}

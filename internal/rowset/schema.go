@@ -46,7 +46,12 @@ func NewSchema(cols ...Column) (*Schema, error) {
 	return s, nil
 }
 
-// MustSchema is NewSchema that panics on error; for fixtures and literals.
+// MustSchema is NewSchema that panics on error. It exists for schema
+// literals whose column lists are fixed at compile time: the only failure
+// mode is a duplicate column name in the literal itself, which is a
+// programming error no caller can meaningfully handle.
+//
+//dmlint:allow nopanic — schema literals are compile-time-fixed; a duplicate column name is a programming error, not runtime input.
 func MustSchema(cols ...Column) *Schema {
 	s, err := NewSchema(cols...)
 	if err != nil {

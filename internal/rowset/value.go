@@ -178,6 +178,9 @@ func Coerce(v Value, t Type) (Value, error) {
 				return int64(f), nil
 			}
 			return n, nil
+		default:
+			// time.Time, *Rowset: no meaningful LONG conversion; fall through
+			// to the shared cannot-coerce error below.
 		}
 	case TypeDouble:
 		switch x := v.(type) {
@@ -196,6 +199,9 @@ func Coerce(v Value, t Type) (Value, error) {
 				return nil, fmt.Errorf("rowset: cannot coerce %q to DOUBLE", x)
 			}
 			return f, nil
+		default:
+			// time.Time, *Rowset: no meaningful DOUBLE conversion; fall
+			// through to the shared cannot-coerce error below.
 		}
 	case TypeText:
 		return FormatValue(v), nil
@@ -215,6 +221,9 @@ func Coerce(v Value, t Type) (Value, error) {
 				return false, nil
 			}
 			return nil, fmt.Errorf("rowset: cannot coerce %q to BOOL", x)
+		default:
+			// time.Time, *Rowset: no meaningful BOOL conversion; fall through
+			// to the shared cannot-coerce error below.
 		}
 	case TypeDate:
 		switch x := v.(type) {
@@ -229,6 +238,9 @@ func Coerce(v Value, t Type) (Value, error) {
 			return nil, fmt.Errorf("rowset: cannot coerce %q to DATE", x)
 		case int64:
 			return time.Unix(x, 0).UTC(), nil
+		default:
+			// float64, bool, *Rowset: no meaningful DATE conversion; fall
+			// through to the shared cannot-coerce error below.
 		}
 	case TypeTable:
 		if x, ok := v.(*Rowset); ok {
@@ -255,8 +267,10 @@ func ToFloat(v Value) (float64, bool) {
 		return 0, true
 	case time.Time:
 		return float64(x.Unix()), true
+	default:
+		// nil, string, *Rowset: not numeric.
+		return 0, false
 	}
-	return 0, false
 }
 
 // FormatValue renders v the way the dmsql shell and test fixtures display it:
@@ -325,8 +339,11 @@ func Compare(a, b Value) int {
 		return strings.Compare(x, b.(string))
 	case *Rowset:
 		return x.Len() - b.(*Rowset).Len()
+	default:
+		// int64, float64, bool, and time.Time were ordered numerically via
+		// ToFloat above; nil was handled first. Same-type leftovers tie.
+		return 0
 	}
-	return 0
 }
 
 // Equal reports whether two scalar values are equal under Compare semantics,

@@ -32,22 +32,22 @@ func Names() []string {
 func Build(name string, models []*core.Model, reg *core.Registry) (*rowset.Rowset, error) {
 	switch strings.ToUpper(name) {
 	case RowsetModels:
-		return MiningModels(models), nil
+		return MiningModels(models)
 	case RowsetColumns:
-		return MiningColumns(models), nil
+		return MiningColumns(models)
 	case RowsetServices:
-		return MiningServices(reg), nil
+		return MiningServices(reg)
 	case RowsetServiceParams:
-		return ServiceParameters(reg), nil
+		return ServiceParameters(reg)
 	case RowsetFunctions:
-		return MiningFunctions(), nil
+		return MiningFunctions()
 	}
 	return nil, fmt.Errorf("schemarowset: no schema rowset named %q (available: %s)",
 		name, strings.Join(Names(), ", "))
 }
 
 // MiningModels lists every catalogued model with its population state.
-func MiningModels(models []*core.Model) *rowset.Rowset {
+func MiningModels(models []*core.Model) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "MODEL_NAME", Type: rowset.TypeText},
 		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
@@ -63,7 +63,7 @@ func MiningModels(models []*core.Model) *rowset.Rowset {
 		if m.Space != nil {
 			attrs = int64(m.Space.Len())
 		}
-		rs.MustAppend(
+		err := rs.AppendVals(
 			m.Def.Name,
 			m.Def.Algorithm,
 			m.IsTrained(),
@@ -71,13 +71,16 @@ func MiningModels(models []*core.Model) *rowset.Rowset {
 			attrs,
 			strings.Join(m.Def.OutputColumns(), ", "),
 		)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return rs
+	return rs, nil
 }
 
 // MiningColumns lists the column metadata of every model — the Section 3.2
 // meta-information as a browsable rowset.
-func MiningColumns(models []*core.Model) *rowset.Rowset {
+func MiningColumns(models []*core.Model) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "MODEL_NAME", Type: rowset.TypeText},
 		rowset.Column{Name: "COLUMN_NAME", Type: rowset.TypeText},
@@ -95,25 +98,27 @@ func MiningColumns(models []*core.Model) *rowset.Rowset {
 	sorted := append([]*core.Model(nil), models...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Def.Name < sorted[j].Def.Name })
 	for _, m := range sorted {
-		appendColumns(rs, m.Def.Name, "", m.Def.Columns)
+		if err := appendColumns(rs, m.Def.Name, "", m.Def.Columns); err != nil {
+			return nil, err
+		}
 	}
-	return rs
+	return rs, nil
 }
 
 // ModelColumns is MiningColumns restricted to one model — the result of
 // SELECT * FROM <model>.COLUMNS.
-func ModelColumns(m *core.Model) *rowset.Rowset {
+func ModelColumns(m *core.Model) (*rowset.Rowset, error) {
 	return MiningColumns([]*core.Model{m})
 }
 
-func appendColumns(rs *rowset.Rowset, model, containing string, cols []core.ColumnDef) {
+func appendColumns(rs *rowset.Rowset, model, containing string, cols []core.ColumnDef) error {
 	for i := range cols {
 		c := &cols[i]
 		attrType := ""
 		if c.Content == core.ContentAttribute {
 			attrType = c.AttrType.String()
 		}
-		rs.MustAppend(
+		err := rs.AppendVals(
 			model,
 			c.Name,
 			containing,
@@ -127,16 +132,22 @@ func appendColumns(rs *rowset.Rowset, model, containing string, cols []core.Colu
 			c.Qualifier.String(),
 			c.QualifierOf,
 		)
+		if err != nil {
+			return err
+		}
 		if c.Content == core.ContentTable {
-			appendColumns(rs, model, c.Name, c.Table)
+			if err := appendColumns(rs, model, c.Name, c.Table); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // MiningServices describes the installed algorithms — the paper's mechanism
 // for discovering "supported capabilities (e.g. prediction, segmentation,
 // sequence analysis, etc.)".
-func MiningServices(reg *core.Registry) *rowset.Rowset {
+func MiningServices(reg *core.Registry) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
 		rowset.Column{Name: "DESCRIPTION", Type: rowset.TypeText},
@@ -149,7 +160,7 @@ func MiningServices(reg *core.Registry) *rowset.Rowset {
 		if err != nil {
 			continue
 		}
-		rs.MustAppend(
+		err = rs.AppendVals(
 			a.Name(),
 			a.Description(),
 			true,
@@ -158,13 +169,16 @@ func MiningServices(reg *core.Registry) *rowset.Rowset {
 			// than updating incrementally; reported honestly as false.
 			false,
 		)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return rs
+	return rs, nil
 }
 
 // ServiceParameters lists the USING-clause parameters of every service that
 // documents them.
-func ServiceParameters(reg *core.Registry) *rowset.Rowset {
+func ServiceParameters(reg *core.Registry) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "SERVICE_NAME", Type: rowset.TypeText},
 		rowset.Column{Name: "PARAMETER_NAME", Type: rowset.TypeText},
@@ -182,10 +196,12 @@ func ServiceParameters(reg *core.Registry) *rowset.Rowset {
 			continue
 		}
 		for _, p := range pd.Parameters() {
-			rs.MustAppend(a.Name(), p.Name, p.Type, p.Default, p.Description)
+			if err := rs.AppendVals(a.Name(), p.Name, p.Type, p.Default, p.Description); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return rs
+	return rs, nil
 }
 
 // miningFunction describes one prediction function.
@@ -224,7 +240,7 @@ var miningFunctions = []miningFunction{
 
 // MiningFunctions lists the provider's prediction functions (Section 3.2.4's
 // user-defined functions on output columns).
-func MiningFunctions() *rowset.Rowset {
+func MiningFunctions() (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "FUNCTION_NAME", Type: rowset.TypeText},
 		rowset.Column{Name: "SIGNATURE", Type: rowset.TypeText},
@@ -232,7 +248,9 @@ func MiningFunctions() *rowset.Rowset {
 		rowset.Column{Name: "DESCRIPTION", Type: rowset.TypeText},
 	))
 	for _, f := range miningFunctions {
-		rs.MustAppend(f.name, f.signature, f.returns, f.description)
+		if err := rs.AppendVals(f.name, f.signature, f.returns, f.description); err != nil {
+			return nil, err
+		}
 	}
-	return rs
+	return rs, nil
 }

@@ -38,7 +38,10 @@ func testRegistry() *core.Registry {
 }
 
 func TestMiningModels(t *testing.T) {
-	rs := MiningModels(testModels())
+	rs, err := MiningModels(testModels())
+	if err != nil {
+		t.Fatalf("MiningModels: %v", err)
+	}
 	if rs.Len() != 1 {
 		t.Fatalf("rows = %d", rs.Len())
 	}
@@ -58,7 +61,10 @@ func TestMiningModels(t *testing.T) {
 }
 
 func TestMiningColumnsRecursesNested(t *testing.T) {
-	rs := MiningColumns(testModels())
+	rs, err := MiningColumns(testModels())
+	if err != nil {
+		t.Fatalf("MiningColumns: %v", err)
+	}
 	if rs.Len() != 6 { // 4 top-level + 2 nested
 		t.Fatalf("rows = %d", rs.Len())
 	}
@@ -88,7 +94,10 @@ func TestMiningColumnsRecursesNested(t *testing.T) {
 
 func TestMiningServicesAndParams(t *testing.T) {
 	reg := testRegistry()
-	rs := MiningServices(reg)
+	rs, err := MiningServices(reg)
+	if err != nil {
+		t.Fatalf("MiningServices: %v", err)
+	}
 	if rs.Len() != 2 {
 		t.Fatalf("services = %d", rs.Len())
 	}
@@ -100,7 +109,10 @@ func TestMiningServicesAndParams(t *testing.T) {
 		t.Error("SUPPORTS_TABLE_PREDICTION flags wrong")
 	}
 
-	params := ServiceParameters(reg)
+	params, err := ServiceParameters(reg)
+	if err != nil {
+		t.Fatalf("ServiceParameters: %v", err)
+	}
 	if params.Len() != 6 { // 4 dtree + 2 nbayes
 		t.Errorf("params = %d", params.Len())
 	}
@@ -116,7 +128,10 @@ func TestMiningServicesAndParams(t *testing.T) {
 }
 
 func TestMiningFunctions(t *testing.T) {
-	rs := MiningFunctions()
+	rs, err := MiningFunctions()
+	if err != nil {
+		t.Fatalf("MiningFunctions: %v", err)
+	}
 	if rs.Len() < 10 {
 		t.Fatalf("functions = %d", rs.Len())
 	}

@@ -156,7 +156,7 @@ func substituteAggs(e Expr, vals map[*FuncCall]rowset.Value) Expr {
 		for i, a := range x.Args {
 			args[i] = substituteAggs(a, vals)
 		}
-		return &FuncCall{Name: x.Name, Args: args, Star: x.Star, Distinct: x.Distinct}
+		return &FuncCall{Name: x.Name, Args: args, Star: x.Star, Distinct: x.Distinct, Pos: x.Pos}
 	case *Binary:
 		return &Binary{Op: x.Op, L: substituteAggs(x.L, vals), R: substituteAggs(x.R, vals)}
 	case *Unary:

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/lex"
 	"repro/internal/rowset"
 )
 
@@ -32,6 +33,10 @@ type Expr interface {
 type ColumnRef struct {
 	Qualifier string
 	Name      string
+	// Pos is the source position of the reference's first token; the zero
+	// value means "unknown" (synthesized nodes). Used by diagnostics only —
+	// execution never depends on it.
+	Pos lex.Pos
 }
 
 func (*ColumnRef) expr() {}
@@ -179,6 +184,9 @@ type FuncCall struct {
 	Args     []Expr
 	Star     bool
 	Distinct bool // COUNT(DISTINCT x)
+	// Pos is the source position of the function name token; zero when the
+	// node was synthesized rather than parsed.
+	Pos lex.Pos
 }
 
 func (*FuncCall) expr() {}

@@ -111,8 +111,9 @@ func Truthy(v rowset.Value) (bool, error) {
 		return false, nil
 	case bool:
 		return x, nil
+	default:
+		return false, fmt.Errorf("sqlengine: condition is %s, not BOOL", rowset.TypeOf(v))
 	}
-	return false, fmt.Errorf("sqlengine: condition is %s, not BOOL", rowset.TypeOf(v))
 }
 
 func evalBinary(b *Binary, env *Env) (rowset.Value, error) {
@@ -255,8 +256,9 @@ func evalUnary(u *Unary, env *Env) (rowset.Value, error) {
 			return -x, nil
 		case float64:
 			return -x, nil
+		default:
+			return nil, fmt.Errorf("sqlengine: cannot negate %s", rowset.TypeOf(v))
 		}
-		return nil, fmt.Errorf("sqlengine: cannot negate %s", rowset.TypeOf(v))
 	}
 	return nil, fmt.Errorf("sqlengine: unknown unary operator %q", u.Op)
 }
@@ -499,8 +501,9 @@ func callScalar(name string, args []rowset.Value) (rowset.Value, error) {
 			return x, nil
 		case float64:
 			return math.Abs(x), nil
+		default:
+			return nil, fmt.Errorf("sqlengine: ABS requires a number")
 		}
-		return nil, fmt.Errorf("sqlengine: ABS requires a number")
 	case "ROUND":
 		if len(args) == 1 {
 			args = append(args, int64(0))

@@ -44,7 +44,7 @@ func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
 		if _, err := e.DB.CreateTable(st.Name, schema); err != nil {
 			return nil, err
 		}
-		return affected(0), nil
+		return affected(0)
 	case *InsertStmt:
 		return e.execInsert(st)
 	case *DeleteStmt:
@@ -55,22 +55,24 @@ func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
 		if err := e.DB.DropTable(st.Name); err != nil {
 			return nil, err
 		}
-		return affected(0), nil
+		return affected(0)
 	case *CreateViewStmt:
 		return e.execCreateView(st)
 	case *DropViewStmt:
 		if err := e.views.drop(st.Name); err != nil {
 			return nil, err
 		}
-		return affected(0), nil
+		return affected(0)
 	}
 	return nil, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
 }
 
-func affected(n int) *rowset.Rowset {
+func affected(n int) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "rows affected", Type: rowset.TypeLong}))
-	rs.MustAppend(int64(n))
-	return rs
+	if err := rs.AppendVals(int64(n)); err != nil {
+		return nil, err
+	}
+	return rs, nil
 }
 
 // ---------- SELECT ----------
@@ -130,7 +132,9 @@ func (e *Engine) buildSource(from []TableRef) (*rowset.Rowset, error) {
 	if len(from) == 0 {
 		// FROM-less SELECT evaluates items once against an empty row.
 		rs := rowset.New(rowset.MustSchema())
-		rs.MustAppend()
+		if err := rs.AppendVals(); err != nil {
+			return nil, err
+		}
 		return rs, nil
 	}
 	acc, err := e.scanQualified(from[0])
@@ -590,7 +594,7 @@ func (e *Engine) execInsert(st *InsertStmt) (*rowset.Rowset, error) {
 			}
 			n++
 		}
-		return affected(n), nil
+		return affected(n)
 	}
 	env := &Env{Schema: rowset.MustSchema(), Row: rowset.Row{}}
 	for _, exprs := range st.Rows {
@@ -611,7 +615,7 @@ func (e *Engine) execInsert(st *InsertStmt) (*rowset.Rowset, error) {
 		}
 		n++
 	}
-	return affected(n), nil
+	return affected(n)
 }
 
 func (e *Engine) execDelete(st *DeleteStmt) (*rowset.Rowset, error) {
@@ -622,7 +626,7 @@ func (e *Engine) execDelete(st *DeleteStmt) (*rowset.Rowset, error) {
 	if st.Where == nil {
 		n := tbl.Len()
 		tbl.Truncate()
-		return affected(n), nil
+		return affected(n)
 	}
 	scan := tbl.Scan()
 	env := &Env{Schema: scan.Schema()}
@@ -647,7 +651,7 @@ func (e *Engine) execDelete(st *DeleteStmt) (*rowset.Rowset, error) {
 	if err := tbl.Replace(keep); err != nil {
 		return nil, err
 	}
-	return affected(removed), nil
+	return affected(removed)
 }
 
 func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
@@ -699,5 +703,5 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
 	if err := tbl.Replace(rows); err != nil {
 		return nil, err
 	}
-	return affected(n), nil
+	return affected(n)
 }

@@ -1,7 +1,6 @@
 package sqlengine
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/lex"
@@ -679,6 +678,8 @@ func parseUnary(s *lex.Scanner) (Expr, error) {
 				return &Literal{Val: -v}, nil
 			case float64:
 				return &Literal{Val: -v}, nil
+			default:
+				// Non-numeric literal: negate at evaluation time via Unary.
 			}
 		}
 		return &Unary{Op: "-", X: x}, nil
@@ -772,7 +773,7 @@ func parsePrimary(s *lex.Scanner) (Expr, error) {
 		s.Next()
 		// Function call?
 		if !t.Quoted && s.Peek().IsPunct("(") {
-			return parseFuncCall(s, t.Text)
+			return parseFuncCall(s, t.Text, t.Position())
 		}
 		// Dotted column reference: a.b (qualifier.name). Deeper paths
 		// (a.b.c) fold the prefix into the qualifier.
@@ -797,16 +798,16 @@ func parsePrimary(s *lex.Scanner) (Expr, error) {
 			}
 			name = part
 		}
-		return &ColumnRef{Qualifier: qual, Name: name}, nil
+		return &ColumnRef{Qualifier: qual, Name: name, Pos: t.Position()}, nil
 	}
 	return nil, lex.Errorf(t, "expected expression, found %s", t)
 }
 
-func parseFuncCall(s *lex.Scanner, name string) (Expr, error) {
+func parseFuncCall(s *lex.Scanner, name string, namePos lex.Pos) (Expr, error) {
 	if err := s.ExpectPunct("("); err != nil {
 		return nil, err
 	}
-	f := &FuncCall{Name: strings.ToUpper(name)}
+	f := &FuncCall{Name: strings.ToUpper(name), Pos: namePos}
 	if s.AcceptPunct("*") {
 		f.Star = true
 		if err := s.ExpectPunct(")"); err != nil {
@@ -834,15 +835,4 @@ func parseFuncCall(s *lex.Scanner, name string) (Expr, error) {
 		return nil, err
 	}
 	return f, nil
-}
-
-// mustParseExpr is a test helper living here so tests in other packages can
-// build expressions from source text.
-func mustParseExpr(src string) Expr {
-	s := lex.NewScanner(src)
-	e, err := ParseExpr(s)
-	if err != nil {
-		panic(fmt.Sprintf("mustParseExpr(%q): %v", src, err))
-	}
-	return e
 }

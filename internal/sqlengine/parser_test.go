@@ -1,8 +1,10 @@
 package sqlengine
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/lex"
 	"repro/internal/rowset"
 )
 
@@ -287,4 +289,15 @@ func TestExprStringRoundTrip(t *testing.T) {
 			t.Errorf("round trip %q: %q != %q", src, e1.String(), e2.String())
 		}
 	}
+}
+
+// mustParseExpr builds an expression from source text, panicking on parse
+// failure; shared by the parser and eval tests.
+func mustParseExpr(src string) Expr {
+	s := lex.NewScanner(src)
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(fmt.Sprintf("mustParseExpr(%q): %v", src, err))
+	}
+	return e
 }

@@ -156,7 +156,7 @@ func (e *Engine) resolveSub(expr Expr) (Expr, error) {
 		}
 		return &Between{X: bx, Lo: lo, Hi: hi, Negate: x.Negate}, nil
 	case *FuncCall:
-		out := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		out := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Pos: x.Pos}
 		for _, a := range x.Args {
 			ra, err := e.resolveSub(a)
 			if err != nil {

@@ -91,5 +91,5 @@ func (e *Engine) execCreateView(st *CreateViewStmt) (*rowset.Rowset, error) {
 	if err := e.views.put(st.Name, st.Query); err != nil {
 		return nil, err
 	}
-	return affected(0), nil
+	return affected(0)
 }

@@ -123,7 +123,11 @@ func (t *Table) Scan() *rowset.Rowset {
 	defer t.mu.RUnlock()
 	rs, err := rowset.FromRows(t.schema, t.rows)
 	if err != nil {
-		// Rows were validated on insert; this is unreachable.
+		// Rows were validated on insert, so a failure here means the in-memory
+		// table was corrupted (e.g. a caller mutated a shared row). That is a
+		// sanctioned corruption panic, not a recoverable error.
+		//
+		//dmlint:allow nopanic — documented corruption path: rows were validated on insert, so failure means in-memory state was corrupted.
 		panic(fmt.Sprintf("storage: corrupt table %s: %v", t.name, err))
 	}
 	return rs

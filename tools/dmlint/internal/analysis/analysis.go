@@ -1,0 +1,180 @@
+// Package analysis is a minimal, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check run over
+// one type-checked package (a Pass), reporting positioned diagnostics. It
+// exists because this repository builds with the standard library only; the
+// surface is kept close to the upstream one so the checkers could migrate to
+// a real vettool with mechanical changes.
+//
+// Suppression: a finding is dropped when an annotation of the form
+//
+//	//dmlint:allow <analyzer> — <justification>
+//
+// appears on the same line, on the line directly above, or in the doc
+// comment of the enclosing function. The justification is mandatory; an
+// allow annotation without one is itself reported as a finding so it cannot
+// silently rot.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  []Diagnostic
+	allows *allowIndex
+}
+
+// NewPass prepares a pass, indexing the package's suppression annotations.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		allows:   indexAllows(fset, files),
+	}
+}
+
+// Reportf records a finding at pos unless an allow annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings that survived suppression, plus one
+// synthetic finding per malformed allow annotation.
+func (p *Pass) Diagnostics() []Diagnostic {
+	return p.diags
+}
+
+// MalformedAllows reports allow annotations missing a justification; the
+// driver surfaces them once per package (not once per analyzer).
+func MalformedAllows(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	idx := indexAllows(fset, files)
+	out := make([]Diagnostic, 0, len(idx.malformed))
+	for _, pos := range idx.malformed {
+		out = append(out, Diagnostic{
+			Analyzer: "dmlint",
+			Pos:      pos,
+			Message:  "dmlint:allow annotation needs a justification (//dmlint:allow <analyzer> — <why>)",
+		})
+	}
+	return out
+}
+
+// allowIndex records where suppression annotations apply.
+type allowIndex struct {
+	// lines maps filename:line to the analyzer names allowed there.
+	lines map[string]map[string]bool
+	// funcs lists function body ranges whose doc comment carries an allow.
+	funcs []funcAllow
+	// malformed lists annotations without a justification.
+	malformed []token.Position
+}
+
+type funcAllow struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+// allowRE matches "//dmlint:allow <analyzer> <separator> <justification>".
+// The separator is any run of punctuation/space so both "—" and ":" read
+// naturally; the justification must be non-empty.
+var allowRE = regexp.MustCompile(`^//dmlint:allow\s+([A-Za-z0-9_]+)\s*(?:[-—:,]\s*)?(.*)$`)
+
+func indexAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					idx.malformed = append(idx.malformed, pos)
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if idx.lines[key] == nil {
+					idx.lines[key] = make(map[string]bool)
+				}
+				idx.lines[key][m[1]] = true
+			}
+		}
+		filename := fset.Position(f.Pos()).Filename
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					continue // malformed ones were recorded above
+				}
+				idx.funcs = append(idx.funcs, funcAllow{
+					file:     filename,
+					start:    fset.Position(fd.Pos()).Line,
+					end:      fset.Position(fd.End()).Line,
+					analyzer: m[1],
+				})
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := idx.lines[fmt.Sprintf("%s:%d", pos.Filename, line)]; set[analyzer] {
+			return true
+		}
+	}
+	for _, fa := range idx.funcs {
+		if fa.analyzer == analyzer && fa.file == pos.Filename && fa.start <= pos.Line && pos.Line <= fa.end {
+			return true
+		}
+	}
+	return false
+}

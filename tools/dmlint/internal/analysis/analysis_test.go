@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() int {
+	//dmlint:allow nopanic
+	return 1
+}
+
+//dmlint:allow lockcheck — caller holds the lock for the whole scan.
+func b() int {
+	return 2
+}
+
+func c() int {
+	return 3 //dmlint:allow wrapcheck — same-line justification.
+}
+
+func d() int {
+	//dmlint:allow valueswitch: colon separator reads naturally too.
+	return 4
+}
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestMalformedAllows(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	diags := MalformedAllows(fset, files)
+	if len(diags) != 1 {
+		t.Fatalf("got %d malformed-allow findings, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "dmlint" || d.Pos.Line != 4 {
+		t.Errorf("finding = %s, want dmlint finding on line 4", d)
+	}
+	if !strings.Contains(d.Message, "justification") {
+		t.Errorf("message %q does not mention the missing justification", d.Message)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	decls := files[0].Decls
+	bodyPos := func(i int) token.Pos {
+		return decls[i].(*ast.FuncDecl).Body.List[0].Pos()
+	}
+
+	cases := []struct {
+		name       string
+		analyzer   string
+		pos        token.Pos
+		suppressed bool
+	}{
+		{"func-doc allow covers the body", "lockcheck", bodyPos(1), true},
+		{"func-doc allow is analyzer-specific", "nopanic", bodyPos(1), false},
+		{"same-line allow", "wrapcheck", bodyPos(2), true},
+		{"preceding-line allow with colon", "valueswitch", bodyPos(3), true},
+		{"unannotated site", "wrapcheck", bodyPos(0), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pass := NewPass(&Analyzer{Name: tc.analyzer}, fset, files, nil, nil)
+			pass.Reportf(tc.pos, "probe")
+			got := len(pass.Diagnostics()) == 0
+			if got != tc.suppressed {
+				t.Errorf("suppressed = %v, want %v", got, tc.suppressed)
+			}
+		})
+	}
+}

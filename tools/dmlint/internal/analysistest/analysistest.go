@@ -1,0 +1,171 @@
+// Package analysistest runs one dmlint analyzer over a fixture package and
+// checks its findings against // want "regex" comments in the fixture
+// source — a stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of .go files forming one package. Every line that
+// should be flagged carries a trailing comment:
+//
+//	doSomething() // want "part of the expected message"
+//
+// The quoted string is a regular expression matched against the diagnostic
+// message. The harness fails the test for every expectation with no matching
+// finding on its line and for every finding with no expectation.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/tools/dmlint/internal/analysis"
+	"repro/tools/dmlint/internal/load"
+)
+
+// wantRE matches `// want "regex"` at the end of a comment's text.
+var wantRE = regexp.MustCompile(`//\s*want\s+("(?:[^"\\]|\\.)*")`)
+
+// expectation is one // want annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run type-checks the fixture in srcDir as a package with the given import
+// path (scoped analyzers key off the path), runs the analyzer, and matches
+// findings against the fixture's want annotations. Export data for the
+// fixture's imports is resolved with go list.
+func Run(t *testing.T, srcDir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	diags, fset, files := run(t, srcDir, importPath, a)
+	checkExpectations(t, fset, files, diags)
+}
+
+func run(t *testing.T, srcDir, importPath string, a *analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	root, err := load.ModuleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	fset, files := parseFixture(t, srcDir)
+	metas := map[string]*load.Meta{}
+	imports := fixtureImports(files)
+	if len(imports) > 0 {
+		metas, _, err = load.List(root, imports...)
+		if err != nil {
+			t.Fatalf("go list %v: %v", imports, err)
+		}
+	}
+	pkg, err := load.CheckFiles(importPath, fset, files, metas)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", srcDir, err)
+	}
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return pass.Diagnostics(), fset, files
+}
+
+func parseFixture(t *testing.T, srcDir string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s holds no .go files", srcDir)
+	}
+	return fset, files
+}
+
+// fixtureImports collects the fixture's imported paths, so go list resolves
+// exactly what the fixture needs.
+func fixtureImports(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	expectations := collectWants(t, fset, files)
+	for i := range diags {
+		d := &diags[i]
+		matched := false
+		for _, e := range expectations {
+			if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, e := range expectations {
+		if !e.met {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", fset.Position(c.Pos()), m[1], err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pattern, err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package checks holds the dmlint analyzers: the project-specific invariants
+// that plain go vet cannot express — provider mutex discipline, error-chain
+// preservation, rowset.Value switch exhaustiveness, and the no-panic rule
+// for library packages.
+package checks
+
+import "repro/tools/dmlint/internal/analysis"
+
+// All lists every analyzer the dmlint driver runs, in output order.
+var All = []*analysis.Analyzer{
+	LockCheck,
+	NoPanic,
+	ValueSwitch,
+	WrapCheck,
+}

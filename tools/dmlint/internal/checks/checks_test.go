@@ -1,0 +1,42 @@
+package checks
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/dmlint/internal/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, fixture("nopanic"), "repro/internal/nopanicfixture", NoPanic)
+}
+
+func TestNoPanicExemptsToolPackages(t *testing.T) {
+	// Same panicking shape, but outside repro/internal/: no findings, so the
+	// fixture carries no want annotations.
+	analysistest.Run(t, fixture("nopanic_tools"), "repro/tools/toolfixture", NoPanic)
+}
+
+func TestNoPanicExemptsTestSupportPackages(t *testing.T) {
+	analysistest.Run(t, fixture("nopanic_testpkg"), "repro/internal/fixturetest", NoPanic)
+}
+
+func TestWrapCheck(t *testing.T) {
+	analysistest.Run(t, fixture("wrapcheck"), "repro/internal/wrapfixture", WrapCheck)
+}
+
+func TestValueSwitch(t *testing.T) {
+	analysistest.Run(t, fixture("valueswitch"), "repro/internal/vswitchfixture", ValueSwitch)
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, fixture("lockcheck"), "repro/internal/lockfixture", LockCheck)
+}
+
+func TestLockCheckSkipsUnguardedPackages(t *testing.T) {
+	analysistest.Run(t, fixture("lockcheck_unguarded"), "repro/internal/unguardedfixture", LockCheck)
+}

@@ -1,0 +1,171 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// LockCheck enforces the mutex discipline a package declares with a guard
+// annotation:
+//
+//	//dmlint:guard mu: Provider.models, modelEntry.cases, core.Model.Trained
+//
+// Every function in the annotated package that touches a guarded field must
+// acquire the named mutex somewhere in its body (a textual <x>.mu.Lock() or
+// <x>.mu.RLock() call — the static approximation of "holds the lock"),
+// carry a "Locked" name suffix declaring the caller holds it, or be
+// explicitly allowlisted with //dmlint:allow lockcheck. Packages without a
+// guard annotation are not checked.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "guarded model state must be read under the provider mutex",
+	Run:  runLockCheck,
+}
+
+// guardRE matches "//dmlint:guard <mutex>: <Type.Field, ...>".
+var guardRE = regexp.MustCompile(`^//\s*dmlint:guard\s+(\w+)\s*:\s*(.+)$`)
+
+// guardSpec is one parsed guard annotation.
+type guardSpec struct {
+	mutex  string
+	fields []guardField
+}
+
+// guardField names one guarded struct field, optionally qualified by the
+// defining package's name (for types from other packages, e.g. core.Model).
+type guardField struct {
+	pkg   string // "" = the annotated package itself
+	typ   string
+	field string
+}
+
+func runLockCheck(p *analysis.Pass) error {
+	spec := parseGuards(p.Files)
+	if spec == nil {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || strings.HasSuffix(fd.Name.Name, "locked") {
+				continue // declared lock-transfer convention: caller holds the mutex
+			}
+			if acquiresMutex(fd.Body, spec.mutex) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				gf, ok := guardedAccess(p, spec, sel)
+				if !ok {
+					return true
+				}
+				p.Reportf(sel.Sel.Pos(), "%s accesses %s without holding %s; lock it, use a *Locked helper, or annotate with //dmlint:allow lockcheck",
+					fd.Name.Name, gf, spec.mutex)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// parseGuards collects guard annotations from every comment in the package,
+// merging multiple annotations for the same mutex.
+func parseGuards(files []*ast.File) *guardSpec {
+	var spec *guardSpec
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := guardRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if spec == nil {
+					spec = &guardSpec{mutex: m[1]}
+				}
+				for _, entry := range strings.Split(m[2], ",") {
+					parts := strings.Split(strings.TrimSpace(entry), ".")
+					switch len(parts) {
+					case 2:
+						spec.fields = append(spec.fields, guardField{typ: parts[0], field: parts[1]})
+					case 3:
+						spec.fields = append(spec.fields, guardField{pkg: parts[0], typ: parts[1], field: parts[2]})
+					}
+				}
+			}
+		}
+	}
+	return spec
+}
+
+// acquiresMutex reports whether body contains a call to <anything>.<mutex>.Lock
+// or .RLock — the textual approximation of holding the lock for the duration
+// of the function.
+func acquiresMutex(body *ast.BlockStmt, mutex string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == mutex {
+			found = true
+			return false
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == mutex {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// guardedAccess reports whether sel reads or writes a guarded field,
+// returning its display name.
+func guardedAccess(p *analysis.Pass, spec *guardSpec, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	for _, gf := range spec.fields {
+		if gf.field != sel.Sel.Name || gf.typ != obj.Name() {
+			continue
+		}
+		if gf.pkg == "" {
+			if obj.Pkg() == p.Pkg {
+				return gf.typ + "." + gf.field, true
+			}
+			continue
+		}
+		if obj.Pkg() != nil && obj.Pkg().Name() == gf.pkg {
+			return gf.pkg + "." + gf.typ + "." + gf.field, true
+		}
+	}
+	return "", false
+}

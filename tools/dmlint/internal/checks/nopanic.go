@@ -1,0 +1,46 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// NoPanic reports panic calls in library packages (repro/internal/...).
+// Library code must return errors; the only sanctioned panics are documented
+// corruption paths carrying a //dmlint:allow nopanic annotation, and
+// test-support packages (package name ending in "test"), which exist to
+// panic on behalf of tests.
+var NoPanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in library packages outside documented corruption paths",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(p *analysis.Pass) error {
+	path := p.Pkg.Path()
+	if !strings.HasPrefix(path, "repro/internal/") || strings.HasSuffix(p.Pkg.Name(), "test") {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if b, ok := obj.(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic in library package %s: return an error instead (documented corruption paths may carry //dmlint:allow nopanic)", path)
+			return true
+		})
+	}
+	return nil
+}

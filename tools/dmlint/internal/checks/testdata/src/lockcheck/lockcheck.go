@@ -1,0 +1,52 @@
+// Package lockfixture exercises the lockcheck analyzer: functions touching
+// guarded fields must acquire the declared mutex, carry a Locked suffix, or
+// be explicitly allowlisted.
+package lockfixture
+
+import "sync"
+
+// registry owns the guarded catalogue.
+type registry struct {
+	//dmlint:guard mu: registry.entries
+	mu      sync.RWMutex
+	entries map[string]int
+}
+
+func (r *registry) bad(name string) int {
+	return r.entries[name] // want "without holding mu"
+}
+
+func (r *registry) badWrite(name string, v int) {
+	r.entries[name] = v // want "accesses registry.entries"
+}
+
+func (r *registry) goodRead(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[name]
+}
+
+func (r *registry) goodWrite(name string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = v
+}
+
+// lookupLocked declares the lock-transfer convention: the caller holds r.mu.
+func (r *registry) lookupLocked(name string) int {
+	return r.entries[name]
+}
+
+// allowed is reached only from goodRead's critical section.
+//
+//dmlint:allow lockcheck — fixture: only reachable while the caller holds r.mu.
+func (r *registry) allowed(name string) int {
+	return r.entries[name]
+}
+
+func (r *registry) cleanUnguardedField() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return 0
+}

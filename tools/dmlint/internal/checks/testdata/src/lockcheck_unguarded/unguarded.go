@@ -1,0 +1,14 @@
+// Package unguardedfixture has no //dmlint:guard annotation, so lockcheck
+// skips it entirely — even though it reads a mutex-adjacent field.
+package unguardedfixture
+
+import "sync"
+
+type cache struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+func (c *cache) get(k string) string {
+	return c.data[k]
+}

@@ -1,0 +1,34 @@
+// Package nopanicfixture exercises the nopanic analyzer: library packages
+// under repro/internal/ must return errors instead of panicking.
+package nopanicfixture
+
+import "errors"
+
+func bad() {
+	panic("boom") // want "panic in library package"
+}
+
+func badNested() error {
+	f := func() {
+		panic(errors.New("inner")) // want "return an error instead"
+	}
+	f()
+	return nil
+}
+
+func clean() error {
+	return errors.New("handled")
+}
+
+// sanctioned documents a corruption path the rule permits.
+//
+//dmlint:allow nopanic — fixture: documented corruption path, state already torn.
+func sanctioned() {
+	panic("corrupt")
+}
+
+func cleanShadowed() {
+	// A shadowing identifier is not the builtin and must not be flagged.
+	panic := func(string) {}
+	panic("not the builtin")
+}

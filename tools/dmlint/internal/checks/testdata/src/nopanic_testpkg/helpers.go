@@ -1,0 +1,9 @@
+// Package fixturetest has a name ending in "test": it exists to panic on
+// behalf of tests, so the nopanic rule exempts it even under repro/internal/.
+package fixturetest
+
+func MustDo(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

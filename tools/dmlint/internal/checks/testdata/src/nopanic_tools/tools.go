@@ -1,0 +1,7 @@
+// Package toolfixture sits outside repro/internal/ — the nopanic rule does
+// not apply, so nothing here is flagged.
+package toolfixture
+
+func tool() {
+	panic("command-line tools may panic")
+}

@@ -1,0 +1,65 @@
+// Package vswitchfixture exercises the valueswitch analyzer: type switches
+// over rowset.Value must cover all seven value kinds or carry a default.
+package vswitchfixture
+
+import (
+	"time"
+
+	"repro/internal/rowset"
+)
+
+func flaggedPartial(v rowset.Value) string {
+	switch v.(type) { // want "misses .*time.Time"
+	case int64:
+		return "long"
+	case string:
+		return "text"
+	}
+	return ""
+}
+
+func flaggedBound(v rowset.Value) string {
+	switch x := v.(type) { // want "add the missing cases or a default clause"
+	case string:
+		return x
+	}
+	return ""
+}
+
+func cleanDefault(v rowset.Value) string {
+	switch v.(type) {
+	case int64:
+		return "long"
+	default:
+		return "other"
+	}
+}
+
+func cleanExhaustive(v rowset.Value) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case int64:
+		return "long"
+	case float64:
+		return "double"
+	case string:
+		return "text"
+	case bool:
+		return "bool"
+	case time.Time:
+		return "date"
+	case *rowset.Rowset:
+		return "table"
+	}
+	return ""
+}
+
+func cleanNotValue(v any) string {
+	// The subject is plain any, not rowset.Value: out of scope.
+	switch v.(type) {
+	case int64:
+		return "long"
+	}
+	return ""
+}

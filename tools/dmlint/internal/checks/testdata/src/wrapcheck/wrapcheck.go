@@ -1,0 +1,42 @@
+// Package wrapfixture exercises the wrapcheck analyzer: fmt.Errorf with an
+// error operand must use %w so the chain survives errors.Is/As.
+package wrapfixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func flaggedV(err error) error {
+	return fmt.Errorf("open config: %v", err) // want "use %w"
+}
+
+func flaggedS(err error) error {
+	return fmt.Errorf("step %d failed: %s", 3, err) // want "use %w"
+}
+
+func flaggedSentinel() error {
+	return fmt.Errorf("lookup: %v", errSentinel) // want "use %w"
+}
+
+func cleanWrap(err error) error {
+	return fmt.Errorf("open config: %w", err)
+}
+
+func cleanNonError(name string) error {
+	return fmt.Errorf("no table named %q (%d candidates)", name, 0)
+}
+
+func cleanDynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+func cleanStarWidth(err error) error {
+	return fmt.Errorf("pad %*d: %w", 8, 42, err)
+}
+
+func cleanPercentLiteral(err error) error {
+	return fmt.Errorf("100%% failure: %w", err)
+}

@@ -1,0 +1,121 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// ValueSwitch reports type switches over rowset.Value that neither cover
+// every canonical value kind nor provide a default clause. rowset.Value has
+// exactly seven canonical dynamic types (the rowset package's Normalize
+// contract): nil, int64, float64, string, bool, time.Time, and
+// *rowset.Rowset. A switch silently skipping one of them turns a data bug
+// into a no-op; this check forces each switch to either enumerate the kinds
+// or say what happens otherwise.
+var ValueSwitch = &analysis.Analyzer{
+	Name: "valueswitch",
+	Doc:  "type switches over rowset.Value must cover all value kinds or have a default",
+	Run:  runValueSwitch,
+}
+
+// valueKinds are the canonical dynamic types of a rowset.Value, keyed by the
+// string a case type renders to.
+var valueKinds = []string{
+	"nil",
+	"int64",
+	"float64",
+	"string",
+	"bool",
+	"time.Time",
+	"*repro/internal/rowset.Rowset",
+}
+
+func runValueSwitch(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			x := typeSwitchSubject(sw)
+			if x == nil || !isRowsetValue(p.Info.Types[x].Type) {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // default clause: the switch says what happens otherwise
+				}
+				for _, te := range cc.List {
+					if id, ok := te.(*ast.Ident); ok && id.Name == "nil" {
+						covered["nil"] = true
+						continue
+					}
+					if t := p.Info.Types[te].Type; t != nil {
+						covered[typeKey(t)] = true
+					}
+				}
+			}
+			var missing []string
+			for _, k := range valueKinds {
+				if !covered[k] {
+					missing = append(missing, displayKind(k))
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				p.Reportf(sw.Pos(), "type switch over rowset.Value misses %s; add the missing cases or a default clause",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the switched-on expression from the assign part
+// of a type switch (`switch v := x.(type)` or `switch x.(type)`).
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		e = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	}
+	ta, ok := e.(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}
+
+// isRowsetValue reports whether t is the named type repro/internal/rowset.Value.
+func isRowsetValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/rowset"
+}
+
+// typeKey canonicalizes a case type for comparison against valueKinds.
+func typeKey(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// displayKind renders a kind for the diagnostic message.
+func displayKind(k string) string {
+	if k == "*repro/internal/rowset.Rowset" {
+		return "*rowset.Rowset"
+	}
+	return k
+}

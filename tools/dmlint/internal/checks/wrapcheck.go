@@ -1,0 +1,132 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// WrapCheck reports fmt.Errorf calls in repro/internal/... that format an
+// error operand with a verb other than %w. Formatting an error with %v (or
+// %s) flattens it to text and severs the errors.Is/errors.As chain; callers
+// downstream can no longer match sentinel or typed errors.
+var WrapCheck = &analysis.Analyzer{
+	Name: "wrapcheck",
+	Doc:  "require %w when fmt.Errorf formats an error operand",
+	Run:  runWrapCheck,
+}
+
+func runWrapCheck(p *analysis.Pass) error {
+	if !strings.HasPrefix(p.Pkg.Path(), "repro/internal/") {
+		return nil
+	}
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(p.Info, call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(p.Info, call.Args[0])
+			if !ok {
+				return true // dynamic format string: nothing to check
+			}
+			verbs := formatVerbs(format)
+			operands := call.Args[1:]
+			for i, verb := range verbs {
+				if i >= len(operands) {
+					break // malformed call; gofmt/vet territory, not ours
+				}
+				if verb == 'w' || verb == '*' {
+					continue
+				}
+				t := p.Info.Types[operands[i]].Type
+				if t == nil {
+					continue
+				}
+				if types.Implements(t, errorIface) {
+					p.Reportf(operands[i].Pos(), "error operand formatted with %%%c; use %%w so the error chain survives errors.Is/As", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fun resolves to the named package-level function.
+func isPkgFunc(info *types.Info, fun ast.Expr, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+// constantString extracts a compile-time constant string value.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns one entry per format operand, in order: the verb rune
+// for conversions, or '*' for a width/precision argument.
+func formatVerbs(format string) []rune {
+	var out []rune
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Width and precision, either digits or '*' (which consumes an arg).
+		scanNum := func() {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '*' {
+			out = append(out, '*')
+			i++
+		} else {
+			scanNum()
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			} else {
+				scanNum()
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := rune(format[i])
+		i++
+		if verb == '%' {
+			continue
+		}
+		out = append(out, verb)
+	}
+	return out
+}

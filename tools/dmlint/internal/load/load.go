@@ -1,0 +1,167 @@
+// Package load lists and type-checks the module's packages without any
+// dependency outside the standard library. It drives `go list -export -deps
+// -json` to obtain each package's source files and the compiler's export
+// data for every dependency, then type-checks with go/types using a gc
+// importer whose lookup opens those export files. This is the stdlib
+// replacement for golang.org/x/tools/go/packages, which this repository
+// deliberately does not vendor.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Meta is the subset of `go list -json` output the checker needs.
+type Meta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Deps       []string
+	DepOnly    bool
+	Standard   bool
+	Error      *ListError
+}
+
+// ListError is go list's per-package error report.
+type ListError struct {
+	Err string
+}
+
+// List runs `go list -e -export -deps -json` in dir for the given patterns
+// and returns every reported package keyed by import path, plus the root
+// (non-dependency) import paths in sorted order.
+func List(dir string, patterns ...string) (map[string]*Meta, []string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	metas := make(map[string]*Meta)
+	var roots []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(Meta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		metas[m.ImportPath] = m
+		if !m.DepOnly {
+			roots = append(roots, m.ImportPath)
+		}
+	}
+	sort.Strings(roots)
+	return metas, roots, nil
+}
+
+// Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	Meta  *Meta
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Importer returns a go/types importer that resolves compiled import data
+// from the export files go list reported.
+func Importer(fset *token.FileSet, metas map[string]*Meta) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		m, ok := metas[path]
+		if !ok || m.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+}
+
+// TypeCheck parses and type-checks the package described by meta, resolving
+// its imports through the export data in metas.
+func TypeCheck(meta *Meta, metas map[string]*Meta) (*Package, error) {
+	if meta.Error != nil {
+		return nil, fmt.Errorf("load: %s: %s", meta.ImportPath, meta.Error.Err)
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", meta.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return check(meta, fset, files, Importer(fset, metas))
+}
+
+// CheckFiles type-checks an explicit file set under the given import path —
+// the entry point the fixture test harness uses for testdata packages that
+// are not part of the module's build graph.
+func CheckFiles(importPath string, fset *token.FileSet, files []*ast.File, metas map[string]*Meta) (*Package, error) {
+	return check(&Meta{ImportPath: importPath, Name: packageName(files)}, fset, files, Importer(fset, metas))
+}
+
+func packageName(files []*ast.File) string {
+	if len(files) > 0 {
+		return files[0].Name.Name
+	}
+	return ""
+}
+
+func check(meta *Meta, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(meta.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: %s: type errors:\n\t%s", meta.ImportPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %v", meta.ImportPath, err)
+	}
+	return &Package{Meta: meta, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// ModuleRoot returns the directory containing the enclosing module's go.mod.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,153 @@
+// Command dmlint runs the project's custom static analyzers over the module:
+//
+//	go run ./tools/dmlint ./...
+//
+// It type-checks every matched package with the standard library's go/types
+// (export data comes from `go list -export`; no external analysis framework
+// is required) and applies the checks in tools/dmlint/internal/checks.
+// Findings print as file:line:col: analyzer: message and make the run exit
+// nonzero.
+//
+// Known pre-existing findings can be recorded in tools/dmlint/baseline.txt
+// as "<analyzer> <import path> <count>" lines: a package's findings for an
+// analyzer are tolerated up to the recorded count (and still printed, marked
+// as baselined), so new violations fail the build while the recorded debt is
+// burned down deliberately. Inline suppression uses
+// //dmlint:allow <analyzer> — <justification>.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+	"repro/tools/dmlint/internal/checks"
+	"repro/tools/dmlint/internal/load"
+)
+
+// extraPackages are listed alongside the module patterns so their export
+// data is available; the check fixtures and future analyzers may import any
+// of them.
+var extraPackages = []string{"fmt", "errors", "strings", "time", "sync", "os", "sort", "strconv"}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline file (default <module>/tools/dmlint/baseline.txt)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns, *baselinePath); err != nil {
+		fmt.Fprintln(os.Stderr, "dmlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, baselinePath string) error {
+	root, err := load.ModuleRoot()
+	if err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "tools", "dmlint", "baseline.txt")
+	}
+	baseline, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	metas, roots, err := load.List(root, append(append([]string{}, patterns...), extraPackages...)...)
+	if err != nil {
+		return err
+	}
+
+	failed := false
+	for _, path := range roots {
+		meta := metas[path]
+		if meta.Standard || len(meta.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := load.TypeCheck(meta, metas)
+		if err != nil {
+			return err
+		}
+		var diags []analysis.Diagnostic
+		diags = append(diags, analysis.MalformedAllows(pkg.Fset, pkg.Files)...)
+		for _, a := range checks.All {
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s: %s: %v", a.Name, path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		if report(root, path, diags, baseline) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// report prints a package's findings, applying the baseline, and reports
+// whether any finding exceeds it.
+func report(root, pkgPath string, diags []analysis.Diagnostic, baseline map[string]int) bool {
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	failed := false
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		key := d.Analyzer + " " + pkgPath
+		if counts[d.Analyzer] <= baseline[key] {
+			fmt.Printf("%s:%d:%d: %s: %s (baselined)\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+			continue
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		failed = true
+	}
+	return failed
+}
+
+// readBaseline parses "<analyzer> <import path> <count>" lines; # starts a
+// comment, blank lines are skipped. A missing file is an empty baseline.
+func readBaseline(path string) (map[string]int, error) {
+	out := make(map[string]int)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<analyzer> <import path> <count>\", got %q", path, lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, lineNo, fields[2])
+		}
+		out[fields[0]+" "+fields[1]] = n
+	}
+	return out, sc.Err()
+}

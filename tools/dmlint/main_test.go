@@ -1,0 +1,58 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+func TestReadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.txt")
+	content := "# recorded debt\n\nnopanic repro/internal/foo 2\nvalueswitch repro/internal/bar 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	if got["nopanic repro/internal/foo"] != 2 || got["valueswitch repro/internal/bar"] != 1 {
+		t.Errorf("baseline = %v", got)
+	}
+
+	if err := os.WriteFile(path, []byte("too few fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil {
+		t.Error("malformed baseline line did not error")
+	}
+
+	missing, err := readBaseline(filepath.Join(dir, "nope.txt"))
+	if err != nil || len(missing) != 0 {
+		t.Errorf("missing baseline file: got %v, %v; want empty, nil", missing, err)
+	}
+}
+
+func TestReportAppliesBaseline(t *testing.T) {
+	diag := func(line int) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Analyzer: "nopanic",
+			Pos:      token.Position{Filename: "/root/x/f.go", Line: line, Column: 1},
+			Message:  "m",
+		}
+	}
+	baseline := map[string]int{"nopanic repro/x": 2}
+	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2)}, baseline); failed {
+		t.Error("findings within the baseline count should not fail the run")
+	}
+	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2), diag(3)}, baseline); !failed {
+		t.Error("findings beyond the baseline count must fail the run")
+	}
+	if failed := report("/root/x", "repro/x", nil, baseline); failed {
+		t.Error("no findings must never fail")
+	}
+}
