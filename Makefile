@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench-parallel lint check
+.PHONY: build test vet race bench-parallel bench-smoke lint check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race:
 # reporting rows/sec. Numbers are recorded in EXPERIMENTS.md.
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkPredictionJoinParallel -benchtime=1x .
+
+# Instrumentation-overhead guard: fails when enabling the obs registry slows
+# the PREDICTION JOIN scan by more than 10% over WithObsRegistry(nil).
+bench-smoke:
+	BENCH_SMOKE=1 $(GO) test -run TestObsOverheadSmoke -v .
 
 # Project-specific static analysis (tools/dmlint) plus formatting and vet.
 # dmlint type-checks the module with the stdlib toolchain and enforces the

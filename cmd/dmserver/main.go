@@ -30,6 +30,8 @@ func main() {
 	demo := flag.Int("demo", 0, "populate the synthetic customer warehouse with N customers")
 	idle := flag.Duration("idle-timeout", dmserver.DefaultIdleTimeout,
 		"drop connections idle for this long between requests; <=0 disables")
+	slow := flag.Duration("slow-query", 0,
+		"log statements whose server-side execution exceeds this; 0 disables")
 	flag.Parse()
 
 	var opts []provider.Option
@@ -74,6 +76,7 @@ func main() {
 	} else {
 		s.IdleTimeout = *idle
 	}
+	s.SlowQuery = *slow
 	// Print the bound address (not the flag) so -addr :0 is usable.
 	fmt.Printf("dmserver listening on %s\n", l.Addr())
 	if err := s.Serve(l); err != nil {

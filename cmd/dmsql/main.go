@@ -11,6 +11,9 @@
 //	dmsql -f script.dmx        # execute a script file, then exit
 //	echo "SELECT 1;" | dmsql   # execute stdin, then exit
 //
+// -timing prints per-statement elapsed time; in remote mode the figure is
+// the server-side execution time from the protocol's stats trailer.
+//
 // Shell commands: \help, \tables, \views, \models, \d <model>, \save, \quit.
 package main
 
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dmclient"
 	"repro/internal/lex"
@@ -32,22 +36,30 @@ type executor interface {
 	Execute(command string) (*rowset.Rowset, error)
 }
 
+// shell bundles the execution target with display options.
+type shell struct {
+	exec   executor
+	local  *provider.Provider // nil in remote mode
+	remote *dmclient.Client   // nil in local mode
+	timing bool
+}
+
 func main() {
 	dir := flag.String("dir", "", "persistence directory for the in-process provider")
 	connect := flag.String("connect", "", "address of a remote dmserver (host:port)")
 	file := flag.String("f", "", "script file to execute instead of reading stdin")
+	timing := flag.Bool("timing", false, "print per-statement elapsed time (server-side in remote mode)")
 	flag.Parse()
 
-	var exec executor
-	var local *provider.Provider
+	sh := &shell{timing: *timing}
 	switch {
 	case *connect != "":
-		c, err := dmclient.Dial(*connect)
+		c, err := dmclient.New(*connect)
 		if err != nil {
 			fatal("connect: %v", err)
 		}
 		defer c.Close()
-		exec = c
+		sh.exec, sh.remote = c, c
 	default:
 		var opts []provider.Option
 		if *dir != "" {
@@ -57,8 +69,8 @@ func main() {
 		if err != nil {
 			fatal("provider: %v", err)
 		}
-		local = p
-		exec = p
+		sh.local = p
+		sh.exec = p
 	}
 
 	in := os.Stdin
@@ -75,10 +87,10 @@ func main() {
 	if interactive {
 		fmt.Println("dmsql — OLE DB for Data Mining shell. \\help for help, \\quit to exit.")
 	}
-	run(in, exec, local, interactive)
+	run(in, sh, interactive)
 }
 
-func run(in *os.File, exec executor, local *provider.Provider, interactive bool) {
+func run(in *os.File, sh *shell, interactive bool) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	var buf strings.Builder
@@ -97,7 +109,7 @@ func run(in *os.File, exec executor, local *provider.Provider, interactive bool)
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !shellCommand(trimmed, exec, local) {
+			if !shellCommand(trimmed, sh) {
 				return
 			}
 			prompt()
@@ -110,7 +122,7 @@ func run(in *os.File, exec executor, local *provider.Provider, interactive bool)
 			if err == nil && endsComplete(buf.String()) {
 				buf.Reset()
 				for _, s := range stmts {
-					execute(exec, s)
+					execute(sh, s)
 				}
 			} else if err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -121,7 +133,7 @@ func run(in *os.File, exec executor, local *provider.Provider, interactive bool)
 	}
 	// Flush a trailing statement without ';'.
 	if s := strings.TrimSpace(buf.String()); s != "" {
-		execute(exec, s)
+		execute(sh, s)
 	}
 }
 
@@ -135,18 +147,30 @@ func endsComplete(src string) bool {
 	return toks[len(toks)-2].IsPunct(";")
 }
 
-func execute(exec executor, stmt string) {
-	rs, err := exec.Execute(stmt)
+func execute(sh *shell, stmt string) {
+	start := time.Now()
+	rs, err := sh.exec.Execute(stmt)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
 	fmt.Print(rs.String())
 	fmt.Printf("(%d rows)\n", rs.Len())
+	if sh.timing {
+		// In remote mode prefer the server's own execution time over the
+		// round trip, when the protocol's stats trailer reported one.
+		if sh.remote != nil {
+			if stats, ok := sh.remote.Stats(); ok {
+				elapsed = stats.Elapsed
+			}
+		}
+		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
+	}
 }
 
 // shellCommand handles backslash commands; returns false to exit.
-func shellCommand(cmd string, exec executor, local *provider.Provider) bool {
+func shellCommand(cmd string, sh *shell) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
@@ -160,23 +184,23 @@ func shellCommand(cmd string, exec executor, local *provider.Provider) bool {
   \save          persist tables (requires -dir)
   \quit          exit`)
 	case "\\tables":
-		if local == nil {
+		if sh.local == nil {
 			fmt.Fprintln(os.Stderr, "\\tables needs a local provider")
 			break
 		}
-		for _, n := range local.DB.Names() {
+		for _, n := range sh.local.DB.Names() {
 			fmt.Println(n)
 		}
 	case "\\views":
-		if local == nil {
+		if sh.local == nil {
 			fmt.Fprintln(os.Stderr, "\\views needs a local provider")
 			break
 		}
-		for _, n := range local.Engine.ViewNames() {
+		for _, n := range sh.local.Engine.ViewNames() {
 			fmt.Println(n)
 		}
 	case "\\models":
-		rs, err := exec.Execute("SELECT * FROM $SYSTEM.MINING_MODELS")
+		rs, err := sh.exec.Execute("SELECT * FROM $SYSTEM.MINING_MODELS")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			break
@@ -187,22 +211,22 @@ func shellCommand(cmd string, exec executor, local *provider.Provider) bool {
 			fmt.Fprintln(os.Stderr, "usage: \\d <model>")
 			break
 		}
-		if local == nil {
+		if sh.local == nil {
 			fmt.Fprintln(os.Stderr, "\\d needs a local provider")
 			break
 		}
-		m, err := local.Model(strings.Join(fields[1:], " "))
+		m, err := sh.local.Model(strings.Join(fields[1:], " "))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			break
 		}
 		fmt.Println(m.Def.DDL())
 	case "\\save":
-		if local == nil {
+		if sh.local == nil {
 			fmt.Fprintln(os.Stderr, "\\save needs a local provider")
 			break
 		}
-		if err := local.Save(); err != nil {
+		if err := sh.local.Save(); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			break
 		}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NotFoundError reports a name that resolved to nothing in the provider's
+// catalogues: a mining model, a relational table, or a schema rowset. It
+// lives in core (rather than the provider package) so the semantic binder's
+// Catalog implementations can return it without importing the provider.
+type NotFoundError struct {
+	// Kind names the catalogue ("mining model", "table", "schema rowset").
+	Kind string
+	// Name is the name that failed to resolve.
+	Name string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("provider: no %s named %q", e.Kind, e.Name)
+}
+
+// IsNotFound reports whether err is (or wraps) a NotFoundError.
+func IsNotFound(err error) bool {
+	var nf *NotFoundError
+	return errors.As(err, &nf)
+}

@@ -13,40 +13,124 @@ import (
 	"repro/internal/rowset"
 )
 
+// DefaultDialTimeout bounds connection establishment unless WithDialTimeout
+// overrides it.
+const DefaultDialTimeout = 10 * time.Second
+
+// Option configures a Client before it connects.
+type Option func(*config)
+
+type config struct {
+	dialTimeout    time.Duration
+	requestTimeout time.Duration
+	plainProtocol  bool
+}
+
+// WithDialTimeout bounds connection establishment (DefaultDialTimeout when
+// unset; zero or negative disables the bound).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) { c.dialTimeout = d }
+}
+
+// WithRequestTimeout bounds each Execute round trip: the connection's I/O
+// deadline is set d past the moment the request is written. Zero (the
+// default) means no per-request deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.requestTimeout = d }
+}
+
+// WithPlainProtocol makes the client speak protocol v1 (no stats trailer),
+// for servers predating the v2 marker. Stats() then never reports.
+func WithPlainProtocol() Option {
+	return func(c *config) { c.plainProtocol = true }
+}
+
 // Client is a connection to a remote provider.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	requestTimeout time.Duration
+	plain          bool
+
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	stats    dmserver.ExecStats
+	hasStats bool
 }
 
-// Dial connects to a dmserver at addr.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
-}
-
-// DialTimeout connects with a dial timeout.
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// New connects to a dmserver at addr.
+func New(addr string, opts ...Option) (*Client, error) {
+	cfg := config{dialTimeout: DefaultDialTimeout}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var conn net.Conn
+	var err error
+	if cfg.dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, cfg.dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
+		requestTimeout: cfg.requestTimeout,
+		plain:          cfg.plainProtocol,
+		conn:           conn,
+		br:             bufio.NewReader(conn),
+		bw:             bufio.NewWriter(conn),
 	}, nil
+}
+
+// Dial connects to a dmserver at addr.
+//
+// Deprecated: use New, which takes Options.
+func Dial(addr string) (*Client, error) {
+	return New(addr)
+}
+
+// DialTimeout connects with a dial timeout.
+//
+// Deprecated: use New(addr, WithDialTimeout(timeout)).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	return New(addr, WithDialTimeout(timeout))
 }
 
 // Execute runs one DMX/SQL command on the remote provider.
 func (c *Client) Execute(command string) (*rowset.Rowset, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := dmserver.WriteRequest(c.bw, command); err != nil {
+	if c.requestTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.requestTimeout)); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if c.plain {
+		if err := dmserver.WriteRequest(c.bw, command); err != nil {
+			return nil, err
+		}
+		return dmserver.ReadResponse(c.br)
+	}
+	if err := dmserver.WriteRequestStats(c.bw, command); err != nil {
 		return nil, err
 	}
-	return dmserver.ReadResponse(c.br)
+	rs, stats, err := dmserver.ReadResponseStats(c.br)
+	if stats != nil {
+		c.stats, c.hasStats = *stats, true
+	}
+	return rs, err
+}
+
+// Stats returns the server-side execution summary (elapsed time, row count)
+// of the most recent successful Execute, and whether one is available. It
+// reports false before the first success or when the client was configured
+// with WithPlainProtocol.
+func (c *Client) Stats() (dmserver.ExecStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats, c.hasStats
 }
 
 // Close closes the connection.

@@ -130,26 +130,28 @@ type noopTx struct{}
 func (noopTx) Commit() error   { return nil }
 func (noopTx) Rollback() error { return nil }
 
-// QueryContext implements driver.QueryerContext.
-func (c *conn) QueryContext(_ context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+// QueryContext implements driver.QueryerContext. The context is honoured:
+// cancelling it aborts the statement inside the provider's scan loops.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
 	bound, err := bindArgs(query, args)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := c.p.Execute(bound)
+	rs, err := c.p.ExecuteContext(ctx, bound, provider.WithOrigin("database/sql"))
 	if err != nil {
 		return nil, err
 	}
 	return newRows(rs), nil
 }
 
-// ExecContext implements driver.ExecerContext.
-func (c *conn) ExecContext(_ context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+// ExecContext implements driver.ExecerContext. The context is honoured the
+// same way as in QueryContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
 	bound, err := bindArgs(query, args)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := c.p.Execute(bound)
+	rs, err := c.p.ExecuteContext(ctx, bound, provider.WithOrigin("database/sql"))
 	if err != nil {
 		return nil, err
 	}

@@ -96,3 +96,103 @@ func TestRemoteErrorMessage(t *testing.T) {
 		t.Errorf("Error() = %q", e.Error())
 	}
 }
+
+func TestStatsRequestGetsTrailer(t *testing.T) {
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequestStats(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := dmserver.ReadResponseStats(br)
+	if err != nil {
+		t.Fatalf("ReadResponseStats: %v", err)
+	}
+	if rs.Row(0)[0] != int64(2) {
+		t.Errorf("result = %v", rs.Row(0))
+	}
+	if stats == nil {
+		t.Fatal("v2 request must carry a stats trailer")
+	}
+	if stats.Elapsed < 0 {
+		t.Errorf("Elapsed = %v, want >= 0", stats.Elapsed)
+	}
+	if stats.Rows != int64(rs.Len()) {
+		t.Errorf("stats.Rows = %d, rowset has %d", stats.Rows, rs.Len())
+	}
+}
+
+func TestPlainRequestUnchangedByV2(t *testing.T) {
+	// A v1 request (no marker) must get the original framing: StatusOK and
+	// no trailer, so clients predating the stats protocol parse unchanged.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequest(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := dmserver.ReadResponseStats(br)
+	if err != nil {
+		t.Fatalf("ReadResponseStats: %v", err)
+	}
+	if rs.Row(0)[0] != int64(2) {
+		t.Errorf("result = %v", rs.Row(0))
+	}
+	if stats != nil {
+		t.Errorf("v1 request must not get a stats trailer, got %+v", stats)
+	}
+}
+
+func TestStatsRequestErrorPath(t *testing.T) {
+	// Errors keep the v1 error frame even for v2 requests.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequestStats(bw, "THIS IS NOT SQL"); err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := dmserver.ReadResponseStats(br)
+	if err == nil {
+		t.Fatal("garbage command must produce an error response")
+	}
+	if _, ok := err.(*dmserver.RemoteError); !ok {
+		t.Errorf("error type = %T", err)
+	}
+	if rs != nil || stats != nil {
+		t.Errorf("error response must carry no rowset/stats, got %v %v", rs, stats)
+	}
+}
+
+func TestMixedProtocolVersionsOneConnection(t *testing.T) {
+	// The marker gates per request, so one connection can interleave v1 and
+	// v2 requests freely.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	for i := 0; i < 3; i++ {
+		if err := dmserver.WriteRequestStats(bw, "SELECT 1 + 1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, stats, err := dmserver.ReadResponseStats(br); err != nil || stats == nil {
+			t.Fatalf("round %d v2: stats=%v err=%v", i, stats, err)
+		}
+		if err := dmserver.WriteRequest(bw, "SELECT 2 + 2"); err != nil {
+			t.Fatal(err)
+		}
+		if _, stats, err := dmserver.ReadResponseStats(br); err != nil || stats != nil {
+			t.Fatalf("round %d v1: stats=%v err=%v", i, stats, err)
+		}
+	}
+}

@@ -10,18 +10,32 @@
 //	  status 0 (ok):  payload = rowset in the rowset binary codec
 //	  status 1 (err): payload = msglen:uvarint message:bytes
 //
+// Protocol v2 (stats-aware clients) is gated behind an explicit marker so v1
+// clients keep parsing unchanged: a request prefixed with a uvarint 0 — a
+// zero-length command, otherwise meaningless — declares the client
+// v2-capable, and successful responses to such requests use status 2:
+//
+//	request  := 0:uvarint cmdlen:uvarint command:bytes
+//	response := 2:byte rowset trailerlen:uvarint trailer:bytes
+//	  trailer = "elapsed-us=<n> rows=<n>"
+//
+// Error responses stay status 1 in both versions.
+//
 // Connections are handled concurrently; the provider's own locking makes
 // command execution safe.
 package dmserver
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +47,9 @@ import (
 const (
 	StatusOK  = 0
 	StatusErr = 1
+	// StatusOKStats is the v2 success status: rowset followed by an
+	// elapsed-us/rows trailer. Sent only to clients that requested v2.
+	StatusOKStats = 2
 )
 
 // MaxCommandLen bounds a single command (16 MiB) so a broken client cannot
@@ -53,6 +70,9 @@ type Server struct {
 	// connection. Zero means DefaultIdleTimeout; negative disables the
 	// deadline. Set before calling Serve.
 	IdleTimeout time.Duration
+	// SlowQuery, when positive, logs any statement whose wall time meets the
+	// threshold, with its per-stage breakdown. Set before calling Serve.
+	SlowQuery time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -134,7 +154,10 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	remote := conn.RemoteAddr().String()
+	cs := s.Provider.Obs().Connections().Open(remote)
 	defer func() {
+		s.Provider.Obs().Connections().Close(cs)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -152,7 +175,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		cmd, err := readCommand(br)
+		cmd, wantStats, err := readCommand(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) && !isTimeout(err) {
 				s.Logf("dmserver: read: %v", err)
@@ -166,19 +189,35 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		rs, execErr := s.Provider.Execute(cmd)
+		start := time.Now()
+		rs, execErr := s.Provider.ExecuteContext(context.Background(), cmd, provider.WithOrigin(remote))
+		elapsed := time.Since(start)
+		cs.Request(execErr != nil)
+		if s.SlowQuery > 0 && elapsed >= s.SlowQuery {
+			s.Logf("dmserver: slow query (%s) from %s: %s", elapsed.Round(time.Microsecond), remote, truncate(cmd, 200))
+		}
 		if execErr != nil {
 			if err := writeError(bw, execErr); err != nil {
 				return
 			}
 			continue
 		}
-		if err := bw.WriteByte(StatusOK); err != nil {
+		status := byte(StatusOK)
+		if wantStats {
+			status = StatusOKStats
+		}
+		if err := bw.WriteByte(status); err != nil {
 			return
 		}
 		if err := rs.Encode(bw); err != nil {
 			s.Logf("dmserver: encode: %v", err)
 			return
+		}
+		if wantStats {
+			trailer := fmt.Sprintf("elapsed-us=%d rows=%d", elapsed.Microseconds(), rs.Len())
+			if err := writeFrame(bw, trailer); err != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
@@ -186,19 +225,48 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func readCommand(br *bufio.Reader) (string, error) {
+// truncate bounds a statement for log lines.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// readCommand reads one framed command. A uvarint-0 prefix (a zero-length
+// command, meaningless in v1) marks the request as coming from a v2
+// stats-aware client; the real frame follows.
+func readCommand(br *bufio.Reader) (cmd string, wantStats bool, err error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", err
+		return "", false, err
+	}
+	if n == 0 {
+		wantStats = true
+		n, err = binary.ReadUvarint(br)
+		if err != nil {
+			return "", false, err
+		}
 	}
 	if n > MaxCommandLen {
-		return "", fmt.Errorf("dmserver: command length %d exceeds limit", n)
+		return "", false, fmt.Errorf("dmserver: command length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", err
+		return "", false, err
 	}
-	return string(buf), nil
+	return string(buf), wantStats, nil
+}
+
+// writeFrame writes a uvarint-length-prefixed string.
+func writeFrame(bw *bufio.Writer, s string) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
 }
 
 func writeError(bw *bufio.Writer, execErr error) error {
@@ -239,30 +307,108 @@ func WriteRequest(w *bufio.Writer, command string) error {
 	return w.Flush()
 }
 
+// WriteRequestStats frames one command with the v2 marker, asking the server
+// for an elapsed-us/rows trailer on success. The marker is per-request, so a
+// client may mix stats and plain requests on one connection.
+func WriteRequestStats(w *bufio.Writer, command string) error {
+	if err := w.WriteByte(0); err != nil { // uvarint 0: the v2 marker
+		return err
+	}
+	return WriteRequest(w, command)
+}
+
+// ExecStats is the server-side execution summary carried by a v2 trailer.
+type ExecStats struct {
+	// Elapsed is the statement's server-side wall time.
+	Elapsed time.Duration
+	// Rows is the number of result rows.
+	Rows int64
+}
+
 // ReadResponse reads one response from br (shared with the client package).
+// Stats trailers on v2 responses are read and discarded; use
+// ReadResponseStats to keep them.
 func ReadResponse(br *bufio.Reader) (*rowset.Rowset, error) {
+	rs, _, err := ReadResponseStats(br)
+	return rs, err
+}
+
+// ReadResponseStats reads one response from br. The stats pointer is non-nil
+// only for v2 (StatusOKStats) responses.
+func ReadResponseStats(br *bufio.Reader) (*rowset.Rowset, *ExecStats, error) {
 	status, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch status {
 	case StatusOK:
-		return rowset.DecodeFrom(br)
-	case StatusErr:
-		n, err := binary.ReadUvarint(br)
+		rs, err := rowset.DecodeFrom(br)
+		return rs, nil, err
+	case StatusOKStats:
+		rs, err := rowset.DecodeFrom(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if n > MaxCommandLen {
-			return nil, fmt.Errorf("dmserver: oversized error message")
+		trailer, err := readFrame(br)
+		if err != nil {
+			return nil, nil, err
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+		stats, err := parseStatsTrailer(trailer)
+		if err != nil {
+			return nil, nil, err
 		}
-		return nil, &RemoteError{Msg: string(buf)}
+		return rs, stats, nil
+	case StatusErr:
+		msg, err := readFrame(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, &RemoteError{Msg: msg}
 	}
-	return nil, fmt.Errorf("dmserver: bad response status %d", status)
+	return nil, nil, fmt.Errorf("dmserver: bad response status %d", status)
+}
+
+// readFrame reads a uvarint-length-prefixed string.
+func readFrame(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxCommandLen {
+		return "", fmt.Errorf("dmserver: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// parseStatsTrailer parses "elapsed-us=<n> rows=<n>". Unknown fields are
+// ignored so the trailer can grow without another protocol rev.
+func parseStatsTrailer(s string) (*ExecStats, error) {
+	var elapsedUS, rows int64
+	sawElapsed := false
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dmserver: bad stats trailer %q: %w", s, err)
+		}
+		switch key {
+		case "elapsed-us":
+			elapsedUS, sawElapsed = n, true
+		case "rows":
+			rows = n
+		}
+	}
+	if !sawElapsed {
+		return nil, fmt.Errorf("dmserver: stats trailer %q missing elapsed-us", s)
+	}
+	return &ExecStats{Elapsed: time.Duration(elapsedUS) * time.Microsecond, Rows: rows}, nil
 }
 
 // RemoteError is a provider-side error surfaced to the client.

@@ -24,12 +24,16 @@ import (
 )
 
 // Catalog is the metadata surface the binder resolves names against. The
-// provider implements it; tests use lightweight fakes.
+// provider implements it; tests use lightweight fakes. Lookup misses are
+// reported as *core.NotFoundError so callers can classify them; the binder
+// itself only cares whether the lookup succeeded.
 type Catalog interface {
-	// ModelDef returns the definition of a catalogued mining model.
-	ModelDef(name string) (*core.ModelDef, bool)
-	// TableSchema returns the schema of a relational table, when known.
-	TableSchema(name string) (*rowset.Schema, bool)
+	// ModelDef returns the definition of a catalogued mining model, or a
+	// *core.NotFoundError when no such model exists.
+	ModelDef(name string) (*core.ModelDef, error)
+	// TableSchema returns the schema of a relational table, or a
+	// *core.NotFoundError when it is unknown.
+	TableSchema(name string) (*rowset.Schema, error)
 }
 
 // Diagnostic is one positioned semantic error.
@@ -86,8 +90,8 @@ func (c *checker) errorf(pos lex.Pos, format string, args ...any) {
 // ---- INSERT INTO ----
 
 func (c *checker) checkInsert(ins *dmx.InsertInto) {
-	def, ok := c.cat.ModelDef(ins.Model)
-	if !ok {
+	def, err := c.cat.ModelDef(ins.Model)
+	if err != nil {
 		c.errorf(ins.ModelPos, "unknown mining model %q", ins.Model)
 		return
 	}
@@ -147,8 +151,8 @@ type predCtx struct {
 }
 
 func (c *checker) checkPrediction(ps *dmx.PredictionSelect) {
-	def, ok := c.cat.ModelDef(ps.Model)
-	if !ok {
+	def, err := c.cat.ModelDef(ps.Model)
+	if err != nil {
 		c.errorf(ps.ModelPos, "unknown mining model %q", ps.Model)
 		return
 	}
@@ -469,8 +473,8 @@ func (c *checker) inferSelect(sel *sqlengine.SelectStmt) *rowset.Schema {
 	}
 	froms := make([]fromTable, 0, len(sel.From))
 	for _, tr := range sel.From {
-		ts, ok := c.cat.TableSchema(tr.Name)
-		if !ok {
+		ts, err := c.cat.TableSchema(tr.Name)
+		if err != nil {
 			return nil
 		}
 		froms = append(froms, fromTable{name: tr.AliasOrName(), schema: ts})

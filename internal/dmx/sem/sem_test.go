@@ -15,14 +15,20 @@ type fakeCatalog struct {
 	tables map[string]*rowset.Schema
 }
 
-func (f *fakeCatalog) ModelDef(name string) (*core.ModelDef, bool) {
+func (f *fakeCatalog) ModelDef(name string) (*core.ModelDef, error) {
 	d, ok := f.models[strings.ToLower(name)]
-	return d, ok
+	if !ok {
+		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
+	}
+	return d, nil
 }
 
-func (f *fakeCatalog) TableSchema(name string) (*rowset.Schema, bool) {
+func (f *fakeCatalog) TableSchema(name string) (*rowset.Schema, error) {
 	s, ok := f.tables[strings.ToLower(name)]
-	return s, ok
+	if !ok {
+		return nil, &core.NotFoundError{Kind: "table", Name: name}
+	}
+	return s, nil
 }
 
 // testCatalog builds the catalog used throughout: a [CreditRisk] model over a

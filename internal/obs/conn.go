@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnStats is one live connection's counters. The handler goroutine updates
+// them with atomics; the $SYSTEM.DM_CONNECTIONS rowset reads them through
+// Snapshot without stopping the handler.
+type ConnStats struct {
+	id         int64
+	remote     string
+	opened     time.Time
+	requests   atomic.Int64
+	errors     atomic.Int64
+	lastActive atomic.Int64 // unix nanoseconds; 0 = no request yet
+}
+
+// Request records one completed request on the connection.
+func (cs *ConnStats) Request(failed bool) {
+	if cs == nil {
+		return
+	}
+	cs.requests.Add(1)
+	if failed {
+		cs.errors.Add(1)
+	}
+	cs.lastActive.Store(time.Now().UnixNano())
+}
+
+// ConnSnapshot is a point-in-time copy of one connection's state.
+type ConnSnapshot struct {
+	ID         int64
+	Remote     string
+	Opened     time.Time
+	Requests   int64
+	Errors     int64
+	LastActive time.Time // zero when the connection has served no request
+}
+
+// ConnTracker tracks the server's open connections for the
+// $SYSTEM.DM_CONNECTIONS rowset; see the package guard annotation on
+// Registry for the locking discipline.
+type ConnTracker struct {
+	mu    sync.Mutex
+	seq   int64
+	conns map[int64]*ConnStats
+}
+
+// Open registers a connection and returns its stats handle. Safe on a nil
+// tracker (returns nil, whose methods no-op).
+func (ct *ConnTracker) Open(remote string) *ConnStats {
+	if ct == nil {
+		return nil
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.seq++
+	cs := &ConnStats{id: ct.seq, remote: remote, opened: time.Now()}
+	if ct.conns == nil {
+		ct.conns = make(map[int64]*ConnStats)
+	}
+	ct.conns[cs.id] = cs
+	return cs
+}
+
+// Close removes a connection registered with Open.
+func (ct *ConnTracker) Close(cs *ConnStats) {
+	if ct == nil || cs == nil {
+		return
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	delete(ct.conns, cs.id)
+}
+
+// Snapshot lists the open connections, ordered by connection ID.
+func (ct *ConnTracker) Snapshot() []ConnSnapshot {
+	if ct == nil {
+		return nil
+	}
+	ct.mu.Lock()
+	out := make([]ConnSnapshot, 0, len(ct.conns))
+	for _, cs := range ct.conns {
+		s := ConnSnapshot{
+			ID:       cs.id,
+			Remote:   cs.remote,
+			Opened:   cs.opened,
+			Requests: cs.requests.Load(),
+			Errors:   cs.errors.Load(),
+		}
+		if ns := cs.lastActive.Load(); ns != 0 {
+			s.LastActive = time.Unix(0, ns)
+		}
+		out = append(out, s)
+	}
+	ct.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

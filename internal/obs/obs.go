@@ -1,0 +1,256 @@
+// Package obs is the provider's observability substrate: monotonic counters,
+// log-scaled latency histograms, a bounded ring-buffer query log, and a
+// per-connection tracker. It exists so the provider can apply the paper's own
+// core move — "a provider describes information about itself to potential
+// consumers" through schema rowsets — to its runtime state: everything
+// collected here is surfaced as the $SYSTEM.DM_QUERY_LOG,
+// $SYSTEM.DM_PROVIDER_METRICS, and $SYSTEM.DM_CONNECTIONS rowsets and is
+// therefore queryable with plain SELECT statements.
+//
+// The package is allocation-light by design: counters and histogram buckets
+// are atomics, hot-path handles are resolved once and cached by the caller,
+// and every method is nil-receiver safe so an uninstrumented provider pays a
+// single pointer test per call site.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so callers can hold a
+// Counter handle unconditionally and skip the "is observability on?" branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the number of log-scaled histogram buckets. Bucket i counts
+// observations whose value has bit length i: bucket 0 holds v == 0, bucket i
+// holds v in [2^(i-1), 2^i). 40 buckets cover microsecond latencies up to
+// ~2^39 µs (≈ 6 days), far beyond any statement we serve.
+const histBuckets = 40
+
+// Histogram is a log2-bucketed histogram of non-negative int64 observations
+// (the provider observes microseconds). Buckets double in width, so the full
+// latency range fits in a fixed, allocation-free array of atomics.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i (0 for
+// bucket 0; 2^i - 1 otherwise).
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	// UpperBound is the inclusive upper bound of the bucket's value range.
+	UpperBound int64
+	// Count is the number of observations that fell in the bucket.
+	Count int64
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []HistBucket // non-empty buckets, ascending by bound
+}
+
+// Snapshot copies the histogram's current state. Buckets with zero count are
+// omitted. A nil histogram snapshots as empty.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperBound: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// DefaultQueryLogCap is the query-log ring capacity used when a registry is
+// created without an explicit bound.
+const DefaultQueryLogCap = 256
+
+// Registry is the root of one provider instance's observability state: named
+// counters and histograms, the query log, and the connection tracker. The
+// name tables are locked; the metric values themselves are atomics, so the
+// lock is touched only when a handle is first resolved — callers cache
+// handles and the hot path never sees it.
+//
+// Registry methods are safe on a nil receiver: a nil registry hands out nil
+// handles, whose methods are no-ops, which is how observability is disabled
+// wholesale.
+//
+//dmlint:guard mu: Registry.counters, Registry.hists, QueryLog.records, QueryLog.seq, ConnTracker.conns, ConnTracker.seq
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+
+	log   *QueryLog
+	conns *ConnTracker
+}
+
+// NewRegistry creates a registry whose query log keeps the last logCap
+// statements (DefaultQueryLogCap when logCap <= 0).
+func NewRegistry(logCap int) *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		log:      NewQueryLog(logCap),
+		conns:    &ConnTracker{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// QueryLog returns the registry's statement log (nil on a nil registry).
+func (r *Registry) QueryLog() *QueryLog {
+	if r == nil {
+		return nil
+	}
+	return r.log
+}
+
+// Connections returns the registry's connection tracker (nil on a nil
+// registry).
+func (r *Registry) Connections() *ConnTracker {
+	if r == nil {
+		return nil
+	}
+	return r.conns
+}
+
+// NamedCounter pairs a counter name with its current value.
+type NamedCounter struct {
+	Name  string
+	Value int64
+}
+
+// NamedHistogram pairs a histogram name with its snapshot.
+type NamedHistogram struct {
+	Name string
+	Snap HistSnapshot
+}
+
+// Counters returns a sorted snapshot of every registered counter.
+func (r *Registry) Counters() []NamedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]NamedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, NamedCounter{Name: name, Value: c.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms returns a sorted snapshot of every registered histogram.
+func (r *Registry) Histograms() []NamedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]NamedHistogram, 0, len(r.hists))
+	for name, h := range r.hists {
+		out = append(out, NamedHistogram{Name: name, Snap: h.Snapshot()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

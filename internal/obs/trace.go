@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Trace accumulates one statement's timings while it executes; when the
+// statement finishes the provider turns it into a query-log Record. A Trace
+// is owned by the goroutine executing the statement — parallel scan workers
+// never touch it (the scan loop reports rows and parallelism once, after the
+// workers join) — so its fields need no synchronization.
+//
+// All methods are safe on a nil receiver: an uninstrumented provider passes
+// nil traces through the same code paths at the cost of a pointer test.
+type Trace struct {
+	start       time.Time
+	statement   string
+	origin      string
+	kind        string
+	errClass    string
+	stages      [NumStages]time.Duration
+	rowsIn      int64
+	rowsOut     int64
+	parallelism int
+}
+
+// NewTrace starts a trace for one statement.
+func NewTrace(statement, origin string) *Trace {
+	return &Trace{start: time.Now(), statement: statement, origin: origin}
+}
+
+// StartStage begins timing a stage and returns the function that ends it.
+// Stage time accumulates, so a stage that runs in several bursts (e.g. the
+// per-child source queries of a SHAPE) reports their sum.
+func (t *Trace) StartStage(s Stage) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.stages[s] += time.Since(begin) }
+}
+
+// SetKind labels the statement class.
+func (t *Trace) SetKind(kind string) {
+	if t != nil {
+		t.kind = kind
+	}
+}
+
+// SetErrClass overrides the error classification derived from the error
+// value (used to mark parse-stage failures).
+func (t *Trace) SetErrClass(class string) {
+	if t != nil {
+		t.errClass = class
+	}
+}
+
+// AddRowsIn accumulates source rows consumed.
+func (t *Trace) AddRowsIn(n int64) {
+	if t != nil {
+		t.rowsIn += n
+	}
+}
+
+// SetRowsOut records result rows produced.
+func (t *Trace) SetRowsOut(n int64) {
+	if t != nil {
+		t.rowsOut = n
+	}
+}
+
+// SetParallelism records the worker count used by the statement's scan.
+func (t *Trace) SetParallelism(workers int) {
+	if t != nil {
+		t.parallelism = workers
+	}
+}
+
+// ErrClass returns the explicitly set classification ("" when unset).
+func (t *Trace) ErrClass() string {
+	if t == nil {
+		return ""
+	}
+	return t.errClass
+}
+
+// Finish converts the trace into a Record. errClass should be "" for
+// successful statements. Finish on a nil trace returns a zero Record.
+func (t *Trace) Finish(errClass string) Record {
+	if t == nil {
+		return Record{}
+	}
+	return Record{
+		Start:       t.start,
+		Statement:   t.statement,
+		Kind:        t.kind,
+		Origin:      t.origin,
+		ErrClass:    errClass,
+		Elapsed:     time.Since(t.start),
+		Stages:      t.stages,
+		RowsIn:      t.rowsIn,
+		RowsOut:     t.rowsOut,
+		Parallelism: t.parallelism,
+	}
+}
+
+// traceKey is the context key under which a statement's Trace travels.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t. Passing a nil trace returns ctx
+// unchanged, so uninstrumented executions don't allocate a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

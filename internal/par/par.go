@@ -6,12 +6,26 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
+// cancelPollMask sets how often workers poll for cancellation: every
+// (cancelPollMask+1) iterations. Polling a cancel context takes a lock, so
+// per-row checks would serialize the very scan the pool parallelizes; every
+// 32 rows keeps cancellation prompt (a row is a full model evaluation) at
+// negligible cost.
+const cancelPollMask = 31
+
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// It is ForEachCtx without a cancellation context.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) on up to workers goroutines.
 // workers <= 0 means runtime.GOMAXPROCS(0). The index space is partitioned
 // into contiguous chunks; fn must therefore be safe to call concurrently for
 // distinct i but may assume it is called at most once per index.
@@ -19,7 +33,12 @@ import (
 // On error, remaining work is cancelled best-effort and the error with the
 // LOWEST index is returned — the same error a sequential left-to-right scan
 // would have surfaced first, keeping error reporting deterministic.
-func ForEach(n, workers int, fn func(i int) error) error {
+//
+// Cancelling ctx stops the scan promptly (workers poll every few dozen
+// iterations) and ForEachCtx returns ctx.Err(); an fn error found before the
+// cancellation was observed still wins, keeping the deterministic-error
+// contract for races between failure and cancellation.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -29,8 +48,16 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil && i&cancelPollMask == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -41,9 +68,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	// firstIdx holds the lowest failing index seen so far (n = none).
 	// Workers stop once every index they could contribute is above it.
 	var (
-		firstIdx atomic.Int64
-		mu       sync.Mutex
-		firstErr error
+		firstIdx  atomic.Int64
+		mu        sync.Mutex
+		firstErr  error
+		cancelled atomic.Bool
 	)
 	firstIdx.Store(int64(n))
 	fail := func(i int, err error) {
@@ -69,6 +97,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func(start, end int) {
 			defer wg.Done()
 			for i := start; i < end; i++ {
+				if done != nil && (i-start)&cancelPollMask == 0 {
+					select {
+					case <-done:
+						cancelled.Store(true)
+						return
+					default:
+					}
+				}
 				if int64(i) > firstIdx.Load() {
 					return // a lower index already failed; our results past it are moot
 				}
@@ -80,5 +116,11 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}(start, end)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,0 +1,242 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/dmx/sem"
+	"repro/internal/lex"
+	"repro/internal/obs"
+	"repro/internal/rowset"
+	"repro/internal/schemarowset"
+	"repro/internal/shape"
+)
+
+// ExecOption configures one ExecuteContext call.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	origin string
+}
+
+// WithOrigin labels where the statement came from (a remote address, a tool
+// name); the label is recorded in the $SYSTEM.DM_QUERY_LOG rowset.
+func WithOrigin(origin string) ExecOption {
+	return func(c *execConfig) { c.origin = origin }
+}
+
+// ExecuteContext runs one DMX or SQL statement and returns its result
+// rowset; standalone SHAPE statements are also accepted and return the
+// hierarchical rowset they assemble. It is the provider's primary entry
+// point: ctx cancellation aborts the statement (checked inside the
+// worker-pool scan loops, so a runaway PREDICTION JOIN stops promptly), and
+// every statement is timed per stage and recorded in the query log and the
+// provider metrics — queryable afterwards as $SYSTEM.DM_QUERY_LOG and
+// $SYSTEM.DM_PROVIDER_METRICS.
+func (p *Provider) ExecuteContext(ctx context.Context, command string, opts ...ExecOption) (*rowset.Rowset, error) {
+	var cfg execConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var t *obs.Trace
+	if p.obs != nil {
+		t = obs.NewTrace(command, cfg.origin)
+		ctx = obs.WithTrace(ctx, t)
+	}
+	var rs *rowset.Rowset
+	// A statement arriving already cancelled still gets a query-log record
+	// (class "cancelled"), so the log accounts for every submission.
+	err := ctx.Err()
+	if err == nil {
+		rs, err = p.executeTraced(ctx, t, command)
+	}
+	if p.obs != nil {
+		if rs != nil {
+			t.SetRowsOut(int64(rs.Len()))
+		}
+		rec := t.Finish(errorClass(t, err))
+		p.obs.QueryLog().Append(rec)
+		p.execTotal.Inc()
+		p.latency.Observe(rec.Elapsed.Microseconds())
+		if err != nil {
+			p.execErrors.Inc()
+			if rec.ErrClass == "cancelled" {
+				p.execCancels.Inc()
+			}
+		} else {
+			p.rowsOut.Add(rec.RowsOut)
+		}
+	}
+	return rs, err
+}
+
+// Execute runs one statement without cancellation or an origin label. It is
+// ExecuteContext with a background context, kept as the convenience form for
+// callers that have no context to thread.
+func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
+	return p.ExecuteContext(context.Background(), command)
+}
+
+// ExecuteScriptContext runs a multi-statement script (statements separated
+// by semicolons) and returns the last statement's result. Each statement
+// passes through ExecuteContext, so all of them land in the query log and
+// cancellation is honoured between and inside statements.
+func (p *Provider) ExecuteScriptContext(ctx context.Context, script string, opts ...ExecOption) (*rowset.Rowset, error) {
+	stmts, err := splitStatements(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *rowset.Rowset
+	for _, s := range stmts {
+		last, err = p.ExecuteContext(ctx, s, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteScript is ExecuteScriptContext with a background context.
+func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
+	return p.ExecuteScriptContext(context.Background(), script)
+}
+
+// executeTraced dispatches one command, attributing stage time to the trace
+// carried by ctx (t may be nil: every trace method is a no-op then).
+func (p *Provider) executeTraced(ctx context.Context, t *obs.Trace, command string) (*rowset.Rowset, error) {
+	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
+		t.SetKind("SHAPE")
+		defer t.StartStage(obs.StageSource)()
+		return shape.ExecuteStringContext(ctx, p.Engine, command)
+	}
+	stopParse := t.StartStage(obs.StageParse)
+	st, err := dmx.Parse(command, p.IsModel)
+	stopParse()
+	if err != nil {
+		t.SetErrClass("parse")
+		return nil, err
+	}
+	if st == nil {
+		t.SetKind("SQL")
+		defer t.StartStage(obs.StageScan)()
+		return p.Engine.Exec(command)
+	}
+	t.SetKind(statementKind(st))
+	return p.ExecuteDMXContext(ctx, st)
+}
+
+// ExecuteDMXContext runs a parsed DMX statement. Statements are bound by the
+// semantic checker first, so name and type errors surface with source
+// positions before any execution work starts.
+func (p *Provider) ExecuteDMXContext(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
+	t := obs.FromContext(ctx)
+	stopBind := t.StartStage(obs.StageBind)
+	err := sem.Check(st, p)
+	stopBind()
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *dmx.CreateModel:
+		return p.createModel(s.Def)
+	case *dmx.InsertInto:
+		return p.insertInto(ctx, s)
+	case *dmx.PredictionSelect:
+		return p.predictionSelect(ctx, s)
+	case *dmx.ContentSelect:
+		e, err := p.entry(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.RLock()
+		trained := e.model.Trained
+		p.mu.RUnlock()
+		if trained == nil {
+			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", s.Model)
+		}
+		return content.Rowset(e.model.Def.Name, trained.Content())
+	case *dmx.ColumnsSelect:
+		e, err := p.entry(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		return schemarowset.ModelColumns(e.model)
+	case *dmx.CasesSelect:
+		return p.casesRowset(s.Model)
+	case *dmx.PMMLSelect:
+		return p.pmmlRowset(s.Model)
+	case *dmx.SchemaRowsetSelect:
+		// Build reads Trained/Space/CaseCount off every model, so the read
+		// lock must cover the build itself, not just the catalogue snapshot —
+		// a concurrent INSERT INTO rewrites those fields under the write lock.
+		// The obs registry has its own locks and never takes p.mu, so holding
+		// p.mu across the observability rowsets cannot deadlock.
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		return schemarowset.Build(s.Rowset, p.modelsLocked(), p.Registry, p.obs)
+	case *dmx.DeleteFrom:
+		return p.deleteFrom(s.Model)
+	case *dmx.DropModel:
+		return p.dropModel(s.Name)
+	}
+	return nil, fmt.Errorf("provider: unsupported DMX statement %T", st)
+}
+
+// ExecuteDMX is ExecuteDMXContext with a background context.
+func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
+	return p.ExecuteDMXContext(context.Background(), st)
+}
+
+// statementKind labels a DMX statement class for the query log.
+func statementKind(st dmx.Statement) string {
+	switch st.(type) {
+	case *dmx.CreateModel:
+		return "CREATE MODEL"
+	case *dmx.InsertInto:
+		return "INSERT MODEL"
+	case *dmx.PredictionSelect:
+		return "PREDICT"
+	case *dmx.ContentSelect:
+		return "CONTENT"
+	case *dmx.ColumnsSelect:
+		return "COLUMNS"
+	case *dmx.CasesSelect:
+		return "CASES"
+	case *dmx.PMMLSelect:
+		return "PMML"
+	case *dmx.SchemaRowsetSelect:
+		return "SCHEMA ROWSET"
+	case *dmx.DeleteFrom:
+		return "DELETE MODEL"
+	case *dmx.DropModel:
+		return "DROP MODEL"
+	}
+	return "DMX"
+}
+
+// errorClass buckets an execution error for the query log: parse (set by the
+// parse stage), semantic (binder diagnostics), not_found (catalogue misses),
+// cancelled (context cancellation or deadline), or exec for everything else.
+func errorClass(t *obs.Trace, err error) string {
+	if err == nil {
+		return ""
+	}
+	if c := t.ErrClass(); c != "" {
+		return c
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "cancelled"
+	}
+	if core.IsNotFound(err) {
+		return "not_found"
+	}
+	var diags sem.Diagnostics
+	if errors.As(err, &diags) {
+		return "semantic"
+	}
+	return "exec"
+}

@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmx"
 	"repro/internal/lex"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rowset"
 )
@@ -20,20 +22,28 @@ func splitStatements(script string) ([]string, error) {
 // source, bind its columns to the model's columns, tokenize into cases, run
 // the discretization pipeline, and (re)train the model's algorithm over all
 // cases consumed so far.
-func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
+func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset.Rowset, error) {
+	t := obs.FromContext(ctx)
 	e, err := p.entry(ins.Model)
 	if err != nil {
 		return nil, err
 	}
-	src, err := p.executeSource(ins.Source)
+	stopSource := t.StartStage(obs.StageSource)
+	src, err := p.executeSource(ctx, ins.Source)
+	stopSource()
 	if err != nil {
 		return nil, err
 	}
-	bound, err := applyBindings(e.model.Def, ins.Bindings, src, p.workers())
+	t.AddRowsIn(int64(src.Len()))
+	workers := p.workers()
+	t.SetParallelism(workers)
+	bound, err := applyBindings(ctx, e.model.Def, ins.Bindings, src, workers)
 	if err != nil {
 		return nil, err
 	}
 
+	stopTrain := t.StartStage(obs.StageTrain)
+	defer stopTrain()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -77,10 +87,10 @@ func (p *Provider) insertInto(ins *dmx.InsertInto) (*rowset.Rowset, error) {
 }
 
 // executeSource runs a SHAPE or SELECT source against the SQL engine.
-func (p *Provider) executeSource(src dmx.Source) (*rowset.Rowset, error) {
+func (p *Provider) executeSource(ctx context.Context, src dmx.Source) (*rowset.Rowset, error) {
 	switch {
 	case src.Shape != nil:
-		return src.Shape.Execute(p.Engine)
+		return src.Shape.ExecuteContext(ctx, p.Engine)
 	case src.Select != nil:
 		return p.Engine.Query(src.Select)
 	}
@@ -162,7 +172,7 @@ func (p *Provider) entropyLabels(full *core.Caseset, exclude int) []int {
 // are given, columns bind by name. The per-row projection (including nested
 // reshaping, the expensive part of a hierarchical training scan) runs on the
 // workers pool; rows keep their source order.
-func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowset, workers int) (*rowset.Rowset, error) {
+func applyBindings(ctx context.Context, def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowset, workers int) (*rowset.Rowset, error) {
 	if len(bindings) == 0 {
 		bindings = make([]dmx.Binding, 0, len(def.Columns))
 		for i := range def.Columns {
@@ -179,7 +189,7 @@ func applyBindings(def *core.ModelDef, bindings []dmx.Binding, src *rowset.Rowse
 	}
 	srcRows := src.Rows()
 	rows := make([]rowset.Row, len(srcRows))
-	err = par.ForEach(len(srcRows), workers, func(i int) error {
+	err = par.ForEachCtx(ctx, len(srcRows), workers, func(i int) error {
 		r := srcRows[i]
 		row := make(rowset.Row, 0, len(plan))
 		for _, b := range plan {

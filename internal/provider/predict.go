@@ -1,12 +1,14 @@
 package provider
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dmx"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rowset"
 	"repro/internal/sqlengine"
@@ -17,7 +19,8 @@ import (
 // case is bound to the model (by the ON clause or by name for NATURAL
 // joins), tokenized through the model's frozen attribute space, and the
 // select items are evaluated with the DMX prediction functions available.
-func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, error) {
+func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelect) (*rowset.Rowset, error) {
+	t := obs.FromContext(ctx)
 	e, err := p.entry(ps.Model)
 	if err != nil {
 		return nil, err
@@ -30,10 +33,13 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 	if !e.model.IsTrained() {
 		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", ps.Model)
 	}
-	src, err := p.executeSource(ps.Source)
+	stopSource := t.StartStage(obs.StageSource)
+	src, err := p.executeSource(ctx, ps.Source)
+	stopSource()
 	if err != nil {
 		return nil, err
 	}
+	t.AddRowsIn(int64(src.Len()))
 
 	var bindings []dmx.Binding
 	if ps.Natural {
@@ -114,12 +120,14 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 	rows := src.Rows()
 	results := make([]caseResult, len(rows))
 	workers := p.workers()
+	stopScan := t.StartStage(obs.StageScan)
 	if workers > 1 && len(rows) >= minParallelCases {
+		t.SetParallelism(workers)
 		// Parallel scan: contiguous chunks, merged back in source order below,
 		// so output (and therefore ORDER BY/TOP semantics) is byte-identical
 		// to the sequential path. TOP without ORDER BY cannot short-circuit a
 		// chunked scan; every case is evaluated and the merge truncates.
-		err = par.ForEach(len(rows), workers, func(i int) error {
+		err = par.ForEachCtx(ctx, len(rows), workers, func(i int) error {
 			r, cerr := pp.evalCase(rows[i])
 			if cerr != nil {
 				return cerr
@@ -128,13 +136,25 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 			return nil
 		})
 		if err != nil {
+			stopScan()
 			return nil, err
 		}
 	} else {
+		t.SetParallelism(1)
+		done := ctx.Done()
 		kept := 0
 		for i, srcRow := range rows {
+			if done != nil && i&31 == 0 {
+				select {
+				case <-done:
+					stopScan()
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			r, cerr := pp.evalCase(srcRow)
 			if cerr != nil {
+				stopScan()
 				return nil, cerr
 			}
 			results[i] = r
@@ -148,6 +168,7 @@ func (p *Provider) predictionSelect(ps *dmx.PredictionSelect) (*rowset.Rowset, e
 			}
 		}
 	}
+	stopScan()
 
 	// Merge in source order.
 	out := make([]rowset.Row, 0, len(rows))

@@ -25,14 +25,9 @@ import (
 	"repro/internal/algo/linreg"
 	"repro/internal/algo/markov"
 	"repro/internal/algo/nbayes"
-	"repro/internal/content"
 	"repro/internal/core"
-	"repro/internal/dmx"
-	"repro/internal/dmx/sem"
-	"repro/internal/lex"
+	"repro/internal/obs"
 	"repro/internal/rowset"
-	"repro/internal/schemarowset"
-	"repro/internal/shape"
 	"repro/internal/sqlengine"
 	"repro/internal/storage"
 )
@@ -60,6 +55,20 @@ type Provider struct {
 	// (PREDICTION JOIN evaluation, INSERT INTO row reshaping). Defaults to
 	// runtime.GOMAXPROCS(0); 1 forces the sequential path.
 	parallelism int
+
+	// obs is the observability registry behind the $SYSTEM.DM_QUERY_LOG,
+	// DM_PROVIDER_METRICS, and DM_CONNECTIONS schema rowsets. nil disables
+	// instrumentation entirely (all handles below become no-ops).
+	obs    *obs.Registry
+	obsSet bool // an option supplied obs explicitly (possibly nil)
+	logCap int  // query-log ring capacity for the default registry
+
+	// Cached hot-path metric handles (nil-safe when obs is nil).
+	execTotal   *obs.Counter
+	execErrors  *obs.Counter
+	execCancels *obs.Counter
+	rowsOut     *obs.Counter
+	latency     *obs.Histogram
 }
 
 // workers returns the effective worker-pool bound.
@@ -95,6 +104,21 @@ func WithParallelism(n int) Option {
 	return func(p *Provider) { p.parallelism = n }
 }
 
+// WithObsRegistry installs an externally owned observability registry, so
+// several providers (or a provider and its server) can share one metrics
+// namespace. Passing nil disables observability: no counters, no latency
+// histograms, no query log — the instrumentation hooks degrade to no-ops.
+func WithObsRegistry(r *obs.Registry) Option {
+	return func(p *Provider) { p.obs, p.obsSet = r, true }
+}
+
+// WithQueryLogCapacity bounds the $SYSTEM.DM_QUERY_LOG ring buffer of the
+// provider's default registry (obs.DefaultQueryLogCap when n <= 0). It has
+// no effect when WithObsRegistry supplied a registry.
+func WithQueryLogCapacity(n int) Option {
+	return func(p *Provider) { p.logCap = n }
+}
+
 // New creates a provider with the six reference mining services installed
 // (Decision_Trees, Naive_Bayes, Clustering, Association_Rules,
 // Linear_Regression, Sequence_Analysis).
@@ -117,6 +141,15 @@ func New(opts ...Option) (*Provider, error) {
 	for _, o := range opts {
 		o(p)
 	}
+	if !p.obsSet {
+		p.obs = obs.NewRegistry(p.logCap)
+	}
+	p.execTotal = p.obs.Counter("provider_statements_total")
+	p.execErrors = p.obs.Counter("provider_errors_total")
+	p.execCancels = p.obs.Counter("provider_cancelled_total")
+	p.rowsOut = p.obs.Counter("provider_rows_out_total")
+	p.latency = p.obs.Histogram("provider_statement_latency_us")
+	p.Engine.Instrument(p.obs)
 	if p.dir != "" {
 		if err := p.load(); err != nil {
 			return nil, err
@@ -124,6 +157,11 @@ func New(opts ...Option) (*Provider, error) {
 	}
 	return p, nil
 }
+
+// Obs returns the provider's observability registry (nil when disabled).
+// The same data is queryable in-band through the $SYSTEM.DM_QUERY_LOG,
+// DM_PROVIDER_METRICS, and DM_CONNECTIONS schema rowsets.
+func (p *Provider) Obs() *obs.Registry { return p.obs }
 
 // IsModel reports whether name refers to a catalogued mining model.
 func (p *Provider) IsModel(name string) bool {
@@ -133,7 +171,8 @@ func (p *Provider) IsModel(name string) bool {
 	return ok
 }
 
-// Model returns the catalogued model by name.
+// Model returns the catalogued model by name. A miss reports a
+// *core.NotFoundError.
 func (p *Provider) Model(name string) (*core.Model, error) {
 	e, err := p.entry(name)
 	if err != nil {
@@ -147,7 +186,7 @@ func (p *Provider) entry(name string) (*modelEntry, error) {
 	defer p.mu.RUnlock()
 	e, ok := p.models[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("provider: no mining model named %q", name)
+		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
 	return e, nil
 }
@@ -179,109 +218,26 @@ func (p *Provider) modelsLocked() []*core.Model {
 	return out
 }
 
-// Execute runs one DMX or SQL statement and returns its result rowset.
-// Standalone SHAPE statements are also accepted and return the hierarchical
-// rowset they assemble.
-func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
-	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
-		return shape.ExecuteString(p.Engine, command)
-	}
-	st, err := dmx.Parse(command, p.IsModel)
-	if err != nil {
-		return nil, err
-	}
-	if st == nil {
-		return p.Engine.Exec(command)
-	}
-	return p.ExecuteDMX(st)
-}
-
-// ExecuteScript runs a multi-statement script (statements separated by
-// semicolons) and returns the last statement's result.
-func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
-	stmts, err := splitStatements(script)
-	if err != nil {
-		return nil, err
-	}
-	var last *rowset.Rowset
-	for _, s := range stmts {
-		last, err = p.Execute(s)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return last, nil
-}
-
 // ModelDef implements sem.Catalog: the definition of a catalogued model.
-func (p *Provider) ModelDef(name string) (*core.ModelDef, bool) {
+// A miss reports a *core.NotFoundError.
+func (p *Provider) ModelDef(name string) (*core.ModelDef, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	e, ok := p.models[strings.ToLower(name)]
 	if !ok {
-		return nil, false
+		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
-	return e.model.Def, true
+	return e.model.Def, nil
 }
 
 // TableSchema implements sem.Catalog: the schema of a relational table.
-func (p *Provider) TableSchema(name string) (*rowset.Schema, bool) {
+// A miss reports a *core.NotFoundError.
+func (p *Provider) TableSchema(name string) (*rowset.Schema, error) {
 	t, err := p.DB.Table(name)
 	if err != nil {
-		return nil, false
+		return nil, &core.NotFoundError{Kind: "table", Name: name}
 	}
-	return t.Schema(), true
-}
-
-// ExecuteDMX runs a parsed DMX statement. Statements are bound by the
-// semantic checker first, so name and type errors surface with source
-// positions before any execution work starts.
-func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
-	if err := sem.Check(st, p); err != nil {
-		return nil, err
-	}
-	switch s := st.(type) {
-	case *dmx.CreateModel:
-		return p.createModel(s.Def)
-	case *dmx.InsertInto:
-		return p.insertInto(s)
-	case *dmx.PredictionSelect:
-		return p.predictionSelect(s)
-	case *dmx.ContentSelect:
-		e, err := p.entry(s.Model)
-		if err != nil {
-			return nil, err
-		}
-		p.mu.RLock()
-		trained := e.model.Trained
-		p.mu.RUnlock()
-		if trained == nil {
-			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", s.Model)
-		}
-		return content.Rowset(e.model.Def.Name, trained.Content())
-	case *dmx.ColumnsSelect:
-		e, err := p.entry(s.Model)
-		if err != nil {
-			return nil, err
-		}
-		return schemarowset.ModelColumns(e.model)
-	case *dmx.CasesSelect:
-		return p.casesRowset(s.Model)
-	case *dmx.PMMLSelect:
-		return p.pmmlRowset(s.Model)
-	case *dmx.SchemaRowsetSelect:
-		// Build reads Trained/Space/CaseCount off every model, so the read
-		// lock must cover the build itself, not just the catalogue snapshot —
-		// a concurrent INSERT INTO rewrites those fields under the write lock.
-		p.mu.RLock()
-		defer p.mu.RUnlock()
-		return schemarowset.Build(s.Rowset, p.modelsLocked(), p.Registry)
-	case *dmx.DeleteFrom:
-		return p.deleteFrom(s.Model)
-	case *dmx.DropModel:
-		return p.dropModel(s.Name)
-	}
-	return nil, fmt.Errorf("provider: unsupported DMX statement %T", st)
+	return t.Schema(), nil
 }
 
 // createModel registers a validated model definition.
@@ -334,7 +290,7 @@ func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
 	_, ok := p.models[key]
 	if !ok {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("provider: no mining model named %q", name)
+		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
 	delete(p.models, key)
 	p.mu.Unlock()

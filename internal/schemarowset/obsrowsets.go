@@ -1,0 +1,131 @@
+package schemarowset
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rowset"
+)
+
+// This file applies the paper's self-description idea to the provider's
+// runtime state: the metrics, query log, and connection tracker collected by
+// internal/obs surface as three more $SYSTEM schema rowsets, so observability
+// is queryable with the same SELECT surface as everything else.
+
+// QueryLog renders $SYSTEM.DM_QUERY_LOG: the most recent statements, oldest
+// first, with per-stage timings in microseconds.
+func QueryLog(o *obs.Registry) (*rowset.Rowset, error) {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "SEQ", Type: rowset.TypeLong},
+		rowset.Column{Name: "START_TIME", Type: rowset.TypeDate},
+		rowset.Column{Name: "STATEMENT", Type: rowset.TypeText},
+		rowset.Column{Name: "KIND", Type: rowset.TypeText},
+		rowset.Column{Name: "ORIGIN", Type: rowset.TypeText},
+		rowset.Column{Name: "ERROR_CLASS", Type: rowset.TypeText},
+		rowset.Column{Name: "ELAPSED_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "PARSE_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "BIND_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "SOURCE_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "TRAIN_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "SCAN_US", Type: rowset.TypeLong},
+		rowset.Column{Name: "ROWS_IN", Type: rowset.TypeLong},
+		rowset.Column{Name: "ROWS_OUT", Type: rowset.TypeLong},
+		rowset.Column{Name: "PARALLELISM", Type: rowset.TypeLong},
+	))
+	for _, r := range o.QueryLog().Snapshot() {
+		err := rs.AppendVals(
+			r.Seq,
+			r.Start,
+			r.Statement,
+			r.Kind,
+			r.Origin,
+			r.ErrClass,
+			r.Elapsed.Microseconds(),
+			r.Stages[obs.StageParse].Microseconds(),
+			r.Stages[obs.StageBind].Microseconds(),
+			r.Stages[obs.StageSource].Microseconds(),
+			r.Stages[obs.StageTrain].Microseconds(),
+			r.Stages[obs.StageScan].Microseconds(),
+			r.RowsIn,
+			r.RowsOut,
+			int64(r.Parallelism),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// ProviderMetrics renders $SYSTEM.DM_PROVIDER_METRICS: one row per counter
+// (METRIC_TYPE "counter") and one row per non-empty histogram bucket
+// (METRIC_TYPE "histogram", bucket bound in BUCKET_LE), plus a _count/_sum
+// summary pair per histogram so averages need no client-side bucket math.
+func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "METRIC_NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "METRIC_TYPE", Type: rowset.TypeText},
+		rowset.Column{Name: "BUCKET_LE", Type: rowset.TypeLong},
+		rowset.Column{Name: "VALUE", Type: rowset.TypeLong},
+	))
+	for _, c := range o.Counters() {
+		if err := rs.AppendVals(c.Name, "counter", nil, c.Value); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range o.Histograms() {
+		if err := rs.AppendVals(h.Name+"_count", "histogram", nil, h.Snap.Count); err != nil {
+			return nil, err
+		}
+		if err := rs.AppendVals(h.Name+"_sum", "histogram", nil, h.Snap.Sum); err != nil {
+			return nil, err
+		}
+		for _, b := range h.Snap.Buckets {
+			if err := rs.AppendVals(h.Name, "histogram", b.UpperBound, b.Count); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rs, nil
+}
+
+// Connections renders $SYSTEM.DM_CONNECTIONS: the server's live connections.
+// An in-process provider with no server reports an empty rowset.
+func Connections(o *obs.Registry) (*rowset.Rowset, error) {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "CONNECTION_ID", Type: rowset.TypeLong},
+		rowset.Column{Name: "REMOTE_ADDRESS", Type: rowset.TypeText},
+		rowset.Column{Name: "OPENED", Type: rowset.TypeDate},
+		rowset.Column{Name: "REQUESTS", Type: rowset.TypeLong},
+		rowset.Column{Name: "ERRORS", Type: rowset.TypeLong},
+		rowset.Column{Name: "IDLE_US", Type: rowset.TypeLong},
+	))
+	for _, c := range o.Connections().Snapshot() {
+		last := c.LastActive
+		if last.IsZero() {
+			last = c.Opened
+		}
+		idle := time.Since(last).Microseconds()
+		if err := rs.AppendVals(c.ID, c.Remote, c.Opened, c.Requests, c.Errors, idle); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// FormatStages renders a record's non-zero stage timings for log lines, e.g.
+// "parse=12µs scan=3.4ms".
+func FormatStages(r obs.Record) string {
+	var b strings.Builder
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if d := r.Stages[s]; d > 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", s, d)
+		}
+	}
+	return b.String()
+}

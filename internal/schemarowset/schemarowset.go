@@ -6,11 +6,11 @@
 package schemarowset
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rowset"
 )
 
@@ -21,15 +21,23 @@ const (
 	RowsetServices      = "MINING_SERVICES"
 	RowsetServiceParams = "SERVICE_PARAMETERS"
 	RowsetFunctions     = "MINING_FUNCTIONS"
+	RowsetQueryLog      = "DM_QUERY_LOG"
+	RowsetMetrics       = "DM_PROVIDER_METRICS"
+	RowsetConnections   = "DM_CONNECTIONS"
 )
 
 // Names lists the available schema rowsets.
 func Names() []string {
-	return []string{RowsetModels, RowsetColumns, RowsetServices, RowsetServiceParams, RowsetFunctions}
+	return []string{
+		RowsetModels, RowsetColumns, RowsetServices, RowsetServiceParams, RowsetFunctions,
+		RowsetQueryLog, RowsetMetrics, RowsetConnections,
+	}
 }
 
-// Build dispatches a schema rowset by name.
-func Build(name string, models []*core.Model, reg *core.Registry) (*rowset.Rowset, error) {
+// Build dispatches a schema rowset by name. The obs registry feeds the
+// observability rowsets; with observability disabled (nil registry) those
+// rowsets still build, just empty, so self-description keeps working.
+func Build(name string, models []*core.Model, reg *core.Registry, o *obs.Registry) (*rowset.Rowset, error) {
 	switch strings.ToUpper(name) {
 	case RowsetModels:
 		return MiningModels(models)
@@ -41,9 +49,14 @@ func Build(name string, models []*core.Model, reg *core.Registry) (*rowset.Rowse
 		return ServiceParameters(reg)
 	case RowsetFunctions:
 		return MiningFunctions()
+	case RowsetQueryLog:
+		return QueryLog(o)
+	case RowsetMetrics:
+		return ProviderMetrics(o)
+	case RowsetConnections:
+		return Connections(o)
 	}
-	return nil, fmt.Errorf("schemarowset: no schema rowset named %q (available: %s)",
-		name, strings.Join(Names(), ", "))
+	return nil, &core.NotFoundError{Kind: "schema rowset", Name: name}
 }
 
 // MiningModels lists every catalogued model with its population state.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/algo/dtree"
 	"repro/internal/algo/nbayes"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rowset"
 )
 
@@ -148,17 +149,82 @@ func TestMiningFunctions(t *testing.T) {
 
 func TestBuildDispatch(t *testing.T) {
 	models, reg := testModels(), testRegistry()
+	o := obs.NewRegistry(0)
 	for _, name := range Names() {
-		rs, err := Build(name, models, reg)
+		rs, err := Build(name, models, reg, o)
 		if err != nil || rs == nil {
 			t.Errorf("Build(%s): %v", name, err)
 		}
 	}
+	// The observability rowsets must also build with observability disabled.
+	for _, name := range []string{RowsetQueryLog, RowsetMetrics, RowsetConnections} {
+		rs, err := Build(name, models, reg, nil)
+		if err != nil || rs == nil {
+			t.Errorf("Build(%s) with nil obs: %v", name, err)
+		} else if rs.Len() != 0 {
+			t.Errorf("Build(%s) with nil obs: %d rows, want 0", name, rs.Len())
+		}
+	}
 	// Case-insensitive.
-	if _, err := Build("mining_models", models, reg); err != nil {
+	if _, err := Build("mining_models", models, reg, o); err != nil {
 		t.Errorf("lower-case dispatch: %v", err)
 	}
-	if _, err := Build("NOPE", models, reg); err == nil {
+	if _, err := Build("NOPE", models, reg, o); err == nil {
 		t.Error("unknown rowset must fail")
+	}
+}
+
+func TestObservabilityRowsets(t *testing.T) {
+	o := obs.NewRegistry(4)
+	o.Counter("provider_statements_total").Add(3)
+	o.Histogram("provider_statement_latency_us").Observe(100)
+	o.Histogram("provider_statement_latency_us").Observe(5000)
+	o.QueryLog().Append(obs.Record{Statement: "SELECT 1", Kind: "SQL", RowsOut: 1})
+	cs := o.Connections().Open("10.0.0.9:1234")
+	cs.Request(false)
+	defer o.Connections().Close(cs)
+
+	metrics, err := ProviderMetrics(o)
+	if err != nil {
+		t.Fatalf("ProviderMetrics: %v", err)
+	}
+	found := map[string]bool{}
+	for _, r := range metrics.Rows() {
+		found[r[0].(string)] = true
+	}
+	for _, want := range []string{
+		"provider_statements_total",
+		"provider_statement_latency_us",
+		"provider_statement_latency_us_count",
+		"provider_statement_latency_us_sum",
+	} {
+		if !found[want] {
+			t.Errorf("DM_PROVIDER_METRICS missing %q (have %v)", want, found)
+		}
+	}
+
+	qlog, err := QueryLog(o)
+	if err != nil {
+		t.Fatalf("QueryLog: %v", err)
+	}
+	if qlog.Len() != 1 {
+		t.Fatalf("DM_QUERY_LOG rows = %d, want 1", qlog.Len())
+	}
+	if got, _ := qlog.Value(0, "STATEMENT"); got != "SELECT 1" {
+		t.Errorf("STATEMENT = %v", got)
+	}
+
+	conns, err := Connections(o)
+	if err != nil {
+		t.Fatalf("Connections: %v", err)
+	}
+	if conns.Len() != 1 {
+		t.Fatalf("DM_CONNECTIONS rows = %d, want 1", conns.Len())
+	}
+	if got, _ := conns.Value(0, "REMOTE_ADDRESS"); got != "10.0.0.9:1234" {
+		t.Errorf("REMOTE_ADDRESS = %v", got)
+	}
+	if got, _ := conns.Value(0, "REQUESTS"); got != int64(1) {
+		t.Errorf("REQUESTS = %v", got)
 	}
 }

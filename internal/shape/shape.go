@@ -17,6 +17,7 @@
 package shape
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/lex"
@@ -130,6 +131,16 @@ func ParseString(src string) (*Query, error) {
 // hierarchical rowset: the root query's columns plus one TABLE column per
 // APPEND, each cell holding the child rows whose relate key matches.
 func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
+	return q.ExecuteContext(context.Background(), e)
+}
+
+// ExecuteContext is Execute with cancellation: ctx is checked between the
+// root query and each APPEND child, so a deep SHAPE tree aborts at the next
+// query boundary once ctx is done.
+func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowset.Rowset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parent, err := e.Query(q.Root)
 	if err != nil {
 		return nil, err
@@ -145,7 +156,7 @@ func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
 	}
 	groups := make([]childGroup, len(q.Appends))
 	for i, ap := range q.Appends {
-		child, err := ap.Child.Execute(e)
+		child, err := ap.Child.ExecuteContext(ctx, e)
 		if err != nil {
 			return nil, err
 		}
@@ -205,9 +216,15 @@ func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
 
 // ExecuteString parses and executes a SHAPE statement in one call.
 func ExecuteString(e *sqlengine.Engine, src string) (*rowset.Rowset, error) {
+	return ExecuteStringContext(context.Background(), e, src)
+}
+
+// ExecuteStringContext parses and executes a SHAPE statement in one call,
+// honouring ctx cancellation at query boundaries.
+func ExecuteStringContext(ctx context.Context, e *sqlengine.Engine, src string) (*rowset.Rowset, error) {
 	q, err := ParseString(src)
 	if err != nil {
 		return nil, err
 	}
-	return q.Execute(e)
+	return q.ExecuteContext(ctx, e)
 }

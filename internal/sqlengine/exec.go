@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rowset"
 	"repro/internal/storage"
 )
@@ -14,6 +15,12 @@ import (
 type Engine struct {
 	DB    *storage.Database
 	views viewCatalog
+
+	// Metric handles resolved by Instrument; nil-safe no-ops until then, so
+	// an uninstrumented engine pays nothing.
+	stmts    *obs.Counter
+	stmtErrs *obs.Counter
+	rowsOut  *obs.Counter
 }
 
 // NewEngine wraps db.
@@ -21,11 +28,23 @@ func NewEngine(db *storage.Database) *Engine {
 	return &Engine{DB: db}
 }
 
+// Instrument resolves the engine's metric handles against reg, exposing
+// sql_statements_total, sql_errors_total, and sql_rows_out_total through the
+// $SYSTEM.DM_PROVIDER_METRICS rowset. A nil registry leaves the engine
+// uninstrumented.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.stmts = reg.Counter("sql_statements_total")
+	e.stmtErrs = reg.Counter("sql_errors_total")
+	e.rowsOut = reg.Counter("sql_rows_out_total")
+}
+
 // Exec parses and executes one SQL statement. Every statement returns a
 // rowset; DML statements return a single-row ([rows affected]) result.
 func (e *Engine) Exec(sql string) (*rowset.Rowset, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
+		e.stmts.Inc()
+		e.stmtErrs.Inc()
 		return nil, err
 	}
 	return e.ExecStmt(stmt)
@@ -33,6 +52,17 @@ func (e *Engine) Exec(sql string) (*rowset.Rowset, error) {
 
 // ExecStmt executes a parsed statement.
 func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
+	rs, err := e.execStmt(stmt)
+	e.stmts.Inc()
+	if err != nil {
+		e.stmtErrs.Inc()
+	} else if rs != nil {
+		e.rowsOut.Add(int64(rs.Len()))
+	}
+	return rs, err
+}
+
+func (e *Engine) execStmt(stmt Statement) (*rowset.Rowset, error) {
 	switch st := stmt.(type) {
 	case *SelectStmt:
 		return e.Query(st)

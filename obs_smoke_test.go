@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/provider"
+	"repro/internal/provider/providertest"
+	"repro/internal/workload"
+)
+
+// maxObsOverhead is the instrumentation budget: enabling observability may
+// not slow the PREDICTION JOIN scan by more than this fraction.
+const maxObsOverhead = 0.10
+
+// TestObsOverheadSmoke compares batch-scoring throughput with observability
+// enabled against the same provider built with WithObsRegistry(nil), and
+// fails when the instrumented run is more than 10% slower. Guarded by
+// BENCH_SMOKE=1 (run via `make bench-smoke`) so routine `go test ./...`
+// stays fast and free of timing-sensitive assertions.
+func TestObsOverheadSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 (or run `make bench-smoke`) to check instrumentation overhead")
+	}
+
+	const scale = 400
+	q := `SELECT t.[Customer ID], Predict([Age]), PredictProbability([Age]) FROM [Bench Age]
+		NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t`
+
+	build := func(reg *obs.Registry) *provider.Provider {
+		p := providertest.MustNew(provider.WithObsRegistry(reg))
+		if _, err := workload.Populate(p.DB, workload.Config{Customers: scale, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Execute(benchCreateAge); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Execute(benchInsertAge); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	measure := func(p *provider.Provider) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	plain := build(nil)
+	instrumented := build(obs.NewRegistry(0))
+
+	// Interleave several rounds and keep each side's best time, which damps
+	// scheduler and GC noise far better than one long run per side.
+	const rounds = 3
+	best := func(p *provider.Provider) float64 {
+		min := measure(p)
+		for i := 1; i < rounds; i++ {
+			if v := measure(p); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	basePer := best(plain)
+	obsPer := best(instrumented)
+
+	overhead := (obsPer - basePer) / basePer
+	t.Logf("plain %.0f ns/op, instrumented %.0f ns/op, overhead %+.2f%%",
+		basePer, obsPer, overhead*100)
+	if overhead > maxObsOverhead {
+		t.Fatalf("observability overhead %.1f%% exceeds the %.0f%% budget",
+			overhead*100, maxObsOverhead*100)
+	}
+}
