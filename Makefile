@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench-parallel bench-smoke lint check
+.PHONY: build test vet race bench-parallel bench-smoke bench-json lint check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,10 @@ bench-parallel:
 # the PREDICTION JOIN scan by more than 10% over WithObsRegistry(nil).
 bench-smoke:
 	BENCH_SMOKE=1 $(GO) test -run TestObsOverheadSmoke -v .
+
+# Machine-readable benchmark report (schema documented in EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/dmbench -scale 500 -json BENCH_PR4.json
 
 # Project-specific static analysis (tools/dmlint) plus formatting and vet.
 # dmlint type-checks the module with the stdlib toolchain and enforces the

@@ -9,9 +9,15 @@
 //	dmbench -exp e2,e8      # run a subset
 //	dmbench -scale 10000    # more customers
 //	dmbench -list           # list experiments
+//	dmbench -json out.json  # benchmark workloads, machine-readable report
+//
+// -json skips the experiments and instead times the benchmark workloads
+// (sql-scan, shape-caseset, train, predict-join), writing a BenchReport
+// JSON file whose schema EXPERIMENTS.md documents.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +32,32 @@ func main() {
 	scale := flag.Int("scale", 2000, "base customer count for synthetic workloads")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "benchmark workloads and write a JSON report to this path")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		report, err := experiments.RunBench(experiments.Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range report.Workloads {
+			fmt.Printf("%-14s %8d rows  %10.0f rows/sec  p50 %7dus  p95 %7dus\n",
+				w.Name, w.Rows, w.RowsPerSec, w.P50Micros, w.P95Micros)
+		}
+		fmt.Printf("wrote %s (scale %d, %d iterations/workload)\n",
+			*jsonPath, report.Scale, report.Iterations)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	dmserver -addr :7700 -dir ./data [-init setup.dmx] [-demo 1000]
+//	dmserver -addr :7700 -dir ./data [-init setup.dmx] [-demo 1000] [-http :7780]
 //
 // -init executes a script before serving (schema + models). -demo populates
 // the synthetic customer warehouse with the given number of customers.
+// -http starts an HTTP diagnostics listener (off by default) serving
+// /metrics (Prometheus text), /healthz, and /debug/pprof.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/dmserver"
@@ -32,6 +35,8 @@ func main() {
 		"drop connections idle for this long between requests; <=0 disables")
 	slow := flag.Duration("slow-query", 0,
 		"log statements whose server-side execution exceeds this; 0 disables")
+	httpAddr := flag.String("http", "",
+		"HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.Parse()
 
 	var opts []provider.Option
@@ -64,6 +69,21 @@ func main() {
 			}
 		}
 		log.Printf("executed %d init statements", len(stmts))
+	}
+
+	if *httpAddr != "" {
+		// Bind synchronously so a bad address fails at startup, then serve
+		// in the background; the wire listener is the process's lifetime.
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("http diagnostics: %v", err)
+		}
+		fmt.Printf("dmserver diagnostics on http://%s/metrics\n", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, dmserver.DiagnosticsHandler(p.Obs())); err != nil {
+				log.Printf("http diagnostics: %v", err)
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)

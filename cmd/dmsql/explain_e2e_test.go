@@ -1,0 +1,111 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dmclient"
+	"repro/internal/dmserver"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// explainScript trains a model over the synthetic warehouse and then asks
+// for its prediction-join plan with measurements.
+const explainScript = `CREATE MINING MODEL [E2E Age] (
+	[Customer ID] LONG KEY,
+	Gender TEXT DISCRETE,
+	Age DOUBLE DISCRETIZED PREDICT
+) USING Decision_Trees;
+INSERT INTO [E2E Age] ([Customer ID], [Gender], [Age])
+SELECT [Customer ID], Gender, Age FROM Customers;
+EXPLAIN ANALYZE SELECT t.[Customer ID], [E2E Age].Age FROM [E2E Age]
+NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t;
+`
+
+// TestExplainAnalyzeOverWire drives EXPLAIN ANALYZE of a PREDICTION JOIN
+// through the full stack: dmsql shell loop → dmclient → wire protocol →
+// dmserver → provider, asserting the span-tree rowset comes back with
+// measured operators.
+func TestExplainAnalyzeOverWire(t *testing.T) {
+	p, err := provider.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Populate(p.DB, workload.Config{Customers: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dmserver.New(p)
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close() })
+
+	c, err := dmclient.New(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	path := filepath.Join(t.TempDir(), "explain.dmx")
+	if err := os.WriteFile(path, []byte(explainScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var stderr string
+	stdout := captureStdout(t, func() {
+		stderr = captureStderr(t, func() {
+			run(f, &shell{exec: c, remote: c}, false)
+		})
+	})
+	if stderr != "" {
+		t.Fatalf("script wrote to stderr:\n%s", stderr)
+	}
+	// The span-tree rowset came back over the wire with its schema intact
+	// and the prediction operators measured.
+	for _, want := range []string{
+		"SPAN_ID", "PARENT_ID", "OPERATOR", "ELAPSED_US", "ROWS",
+		"statement", "caseset", "predict", "model=E2E Age",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q\nstdout:\n%s", want, stdout)
+		}
+	}
+	// Exactly one NULL: the root span's PARENT_ID. Any more means a span
+	// came back unmeasured.
+	if n := strings.Count(stdout, "NULL"); n != 1 {
+		t.Errorf("EXPLAIN ANALYZE output has %d NULLs, want 1 (root PARENT_ID):\n%s", n, stdout)
+	}
+}
+
+// captureStdout swaps os.Stdout for a temp file around fn and returns what
+// was written.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = tmp
+	defer func() {
+		os.Stdout = orig
+		tmp.Close()
+	}()
+	fn()
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

@@ -124,9 +124,11 @@ func (c *Client) Execute(command string) (*rowset.Rowset, error) {
 }
 
 // Stats returns the server-side execution summary (elapsed time, row count)
-// of the most recent successful Execute, and whether one is available. It
-// reports false before the first success or when the client was configured
-// with WithPlainProtocol.
+// of the most recent Execute that carried one — failed statements report
+// too, with Rows 0, since the server trailers errors as well (StatusErrStats).
+// It reports false before the first completed request, when the server
+// predates the v2 error trailer, or when the client was configured with
+// WithPlainProtocol.
 func (c *Client) Stats() (dmserver.ExecStats, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

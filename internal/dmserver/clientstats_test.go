@@ -1,0 +1,67 @@
+package dmserver_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dmclient"
+	"repro/internal/dmserver"
+	"repro/internal/provider/providertest"
+)
+
+// TestClientStatsAfterFailure: dmclient.Stats() reports the server-side
+// summary of a failed Execute too — elapsed time with Rows 0 — and a later
+// success overwrites it.
+func TestClientStatsAfterFailure(t *testing.T) {
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	c, err := dmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, ok := c.Stats(); ok {
+		t.Fatal("Stats reports before any request")
+	}
+	_, err = c.Execute("SELECT * FROM NoSuchTable")
+	if err == nil {
+		t.Fatal("query against a missing table must fail")
+	}
+	if _, ok := err.(*dmserver.RemoteError); !ok {
+		t.Fatalf("error type = %T (%v)", err, err)
+	}
+	stats, ok := c.Stats()
+	if !ok {
+		t.Fatal("Stats must report after a failed Execute")
+	}
+	if stats.Rows != 0 {
+		t.Errorf("failed Execute reports %d rows, want 0", stats.Rows)
+	}
+	if stats.Elapsed < 0 {
+		t.Errorf("Elapsed = %v", stats.Elapsed)
+	}
+
+	rs, err := c.Execute("SELECT 1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok = c.Stats()
+	if !ok || stats.Rows != int64(rs.Len()) {
+		t.Errorf("Stats after success = %+v, %v; want rows %d", stats, ok, rs.Len())
+	}
+
+	// A plain-protocol client never reports stats, error or not.
+	cp, err := dmclient.New(addr, dmclient.WithPlainProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if _, err := cp.Execute("SELECT * FROM NoSuchTable"); err == nil ||
+		!strings.Contains(err.Error(), "NoSuchTable") {
+		t.Fatalf("plain client error = %v", err)
+	}
+	if _, ok := cp.Stats(); ok {
+		t.Error("plain-protocol client must not report stats")
+	}
+}

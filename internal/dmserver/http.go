@@ -1,0 +1,35 @@
+package dmserver
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// DiagnosticsHandler serves the opt-in HTTP diagnostics surface next to the
+// wire protocol: /metrics (the obs registry in Prometheus text format),
+// /healthz (liveness), and the standard /debug/pprof endpoints. The pprof
+// handlers are wired explicitly onto a private mux — the diagnostics
+// listener never serves DefaultServeMux, so nothing the embedding program
+// registers globally leaks onto this port (or vice versa).
+func DiagnosticsHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, reg); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -150,7 +150,8 @@ func TestPlainRequestUnchangedByV2(t *testing.T) {
 }
 
 func TestStatsRequestErrorPath(t *testing.T) {
-	// Errors keep the v1 error frame even for v2 requests.
+	// A v2 request that fails gets StatusErrStats: the error message plus a
+	// stats trailer (rows 0), so a failed statement still reports wall time.
 	p := providertest.MustNew()
 	_, addr := startServer(t, p)
 	conn := rawDial(t, addr)
@@ -167,8 +168,56 @@ func TestStatsRequestErrorPath(t *testing.T) {
 	if _, ok := err.(*dmserver.RemoteError); !ok {
 		t.Errorf("error type = %T", err)
 	}
+	if rs != nil {
+		t.Errorf("error response must carry no rowset, got %v", rs)
+	}
+	if stats == nil {
+		t.Fatal("v2 error response must carry a stats trailer")
+	}
+	if stats.Rows != 0 {
+		t.Errorf("failed statement reports %d rows, want 0", stats.Rows)
+	}
+	if stats.Elapsed < 0 {
+		t.Errorf("Elapsed = %v, want >= 0", stats.Elapsed)
+	}
+
+	// The connection still serves requests after a trailered error.
+	if err := dmserver.WriteRequestStats(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if rs, stats, err := dmserver.ReadResponseStats(br); err != nil || stats == nil || rs.Row(0)[0] != int64(2) {
+		t.Fatalf("follow-up after error = %v, %v, %v", rs, stats, err)
+	}
+}
+
+func TestPlainRequestErrorUnchangedByV2(t *testing.T) {
+	// A v1 request that fails keeps the original status-1 framing — no
+	// trailer — so old clients parse error responses unchanged.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequest(bw, "THIS IS NOT SQL"); err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := dmserver.ReadResponseStats(br)
+	if err == nil {
+		t.Fatal("garbage command must produce an error response")
+	}
+	if _, ok := err.(*dmserver.RemoteError); !ok {
+		t.Errorf("error type = %T", err)
+	}
 	if rs != nil || stats != nil {
-		t.Errorf("error response must carry no rowset/stats, got %v %v", rs, stats)
+		t.Errorf("v1 error response must carry no rowset/stats, got %v %v", rs, stats)
+	}
+	// Nothing left unread on the wire: the next request round-trips.
+	if err := dmserver.WriteRequest(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if rs, err := dmserver.ReadResponse(br); err != nil || rs.Row(0)[0] != int64(2) {
+		t.Fatalf("follow-up after v1 error = %v, %v", rs, err)
 	}
 }
 

@@ -19,7 +19,11 @@
 //	response := 2:byte rowset trailerlen:uvarint trailer:bytes
 //	  trailer = "elapsed-us=<n> rows=<n>"
 //
-// Error responses stay status 1 in both versions.
+// Error responses to v2 requests use status 3 — the v1 error frame followed
+// by the same stats trailer, so a failed statement still reports its
+// server-side wall time. v1 clients keep receiving status 1 unchanged:
+//
+//	response := 3:byte msglen:uvarint message:bytes trailerlen:uvarint trailer:bytes
 //
 // Connections are handled concurrently; the provider's own locking makes
 // command execution safe.
@@ -50,6 +54,9 @@ const (
 	// StatusOKStats is the v2 success status: rowset followed by an
 	// elapsed-us/rows trailer. Sent only to clients that requested v2.
 	StatusOKStats = 2
+	// StatusErrStats is the v2 error status: the v1 error frame followed by
+	// the stats trailer. Sent only to clients that requested v2.
+	StatusErrStats = 3
 )
 
 // MaxCommandLen bounds a single command (16 MiB) so a broken client cannot
@@ -197,7 +204,12 @@ func (s *Server) handle(conn net.Conn) {
 			s.Logf("dmserver: slow query (%s) from %s: %s", elapsed.Round(time.Microsecond), remote, truncate(cmd, 200))
 		}
 		if execErr != nil {
-			if err := writeError(bw, execErr); err != nil {
+			if wantStats {
+				err = writeErrorStats(bw, execErr, elapsed)
+			} else {
+				err = writeError(bw, execErr)
+			}
+			if err != nil {
 				return
 			}
 			continue
@@ -285,6 +297,21 @@ func writeError(bw *bufio.Writer, execErr error) error {
 	return bw.Flush()
 }
 
+// writeErrorStats writes the v2 error response: status 3, the error message
+// frame, then the stats trailer (rows is always 0 — the statement failed).
+func writeErrorStats(bw *bufio.Writer, execErr error, elapsed time.Duration) error {
+	if err := bw.WriteByte(StatusErrStats); err != nil {
+		return err
+	}
+	if err := writeFrame(bw, execErr.Error()); err != nil {
+		return err
+	}
+	if err := writeFrame(bw, fmt.Sprintf("elapsed-us=%d rows=0", elapsed.Microseconds())); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 func isClosedConn(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
@@ -334,7 +361,9 @@ func ReadResponse(br *bufio.Reader) (*rowset.Rowset, error) {
 }
 
 // ReadResponseStats reads one response from br. The stats pointer is non-nil
-// only for v2 (StatusOKStats) responses.
+// only for v2 responses (StatusOKStats, and StatusErrStats — where it is
+// returned alongside the *RemoteError so a failed statement still reports
+// its server-side wall time).
 func ReadResponseStats(br *bufio.Reader) (*rowset.Rowset, *ExecStats, error) {
 	status, err := br.ReadByte()
 	if err != nil {
@@ -364,6 +393,20 @@ func ReadResponseStats(br *bufio.Reader) (*rowset.Rowset, *ExecStats, error) {
 			return nil, nil, err
 		}
 		return nil, nil, &RemoteError{Msg: msg}
+	case StatusErrStats:
+		msg, err := readFrame(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		trailer, err := readFrame(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := parseStatsTrailer(trailer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, stats, &RemoteError{Msg: msg}
 	}
 	return nil, nil, fmt.Errorf("dmserver: bad response status %d", status)
 }

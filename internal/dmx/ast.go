@@ -134,6 +134,20 @@ type DropModel struct {
 
 func (*DropModel) dmxStmt() {}
 
+// Explain is EXPLAIN [ANALYZE] <statement>: the provider's plan surface.
+// Stmt is the parsed inner DMX statement, or nil when the inner command is
+// handled outside DMX (plain SQL, or a SHAPE source) — Command always carries
+// the raw inner text for those dispatchers. Bare EXPLAIN returns the operator
+// plan without running the statement; EXPLAIN ANALYZE executes it and reports
+// measured per-operator wall time and row counts.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+	Command string
+}
+
+func (*Explain) dmxStmt() {}
+
 // Prediction function names recognized in PredictionSelect items. They are
 // parsed as ordinary sqlengine.FuncCall nodes; the provider's projection
 // evaluator gives them meaning.

@@ -18,6 +18,9 @@ import (
 // handled by the SQL engine.
 func Parse(src string, isModel func(string) bool) (Statement, error) {
 	s := lex.NewScanner(src)
+	if s.Peek().Is("EXPLAIN") {
+		return parseExplain(s, src, isModel)
+	}
 	st, err := parseStatement(s, isModel)
 	if err != nil {
 		return nil, err
@@ -29,6 +32,30 @@ func Parse(src string, isModel func(string) bool) (Statement, error) {
 		return nil, lex.Errorf(s.Peek(), "unexpected input after statement: %s", s.Peek())
 	}
 	return st, nil
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <statement>. The inner command is
+// captured as raw text (sliced from src at the token position after the
+// prefix) so the provider can re-dispatch commands that are not DMX — plain
+// SQL and SHAPE sources — exactly as it would have run them unprefixed. When
+// the inner command is DMX it is parsed here so semantic checks see it.
+func parseExplain(s *lex.Scanner, src string, isModel func(string) bool) (Statement, error) {
+	if err := s.Expect("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := s.Accept("ANALYZE")
+	if s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "EXPLAIN needs a statement to explain")
+	}
+	if s.Peek().Is("EXPLAIN") {
+		return nil, lex.Errorf(s.Peek(), "EXPLAIN cannot be nested")
+	}
+	command := strings.TrimSpace(src[s.Peek().Pos:])
+	inner, err := Parse(command, isModel)
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Stmt: inner, Command: command}, nil
 }
 
 func parseStatement(s *lex.Scanner, isModel func(string) bool) (Statement, error) {

@@ -65,6 +65,15 @@ func (ds Diagnostics) Error() string {
 // semantically well-formed, or a Diagnostics value listing every violation
 // found (in source order).
 func Check(st dmx.Statement, cat Catalog) error {
+	// EXPLAIN is checked as the statement it wraps: a plan for a statement
+	// that would not bind is not worth rendering. A nil inner statement is a
+	// non-DMX command (SQL/SHAPE) that the binder has no metadata for.
+	if ex, ok := st.(*dmx.Explain); ok {
+		if ex.Stmt == nil {
+			return nil
+		}
+		return Check(ex.Stmt, cat)
+	}
 	c := &checker{cat: cat}
 	switch s := st.(type) {
 	case *dmx.InsertInto:

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// BenchReport is the machine-readable benchmark output (cmd/dmbench -json).
+// EXPERIMENTS.md documents the schema; SchemaVersion bumps on breaking
+// changes so downstream tooling can reject files it does not understand.
+type BenchReport struct {
+	SchemaVersion int             `json:"schema_version"`
+	Scale         int             `json:"scale"`
+	Seed          int64           `json:"seed"`
+	Iterations    int             `json:"iterations"`
+	Workloads     []BenchWorkload `json:"workloads"`
+}
+
+// BenchWorkload is one measured statement: per-iteration latency quantiles
+// plus aggregate throughput in result rows per second.
+type BenchWorkload struct {
+	Name       string  `json:"name"`
+	Statement  string  `json:"statement"`
+	Iterations int     `json:"iterations"`
+	Rows       int64   `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	P50Micros  int64   `json:"p50_micros"`
+	P95Micros  int64   `json:"p95_micros"`
+}
+
+// BenchIterations is the default per-workload repeat count: enough for a
+// stable median without making `make bench-json` a coffee break.
+const BenchIterations = 7
+
+// benchWorkloads are the four statement shapes the paper's pipeline
+// exercises: relational scan, hierarchical case assembly, model training,
+// and prediction join. setup runs once and reset before every timed
+// iteration, both untimed.
+var benchWorkloads = []struct {
+	name  string
+	setup []string
+	reset []string
+	stmt  string
+	// rowsFromCell reads the row count out of the statement's single-cell
+	// summary rowset (INSERT INTO reports "cases consumed") instead of the
+	// rowset length.
+	rowsFromCell bool
+}{
+	{
+		name: "sql-scan",
+		stmt: `SELECT [Customer ID], Gender, Age FROM Customers WHERE Age > 30 ORDER BY Age`,
+	},
+	{
+		name: "shape-caseset",
+		stmt: `SHAPE {SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]}
+	APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+	RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`,
+	},
+	{
+		// Train from scratch each iteration: the model is dropped and
+		// recreated untimed so every INSERT measures a full training pass.
+		name: "train",
+		setup: []string{`CREATE MINING MODEL [Bench Train] (
+			[Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+			[Age] DOUBLE DISCRETIZED PREDICT
+		) USING [Decision_Trees]`},
+		reset: []string{
+			`DROP MINING MODEL [Bench Train]`,
+			`CREATE MINING MODEL [Bench Train] (
+			[Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+			[Age] DOUBLE DISCRETIZED PREDICT
+		) USING [Decision_Trees]`,
+		},
+		stmt: `INSERT INTO [Bench Train] ([Customer ID], [Gender], [Age])
+	SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]`,
+		rowsFromCell: true,
+	},
+	{
+		name: "predict-join",
+		setup: []string{
+			`CREATE MINING MODEL [Bench Predict] (
+			[Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+			[Age] DOUBLE DISCRETIZED PREDICT
+		) USING [Decision_Trees]`,
+			`INSERT INTO [Bench Predict] ([Customer ID], [Gender], [Age])
+	SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]`,
+		},
+		stmt: `SELECT t.[Customer ID], [Bench Predict].Age FROM [Bench Predict]
+	NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t`,
+	},
+}
+
+// RunBench measures the benchmark workloads over a fresh synthetic
+// warehouse and returns the machine-readable report.
+func RunBench(cfg Config) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	p, _, err := freshWarehouse(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	report := &BenchReport{
+		SchemaVersion: 1,
+		Scale:         cfg.Scale,
+		Seed:          cfg.Seed,
+		Iterations:    BenchIterations,
+	}
+	for _, w := range benchWorkloads {
+		for _, s := range w.setup {
+			if _, err := p.Execute(s); err != nil {
+				return nil, fmt.Errorf("bench %s setup: %w", w.name, err)
+			}
+		}
+		durs := make([]time.Duration, 0, BenchIterations)
+		var rows int64
+		var total time.Duration
+		for i := 0; i < BenchIterations; i++ {
+			for _, s := range w.reset {
+				if _, err := p.Execute(s); err != nil {
+					return nil, fmt.Errorf("bench %s reset: %w", w.name, err)
+				}
+			}
+			d, rs, err := timeExec(p, w.stmt)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", w.name, err)
+			}
+			durs = append(durs, d)
+			total += d
+			if w.rowsFromCell {
+				n, ok := rs.Row(0)[0].(int64)
+				if !ok {
+					return nil, fmt.Errorf("bench %s: summary cell %v is not a count", w.name, rs.Row(0)[0])
+				}
+				rows = n
+			} else {
+				rows = int64(rs.Len())
+			}
+		}
+		report.Workloads = append(report.Workloads, BenchWorkload{
+			Name:       w.name,
+			Statement:  w.stmt,
+			Iterations: BenchIterations,
+			Rows:       rows,
+			RowsPerSec: float64(rows) * float64(BenchIterations) / total.Seconds(),
+			P50Micros:  quantileMicros(durs, 0.50),
+			P95Micros:  quantileMicros(durs, 0.95),
+		})
+	}
+	return report, nil
+}
+
+// quantileMicros is the nearest-rank quantile of the duration sample in
+// microseconds. The sample is small (BenchIterations), so nearest-rank is
+// as honest as interpolation would pretend to be.
+func quantileMicros(durs []time.Duration, q float64) int64 {
+	sorted := make([]time.Duration, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Microseconds()
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunBench: the report covers every workload with sane measurements and
+// round-trips through JSON with the documented field names.
+func TestRunBench(t *testing.T) {
+	report, err := RunBench(Config{Scale: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != 1 || report.Scale != 60 {
+		t.Errorf("header = %+v", report)
+	}
+	want := map[string]bool{"sql-scan": true, "shape-caseset": true, "train": true, "predict-join": true}
+	for _, w := range report.Workloads {
+		if !want[w.Name] {
+			t.Errorf("unexpected workload %q", w.Name)
+		}
+		delete(want, w.Name)
+		if w.Rows <= 0 {
+			t.Errorf("%s: rows = %d", w.Name, w.Rows)
+		}
+		if w.RowsPerSec <= 0 {
+			t.Errorf("%s: rows/sec = %f", w.Name, w.RowsPerSec)
+		}
+		if w.P50Micros < 0 || w.P95Micros < w.P50Micros {
+			t.Errorf("%s: p50 = %d, p95 = %d", w.Name, w.P50Micros, w.P95Micros)
+		}
+		if w.Iterations != BenchIterations || w.Statement == "" {
+			t.Errorf("%s: iterations = %d, statement %q", w.Name, w.Iterations, w.Statement)
+		}
+	}
+	for name := range want {
+		t.Errorf("workload %q missing from report", name)
+	}
+	// shape-caseset and predict-join emit one row per customer case.
+	for _, w := range report.Workloads {
+		if (w.Name == "shape-caseset" || w.Name == "predict-join") && w.Rows != 60 {
+			t.Errorf("%s: rows = %d, want 60", w.Name, w.Rows)
+		}
+		if w.Name == "train" && w.Rows != 60 {
+			t.Errorf("train: cases = %d, want 60", w.Rows)
+		}
+	}
+
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "scale", "seed", "iterations", "workloads"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON missing documented key %q", key)
+		}
+	}
+	wl := decoded["workloads"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "statement", "iterations", "rows", "rows_per_sec", "p50_micros", "p95_micros"} {
+		if _, ok := wl[key]; !ok {
+			t.Errorf("workload JSON missing documented key %q", key)
+		}
+	}
+}
+
+func TestQuantileMicros(t *testing.T) {
+	durs := []time.Duration{
+		70 * time.Microsecond, 10 * time.Microsecond, 50 * time.Microsecond,
+		30 * time.Microsecond, 60 * time.Microsecond, 20 * time.Microsecond,
+		40 * time.Microsecond,
+	}
+	if got := quantileMicros(durs, 0.50); got != 40 {
+		t.Errorf("p50 = %d, want 40", got)
+	}
+	if got := quantileMicros(durs, 0.95); got != 70 {
+		t.Errorf("p95 = %d, want 70", got)
+	}
+	if got := quantileMicros([]time.Duration{5 * time.Microsecond}, 0.95); got != 5 {
+		t.Errorf("single-sample p95 = %d, want 5", got)
+	}
+}

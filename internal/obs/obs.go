@@ -117,6 +117,34 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed values
+// from the log2 buckets, interpolating linearly within the bucket that holds
+// the target rank. Bucket i spans [2^(i-1), 2^i - 1] (bucket 0 holds only 0),
+// so the estimate is exact for bucket 0 and off by at most half the bucket
+// width elsewhere — plenty for p50/p95/p99 health readouts. Returns 0 for an
+// empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum < rank {
+			continue
+		}
+		lo := (b.UpperBound + 1) / 2 // bucket lower bound: 2^(i-1), or 0
+		frac := (rank - prev) / float64(b.Count)
+		return lo + int64(frac*float64(b.UpperBound-lo))
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
 // DefaultQueryLogCap is the query-log ring capacity used when a registry is
 // created without an explicit bound.
 const DefaultQueryLogCap = 256
@@ -131,23 +159,26 @@ const DefaultQueryLogCap = 256
 // handles, whose methods are no-ops, which is how observability is disabled
 // wholesale.
 //
-//dmlint:guard mu: Registry.counters, Registry.hists, QueryLog.records, QueryLog.seq, ConnTracker.conns, ConnTracker.seq
+//dmlint:guard mu: Registry.counters, Registry.hists, QueryLog.records, QueryLog.seq, TraceLog.records, TraceLog.seq, ConnTracker.conns, ConnTracker.seq
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 
-	log   *QueryLog
-	conns *ConnTracker
+	log    *QueryLog
+	traces *TraceLog
+	conns  *ConnTracker
 }
 
 // NewRegistry creates a registry whose query log keeps the last logCap
-// statements (DefaultQueryLogCap when logCap <= 0).
+// statements (DefaultQueryLogCap when logCap <= 0). The span-tree retention
+// ring behind $SYSTEM.DM_TRACE keeps DefaultTraceLogCap statements.
 func NewRegistry(logCap int) *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
 		log:      NewQueryLog(logCap),
+		traces:   NewTraceLog(0),
 		conns:    &ConnTracker{},
 	}
 }
@@ -202,6 +233,15 @@ func (r *Registry) QueryLog() *QueryLog {
 		return nil
 	}
 	return r.log
+}
+
+// Traces returns the registry's span-tree retention ring (nil on a nil
+// registry).
+func (r *Registry) Traces() *TraceLog {
+	if r == nil {
+		return nil
+	}
+	return r.traces
 }
 
 // Connections returns the registry's connection tracker (nil on a nil

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): every counter as a counter metric, every log2
+// histogram as a cumulative-bucket histogram (the non-cumulative bucket
+// counts in a HistSnapshot are summed into le-bounded buckets plus +Inf, as
+// the format requires), the open-connection count as a gauge, and two process
+// gauges (goroutines, heap in use) so a scrape answers "is the server
+// healthy" without the wire protocol. A nil registry renders only the process
+// gauges. The output is deterministic (names sorted) so tests can assert it.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, c := range r.Counters() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		if err := writeHistogram(w, h.Name, h.Snap); err != nil {
+			return err
+		}
+	}
+	if conns := r.Connections(); conns != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE dm_connections_open gauge\ndm_connections_open %d\n", len(conns.Snapshot())); err != nil {
+			return err
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if _, err := fmt.Fprintf(w, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# TYPE go_heap_inuse_bytes gauge\ngo_heap_inuse_bytes %d\n", ms.HeapInuse)
+	return err
+}
+
+// writeHistogram renders one histogram: cumulative le buckets, +Inf, sum,
+// count.
+func writeHistogram(w io.Writer, name string, s HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}

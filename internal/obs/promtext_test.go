@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromText is a minimal exposition-format parser: it checks every line
+// is a comment or "name[{labels}] value" with a numeric value, and returns
+// the samples. It fails the test on any malformed line, which is the
+// "parseable Prometheus text" acceptance check.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, val := line[:idx], line[idx+1:]
+		if name == "" || strings.ContainsAny(name, " \t") && !strings.Contains(name, "{") {
+			t.Fatalf("malformed metric name in %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		samples[name] = f
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(0)
+	r.Counter("provider_statements_total").Add(7)
+	h := r.Histogram("provider_statement_latency_us")
+	h.Observe(10)
+	h.Observe(10)
+	h.Observe(1000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, b.String())
+
+	if samples["provider_statements_total"] != 7 {
+		t.Fatalf("counter = %v, want 7", samples["provider_statements_total"])
+	}
+	if samples["provider_statement_latency_us_count"] != 3 {
+		t.Fatalf("histogram count = %v", samples["provider_statement_latency_us_count"])
+	}
+	if samples["provider_statement_latency_us_sum"] != 1020 {
+		t.Fatalf("histogram sum = %v", samples["provider_statement_latency_us_sum"])
+	}
+	if samples[`provider_statement_latency_us_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", samples[`provider_statement_latency_us_bucket{le="+Inf"}`])
+	}
+	// Buckets must be cumulative: the le="15" bucket holds both 10s.
+	if samples[`provider_statement_latency_us_bucket{le="15"}`] != 2 {
+		t.Fatalf("le=15 bucket = %v, want 2 (cumulative)", samples[`provider_statement_latency_us_bucket{le="15"}`])
+	}
+	if samples["go_goroutines"] <= 0 {
+		t.Fatalf("go_goroutines = %v", samples["go_goroutines"])
+	}
+	if samples["go_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("go_heap_inuse_bytes = %v", samples["go_heap_inuse_bytes"])
+	}
+	if _, ok := samples["dm_connections_open"]; !ok {
+		t.Fatal("dm_connections_open gauge missing")
+	}
+}
+
+func TestWritePrometheusCumulativeMonotone(t *testing.T) {
+	r := NewRegistry(0)
+	h := r.Histogram("h")
+	for i := int64(1); i < 5000; i *= 3 {
+		h.Observe(i)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "h_bucket{") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%f", &v); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, b.String())
+	if samples["go_goroutines"] <= 0 {
+		t.Fatal("nil registry should still expose process gauges")
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTrace("SELECT 1", "")
+	outer := tr.StartSpan("caseset", "src")
+	inner := tr.StartSpan("scan", "Customers")
+	inner.SetRows(10)
+	tr.EndSpan(inner)
+	tr.EndSpan(outer)
+	sib := tr.StartSpan("predict", "model=M")
+	sib.SetRows(4)
+	tr.EndSpan(sib)
+	tr.SetRowsOut(4)
+	tr.SetKind("PREDICT")
+	rec := tr.Finish("")
+
+	root := tr.Root()
+	if root == nil || root.Kind != "statement" {
+		t.Fatalf("root = %+v, want statement span", root)
+	}
+	if root.Label != "PREDICT" || root.Rows != 4 {
+		t.Fatalf("root label/rows = %q/%d, want PREDICT/4", root.Label, root.Rows)
+	}
+	if root.Elapsed != rec.Elapsed {
+		t.Fatalf("root elapsed %v != record elapsed %v", root.Elapsed, rec.Elapsed)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	if root.Children[0] != outer || root.Children[1] != sib {
+		t.Fatalf("children out of order")
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner {
+		t.Fatalf("nesting wrong: outer children %v", outer.Children)
+	}
+	if inner.Rows != 10 {
+		t.Fatalf("inner rows = %d, want 10", inner.Rows)
+	}
+	if outer.Elapsed < inner.Elapsed {
+		t.Fatalf("outer elapsed %v < inner elapsed %v", outer.Elapsed, inner.Elapsed)
+	}
+}
+
+func TestSpanStageFeedsTraceTimers(t *testing.T) {
+	tr := NewTrace("stmt", "")
+	sp := tr.StartSpanStage(StageScan, "predict", "")
+	time.Sleep(2 * time.Millisecond)
+	tr.EndSpan(sp)
+	rec := tr.Finish("")
+	if rec.Stages[StageScan] != sp.Elapsed {
+		t.Fatalf("scan stage %v != span elapsed %v", rec.Stages[StageScan], sp.Elapsed)
+	}
+	if rec.Stages[StageScan] <= 0 {
+		t.Fatalf("scan stage not recorded")
+	}
+}
+
+// TestEndSpanPopsAbandonedChildren: an error path that returns without
+// closing inner spans must not corrupt the stack when a deferred EndSpan
+// closes the outer span.
+func TestEndSpanPopsAbandonedChildren(t *testing.T) {
+	tr := NewTrace("stmt", "")
+	outer := tr.StartSpan("train", "")
+	tr.StartSpan("tokenize", "") // never ended: simulated early error return
+	tr.EndSpan(outer)
+	next := tr.StartSpan("scan", "")
+	tr.EndSpan(next)
+	root := tr.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (train, scan)", len(root.Children))
+	}
+	if root.Children[1] != next {
+		t.Fatalf("span after defensive pop nested wrongly")
+	}
+}
+
+func TestSpanWalkPreorder(t *testing.T) {
+	root := NewSpan("statement", "SQL")
+	sel := NewSpan("select", "")
+	sel.Add(NewSpan("scan", "T")).Add(NewSpan("filter", ""))
+	root.Add(sel)
+	var kinds []string
+	var depths []int
+	root.Walk(func(sp *Span, depth int) {
+		kinds = append(kinds, sp.Kind)
+		depths = append(depths, depth)
+	})
+	if got, want := strings.Join(kinds, ","), "statement,select,scan,filter"; got != want {
+		t.Fatalf("walk order %s, want %s", got, want)
+	}
+	if depths[0] != 0 || depths[1] != 1 || depths[2] != 2 || depths[3] != 2 {
+		t.Fatalf("depths = %v", depths)
+	}
+}
+
+// TestNilTraceSpanZeroAlloc is the acceptance guarantee that uninstrumented
+// paths allocate zero spans: the nil-trace StartSpan/EndSpan round trip must
+// not allocate.
+func TestNilTraceSpanZeroAlloc(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("scan", "T")
+		sp.SetRows(1)
+		tr.EndSpan(sp)
+		sp2 := tr.StartSpanStage(StageScan, "predict", "")
+		tr.EndSpan(sp2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace span round trip allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// BenchmarkNilTraceSpan documents the uninstrumented cost of a span site: a
+// nil check and nothing else (run with -benchmem to see 0 allocs/op).
+func BenchmarkNilTraceSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("scan", "T")
+		tr.EndSpan(sp)
+	}
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(2)
+	mk := func(seq int64) TraceRecord {
+		return TraceRecord{Seq: seq, Statement: "s", Root: NewSpan("statement", "")}
+	}
+	l.Append(mk(1))
+	l.Append(mk(2))
+	l.Append(mk(3))
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 2 || snap[1].Seq != 3 {
+		t.Fatalf("snapshot = %+v, want seqs [2 3]", snap)
+	}
+	// Nil roots are dropped; nil log is safe.
+	l.Append(TraceRecord{Seq: 4})
+	if got := len(l.Snapshot()); got != 2 {
+		t.Fatalf("nil-root record retained (%d)", got)
+	}
+	var nilLog *TraceLog
+	nilLog.Append(mk(1))
+	if nilLog.Snapshot() != nil || nilLog.Cap() != 0 {
+		t.Fatalf("nil TraceLog misbehaves")
+	}
+}
+
+func TestRegistryTraces(t *testing.T) {
+	r := NewRegistry(0)
+	if r.Traces() == nil {
+		t.Fatal("registry has no trace log")
+	}
+	if r.Traces().Cap() != DefaultTraceLogCap {
+		t.Fatalf("trace cap = %d, want %d", r.Traces().Cap(), DefaultTraceLogCap)
+	}
+	var nilReg *Registry
+	if nilReg.Traces() != nil {
+		t.Fatal("nil registry returned a trace log")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations of 10 (bucket [8,15]) and 100 of 1000 (bucket
+	// [512,1023]).
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 8 || p50 > 15 {
+		t.Fatalf("p50 = %d, want within [8,15]", p50)
+	}
+	if p95 := s.Quantile(0.95); p95 < 512 || p95 > 1023 {
+		t.Fatalf("p95 = %d, want within [512,1023]", p95)
+	}
+	if q := s.Quantile(1.0); q < 512 || q > 1023 {
+		t.Fatalf("p100 = %d, want within [512,1023]", q)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile != 0")
+	}
+	var zero Histogram
+	zero.Observe(0)
+	if got := zero.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero histogram p99 = %d, want 0", got)
+	}
+}
+
+// TestQuantileInterpolatesWithinBucket: with every observation in one bucket,
+// the estimate moves monotonically across the bucket's range as q grows.
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(600) // bucket [512,1023]
+	}
+	s := h.Snapshot()
+	p10, p90 := s.Quantile(0.10), s.Quantile(0.90)
+	if p10 >= p90 {
+		t.Fatalf("interpolation not monotone: p10=%d p90=%d", p10, p90)
+	}
+	if p10 < 512 || p90 > 1023 {
+		t.Fatalf("interpolated values escape the bucket: p10=%d p90=%d", p10, p90)
+	}
+}

@@ -11,6 +11,10 @@ import (
 // never touch it (the scan loop reports rows and parallelism once, after the
 // workers join) — so its fields need no synchronization.
 //
+// Besides the flat per-stage timers, a trace grows a hierarchical span tree
+// (see span.go): StartSpan/EndSpan push and pop operator spans under a root
+// "statement" span, and stage-attributed spans feed the flat timers on close.
+//
 // All methods are safe on a nil receiver: an uninstrumented provider passes
 // nil traces through the same code paths at the cost of a pointer test.
 type Trace struct {
@@ -23,11 +27,20 @@ type Trace struct {
 	rowsIn      int64
 	rowsOut     int64
 	parallelism int
+
+	// root anchors the span tree; stack tracks the innermost open span
+	// (stack[0] is always root). Statement-goroutine-owned, like the rest.
+	root  *Span
+	stack []*Span
 }
 
 // NewTrace starts a trace for one statement.
 func NewTrace(statement, origin string) *Trace {
-	return &Trace{start: time.Now(), statement: statement, origin: origin}
+	t := &Trace{start: time.Now(), statement: statement, origin: origin}
+	t.root = &Span{Kind: "statement", start: t.start, stage: spanNoStage}
+	t.stack = make([]*Span, 1, 8)
+	t.stack[0] = t.root
+	return t
 }
 
 // StartStage begins timing a stage and returns the function that ends it.
@@ -85,19 +98,24 @@ func (t *Trace) ErrClass() string {
 	return t.errClass
 }
 
-// Finish converts the trace into a Record. errClass should be "" for
-// successful statements. Finish on a nil trace returns a zero Record.
+// Finish converts the trace into a Record and seals the root span (total
+// elapsed time, result rows, statement kind as its label). errClass should be
+// "" for successful statements. Finish on a nil trace returns a zero Record.
 func (t *Trace) Finish(errClass string) Record {
 	if t == nil {
 		return Record{}
 	}
+	elapsed := time.Since(t.start)
+	t.root.Elapsed = elapsed
+	t.root.Rows = t.rowsOut
+	t.root.Label = t.kind
 	return Record{
 		Start:       t.start,
 		Statement:   t.statement,
 		Kind:        t.kind,
 		Origin:      t.origin,
 		ErrClass:    errClass,
-		Elapsed:     time.Since(t.start),
+		Elapsed:     elapsed,
 		Stages:      t.stages,
 		RowsIn:      t.rowsIn,
 		RowsOut:     t.rowsOut,

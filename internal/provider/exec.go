@@ -59,7 +59,15 @@ func (p *Provider) ExecuteContext(ctx context.Context, command string, opts ...E
 			t.SetRowsOut(int64(rs.Len()))
 		}
 		rec := t.Finish(errorClass(t, err))
-		p.obs.QueryLog().Append(rec)
+		seq := p.obs.QueryLog().Append(rec)
+		p.obs.Traces().Append(obs.TraceRecord{
+			Seq:       seq,
+			Start:     rec.Start,
+			Statement: rec.Statement,
+			Kind:      rec.Kind,
+			ErrClass:  rec.ErrClass,
+			Root:      t.Root(),
+		})
 		p.execTotal.Inc()
 		p.latency.Observe(rec.Elapsed.Microseconds())
 		if err != nil {
@@ -123,7 +131,7 @@ func (p *Provider) executeTraced(ctx context.Context, t *obs.Trace, command stri
 	if st == nil {
 		t.SetKind("SQL")
 		defer t.StartStage(obs.StageScan)()
-		return p.Engine.Exec(command)
+		return p.Engine.ExecContext(ctx, command)
 	}
 	t.SetKind(statementKind(st))
 	return p.ExecuteDMXContext(ctx, st)
@@ -141,6 +149,8 @@ func (p *Provider) ExecuteDMXContext(ctx context.Context, st dmx.Statement) (*ro
 		return nil, err
 	}
 	switch s := st.(type) {
+	case *dmx.Explain:
+		return p.explainStmt(ctx, s)
 	case *dmx.CreateModel:
 		return p.createModel(s.Def)
 	case *dmx.InsertInto:
@@ -194,6 +204,8 @@ func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
 // statementKind labels a DMX statement class for the query log.
 func statementKind(st dmx.Statement) string {
 	switch st.(type) {
+	case *dmx.Explain:
+		return "EXPLAIN"
 	case *dmx.CreateModel:
 		return "CREATE MODEL"
 	case *dmx.InsertInto:

@@ -1,0 +1,124 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dmx"
+	"repro/internal/lex"
+	"repro/internal/obs"
+	"repro/internal/rowset"
+	"repro/internal/schemarowset"
+	"repro/internal/shape"
+	"repro/internal/sqlengine"
+)
+
+// explainStmt executes EXPLAIN [ANALYZE]. Bare EXPLAIN builds the operator
+// plan as a span tree without running the statement and renders it with NULL
+// times and row counts. EXPLAIN ANALYZE runs the wrapped statement under the
+// statement's trace and renders the measured span tree — per-operator wall
+// time and rows — as the result rowset.
+func (p *Provider) explainStmt(ctx context.Context, ex *dmx.Explain) (*rowset.Rowset, error) {
+	if !ex.Analyze {
+		root, err := p.planSpan(ex)
+		if err != nil {
+			return nil, err
+		}
+		return schemarowset.Explain(root, false)
+	}
+	t := obs.FromContext(ctx)
+	if t == nil {
+		// Observability is disabled (or the caller bypassed ExecuteContext):
+		// ANALYZE still needs a span collector, so run under a local trace
+		// that lives only for this statement.
+		t = obs.NewTrace(ex.Command, "")
+		t.SetKind("EXPLAIN")
+		ctx = obs.WithTrace(ctx, t)
+	}
+	rs, err := p.executeExplained(ctx, t, ex)
+	if err != nil {
+		return nil, err
+	}
+	return schemarowset.Explain(t.SpanTree(int64(rs.Len())), true)
+}
+
+// executeExplained dispatches the wrapped statement exactly as executeTraced
+// would have dispatched it unprefixed: parsed DMX runs through
+// ExecuteDMXContext, a SHAPE source through the shaping service, anything
+// else through the SQL engine. The parser rejects nested EXPLAIN, so this
+// cannot recurse.
+func (p *Provider) executeExplained(ctx context.Context, t *obs.Trace, ex *dmx.Explain) (*rowset.Rowset, error) {
+	if ex.Stmt != nil {
+		return p.ExecuteDMXContext(ctx, ex.Stmt)
+	}
+	if sc := lex.NewScanner(ex.Command); sc.Peek().Is("SHAPE") {
+		defer t.StartStage(obs.StageSource)()
+		return shape.ExecuteStringContext(ctx, p.Engine, ex.Command)
+	}
+	defer t.StartStage(obs.StageScan)()
+	return p.Engine.ExecContext(ctx, ex.Command)
+}
+
+// planSpan builds the plan-only span tree for a statement that has not run:
+// the same operator nodes execution would record, in execution order, with
+// zero Elapsed/Rows.
+func (p *Provider) planSpan(ex *dmx.Explain) (*obs.Span, error) {
+	root := obs.NewSpan("statement", "")
+	switch st := ex.Stmt.(type) {
+	case nil:
+		if sc := lex.NewScanner(ex.Command); sc.Peek().Is("SHAPE") {
+			q, err := shape.ParseString(ex.Command)
+			if err != nil {
+				return nil, err
+			}
+			root.SetLabel("SHAPE")
+			root.Add(q.PlanSpan())
+			return root, nil
+		}
+		root.SetLabel("SQL")
+		sql, err := sqlengine.Parse(ex.Command)
+		if err != nil {
+			return nil, err
+		}
+		if sel, ok := sql.(*sqlengine.SelectStmt); ok {
+			root.Add(sel.PlanSpan())
+		} else {
+			root.Add(obs.NewSpan("sql", fmt.Sprintf("%T", sql)))
+		}
+		return root, nil
+	case *dmx.PredictionSelect:
+		root.SetLabel("PREDICT")
+		root.Add(sourcePlanSpan(st.Source))
+		root.Add(obs.NewSpan("predict", "model="+st.Model))
+		return root, nil
+	case *dmx.InsertInto:
+		root.SetLabel("INSERT MODEL")
+		root.Add(sourcePlanSpan(st.Source))
+		root.Add(obs.NewSpan("bind", ""))
+		train := obs.NewSpan("train", "")
+		if def, err := p.ModelDef(st.Model); err == nil {
+			train.SetLabel("algorithm=" + def.Algorithm)
+		}
+		train.Add(obs.NewSpan("tokenize", ""))
+		root.Add(train)
+		return root, nil
+	default:
+		// Catalogue and metadata statements have no operator pipeline; the
+		// plan is the statement itself.
+		root.SetLabel(statementKind(st))
+		root.Add(obs.NewSpan("dmx", statementKind(st)))
+		return root, nil
+	}
+}
+
+// sourcePlanSpan plans the caseset assembly feeding a mining statement.
+func sourcePlanSpan(src dmx.Source) *obs.Span {
+	sp := obs.NewSpan("caseset", "")
+	switch {
+	case src.Shape != nil:
+		sp.Add(src.Shape.PlanSpan())
+	case src.Select != nil:
+		sp.Add(src.Select.PlanSpan())
+	}
+	return sp
+}

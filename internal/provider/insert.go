@@ -28,22 +28,32 @@ func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset
 	if err != nil {
 		return nil, err
 	}
-	stopSource := t.StartStage(obs.StageSource)
+	spSource := t.StartSpanStage(obs.StageSource, "caseset", "")
 	src, err := p.executeSource(ctx, ins.Source)
-	stopSource()
 	if err != nil {
+		t.EndSpan(spSource)
 		return nil, err
 	}
+	spSource.SetRows(int64(src.Len()))
+	t.EndSpan(spSource)
 	t.AddRowsIn(int64(src.Len()))
 	workers := p.workers()
 	t.SetParallelism(workers)
+	// Like the predict scan, the bind span brackets the worker fork/join; the
+	// workers themselves never touch the trace.
+	spBind := t.StartSpan("bind", fmt.Sprintf("workers=%d", workers))
 	bound, err := applyBindings(ctx, e.model.Def, ins.Bindings, src, workers)
 	if err != nil {
+		t.EndSpan(spBind)
 		return nil, err
 	}
+	spBind.SetRows(int64(bound.Len()))
+	t.EndSpan(spBind)
 
-	stopTrain := t.StartStage(obs.StageTrain)
-	defer stopTrain()
+	spTrain := t.StartSpanStage(obs.StageTrain, "train", "algorithm="+e.model.Def.Algorithm)
+	// The deferred EndSpan covers every error return below; any "tokenize"
+	// child abandoned by an early return is closed by EndSpan's defensive pop.
+	defer t.EndSpan(spTrain)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -52,10 +62,14 @@ func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset
 	// order, so a parallel tokenize would make attribute indexes depend on
 	// scheduling. The parallelizable part of the training scan — per-row
 	// binding and nested reshaping — already ran above, outside the lock.
+	spTok := t.StartSpan("tokenize", "")
 	cs, err := e.tokenizer.Tokenize(bound)
 	if err != nil {
+		t.EndSpan(spTok)
 		return nil, err
 	}
+	spTok.SetRows(int64(len(cs.Cases)))
+	t.EndSpan(spTok)
 	e.cases = append(e.cases, cs.Cases...)
 	full := &core.Caseset{Space: e.tokenizer.Space, Cases: e.cases}
 
@@ -79,6 +93,7 @@ func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset
 		return nil, err
 	}
 
+	spTrain.SetRows(int64(len(cs.Cases)))
 	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "cases consumed", Type: rowset.TypeLong}))
 	if err := rs.AppendVals(int64(len(cs.Cases))); err != nil {
 		return nil, err
@@ -92,7 +107,7 @@ func (p *Provider) executeSource(ctx context.Context, src dmx.Source) (*rowset.R
 	case src.Shape != nil:
 		return src.Shape.ExecuteContext(ctx, p.Engine)
 	case src.Select != nil:
-		return p.Engine.Query(src.Select)
+		return p.Engine.QueryContext(ctx, src.Select)
 	}
 	return nil, fmt.Errorf("provider: statement has no data source")
 }

@@ -33,12 +33,14 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 	if !e.model.IsTrained() {
 		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", ps.Model)
 	}
-	stopSource := t.StartStage(obs.StageSource)
+	spSource := t.StartSpanStage(obs.StageSource, "caseset", "")
 	src, err := p.executeSource(ctx, ps.Source)
-	stopSource()
 	if err != nil {
+		t.EndSpan(spSource)
 		return nil, err
 	}
+	spSource.SetRows(int64(src.Len()))
+	t.EndSpan(spSource)
 	t.AddRowsIn(int64(src.Len()))
 
 	var bindings []dmx.Binding
@@ -120,9 +122,13 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 	rows := src.Rows()
 	results := make([]caseResult, len(rows))
 	workers := p.workers()
-	stopScan := t.StartStage(obs.StageScan)
+	// The scan span is opened before the worker fork and closed after the
+	// join: workers never touch the trace (spans are statement-goroutine
+	// owned); the fan-out is recorded in the span label instead.
+	spScan := t.StartSpanStage(obs.StageScan, "predict", "model="+ps.Model)
 	if workers > 1 && len(rows) >= minParallelCases {
 		t.SetParallelism(workers)
+		spScan.SetLabel(fmt.Sprintf("model=%s workers=%d", ps.Model, workers))
 		// Parallel scan: contiguous chunks, merged back in source order below,
 		// so output (and therefore ORDER BY/TOP semantics) is byte-identical
 		// to the sequential path. TOP without ORDER BY cannot short-circuit a
@@ -136,7 +142,7 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 			return nil
 		})
 		if err != nil {
-			stopScan()
+			t.EndSpan(spScan)
 			return nil, err
 		}
 	} else {
@@ -147,14 +153,14 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 			if done != nil && i&31 == 0 {
 				select {
 				case <-done:
-					stopScan()
+					t.EndSpan(spScan)
 					return nil, ctx.Err()
 				default:
 				}
 			}
 			r, cerr := pp.evalCase(srcRow)
 			if cerr != nil {
-				stopScan()
+				t.EndSpan(spScan)
 				return nil, cerr
 			}
 			results[i] = r
@@ -168,7 +174,7 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 			}
 		}
 	}
-	stopScan()
+	t.EndSpan(spScan)
 
 	// Merge in source order.
 	out := make([]rowset.Row, 0, len(rows))
@@ -192,6 +198,7 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 			out = out[:ps.Top]
 		}
 	}
+	spScan.SetRows(int64(len(out)))
 
 	schema, err := predictionOutputSchema(items, names, evalSchema, out)
 	if err != nil {

@@ -2,6 +2,7 @@ package schemarowset
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -62,7 +63,10 @@ func QueryLog(o *obs.Registry) (*rowset.Rowset, error) {
 // ProviderMetrics renders $SYSTEM.DM_PROVIDER_METRICS: one row per counter
 // (METRIC_TYPE "counter") and one row per non-empty histogram bucket
 // (METRIC_TYPE "histogram", bucket bound in BUCKET_LE), plus a _count/_sum
-// summary pair per histogram so averages need no client-side bucket math.
+// summary pair and derived _p50/_p95/_p99 rows (METRIC_TYPE "quantile",
+// interpolated within the log2 buckets) per histogram, and two process
+// gauges (goroutines, heap in use) so the rowset answers latency and health
+// questions without client-side bucket math.
 func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "METRIC_NAME", Type: rowset.TypeText},
@@ -82,10 +86,30 @@ func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
 		if err := rs.AppendVals(h.Name+"_sum", "histogram", nil, h.Snap.Sum); err != nil {
 			return nil, err
 		}
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			if err := rs.AppendVals(h.Name+q.suffix, "quantile", nil, h.Snap.Quantile(q.q)); err != nil {
+				return nil, err
+			}
+		}
 		for _, b := range h.Snap.Buckets {
 			if err := rs.AppendVals(h.Name, "histogram", b.UpperBound, b.Count); err != nil {
 				return nil, err
 			}
+		}
+	}
+	// With observability disabled the rowset stays entirely empty, matching
+	// the other DM_* rowsets.
+	if o != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if err := rs.AppendVals("go_goroutines", "gauge", nil, int64(runtime.NumGoroutine())); err != nil {
+			return nil, err
+		}
+		if err := rs.AppendVals("go_heap_inuse_bytes", "gauge", nil, int64(ms.HeapInuse)); err != nil {
+			return nil, err
 		}
 	}
 	return rs, nil

@@ -24,13 +24,14 @@ const (
 	RowsetQueryLog      = "DM_QUERY_LOG"
 	RowsetMetrics       = "DM_PROVIDER_METRICS"
 	RowsetConnections   = "DM_CONNECTIONS"
+	RowsetTrace         = "DM_TRACE"
 )
 
 // Names lists the available schema rowsets.
 func Names() []string {
 	return []string{
 		RowsetModels, RowsetColumns, RowsetServices, RowsetServiceParams, RowsetFunctions,
-		RowsetQueryLog, RowsetMetrics, RowsetConnections,
+		RowsetQueryLog, RowsetMetrics, RowsetConnections, RowsetTrace,
 	}
 }
 
@@ -55,6 +56,8 @@ func Build(name string, models []*core.Model, reg *core.Registry, o *obs.Registr
 		return ProviderMetrics(o)
 	case RowsetConnections:
 		return Connections(o)
+	case RowsetTrace:
+		return TraceLog(o)
 	}
 	return nil, &core.NotFoundError{Kind: "schema rowset", Name: name}
 }

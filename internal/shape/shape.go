@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/lex"
+	"repro/internal/obs"
 	"repro/internal/rowset"
 	"repro/internal/sqlengine"
 )
@@ -136,16 +137,23 @@ func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
 
 // ExecuteContext is Execute with cancellation: ctx is checked between the
 // root query and each APPEND child, so a deep SHAPE tree aborts at the next
-// query boundary once ctx is done.
+// query boundary once ctx is done. When ctx carries an obs.Trace the
+// execution records a "shape" span with one "append" child span per APPEND
+// clause (a nested SHAPE child nests its own "shape" span underneath); the
+// inner SELECTs contribute their own operator spans through QueryContext.
 func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowset.Rowset, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	parent, err := e.Query(q.Root)
+	t := obs.FromContext(ctx)
+	spShape := t.StartSpan("shape", "")
+	defer t.EndSpan(spShape)
+	parent, err := e.QueryContext(ctx, q.Root)
 	if err != nil {
 		return nil, err
 	}
 	if len(q.Appends) == 0 {
+		spShape.SetRows(int64(parent.Len()))
 		return parent, nil
 	}
 
@@ -156,12 +164,15 @@ func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowse
 	}
 	groups := make([]childGroup, len(q.Appends))
 	for i, ap := range q.Appends {
+		spAp := t.StartSpan("append", ap.As)
 		child, err := ap.Child.ExecuteContext(ctx, e)
 		if err != nil {
+			t.EndSpan(spAp)
 			return nil, err
 		}
 		keyOrd, ok := child.Schema().Lookup(ap.ChildCol)
 		if !ok {
+			t.EndSpan(spAp)
 			return nil, fmt.Errorf("shape: RELATE child column %q not in child query output %v",
 				ap.ChildCol, child.Schema().Names())
 		}
@@ -174,11 +185,14 @@ func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowse
 				g.byKey[k] = sub
 			}
 			if err := sub.Append(r); err != nil {
+				t.EndSpan(spAp)
 				return nil, err
 			}
 		}
 		groups[i] = g
 		cols = append(cols, rowset.Column{Name: ap.As, Type: rowset.TypeTable, Nested: child.Schema()})
+		spAp.SetRows(int64(child.Len()))
+		t.EndSpan(spAp)
 	}
 
 	schema, err := rowset.NewSchema(cols...)
@@ -211,7 +225,23 @@ func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowse
 			return nil, err
 		}
 	}
+	spShape.SetRows(int64(out.Len()))
 	return out, nil
+}
+
+// PlanSpan renders the shaped query's executor plan as a span tree without
+// running it, mirroring the spans ExecuteContext records: a "shape" node over
+// the root SELECT's plan, with one "append" node per APPEND clause holding
+// the child's plan.
+func (q *Query) PlanSpan() *obs.Span {
+	sp := obs.NewSpan("shape", "")
+	sp.Add(q.Root.PlanSpan())
+	for _, ap := range q.Appends {
+		apSp := obs.NewSpan("append", ap.As)
+		apSp.Add(ap.Child.PlanSpan())
+		sp.Add(apSp)
+	}
+	return sp
 }
 
 // ExecuteString parses and executes a SHAPE statement in one call.

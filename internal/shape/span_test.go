@@ -1,0 +1,74 @@
+package shape
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sqlengine"
+	"repro/internal/storage"
+)
+
+func kinds(root *obs.Span) string {
+	var out []string
+	root.Walk(func(sp *obs.Span, depth int) { out = append(out, sp.Kind) })
+	return strings.Join(out, ",")
+}
+
+// TestShapeSpans: a SHAPE execution records a shape span whose children are
+// the root SELECT and one append span per APPEND clause (each holding its
+// child query's spans), and the plan-only tree mirrors that structure.
+func TestShapeSpans(t *testing.T) {
+	e := sqlengine.NewEngine(storage.NewDatabase())
+	for _, s := range []string{
+		"CREATE TABLE P (ID LONG)",
+		"INSERT INTO P VALUES (1)",
+		"INSERT INTO P VALUES (2)",
+		"CREATE TABLE C (PID LONG, V TEXT)",
+		"INSERT INTO C VALUES (1, 'x')",
+		"INSERT INTO C VALUES (1, 'y')",
+	} {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const src = `SHAPE {SELECT ID FROM P}
+		APPEND ({SELECT PID, V FROM C} RELATE ID TO PID) AS Kids`
+
+	tr := obs.NewTrace("shape", "")
+	rs, err := ExecuteStringContext(obs.WithTrace(t.Context(), tr), e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("shape output has %d rows, want 2", rs.Len())
+	}
+
+	root := tr.Root()
+	if len(root.Children) != 1 || root.Children[0].Kind != "shape" {
+		t.Fatalf("trace spans = %s, want a single shape child", kinds(root))
+	}
+	sh := root.Children[0]
+	if sh.Rows != 2 {
+		t.Errorf("shape span rows = %d, want 2", sh.Rows)
+	}
+	if len(sh.Children) != 2 || sh.Children[0].Kind != "select" || sh.Children[1].Kind != "append" {
+		t.Fatalf("shape children = %s, want select,append", kinds(sh))
+	}
+	ap := sh.Children[1]
+	if ap.Label != "Kids" || ap.Rows != 2 {
+		t.Errorf("append span = %q/%d rows, want Kids/2", ap.Label, ap.Rows)
+	}
+	if len(ap.Children) != 1 || ap.Children[0].Kind != "shape" {
+		t.Fatalf("append children = %s, want the child query's shape span", kinds(ap))
+	}
+
+	// Plan mirrors execution.
+	q, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := kinds(q.PlanSpan()), kinds(sh); got != want {
+		t.Errorf("plan spans %s != executed spans %s", got, want)
+	}
+}

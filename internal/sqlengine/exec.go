@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,18 +42,31 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 // Exec parses and executes one SQL statement. Every statement returns a
 // rowset; DML statements return a single-row ([rows affected]) result.
 func (e *Engine) Exec(sql string) (*rowset.Rowset, error) {
+	return e.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec threading a context: when ctx carries an obs.Trace,
+// SELECT execution records per-operator spans (scan, join, filter, group-by,
+// sort, project) under the statement's span tree.
+func (e *Engine) ExecContext(ctx context.Context, sql string) (*rowset.Rowset, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		e.stmts.Inc()
 		e.stmtErrs.Inc()
 		return nil, err
 	}
-	return e.ExecStmt(stmt)
+	return e.ExecStmtContext(ctx, stmt)
 }
 
 // ExecStmt executes a parsed statement.
 func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
-	rs, err := e.execStmt(stmt)
+	return e.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext executes a parsed statement, recording operator spans on
+// the trace carried by ctx (if any).
+func (e *Engine) ExecStmtContext(ctx context.Context, stmt Statement) (*rowset.Rowset, error) {
+	rs, err := e.execStmt(ctx, stmt)
 	e.stmts.Inc()
 	if err != nil {
 		e.stmtErrs.Inc()
@@ -62,10 +76,10 @@ func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
 	return rs, err
 }
 
-func (e *Engine) execStmt(stmt Statement) (*rowset.Rowset, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt Statement) (*rowset.Rowset, error) {
 	switch st := stmt.(type) {
 	case *SelectStmt:
-		return e.Query(st)
+		return e.QueryContext(ctx, st)
 	case *CreateTableStmt:
 		schema, err := rowset.NewSchema(st.Columns...)
 		if err != nil {
@@ -109,19 +123,33 @@ func affected(n int) (*rowset.Rowset, error) {
 
 // Query executes a SELECT and returns the result rowset.
 func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
+	return e.QueryContext(context.Background(), sel)
+}
+
+// QueryContext executes a SELECT, recording one span per executor node —
+// scan, join, filter, group-by, sort, project — on the trace carried by ctx.
+// With no trace the span calls are nil no-ops and nothing allocates.
+func (e *Engine) QueryContext(ctx context.Context, sel *SelectStmt) (*rowset.Rowset, error) {
+	t := obs.FromContext(ctx)
+	spSel := t.StartSpan("select", "")
+	defer t.EndSpan(spSel)
 	sel, err := e.resolveStatementSubqueries(sel)
 	if err != nil {
 		return nil, err
 	}
-	src, err := e.buildSource(sel.From)
+	src, err := e.buildSource(t, sel.From)
 	if err != nil {
 		return nil, err
 	}
 	if sel.Where != nil {
+		sp := t.StartSpan("filter", "")
 		src, err = filterRowset(src, sel.Where)
 		if err != nil {
+			t.EndSpan(sp)
 			return nil, err
 		}
+		sp.SetRows(int64(src.Len()))
+		t.EndSpan(sp)
 	}
 	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
 	if !needAgg {
@@ -134,9 +162,14 @@ func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
 	}
 	var out *rowset.Rowset
 	if needAgg {
+		sp := t.StartSpan("group-by", "")
 		out, err = e.aggregate(sel, src)
+		if err == nil {
+			sp.SetRows(int64(out.Len()))
+		}
+		t.EndSpan(sp)
 	} else {
-		out, err = e.project(sel, src)
+		out, err = e.project(t, sel, src)
 	}
 	if err != nil {
 		return nil, err
@@ -153,12 +186,14 @@ func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
 		}
 		out = trimmed
 	}
+	spSel.SetRows(int64(out.Len()))
 	return out, nil
 }
 
 // buildSource scans and joins the FROM clause into one rowset whose columns
-// are qualified "alias.column" so references resolve unambiguously.
-func (e *Engine) buildSource(from []TableRef) (*rowset.Rowset, error) {
+// are qualified "alias.column" so references resolve unambiguously. Each
+// table scan and each join records a span on t.
+func (e *Engine) buildSource(t *obs.Trace, from []TableRef) (*rowset.Rowset, error) {
 	if len(from) == 0 {
 		// FROM-less SELECT evaluates items once against an empty row.
 		rs := rowset.New(rowset.MustSchema())
@@ -167,21 +202,85 @@ func (e *Engine) buildSource(from []TableRef) (*rowset.Rowset, error) {
 		}
 		return rs, nil
 	}
-	acc, err := e.scanQualified(from[0])
+	acc, err := e.scanTraced(t, from[0])
 	if err != nil {
 		return nil, err
 	}
 	for _, ref := range from[1:] {
-		right, err := e.scanQualified(ref)
+		right, err := e.scanTraced(t, ref)
 		if err != nil {
 			return nil, err
 		}
+		sp := t.StartSpan("join", joinKindLabel(ref.Kind))
 		acc, err = join(acc, right, ref.Kind, ref.On)
 		if err != nil {
+			t.EndSpan(sp)
 			return nil, err
 		}
+		sp.SetRows(int64(acc.Len()))
+		t.EndSpan(sp)
 	}
 	return acc, nil
+}
+
+// scanTraced wraps scanQualified in a "scan" span labelled with the table (or
+// view) name.
+func (e *Engine) scanTraced(t *obs.Trace, ref TableRef) (*rowset.Rowset, error) {
+	sp := t.StartSpan("scan", ref.AliasOrName())
+	rs, err := e.scanQualified(ref)
+	if err != nil {
+		t.EndSpan(sp)
+		return nil, err
+	}
+	sp.SetRows(int64(rs.Len()))
+	t.EndSpan(sp)
+	return rs, nil
+}
+
+// joinKindLabel names a join kind for span labels.
+func joinKindLabel(k JoinKind) string {
+	switch k {
+	case JoinLeft:
+		return "left"
+	case JoinCross:
+		return "cross"
+	}
+	return "inner"
+}
+
+// PlanSpan renders the SELECT's executor plan as a span tree without running
+// it: the same operator nodes, in the same order, that QueryContext would
+// record on a trace — scan/join per FROM entry, filter, then group-by or
+// project (+sort). Elapsed and Rows stay zero; EXPLAIN renders them as NULL.
+func (sel *SelectStmt) PlanSpan() *obs.Span {
+	sp := obs.NewSpan("select", "")
+	for i, ref := range sel.From {
+		sp.Add(obs.NewSpan("scan", ref.AliasOrName()))
+		if i > 0 {
+			sp.Add(obs.NewSpan("join", joinKindLabel(ref.Kind)))
+		}
+	}
+	if sel.Where != nil {
+		sp.Add(obs.NewSpan("filter", ""))
+	}
+	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !needAgg {
+		for _, it := range sel.Items {
+			if !it.Star && ContainsAggregate(it.Expr) {
+				needAgg = true
+				break
+			}
+		}
+	}
+	if needAgg {
+		sp.Add(obs.NewSpan("group-by", ""))
+	} else {
+		sp.Add(obs.NewSpan("project", ""))
+		if len(sel.OrderBy) > 0 {
+			sp.Add(obs.NewSpan("sort", ""))
+		}
+	}
+	return sp
 }
 
 func (e *Engine) scanQualified(ref TableRef) (*rowset.Rowset, error) {
@@ -363,7 +462,7 @@ func filterRowset(src *rowset.Rowset, cond Expr) (*rowset.Rowset, error) {
 
 // ---------- projection (no aggregation) ----------
 
-func (e *Engine) project(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
+func (e *Engine) project(t *obs.Trace, sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
 	items, err := expandStars(sel.Items, src.Schema())
 	if err != nil {
 		return nil, err
@@ -372,6 +471,7 @@ func (e *Engine) project(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, e
 	env := &Env{Schema: src.Schema()}
 
 	// Compute output values and ORDER BY keys per row.
+	spProj := t.StartSpan("project", "")
 	type sortableRow struct {
 		out  rowset.Row
 		keys rowset.Row
@@ -383,12 +483,14 @@ func (e *Engine) project(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, e
 		for i, it := range items {
 			v, err := Eval(it.Expr, env)
 			if err != nil {
+				t.EndSpan(spProj)
 				return nil, err
 			}
 			out[i] = v
 		}
 		keys, err := orderKeys(sel.OrderBy, items, names, out, env)
 		if err != nil {
+			t.EndSpan(spProj)
 			return nil, err
 		}
 		rows = append(rows, sortableRow{out: out, keys: keys})
@@ -398,7 +500,14 @@ func (e *Engine) project(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, e
 	for i, sr := range rows {
 		sortRows[i], keyRows[i] = sr.out, sr.keys
 	}
-	sortByKeys(sortRows, keyRows, sel.OrderBy)
+	spProj.SetRows(int64(len(rows)))
+	t.EndSpan(spProj)
+	if len(sel.OrderBy) > 0 {
+		spSort := t.StartSpan("sort", "")
+		sortByKeys(sortRows, keyRows, sel.OrderBy)
+		spSort.SetRows(int64(len(sortRows)))
+		t.EndSpan(spSort)
+	}
 
 	schema, err := outputSchema(items, names, src.Schema(), sortRows)
 	if err != nil {

@@ -1,0 +1,108 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+func spanKinds(root *obs.Span) string {
+	var kinds []string
+	root.Walk(func(sp *obs.Span, depth int) {
+		kinds = append(kinds, sp.Kind)
+	})
+	return strings.Join(kinds, ",")
+}
+
+// TestQueryContextSpans: one span per executor node, nested under the select,
+// with row counts from the actual operator outputs.
+func TestQueryContextSpans(t *testing.T) {
+	e := NewEngine(storage.NewDatabase())
+	for _, s := range []string{
+		"CREATE TABLE T (ID LONG, G TEXT)",
+		"INSERT INTO T VALUES (1, 'a')",
+		"INSERT INTO T VALUES (2, 'b')",
+		"INSERT INTO T VALUES (3, 'a')",
+		"CREATE TABLE U (ID LONG, X DOUBLE)",
+		"INSERT INTO U VALUES (1, 1.5)",
+		"INSERT INTO U VALUES (2, 2.5)",
+	} {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tr := obs.NewTrace("q", "")
+	ctx := obs.WithTrace(t.Context(), tr)
+	if _, err := e.ExecContext(ctx, "SELECT T.G, U.X FROM T JOIN U ON T.ID = U.ID WHERE T.ID > 0 ORDER BY U.X"); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if len(root.Children) != 1 || root.Children[0].Kind != "select" {
+		t.Fatalf("root children = %s", spanKinds(root))
+	}
+	sel := root.Children[0]
+	want := map[string]int64{"scan": -1, "join": 2, "filter": 2, "project": 2, "sort": 2}
+	got := map[string]int64{}
+	for _, c := range sel.Children {
+		got[c.Kind] = c.Rows
+	}
+	for k, rows := range want {
+		r, ok := got[k]
+		if !ok {
+			t.Errorf("select has no %q child (children: %s)", k, spanKinds(sel))
+			continue
+		}
+		if rows >= 0 && r != rows {
+			t.Errorf("%s span rows = %d, want %d", k, r, rows)
+		}
+	}
+	if sel.Rows != 2 {
+		t.Errorf("select span rows = %d, want 2", sel.Rows)
+	}
+
+	// Aggregates swap project/sort for a group-by node.
+	tr2 := obs.NewTrace("q2", "")
+	if _, err := e.ExecContext(obs.WithTrace(t.Context(), tr2), "SELECT G, COUNT(*) FROM T GROUP BY G"); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := spanKinds(tr2.Root()); kinds != "statement,select,scan,group-by" {
+		t.Errorf("aggregate spans = %s", kinds)
+	}
+}
+
+// TestPlanSpanMirrorsExecution: the plan-only tree names the same operators,
+// in the same order, as the spans an actual run records.
+func TestPlanSpanMirrorsExecution(t *testing.T) {
+	e := NewEngine(storage.NewDatabase())
+	for _, s := range []string{
+		"CREATE TABLE T (ID LONG, G TEXT)",
+		"INSERT INTO T VALUES (1, 'a')",
+	} {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []string{
+		"SELECT G FROM T WHERE ID = 1 ORDER BY G",
+		"SELECT G, COUNT(*) FROM T GROUP BY G",
+		"SELECT A.G FROM T AS A, T AS B",
+	} {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := st.(*SelectStmt)
+		tr := obs.NewTrace("q", "")
+		if _, err := e.ExecContext(obs.WithTrace(t.Context(), tr), q); err != nil {
+			t.Fatal(err)
+		}
+		executed := spanKinds(tr.Root().Children[0])
+		planned := spanKinds(sel.PlanSpan())
+		if executed != planned {
+			t.Errorf("query %q: plan %s != executed %s", q, planned, executed)
+		}
+	}
+}
