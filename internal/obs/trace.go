@@ -32,6 +32,13 @@ type Trace struct {
 	// (stack[0] is always root). Statement-goroutine-owned, like the rest.
 	root  *Span
 	stack []*Span
+
+	// detailed requests per-operator timing from streaming executors. The
+	// streaming pipeline interleaves all operators in one drain loop, so
+	// attributing wall time to individual operators costs two clock reads per
+	// row per operator; only EXPLAIN ANALYZE asks for that. When false,
+	// streamed operator spans carry exact row counts but ~zero elapsed time.
+	detailed bool
 }
 
 // NewTrace starts a trace for one statement.
@@ -60,6 +67,18 @@ func (t *Trace) SetKind(kind string) {
 		t.kind = kind
 	}
 }
+
+// SetDetailed requests (or clears) per-operator timing on streamed operator
+// spans; see the field comment. EXPLAIN ANALYZE sets it before dispatching
+// the wrapped statement.
+func (t *Trace) SetDetailed(on bool) {
+	if t != nil {
+		t.detailed = on
+	}
+}
+
+// Detailed reports whether per-operator timing was requested. False on nil.
+func (t *Trace) Detailed() bool { return t != nil && t.detailed }
 
 // SetErrClass overrides the error classification derived from the error
 // value (used to mark parse-stage failures).

@@ -35,6 +35,10 @@ func (p *Provider) explainStmt(ctx context.Context, ex *dmx.Explain) (*rowset.Ro
 		t.SetKind("EXPLAIN")
 		ctx = obs.WithTrace(ctx, t)
 	}
+	// Per-operator wall time is sampled only under ANALYZE: detailed mode
+	// makes streaming operators read the clock around every row, a cost
+	// normal traced execution must not pay (spans there count rows only).
+	t.SetDetailed(true)
 	rs, err := p.executeExplained(ctx, t, ex)
 	if err != nil {
 		return nil, err

@@ -203,6 +203,21 @@ func applyBindings(ctx context.Context, def *core.ModelDef, bindings []dmx.Bindi
 		return nil, err
 	}
 	srcRows := src.Rows()
+	// Identity plan — every model column binds the same-ordinal scalar source
+	// column — passes the source rows through unshaped: the caseset shares the
+	// executor's rows under the model-named schema, no per-row copy at all.
+	if len(plan) == src.Schema().Len() {
+		identity := true
+		for i, b := range plan {
+			if b.srcOrd != i || b.nestedSchema != nil {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return rowset.Adopt(outSchema, srcRows), nil
+		}
+	}
 	rows := make([]rowset.Row, len(srcRows))
 	err = par.ForEachCtx(ctx, len(srcRows), workers, func(i int) error {
 		r := srcRows[i]
@@ -232,7 +247,10 @@ func applyBindings(ctx context.Context, def *core.ModelDef, bindings []dmx.Bindi
 	if err != nil {
 		return nil, err
 	}
-	return rowset.FromRows(outSchema, rows)
+	// The projected rows reuse values straight out of the (already canonical)
+	// source rowset, so the result adopts them instead of re-normalizing every
+	// cell a second time.
+	return rowset.Adopt(outSchema, rows), nil
 }
 
 // boundCol is one resolved binding: which source ordinal feeds which model
@@ -325,16 +343,30 @@ func findColumnDef(cols []core.ColumnDef, name string) (*core.ColumnDef, bool) {
 }
 
 // reshapeNested projects a nested source rowset through the nested binding.
+// Identity projections share the nested rows under the model-named schema;
+// either way the values are adopted, not re-normalized — they came out of the
+// executor canonical.
 func reshapeNested(nested *rowset.Rowset, b boundCol) (*rowset.Rowset, error) {
-	out := rowset.New(b.nestedSchema)
-	for _, r := range nested.Rows() {
-		row := make(rowset.Row, 0, len(b.nestedOrds))
-		for _, o := range b.nestedOrds {
-			row = append(row, r[o])
+	src := nested.Rows()
+	if len(b.nestedOrds) == nested.Schema().Len() {
+		identity := true
+		for i, o := range b.nestedOrds {
+			if o != i {
+				identity = false
+				break
+			}
 		}
-		if err := out.Append(row); err != nil {
-			return nil, err
+		if identity {
+			return rowset.Adopt(b.nestedSchema, src), nil
 		}
 	}
-	return out, nil
+	rows := make([]rowset.Row, len(src))
+	for i, r := range src {
+		row := make(rowset.Row, len(b.nestedOrds))
+		for j, o := range b.nestedOrds {
+			row[j] = r[o]
+		}
+		rows[i] = row
+	}
+	return rowset.Adopt(b.nestedSchema, rows), nil
 }

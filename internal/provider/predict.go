@@ -3,7 +3,6 @@ package provider
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -56,6 +55,10 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 		return nil, fmt.Errorf("provider: prediction join binds no model columns (source columns: %v)",
 			src.Schema().Names())
 	}
+	// Repeated prediction joins (and singleton WHERE <key> = ... statements)
+	// probe the source table by case key; make sure the key column is indexed
+	// so those probes are bucket lookups, not heap scans.
+	p.indexPredictionKeys(ps.Source, e.model.Def, bindings)
 	plan, outCols, err := bindColumns(e.model.Def.Name, e.model.Def.Columns, bindings, src.Schema(), true)
 	if err != nil {
 		return nil, err
@@ -204,12 +207,42 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 	if err != nil {
 		return nil, err
 	}
-	return rowset.FromRows(schema, out)
+	// evalCase normalized every projected cell; adopt the rows rather than
+	// normalizing them all a second time.
+	return rowset.Adopt(schema, out), nil
 }
 
 // minParallelCases is the source size below which the goroutine fan-out costs
 // more than the scan; tiny inputs stay on the calling goroutine.
 const minParallelCases = 8
+
+// indexPredictionKeys auto-creates a hash index on each source-table column
+// bound to one of the model's KEY columns. Best-effort: only a bare
+// single-table source names a table to index, and a failure to build the
+// index never fails the statement — the scan path works without it.
+func (p *Provider) indexPredictionKeys(src dmx.Source, def *core.ModelDef, bindings []dmx.Binding) {
+	if src.Select == nil || len(src.Select.From) != 1 {
+		return
+	}
+	tbl, ok := p.Engine.TableSource(src.Select.From[0].Name)
+	if !ok {
+		return
+	}
+	for _, b := range bindings {
+		mc, ok := def.Column(b.Name)
+		if !ok || mc.Content != core.ContentKey {
+			continue
+		}
+		ord, ok := tbl.Schema().Lookup(b.Name)
+		if !ok {
+			continue
+		}
+		name := tbl.Schema().Column(ord).Name
+		if !tbl.HasIndex(name) {
+			_ = tbl.CreateIndex(name) //nolint:errcheck // advisory index; lookups fall back to scanning
+		}
+	}
+}
 
 // predictPlan is the per-statement read-only state shared by every prediction
 // worker: resolved bindings, frozen-tokenizer case binder, pre-resolved
@@ -310,30 +343,15 @@ func (pp *predictPlan) evalCase(srcRow rowset.Row) (caseResult, error) {
 	return res, nil
 }
 
-// sortPredictionRows stable-sorts rows by the precomputed key columns.
+// sortPredictionRows stable-sorts rows by the precomputed key columns through
+// the module-wide key sort (single-key fast path, shared NULL/numeric
+// comparison semantics).
 func sortPredictionRows(rows []rowset.Row, keys []rowset.Row, order []sqlengine.OrderItem) {
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
+	desc := make([]bool, len(order))
+	for i, o := range order {
+		desc[i] = o.Desc
 	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		a, b := idx[x], idx[y]
-		for k, o := range order {
-			c := rowset.Compare(keys[a][k], keys[b][k])
-			if o.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	tmp := make([]rowset.Row, len(rows))
-	for i, j := range idx {
-		tmp[i] = rows[j]
-	}
-	copy(rows, tmp)
+	rowset.SortByKeys(rows, keys, desc)
 }
 
 // naturalBindings binds model columns to same-named source columns; nested

@@ -1,0 +1,120 @@
+package provider
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rowset"
+)
+
+// TestConcurrentCursorsUnderParallelPredict drives every streaming surface at
+// once against one provider: parallel PREDICTION JOIN scans (whose workers
+// share the materialized source and auto-create the key-column index),
+// indexed point-lookup SELECTs (scan cursors + index pushdown probes), and
+// SHAPE statements whose RELATE fast path auto-creates and reads the Sales
+// index. Run under -race it proves the cursor pipeline, the shared table
+// snapshots, and concurrent CreateIndex calls are race-clean; the byte
+// comparison against a pre-computed baseline proves no interleaving perturbs
+// any result.
+func TestConcurrentCursorsUnderParallelPredict(t *testing.T) {
+	p := MustNew(WithParallelism(4))
+	setupCustomerData(t, p, 60)
+	mustExec(t, p, createAgeModel)
+	mustExec(t, p, insertAgeModel)
+
+	queries := []string{
+		`SELECT t.[Customer ID], Predict([Age]) FROM [Age Prediction]
+			NATURAL PREDICTION JOIN (SELECT * FROM Customers) AS t`,
+		`SELECT TOP 9 t.[Customer ID], Predict([Age]) FROM [Age Prediction]
+			NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t
+			ORDER BY Predict([Age]) DESC`,
+		"SELECT Age FROM Customers WHERE [Customer ID] = 7",
+		"SELECT [Product Name], Quantity FROM Sales WHERE CustID = 9 ORDER BY [Product Name]",
+		"SELECT Gender, COUNT(*) FROM Customers GROUP BY Gender ORDER BY Gender",
+		`SHAPE {SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]}
+			APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
+			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`,
+	}
+
+	// Baselines first, single-threaded. The predict statement has already
+	// auto-indexed the Customers key and the SHAPE statement the Sales relate
+	// column, so the concurrent phase exercises index reads as well as the
+	// idempotent re-create path.
+	baseline := make([][]byte, len(queries))
+	for i, q := range queries {
+		var buf bytes.Buffer
+		if err := mustExec(t, p, q).Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = buf.Bytes()
+	}
+
+	const goroutines = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*len(queries))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				rs, err := p.Execute(queries[qi])
+				if err != nil {
+					errc <- fmt.Errorf("%.60q: %w", queries[qi], err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := rs.Encode(&buf); err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), baseline[qi]) {
+					errc <- fmt.Errorf("%.60q: concurrent result differs from baseline (%d rows)",
+						queries[qi], rs.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPredictionJoinAutoIndexesKey pins the auto-index behaviour: a
+// prediction join whose source is a bare single-table SELECT leaves a hash
+// index behind on the table column bound to the model's KEY column, and only
+// on that column.
+func TestPredictionJoinAutoIndexesKey(t *testing.T) {
+	p := MustNew()
+	setupCustomerData(t, p, 20)
+	mustExec(t, p, createAgeModel)
+	mustExec(t, p, insertAgeModel)
+
+	tbl, ok := p.Engine.TableSource("Customers")
+	if !ok {
+		t.Fatal("Customers is not a table source")
+	}
+	if tbl.HasIndex("Customer ID") {
+		t.Fatal("key index exists before any prediction join")
+	}
+	mustExec(t, p, `SELECT t.[Customer ID], Predict([Age]) FROM [Age Prediction]
+		NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t`)
+	if !tbl.HasIndex("Customer ID") {
+		t.Error("prediction join did not auto-create the key-column index")
+	}
+	if tbl.HasIndex("Gender") || tbl.HasIndex("Age") {
+		t.Error("prediction join indexed a non-key column")
+	}
+	// The indexed table must answer a pushed-down point lookup identically.
+	rs := mustExec(t, p, "SELECT Gender FROM Customers WHERE [Customer ID] = 3")
+	if rs.Len() != 1 {
+		t.Errorf("indexed point lookup returned %d rows, want 1", rs.Len())
+	}
+	var _ rowset.Value = rs.Row(0)[0]
+}

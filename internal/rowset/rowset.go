@@ -2,7 +2,7 @@ package rowset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -27,6 +27,14 @@ type Rowset struct {
 // New creates an empty rowset with the given schema.
 func New(schema *Schema) *Rowset {
 	return &Rowset{schema: schema}
+}
+
+// Adopt creates a rowset that shares rows as-is — no copy, no arity check,
+// no normalization. It is for producers whose rows are already canonical
+// (storage snapshots, executor output): the streaming counterpart of FromRows
+// when validation would only repeat work already done upstream.
+func Adopt(schema *Schema, rows []Row) *Rowset {
+	return &Rowset{schema: schema, rows: rows}
 }
 
 // FromRows creates a rowset from pre-built rows. Rows are validated for
@@ -82,20 +90,30 @@ func (rs *Rowset) Value(row int, col string) (Value, error) {
 }
 
 // Sort orders rows by the given column ordinals; desc[i] flips ordinal i.
-// The sort is stable.
+// The sort is stable. Single-ordinal sorts — the overwhelmingly common
+// ORDER BY shape — take a comparator with no inner loop.
 func (rs *Rowset) Sort(ords []int, desc []bool) {
-	sort.SliceStable(rs.rows, func(a, b int) bool {
-		ra, rb := rs.rows[a], rs.rows[b]
-		for k, o := range ords {
-			c := Compare(ra[o], rb[o])
-			if len(desc) > k && desc[k] {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
+	if len(ords) == 1 {
+		o := ords[0]
+		if len(desc) > 0 && desc[0] {
+			slices.SortStableFunc(rs.rows, func(a, b Row) int { return Compare(b[o], a[o]) })
+		} else {
+			slices.SortStableFunc(rs.rows, func(a, b Row) int { return Compare(a[o], b[o]) })
 		}
-		return false
+		return
+	}
+	slices.SortStableFunc(rs.rows, func(a, b Row) int {
+		for k, o := range ords {
+			c := Compare(a[o], b[o])
+			if c == 0 {
+				continue
+			}
+			if k < len(desc) && desc[k] {
+				return -c
+			}
+			return c
+		}
+		return 0
 	})
 }
 
@@ -205,8 +223,29 @@ type Iterator interface {
 	Schema() *Schema
 }
 
+// Cursor is the pull-based (Volcano-style) row stream the executor pipelines
+// are built from: an Iterator whose resources can be released early. Close
+// must be safe to call more than once and after exhaustion; a consumer that
+// stops pulling before end-of-stream (TOP, an error in a downstream operator)
+// must still Close the cursor so upstream operators can release state.
+//
+// Rows yielded by a Cursor are owned by the producer: consumers must not
+// mutate them, and must not assume a row stays valid after the next Next call
+// unless the producer documents otherwise. Every producer in this module
+// yields immutable rows that remain valid indefinitely.
+type Cursor interface {
+	Iterator
+	// Close releases the cursor's resources. It is idempotent.
+	Close() error
+}
+
 // Iter returns an iterator over the materialized rowset.
 func (rs *Rowset) Iter() Iterator { return &sliceIter{rs: rs} }
+
+// Cursor returns a Cursor over the materialized rowset — the adapter that
+// lets fully-built rowsets (wire results, schema rowsets, tests) flow into
+// streaming operators.
+func (rs *Rowset) Cursor() Cursor { return &sliceIter{rs: rs} }
 
 type sliceIter struct {
 	rs *Rowset
@@ -224,6 +263,24 @@ func (it *sliceIter) Next() (Row, error) {
 
 func (it *sliceIter) Schema() *Schema { return it.rs.schema }
 
+func (it *sliceIter) Close() error {
+	it.i = it.rs.Len()
+	return nil
+}
+
+// CursorOf adapts an Iterator into a Cursor with a no-op Close. If it is
+// already a Cursor it is returned unchanged.
+func CursorOf(it Iterator) Cursor {
+	if c, ok := it.(Cursor); ok {
+		return c
+	}
+	return nopCloser{it}
+}
+
+type nopCloser struct{ Iterator }
+
+func (nopCloser) Close() error { return nil }
+
 // Materialize drains an iterator into a Rowset.
 func Materialize(it Iterator) (*Rowset, error) {
 	rs := New(it.Schema())
@@ -238,5 +295,29 @@ func Materialize(it Iterator) (*Rowset, error) {
 		if err := rs.Append(r); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// FromCursor drains a cursor into a Rowset without re-normalizing values:
+// the rows are adopted as-is (arity-checked only). It is the terminal
+// operator of the streaming executor, whose cursors yield rows that are
+// already in canonical form — storage rows are coerced on insert, computed
+// rows are normalized at projection. The cursor is closed before returning.
+func FromCursor(c Cursor) (*Rowset, error) {
+	defer c.Close() //nolint:errcheck // Close after exhaustion is a no-op
+	rs := New(c.Schema())
+	want := rs.schema.Len()
+	for {
+		r, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return rs, nil
+		}
+		if len(r) != want {
+			return nil, fmt.Errorf("rowset: cursor row has %d values, schema has %d columns", len(r), want)
+		}
+		rs.rows = append(rs.rows, r)
 	}
 }

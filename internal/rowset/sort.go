@@ -1,0 +1,62 @@
+package rowset
+
+import "slices"
+
+// SortByKeys stably sorts items in place by their parallel key rows: keys[i]
+// holds the precomputed ORDER BY key values for items[i], and desc[k] flips
+// the k-th key. The common single-key case takes a fast path whose comparator
+// touches exactly one Value per side — no inner loop over key ordinals and no
+// per-comparison desc lookup. Both slices are permuted together.
+//
+// It is the one sort used by every ORDER BY in the module (SQL SELECT, SHAPE
+// children via SELECT, prediction-join output), so key semantics — NULL
+// first, numeric cross-type comparison — stay identical everywhere.
+func SortByKeys[T any](items []T, keys []Row, desc []bool) {
+	if len(items) < 2 || len(keys) == 0 {
+		return
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(keys[0]) == 1 {
+		if len(desc) > 0 && desc[0] {
+			slices.SortStableFunc(idx, func(a, b int) int {
+				return Compare(keys[b][0], keys[a][0])
+			})
+		} else {
+			slices.SortStableFunc(idx, func(a, b int) int {
+				return Compare(keys[a][0], keys[b][0])
+			})
+		}
+	} else {
+		slices.SortStableFunc(idx, func(a, b int) int {
+			ka, kb := keys[a], keys[b]
+			for k := range ka {
+				c := Compare(ka[k], kb[k])
+				if c == 0 {
+					continue
+				}
+				if k < len(desc) && desc[k] {
+					return -c
+				}
+				return c
+			}
+			return 0
+		})
+	}
+	applyPermutation(idx, items, keys)
+}
+
+// applyPermutation reorders items and keys so that position i receives the
+// element previously at idx[i].
+func applyPermutation[T any](idx []int, items []T, keys []Row) {
+	outItems := make([]T, len(items))
+	outKeys := make([]Row, len(keys))
+	for i, j := range idx {
+		outItems[i] = items[j]
+		outKeys[i] = keys[j]
+	}
+	copy(items, outItems)
+	copy(keys, outKeys)
+}

@@ -377,3 +377,34 @@ func Key(v Value) string {
 	}
 	return fmt.Sprintf("?%v", v)
 }
+
+// AppendKey appends Key(v)'s bytes to dst and returns the extended slice. It
+// produces exactly the bytes of Key(v) without allocating an intermediate
+// string, so hot loops (hash-join probes, index lookups, grouping) can reuse
+// one scratch buffer and probe maps via the compiler's map[string(b)] fast
+// path. TestAppendKeyMatchesKey pins the byte-for-byte equivalence.
+func AppendKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, '\x00')
+	case string:
+		dst = append(dst, 's')
+		return append(dst, x...)
+	case bool:
+		if x {
+			return append(dst, 'b', '1')
+		}
+		return append(dst, 'b', '0')
+	case time.Time:
+		dst = append(dst, 't')
+		return strconv.AppendInt(dst, x.UnixNano(), 10)
+	case *Rowset:
+		return fmt.Appendf(dst, "T%p", x)
+	default:
+		if f, ok := ToFloat(v); ok {
+			dst = append(dst, 'n')
+			return strconv.AppendFloat(dst, f, 'g', -1, 64)
+		}
+	}
+	return fmt.Appendf(dst, "?%v", v)
+}

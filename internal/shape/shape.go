@@ -135,12 +135,23 @@ func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
 	return q.ExecuteContext(context.Background(), e)
 }
 
+// childGroup holds one APPEND child's rows bucketed by relate key, ready to
+// attach to parent rows.
+type childGroup struct {
+	byKey  map[string]*rowset.Rowset
+	schema *rowset.Schema
+}
+
 // ExecuteContext is Execute with cancellation: ctx is checked between the
 // root query and each APPEND child, so a deep SHAPE tree aborts at the next
 // query boundary once ctx is done. When ctx carries an obs.Trace the
 // execution records a "shape" span with one "append" child span per APPEND
 // clause (a nested SHAPE child nests its own "shape" span underneath); the
 // inner SELECTs contribute their own operator spans through QueryContext.
+//
+// Eligible APPEND children (see compileRelatePlan) skip query execution
+// entirely: the relate column gets an automatically created hash index and
+// each parent key is answered by one bucket lookup.
 func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowset.Rowset, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -158,40 +169,26 @@ func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowse
 	}
 
 	cols := append([]rowset.Column(nil), parent.Schema().Columns...)
-	type childGroup struct {
-		byKey  map[string]*rowset.Rowset
-		schema *rowset.Schema
-	}
 	groups := make([]childGroup, len(q.Appends))
 	for i, ap := range q.Appends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spAp := t.StartSpan("append", ap.As)
-		child, err := ap.Child.ExecuteContext(ctx, e)
+		var g childGroup
+		var childRows int64
+		if plan := compileRelatePlan(e, ap); plan != nil {
+			g, childRows, err = plan.run(t, parent, ap)
+		} else {
+			g, childRows, err = runAppendChild(ctx, e, ap)
+		}
 		if err != nil {
 			t.EndSpan(spAp)
 			return nil, err
 		}
-		keyOrd, ok := child.Schema().Lookup(ap.ChildCol)
-		if !ok {
-			t.EndSpan(spAp)
-			return nil, fmt.Errorf("shape: RELATE child column %q not in child query output %v",
-				ap.ChildCol, child.Schema().Names())
-		}
-		g := childGroup{byKey: make(map[string]*rowset.Rowset), schema: child.Schema()}
-		for _, r := range child.Rows() {
-			k := rowset.Key(r[keyOrd])
-			sub, ok := g.byKey[k]
-			if !ok {
-				sub = rowset.New(child.Schema())
-				g.byKey[k] = sub
-			}
-			if err := sub.Append(r); err != nil {
-				t.EndSpan(spAp)
-				return nil, err
-			}
-		}
 		groups[i] = g
-		cols = append(cols, rowset.Column{Name: ap.As, Type: rowset.TypeTable, Nested: child.Schema()})
-		spAp.SetRows(int64(child.Len()))
+		cols = append(cols, rowset.Column{Name: ap.As, Type: rowset.TypeTable, Nested: g.schema})
+		spAp.SetRows(childRows)
 		t.EndSpan(spAp)
 	}
 
@@ -227,6 +224,36 @@ func (q *Query) ExecuteContext(ctx context.Context, e *sqlengine.Engine) (*rowse
 	}
 	spShape.SetRows(int64(out.Len()))
 	return out, nil
+}
+
+// runAppendChild is the general APPEND path: execute the child query (which
+// may itself be a SHAPE) and bucket its rows by relate key in one pass. The
+// buckets adopt the child's rows — already canonical, coming out of the
+// executor — instead of re-normalizing each one.
+func runAppendChild(ctx context.Context, e *sqlengine.Engine, ap Append) (childGroup, int64, error) {
+	var g childGroup
+	child, err := ap.Child.ExecuteContext(ctx, e)
+	if err != nil {
+		return g, 0, err
+	}
+	keyOrd, ok := child.Schema().Lookup(ap.ChildCol)
+	if !ok {
+		return g, 0, fmt.Errorf("shape: RELATE child column %q not in child query output %v",
+			ap.ChildCol, child.Schema().Names())
+	}
+	buckets := make(map[string][]rowset.Row)
+	var keyBuf []byte
+	for _, r := range child.Rows() {
+		keyBuf = rowset.AppendKey(keyBuf[:0], r[keyOrd])
+		k := string(keyBuf)
+		buckets[k] = append(buckets[k], r)
+	}
+	byKey := make(map[string]*rowset.Rowset, len(buckets))
+	for k, rows := range buckets {
+		byKey[k] = rowset.Adopt(child.Schema(), rows)
+	}
+	g = childGroup{byKey: byKey, schema: child.Schema()}
+	return g, int64(child.Len()), nil
 }
 
 // PlanSpan renders the shaped query's executor plan as a span tree without

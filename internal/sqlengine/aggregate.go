@@ -3,15 +3,16 @@ package sqlengine
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"repro/internal/rowset"
 )
 
-// aggregate executes a SELECT with GROUP BY and/or aggregate functions.
-// For each group it computes every aggregate call in the statement, then
-// evaluates the projection with those calls replaced by their values.
-func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
+// aggregate executes a SELECT with GROUP BY and/or aggregate functions,
+// consuming its source one row at a time (grouping is the materializing step:
+// the group map holds every input row until the stream ends). For each group
+// it computes every aggregate call in the statement, then evaluates the
+// projection with those calls replaced by their values.
+func (e *Engine) aggregate(sel *SelectStmt, src rowset.Iterator) (*rowset.Rowset, error) {
 	var aggs []*FuncCall
 	for _, it := range sel.Items {
 		if it.Star {
@@ -30,24 +31,33 @@ func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset,
 		first rowset.Row
 		rows  []rowset.Row
 	}
-	env := &Env{Schema: src.Schema()}
+	srcSchema := src.Schema()
+	env := &Env{Schema: srcSchema}
 	groups := make(map[string]*group)
 	var keyOrder []string
-	for _, r := range src.Rows() {
+	var keyBuf []byte
+	for {
+		r, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
 		env.Row = r
-		var b strings.Builder
+		keyBuf = keyBuf[:0]
 		for _, g := range sel.GroupBy {
 			v, err := Eval(g, env)
 			if err != nil {
 				return nil, err
 			}
-			b.WriteString(rowset.Key(v))
-			b.WriteByte('|')
+			keyBuf = rowset.AppendKey(keyBuf, v)
+			keyBuf = append(keyBuf, '|')
 		}
-		k := b.String()
-		grp, ok := groups[k]
+		grp, ok := groups[string(keyBuf)]
 		if !ok {
 			grp = &group{first: r}
+			k := string(keyBuf)
 			groups[k] = grp
 			keyOrder = append(keyOrder, k)
 		}
@@ -55,7 +65,7 @@ func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset,
 	}
 	// Aggregation without GROUP BY over empty input still yields one group.
 	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		nulls := make(rowset.Row, src.Schema().Len())
+		nulls := make(rowset.Row, srcSchema.Len())
 		groups[""] = &group{first: nulls}
 		keyOrder = append(keyOrder, "")
 	}
@@ -67,13 +77,13 @@ func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset,
 		grp := groups[k]
 		vals := make(map[*FuncCall]rowset.Value, len(aggs))
 		for _, f := range aggs {
-			v, err := computeAggregate(f, grp.rows, src.Schema())
+			v, err := computeAggregate(f, grp.rows, srcSchema)
 			if err != nil {
 				return nil, err
 			}
 			vals[f] = v
 		}
-		genv := &Env{Schema: src.Schema(), Row: grp.first}
+		genv := &Env{Schema: srcSchema, Row: grp.first}
 		if sel.Having != nil {
 			hv, err := Eval(substituteAggs(sel.Having, vals), genv)
 			if err != nil {
@@ -106,9 +116,11 @@ func (e *Engine) aggregate(sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset,
 		outRows = append(outRows, out)
 		keyRows = append(keyRows, keys)
 	}
-	sortByKeys(outRows, keyRows, sel.OrderBy)
+	if len(sel.OrderBy) > 0 {
+		rowset.SortByKeys(outRows, keyRows, descFlags(sel.OrderBy))
+	}
 
-	schema, err := outputSchema(sel.Items, names, src.Schema(), outRows)
+	schema, err := outputSchema(sel.Items, names, srcSchema, outRows)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package sqlengine
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/obs"
@@ -126,9 +125,32 @@ func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
 	return e.QueryContext(context.Background(), sel)
 }
 
-// QueryContext executes a SELECT, recording one span per executor node —
-// scan, join, filter, group-by, sort, project — on the trace carried by ctx.
-// With no trace the span calls are nil no-ops and nothing allocates.
+// needsAggregate reports whether the SELECT runs through the aggregation
+// operator: explicit GROUP BY / HAVING, or an aggregate call in the items.
+func needsAggregate(sel *SelectStmt) bool {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return true
+	}
+	for _, it := range sel.Items {
+		if !it.Star && ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryContext executes a SELECT as a pull-based cursor pipeline: scans
+// (index-aware when a WHERE equality can be pushed down), streaming joins,
+// filter, projection, DISTINCT, and TOP pipeline row-at-a-time; only ORDER
+// BY, GROUP BY, and hash-join build sides materialize, because their
+// semantics need the whole input. TOP therefore stops upstream work as soon
+// as it has its rows.
+//
+// Each executor node records one span — scan, join, filter, group-by, sort,
+// project — on the trace carried by ctx; the spans are created in plan order
+// up front and their row counts (plus per-operator time under EXPLAIN
+// ANALYZE's detailed mode) are filled in as the stream drains. With no trace
+// the span plumbing is nil no-ops and nothing allocates.
 func (e *Engine) QueryContext(ctx context.Context, sel *SelectStmt) (*rowset.Rowset, error) {
 	t := obs.FromContext(ctx)
 	spSel := t.StartSpan("select", "")
@@ -137,104 +159,107 @@ func (e *Engine) QueryContext(ctx context.Context, sel *SelectStmt) (*rowset.Row
 	if err != nil {
 		return nil, err
 	}
-	src, err := e.buildSource(t, sel.From)
+	detailed := t.Detailed()
+	src, residual, err := e.buildSourceCursor(t, sel)
 	if err != nil {
 		return nil, err
 	}
 	if sel.Where != nil {
-		sp := t.StartSpan("filter", "")
-		src, err = filterRowset(src, sel.Where)
+		// The filter span exists whenever the statement has a WHERE, even if
+		// index pushdown consumed every conjunct (residual == nil) — the plan
+		// shape must not depend on which indexes happened to exist.
+		spF := t.StartSpan("filter", "")
+		t.EndSpan(spF)
+		if residual != nil || spF != nil {
+			src = traced(newFilterCursor(src, residual), spF, detailed)
+		}
+	}
+	var out *rowset.Rowset
+	if needsAggregate(sel) {
+		sp := t.StartSpan("group-by", "")
+		out, err = e.aggregate(sel, src)
+		src.Close() //nolint:errcheck // engine cursors fail only via Next
 		if err != nil {
 			t.EndSpan(sp)
 			return nil, err
 		}
-		sp.SetRows(int64(src.Len()))
+		sp.SetRows(int64(out.Len()))
 		t.EndSpan(sp)
-	}
-	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
-	if !needAgg {
-		for _, it := range sel.Items {
-			if !it.Star && ContainsAggregate(it.Expr) {
-				needAgg = true
-				break
-			}
-		}
-	}
-	var out *rowset.Rowset
-	if needAgg {
-		sp := t.StartSpan("group-by", "")
-		out, err = e.aggregate(sel, src)
-		if err == nil {
-			sp.SetRows(int64(out.Len()))
-		}
-		t.EndSpan(sp)
+		out, err = finishMaterialized(out, sel)
 	} else {
-		out, err = e.project(t, sel, src)
+		out, err = e.projectStream(t, sel, src)
 	}
 	if err != nil {
 		return nil, err
-	}
-	if sel.Distinct {
-		out = distinct(out)
-	}
-	if sel.Top > 0 && out.Len() > sel.Top {
-		trimmed := rowset.New(out.Schema())
-		for i := 0; i < sel.Top; i++ {
-			if err := trimmed.Append(out.Row(i)); err != nil {
-				return nil, err
-			}
-		}
-		out = trimmed
 	}
 	spSel.SetRows(int64(out.Len()))
 	return out, nil
 }
 
-// buildSource scans and joins the FROM clause into one rowset whose columns
-// are qualified "alias.column" so references resolve unambiguously. Each
-// table scan and each join records a span on t.
-func (e *Engine) buildSource(t *obs.Trace, from []TableRef) (*rowset.Rowset, error) {
-	if len(from) == 0 {
-		// FROM-less SELECT evaluates items once against an empty row.
-		rs := rowset.New(rowset.MustSchema())
-		if err := rs.AppendVals(); err != nil {
-			return nil, err
-		}
-		return rs, nil
+// finishMaterialized applies DISTINCT and TOP to an already-materialized
+// result (the aggregation path).
+func finishMaterialized(out *rowset.Rowset, sel *SelectStmt) (*rowset.Rowset, error) {
+	if !sel.Distinct && (sel.Top <= 0 || out.Len() <= sel.Top) {
+		return out, nil
 	}
-	acc, err := e.scanTraced(t, from[0])
-	if err != nil {
-		return nil, err
+	var cur rowset.Cursor = out.Cursor()
+	if sel.Distinct {
+		cur = newDistinctCursor(cur)
 	}
-	for _, ref := range from[1:] {
-		right, err := e.scanTraced(t, ref)
-		if err != nil {
-			return nil, err
-		}
-		sp := t.StartSpan("join", joinKindLabel(ref.Kind))
-		acc, err = join(acc, right, ref.Kind, ref.On)
-		if err != nil {
-			t.EndSpan(sp)
-			return nil, err
-		}
-		sp.SetRows(int64(acc.Len()))
-		t.EndSpan(sp)
+	if sel.Top > 0 {
+		cur = &limitCursor{src: cur, n: sel.Top}
 	}
-	return acc, nil
+	return rowset.FromCursor(cur)
 }
 
-// scanTraced wraps scanQualified in a "scan" span labelled with the table (or
-// view) name.
-func (e *Engine) scanTraced(t *obs.Trace, ref TableRef) (*rowset.Rowset, error) {
-	sp := t.StartSpan("scan", ref.AliasOrName())
-	rs, err := e.scanQualified(ref)
+// projectStream runs the non-aggregating tail of the pipeline: projection,
+// then ORDER BY (the one materializing step, and only when present), then
+// streaming DISTINCT and TOP, and finally adopts the drained rows into the
+// result rowset without re-normalizing them.
+func (e *Engine) projectStream(t *obs.Trace, sel *SelectStmt, src rowset.Cursor) (*rowset.Rowset, error) {
+	detailed := t.Detailed()
+	items, err := expandStars(sel.Items, src.Schema())
 	if err != nil {
-		t.EndSpan(sp)
+		src.Close() //nolint:errcheck // already failing
 		return nil, err
 	}
-	sp.SetRows(int64(rs.Len()))
-	t.EndSpan(sp)
-	return rs, nil
+	names := outputNames(items)
+	srcSchema := src.Schema()
+	spProj := t.StartSpan("project", "")
+	t.EndSpan(spProj)
+	proj, err := newProjectCursor(src, items, names, sel.OrderBy)
+	if err != nil {
+		src.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	cur := traced(proj, spProj, detailed)
+	if len(sel.OrderBy) > 0 {
+		spSort := t.StartSpan("sort", "")
+		outs, keys, err := drainWithKeys(cur, proj)
+		if err != nil {
+			t.EndSpan(spSort)
+			return nil, err
+		}
+		rowset.SortByKeys(outs, keys, descFlags(sel.OrderBy))
+		spSort.SetRows(int64(len(outs)))
+		t.EndSpan(spSort)
+		cur = newSliceCursor(proj.Schema(), outs)
+	}
+	if sel.Distinct {
+		cur = newDistinctCursor(cur)
+	}
+	if sel.Top > 0 {
+		cur = &limitCursor{src: cur, n: sel.Top}
+	}
+	rows, err := drainRows(cur)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := outputSchema(items, names, srcSchema, rows)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.FromCursor(newSliceCursor(schema, rows))
 }
 
 // joinKindLabel names a join kind for span labels.
@@ -263,16 +288,7 @@ func (sel *SelectStmt) PlanSpan() *obs.Span {
 	if sel.Where != nil {
 		sp.Add(obs.NewSpan("filter", ""))
 	}
-	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
-	if !needAgg {
-		for _, it := range sel.Items {
-			if !it.Star && ContainsAggregate(it.Expr) {
-				needAgg = true
-				break
-			}
-		}
-	}
-	if needAgg {
+	if needsAggregate(sel) {
 		sp.Add(obs.NewSpan("group-by", ""))
 	} else {
 		sp.Add(obs.NewSpan("project", ""))
@@ -283,134 +299,11 @@ func (sel *SelectStmt) PlanSpan() *obs.Span {
 	return sp
 }
 
-func (e *Engine) scanQualified(ref TableRef) (*rowset.Rowset, error) {
-	var scan *rowset.Rowset
-	if view, ok := e.views.get(ref.Name); ok {
-		// Views are registered only after their query validates, and can
-		// reference only pre-existing views, so expansion cannot cycle.
-		vr, err := e.Query(view)
-		if err != nil {
-			return nil, fmt.Errorf("sqlengine: view %s: %w", ref.Name, err)
-		}
-		scan = vr
-	} else {
-		tbl, err := e.DB.Table(ref.Name)
-		if err != nil {
-			return nil, err
-		}
-		scan = tbl.Scan()
-	}
-	q := ref.AliasOrName()
-	cols := make([]rowset.Column, scan.Schema().Len())
-	for i, c := range scan.Schema().Columns {
-		cols[i] = rowset.Column{Name: q + "." + c.Name, Type: c.Type, Nested: c.Nested}
-	}
-	schema, err := rowset.NewSchema(cols...)
-	if err != nil {
-		return nil, fmt.Errorf("sqlengine: %w (duplicate alias %q?)", err, q)
-	}
-	return rowset.FromRows(schema, scan.Rows())
-}
-
 func concatSchemas(a, b *rowset.Schema) (*rowset.Schema, error) {
 	cols := make([]rowset.Column, 0, a.Len()+b.Len())
 	cols = append(cols, a.Columns...)
 	cols = append(cols, b.Columns...)
 	return rowset.NewSchema(cols...)
-}
-
-// join combines two qualified rowsets. Equi-joins on column pairs use a hash
-// join; everything else falls back to a filtered nested loop.
-func join(left, right *rowset.Rowset, kind JoinKind, on Expr) (*rowset.Rowset, error) {
-	schema, err := concatSchemas(left.Schema(), right.Schema())
-	if err != nil {
-		return nil, err
-	}
-	out := rowset.New(schema)
-	appendJoined := func(l, r rowset.Row) error {
-		row := make(rowset.Row, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		return out.Append(row)
-	}
-	nullRight := make(rowset.Row, right.Schema().Len())
-
-	if kind == JoinCross {
-		for _, l := range left.Rows() {
-			for _, r := range right.Rows() {
-				if err := appendJoined(l, r); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return out, nil
-	}
-
-	// Hash-join fast path: ON is a single equality between one column from
-	// each side.
-	if lo, ro, ok := equiJoinOrdinals(on, left.Schema(), right.Schema()); ok {
-		ht := make(map[string][]rowset.Row, right.Len())
-		for _, r := range right.Rows() {
-			if r[ro] == nil {
-				continue // NULL never matches in an equi-join
-			}
-			k := rowset.Key(r[ro])
-			ht[k] = append(ht[k], r)
-		}
-		for _, l := range left.Rows() {
-			var matches []rowset.Row
-			if l[lo] != nil {
-				matches = ht[rowset.Key(l[lo])]
-			}
-			if len(matches) == 0 {
-				if kind == JoinLeft {
-					if err := appendJoined(l, nullRight); err != nil {
-						return nil, err
-					}
-				}
-				continue
-			}
-			for _, r := range matches {
-				if err := appendJoined(l, r); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return out, nil
-	}
-
-	// General nested loop.
-	env := &Env{Schema: schema}
-	probe := make(rowset.Row, 0, schema.Len())
-	for _, l := range left.Rows() {
-		matched := false
-		for _, r := range right.Rows() {
-			probe = probe[:0]
-			probe = append(probe, l...)
-			probe = append(probe, r...)
-			env.Row = probe
-			v, err := Eval(on, env)
-			if err != nil {
-				return nil, err
-			}
-			ok, err := Truthy(v)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				matched = true
-				if err := appendJoined(l, r); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if !matched && kind == JoinLeft {
-			if err := appendJoined(l, nullRight); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
 }
 
 // equiJoinOrdinals recognizes "a.x = b.y" ON clauses where the two refs
@@ -438,83 +331,7 @@ func equiJoinOrdinals(on Expr, left, right *rowset.Schema) (int, int, bool) {
 	return 0, 0, false
 }
 
-func filterRowset(src *rowset.Rowset, cond Expr) (*rowset.Rowset, error) {
-	out := rowset.New(src.Schema())
-	env := &Env{Schema: src.Schema()}
-	for _, r := range src.Rows() {
-		env.Row = r
-		v, err := Eval(cond, env)
-		if err != nil {
-			return nil, err
-		}
-		ok, err := Truthy(v)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			if err := out.Append(r); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
-}
-
-// ---------- projection (no aggregation) ----------
-
-func (e *Engine) project(t *obs.Trace, sel *SelectStmt, src *rowset.Rowset) (*rowset.Rowset, error) {
-	items, err := expandStars(sel.Items, src.Schema())
-	if err != nil {
-		return nil, err
-	}
-	names := outputNames(items)
-	env := &Env{Schema: src.Schema()}
-
-	// Compute output values and ORDER BY keys per row.
-	spProj := t.StartSpan("project", "")
-	type sortableRow struct {
-		out  rowset.Row
-		keys rowset.Row
-	}
-	rows := make([]sortableRow, 0, src.Len())
-	for _, r := range src.Rows() {
-		env.Row = r
-		out := make(rowset.Row, len(items))
-		for i, it := range items {
-			v, err := Eval(it.Expr, env)
-			if err != nil {
-				t.EndSpan(spProj)
-				return nil, err
-			}
-			out[i] = v
-		}
-		keys, err := orderKeys(sel.OrderBy, items, names, out, env)
-		if err != nil {
-			t.EndSpan(spProj)
-			return nil, err
-		}
-		rows = append(rows, sortableRow{out: out, keys: keys})
-	}
-	sortRows := make([]rowset.Row, len(rows))
-	keyRows := make([]rowset.Row, len(rows))
-	for i, sr := range rows {
-		sortRows[i], keyRows[i] = sr.out, sr.keys
-	}
-	spProj.SetRows(int64(len(rows)))
-	t.EndSpan(spProj)
-	if len(sel.OrderBy) > 0 {
-		spSort := t.StartSpan("sort", "")
-		sortByKeys(sortRows, keyRows, sel.OrderBy)
-		spSort.SetRows(int64(len(sortRows)))
-		t.EndSpan(spSort)
-	}
-
-	schema, err := outputSchema(items, names, src.Schema(), sortRows)
-	if err != nil {
-		return nil, err
-	}
-	return rowset.FromRows(schema, sortRows)
-}
+// ---------- projection helpers ----------
 
 // expandStars replaces * and q.* items with explicit column refs.
 func expandStars(items []SelectItem, schema *rowset.Schema) ([]SelectItem, error) {
@@ -603,8 +420,10 @@ func outputSchema(items []SelectItem, names []string, srcSchema *rowset.Schema, 
 	return rowset.NewSchema(cols...)
 }
 
-// orderKeys evaluates ORDER BY expressions for one row. Each key expression
-// resolves first against the projected output (aliases), then the source row.
+// orderKeys evaluates ORDER BY expressions for one row (the aggregation path;
+// the streaming path precompiles this lookup into an order plan). Each key
+// expression resolves first against the projected output (aliases), then the
+// source row.
 func orderKeys(order []OrderItem, items []SelectItem, names []string, out rowset.Row, srcEnv *Env) (rowset.Row, error) {
 	if len(order) == 0 {
 		return nil, nil
@@ -632,53 +451,6 @@ func orderKeys(order []OrderItem, items []SelectItem, names []string, out rowset
 		keys[i] = v
 	}
 	return keys, nil
-}
-
-func sortByKeys(rows []rowset.Row, keys []rowset.Row, order []OrderItem) {
-	if len(order) == 0 {
-		return
-	}
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		a, b := idx[x], idx[y]
-		for k, o := range order {
-			c := rowset.Compare(keys[a][k], keys[b][k])
-			if o.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	tmpR := make([]rowset.Row, len(rows))
-	for i, j := range idx {
-		tmpR[i] = rows[j]
-	}
-	copy(rows, tmpR)
-}
-
-func distinct(rs *rowset.Rowset) *rowset.Rowset {
-	out := rowset.New(rs.Schema())
-	seen := make(map[string]bool, rs.Len())
-	for _, r := range rs.Rows() {
-		var b strings.Builder
-		for _, v := range r {
-			b.WriteString(rowset.Key(v))
-			b.WriteByte('|')
-		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
-			// Append is safe: rows came from a valid rowset.
-			_ = out.Append(r)
-		}
-	}
-	return out
 }
 
 // ---------- DML ----------
@@ -767,11 +539,19 @@ func (e *Engine) execDelete(st *DeleteStmt) (*rowset.Rowset, error) {
 		tbl.Truncate()
 		return affected(n)
 	}
-	scan := tbl.Scan()
-	env := &Env{Schema: scan.Schema()}
+	cur := tbl.Cursor()
+	defer cur.Close() //nolint:errcheck // table cursors never fail to close
+	env := &Env{Schema: tbl.Schema()}
 	var keep []rowset.Row
 	removed := 0
-	for _, r := range scan.Rows() {
+	for {
+		r, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
 		env.Row = r
 		v, err := Eval(st.Where, env)
 		if err != nil {
@@ -798,8 +578,7 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	scan := tbl.Scan()
-	schema := scan.Schema()
+	schema := tbl.Schema()
 	env := &Env{Schema: schema}
 	setOrds := make([]int, len(st.Set))
 	for i, sc := range st.Set {
@@ -809,9 +588,18 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
 		}
 		setOrds[i] = o
 	}
-	rows := make([]rowset.Row, scan.Len())
+	cur := tbl.Cursor()
+	defer cur.Close() //nolint:errcheck // table cursors never fail to close
+	rows := make([]rowset.Row, 0, cursorSize(cur))
 	n := 0
-	for i, r := range scan.Rows() {
+	for {
+		r, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
 		match := true
 		env.Row = r
 		if st.Where != nil {
@@ -825,7 +613,7 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
 			}
 		}
 		if !match {
-			rows[i] = r
+			rows = append(rows, r)
 			continue
 		}
 		nr := r.Clone()
@@ -836,7 +624,7 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*rowset.Rowset, error) {
 			}
 			nr[setOrds[j]] = v
 		}
-		rows[i] = nr
+		rows = append(rows, nr)
 		n++
 	}
 	if err := tbl.Replace(rows); err != nil {

@@ -1,0 +1,322 @@
+package sqlengine
+
+// Streaming join operators. All three preserve the exact output order of the
+// old materialized join (left-major: left rows in their scan order, each
+// followed by its matches in right scan order) so results stay byte-identical:
+//
+//   - hashJoinStream: equi-join that builds a hash table over the right input
+//     and probes left rows one at a time — the probe side never materializes.
+//   - hashJoinBuildLeft: equi-join that builds over the LEFT input when a
+//     cardinality hint proves it is the smaller side. Building left while
+//     emitting left-major forces full materialization, so this strategy is
+//     chosen only when the build-side saving (a smaller hash table) is known,
+//     not guessed.
+//   - loopJoin: cross joins and general ON expressions; materializes the right
+//     side once and streams the left.
+
+import (
+	"repro/internal/rowset"
+)
+
+// newJoinCursor picks a join strategy for one FROM step. Both inputs are
+// owned by the returned cursor (closed on Close or exhaustion); on error the
+// caller still owns them.
+func newJoinCursor(left, right rowset.Cursor, kind JoinKind, on Expr) (rowset.Cursor, error) {
+	schema, err := concatSchemas(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if kind != JoinCross {
+		if lo, ro, ok := equiJoinOrdinals(on, left.Schema(), right.Schema()); ok {
+			ls, rs := cursorSize(left), cursorSize(right)
+			if ls >= 0 && rs >= 0 && ls < rs {
+				return &hashJoinBuildLeft{
+					left: left, right: right, schema: schema,
+					lo: lo, ro: ro, leftOuter: kind == JoinLeft,
+				}, nil
+			}
+			return &hashJoinStream{
+				left: left, right: right, schema: schema,
+				lo: lo, ro: ro, leftOuter: kind == JoinLeft,
+				nullRight: make(rowset.Row, right.Schema().Len()),
+			}, nil
+		}
+	}
+	lj := &loopJoin{
+		left: left, right: right, schema: schema,
+		env:       &Env{Schema: schema},
+		nullRight: make(rowset.Row, right.Schema().Len()),
+	}
+	if kind != JoinCross {
+		lj.on = on
+		lj.leftOuter = kind == JoinLeft
+	}
+	return lj, nil
+}
+
+// joinRows concatenates a left and right half into one output row.
+func joinRows(l, r rowset.Row) rowset.Row {
+	row := make(rowset.Row, 0, len(l)+len(r))
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+// hashJoinStream drains the right side into a hash table on first pull, then
+// streams left rows through it. NULL keys never match (SQL equi-join
+// semantics), matching the filter the build loop applies.
+type hashJoinStream struct {
+	left, right rowset.Cursor
+	schema      *rowset.Schema
+	lo, ro      int
+	leftOuter   bool
+	nullRight   rowset.Row
+
+	built    bool
+	ht       map[string][]rowset.Row
+	pendLeft rowset.Row
+	pend     []rowset.Row
+	pi       int
+	scratch  []byte
+}
+
+func (j *hashJoinStream) build() error {
+	size := cursorSize(j.right)
+	if size < 0 {
+		size = 16
+	}
+	j.ht = make(map[string][]rowset.Row, size)
+	defer j.right.Close() //nolint:errcheck // drained to exhaustion below
+	for {
+		r, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			j.built = true
+			return nil
+		}
+		if r[j.ro] == nil {
+			continue // NULL never matches in an equi-join
+		}
+		k := rowset.Key(r[j.ro])
+		j.ht[k] = append(j.ht[k], r)
+	}
+}
+
+func (j *hashJoinStream) Next() (rowset.Row, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if j.pi < len(j.pend) {
+			r := joinRows(j.pendLeft, j.pend[j.pi])
+			j.pi++
+			return r, nil
+		}
+		l, err := j.left.Next()
+		if err != nil || l == nil {
+			return nil, err
+		}
+		var matches []rowset.Row
+		if l[j.lo] != nil {
+			// map[string(bytes)] probes compile without materializing the key.
+			matches = j.ht[string(rowset.AppendKey(j.scratch[:0], l[j.lo]))]
+		}
+		if len(matches) == 0 {
+			if j.leftOuter {
+				return joinRows(l, j.nullRight), nil
+			}
+			continue
+		}
+		j.pendLeft, j.pend, j.pi = l, matches, 0
+	}
+}
+
+func (j *hashJoinStream) Schema() *rowset.Schema { return j.schema }
+
+func (j *hashJoinStream) Close() error {
+	j.pend, j.pendLeft, j.ht = nil, nil, nil
+	err := j.left.Close()
+	if rerr := j.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// hashJoinBuildLeft builds the hash table over the left (smaller) side,
+// mapping keys to left row positions, then drains the right side once,
+// collecting each left row's matches. Output is emitted left-major afterward,
+// so the result order is identical to probing left-to-right.
+type hashJoinBuildLeft struct {
+	left, right rowset.Cursor
+	schema      *rowset.Schema
+	lo, ro      int
+	leftOuter   bool
+
+	out []rowset.Row
+	oi  int
+	ran bool
+}
+
+func (j *hashJoinBuildLeft) run() error {
+	defer j.left.Close()  //nolint:errcheck // drained to exhaustion
+	defer j.right.Close() //nolint:errcheck // drained to exhaustion
+	j.ran = true
+
+	leftRows, err := drainRows(j.left)
+	if err != nil {
+		return err
+	}
+	ht := make(map[string][]int, len(leftRows))
+	var scratch []byte
+	for i, l := range leftRows {
+		if l[j.lo] == nil {
+			continue // NULL never matches
+		}
+		scratch = rowset.AppendKey(scratch[:0], l[j.lo])
+		ht[string(scratch)] = append(ht[string(scratch)], i)
+	}
+	matches := make([][]rowset.Row, len(leftRows))
+	for {
+		r, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		if r[j.ro] == nil {
+			continue
+		}
+		for _, li := range ht[string(rowset.AppendKey(scratch[:0], r[j.ro]))] {
+			matches[li] = append(matches[li], r)
+		}
+	}
+	var nullRight rowset.Row
+	if j.leftOuter {
+		nullRight = make(rowset.Row, j.right.Schema().Len())
+	}
+	for i, l := range leftRows {
+		if len(matches[i]) == 0 {
+			if j.leftOuter {
+				j.out = append(j.out, joinRows(l, nullRight))
+			}
+			continue
+		}
+		for _, r := range matches[i] {
+			j.out = append(j.out, joinRows(l, r))
+		}
+	}
+	return nil
+}
+
+func (j *hashJoinBuildLeft) Next() (rowset.Row, error) {
+	if !j.ran {
+		if err := j.run(); err != nil {
+			return nil, err
+		}
+	}
+	if j.oi >= len(j.out) {
+		return nil, nil
+	}
+	r := j.out[j.oi]
+	j.oi++
+	return r, nil
+}
+
+func (j *hashJoinBuildLeft) Schema() *rowset.Schema { return j.schema }
+
+func (j *hashJoinBuildLeft) Close() error {
+	j.oi, j.out = 0, nil
+	err := j.left.Close()
+	if rerr := j.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// loopJoin handles cross joins (on == nil: every pair) and arbitrary ON
+// expressions. The right side is materialized once; left rows stream through
+// it with a reusable probe row for ON evaluation.
+type loopJoin struct {
+	left, right rowset.Cursor
+	schema      *rowset.Schema
+	on          Expr
+	leftOuter   bool
+	env         *Env
+	nullRight   rowset.Row
+
+	built     bool
+	rightRows []rowset.Row
+	cur       rowset.Row
+	ri        int
+	matched   bool
+	probe     rowset.Row
+}
+
+func (j *loopJoin) Next() (rowset.Row, error) {
+	if !j.built {
+		rows, err := drainRows(j.right)
+		if err != nil {
+			return nil, err
+		}
+		j.rightRows = rows
+		j.probe = make(rowset.Row, 0, j.schema.Len())
+		j.built = true
+	}
+	for {
+		if j.cur == nil {
+			l, err := j.left.Next()
+			if err != nil || l == nil {
+				return nil, err
+			}
+			j.cur, j.ri, j.matched = l, 0, false
+		}
+		for j.ri < len(j.rightRows) {
+			r := j.rightRows[j.ri]
+			j.ri++
+			if j.on == nil {
+				return joinRows(j.cur, r), nil
+			}
+			j.probe = append(append(j.probe[:0], j.cur...), r...)
+			j.env.Row = j.probe
+			v, err := Eval(j.on, j.env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				j.matched = true
+				return joinRows(j.cur, r), nil
+			}
+		}
+		l := j.cur
+		j.cur = nil
+		if !j.matched && j.leftOuter {
+			return joinRows(l, j.nullRight), nil
+		}
+	}
+}
+
+func (j *loopJoin) Schema() *rowset.Schema { return j.schema }
+
+func (j *loopJoin) Close() error {
+	j.rightRows, j.cur = nil, nil
+	err := j.left.Close()
+	if rerr := j.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// compile-time interface checks
+var (
+	_ rowset.Cursor = (*hashJoinStream)(nil)
+	_ rowset.Cursor = (*hashJoinBuildLeft)(nil)
+	_ rowset.Cursor = (*loopJoin)(nil)
+)

@@ -1,0 +1,176 @@
+package sqlengine
+
+// Streaming projection. The projection plan — which items are plain column
+// passthroughs, which need evaluation, how each ORDER BY key is obtained — is
+// compiled once per statement; the per-row loop then does no name resolution
+// and no allocation beyond the output row itself.
+
+import (
+	"strings"
+
+	"repro/internal/rowset"
+)
+
+// orderPlanEntry says how to produce one ORDER BY key for a row: either copy
+// a projected output value (alias references resolve against the projection,
+// like the old per-row orderKeys lookup) or evaluate an expression against
+// the source row.
+type orderPlanEntry struct {
+	outOrd int // >= 0: key is out[outOrd]
+	expr   Expr
+}
+
+// projectCursor evaluates SELECT items over its source rows. When ORDER BY is
+// present it also computes the row's sort keys, exposed via lastKeys so the
+// sort drain can collect rows and keys in one pass.
+type projectCursor struct {
+	src    rowset.Cursor
+	items  []SelectItem
+	ords   []int // source ordinal per item; -1 = computed (evaluate per row)
+	schema *rowset.Schema
+	env    *Env
+
+	orderPlan []orderPlanEntry
+	lastKeys  rowset.Row
+
+	// identity short-circuits projection entirely: the item list is exactly
+	// the source columns in order (SELECT * over one table), so source rows
+	// pass through unshaped. The engine never mutates stored rows (UPDATE
+	// clones before writing), so sharing them with the result is safe.
+	identity bool
+}
+
+// newProjectCursor compiles the projection. Column references that fail to
+// resolve are left as computed items rather than rejected here: the old
+// executor surfaced resolution errors only when a row was actually evaluated,
+// so a query over an empty table must still succeed.
+func newProjectCursor(src rowset.Cursor, items []SelectItem, names []string, order []OrderItem) (*projectCursor, error) {
+	srcSchema := src.Schema()
+	p := &projectCursor{
+		src:   src,
+		items: items,
+		ords:  make([]int, len(items)),
+		env:   &Env{Schema: srcSchema},
+	}
+	identity := len(items) == srcSchema.Len()
+	for i, it := range items {
+		p.ords[i] = -1
+		if cr, ok := it.Expr.(*ColumnRef); ok {
+			if ord, err := ResolveColumn(srcSchema, cr.Qualifier, cr.Name); err == nil {
+				p.ords[i] = ord
+			}
+		}
+		if p.ords[i] != i {
+			identity = false
+		}
+	}
+	p.identity = identity
+
+	// Provisional output schema: declared types for direct column references,
+	// TypeNull placeholders for computed items (outputSchema refines those
+	// from values after the drain).
+	cols := make([]rowset.Column, len(items))
+	for i := range items {
+		col := rowset.Column{Name: names[i], Type: rowset.TypeNull}
+		if o := p.ords[i]; o >= 0 {
+			col.Type = srcSchema.Column(o).Type
+			col.Nested = srcSchema.Column(o).Nested
+		}
+		cols[i] = col
+	}
+	schema, err := rowset.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	p.schema = schema
+
+	if len(order) > 0 {
+		p.orderPlan = make([]orderPlanEntry, len(order))
+		for i, o := range order {
+			p.orderPlan[i] = orderPlanEntry{outOrd: -1, expr: o.Expr}
+			if cr, ok := o.Expr.(*ColumnRef); ok && cr.Qualifier == "" {
+				for j, n := range names {
+					if strings.EqualFold(n, cr.Name) {
+						p.orderPlan[i] = orderPlanEntry{outOrd: j}
+						break
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func (p *projectCursor) Next() (rowset.Row, error) {
+	r, err := p.src.Next()
+	if err != nil || r == nil {
+		return r, err
+	}
+	var out rowset.Row
+	if p.identity {
+		out = r
+	} else {
+		p.env.Row = r
+		out = make(rowset.Row, len(p.items))
+		for i, it := range p.items {
+			if o := p.ords[i]; o >= 0 {
+				out[i] = r[o] // already canonical: coerced on insert or normalized upstream
+				continue
+			}
+			v, err := Eval(it.Expr, p.env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rowset.Normalize(v)
+		}
+	}
+	if len(p.orderPlan) > 0 {
+		keys := make(rowset.Row, len(p.orderPlan))
+		p.env.Row = r
+		for i, pe := range p.orderPlan {
+			if pe.outOrd >= 0 {
+				keys[i] = out[pe.outOrd]
+				continue
+			}
+			v, err := Eval(pe.expr, p.env)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		p.lastKeys = keys
+	}
+	return out, nil
+}
+
+func (p *projectCursor) Schema() *rowset.Schema { return p.schema }
+func (p *projectCursor) Close() error           { return p.src.Close() }
+func (p *projectCursor) Size() int              { return cursorSize(p.src) }
+
+// descFlags extracts the per-key descending flags for rowset.SortByKeys.
+func descFlags(order []OrderItem) []bool {
+	d := make([]bool, len(order))
+	for i, o := range order {
+		d[i] = o.Desc
+	}
+	return d
+}
+
+// drainWithKeys pulls the projection to exhaustion, collecting output rows
+// and their parallel sort keys (read off proj after each pull — cur may be a
+// tracing wrapper around proj).
+func drainWithKeys(cur rowset.Cursor, proj *projectCursor) ([]rowset.Row, []rowset.Row, error) {
+	defer cur.Close() //nolint:errcheck // Close after exhaustion is a no-op
+	var outs, keys []rowset.Row
+	for {
+		r, err := cur.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if r == nil {
+			return outs, keys, nil
+		}
+		outs = append(outs, r)
+		keys = append(keys, proj.lastKeys)
+	}
+}

@@ -133,6 +133,45 @@ func (t *Table) Scan() *rowset.Rowset {
 	return rs
 }
 
+// Cursor returns a streaming point-in-time snapshot of the table. Rows are
+// shared with the table, not copied or re-normalized: inserted rows are
+// immutable once stored, appends land beyond the snapshot's length, and
+// Replace/Truncate swap in a fresh slice, so the snapshot stays consistent
+// without holding the lock while the caller drains it.
+func (t *Table) Cursor() rowset.Cursor {
+	t.mu.RLock()
+	rows := t.rows
+	t.mu.RUnlock()
+	return &tableCursor{schema: t.schema, rows: rows}
+}
+
+type tableCursor struct {
+	schema *rowset.Schema
+	rows   []rowset.Row
+	i      int
+}
+
+func (c *tableCursor) Next() (rowset.Row, error) {
+	if c.i >= len(c.rows) {
+		return nil, nil
+	}
+	r := c.rows[c.i]
+	c.i++
+	return r, nil
+}
+
+func (c *tableCursor) Schema() *rowset.Schema { return c.schema }
+
+// Size reports the snapshot's exact row count, a cardinality hint join
+// planners use to pick the smaller hash-join build side.
+func (c *tableCursor) Size() int { return len(c.rows) }
+
+func (c *tableCursor) Close() error {
+	c.i = len(c.rows)
+	c.rows = nil
+	return nil
+}
+
 // CreateIndex builds a hash index on the named column. Indexing an already
 // indexed column is a no-op.
 func (t *Table) CreateIndex(col string) error {
@@ -154,29 +193,60 @@ func (t *Table) CreateIndex(col string) error {
 	return nil
 }
 
+// HasIndex reports whether a hash index exists on the named column.
+func (t *Table) HasIndex(col string) bool {
+	ord, ok := t.schema.Lookup(col)
+	if !ok {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, exists := t.indexes[t.schema.Column(ord).Name]
+	return exists
+}
+
 // LookupEqual returns the rows whose indexed column equals v. It falls back
 // to a scan when no index exists on col.
 func (t *Table) LookupEqual(col string, v rowset.Value) (*rowset.Rowset, error) {
+	rows, err := t.LookupEqualRows(col, v)
+	if err != nil {
+		return nil, err
+	}
+	out := rowset.New(t.schema)
+	for _, r := range rows {
+		if err := out.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// LookupEqualRows is LookupEqual without the Rowset: it returns the matching
+// rows directly (shared, read-only), in insertion order, doing O(bucket) work
+// when an index exists on col. It is the streaming executor's point-lookup
+// primitive, so it avoids both materialization and per-row re-normalization.
+func (t *Table) LookupEqualRows(col string, v rowset.Value) ([]rowset.Row, error) {
 	ord, ok := t.schema.Lookup(col)
 	if !ok {
 		return nil, fmt.Errorf("storage: table %s: unknown column %q", t.name, col)
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := rowset.New(t.schema)
 	if idx, ok := t.indexes[t.schema.Column(ord).Name]; ok {
-		for _, pos := range idx.lookup(v) {
-			if err := out.Append(t.rows[pos]); err != nil {
-				return nil, err
-			}
+		positions := idx.lookup(v)
+		if len(positions) == 0 {
+			return nil, nil
+		}
+		out := make([]rowset.Row, len(positions))
+		for i, pos := range positions {
+			out[i] = t.rows[pos]
 		}
 		return out, nil
 	}
+	var out []rowset.Row
 	for _, r := range t.rows {
 		if rowset.Equal(r[ord], v) {
-			if err := out.Append(r); err != nil {
-				return nil, err
-			}
+			out = append(out, r)
 		}
 	}
 	return out, nil
@@ -197,8 +267,13 @@ func (ix *hashIndex) add(v rowset.Value, pos int) {
 	ix.rows[k] = append(ix.rows[k], pos)
 }
 
+// lookup probes via an AppendKey scratch buffer and a map[string(bytes)]
+// access, which the compiler compiles without materializing the key string —
+// the probe itself does not allocate (the small stack buffer escapes only if
+// the key is unusually long).
 func (ix *hashIndex) lookup(v rowset.Value) []int {
-	return ix.rows[rowset.Key(v)]
+	var scratch [48]byte
+	return ix.rows[string(rowset.AppendKey(scratch[:0], v))]
 }
 
 func (ix *hashIndex) reset() {

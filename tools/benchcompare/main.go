@@ -1,0 +1,100 @@
+// Command benchcompare diffs two dmbench -json reports (BENCH_PR*.json) and
+// fails when any workload regresses in rows/sec by more than the allowed
+// percentage. CI runs it as `make bench-compare` so a PR cannot silently give
+// back throughput an earlier PR banked.
+//
+// Usage:
+//
+//	benchcompare -base BENCH_PR4.json -new BENCH_PR5.json [-max-regression 10]
+//
+// Workloads present in only one report are listed but never fail the run, so
+// adding a workload does not require backfilling old baselines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	SchemaVersion int        `json:"schema_version"`
+	Scale         int        `json:"scale"`
+	Workloads     []workload `json:"workloads"`
+}
+
+type workload struct {
+	Name       string  `json:"name"`
+	Rows       int64   `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline report (required)")
+	newPath := flag.String("new", "", "candidate report (required)")
+	maxRegression := flag.Float64("max-regression", 10, "largest tolerated rows/sec drop, percent")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	if base.Scale != cand.Scale {
+		fmt.Fprintf(os.Stderr, "benchcompare: scale mismatch (base %d, new %d); ratios are not comparable\n",
+			base.Scale, cand.Scale)
+		os.Exit(1)
+	}
+
+	baseline := make(map[string]workload, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseline[w.Name] = w
+	}
+
+	failed := false
+	fmt.Printf("%-16s %14s %14s %8s\n", "workload", "base rows/s", "new rows/s", "ratio")
+	for _, w := range cand.Workloads {
+		b, ok := baseline[w.Name]
+		if !ok {
+			fmt.Printf("%-16s %14s %14.0f %8s  (new workload)\n", w.Name, "-", w.RowsPerSec, "-")
+			continue
+		}
+		delete(baseline, w.Name)
+		ratio := w.RowsPerSec / b.RowsPerSec
+		verdict := ""
+		if ratio < 1-*maxRegression/100 {
+			verdict = fmt.Sprintf("  REGRESSION (> %.0f%%)", *maxRegression)
+			failed = true
+		}
+		fmt.Printf("%-16s %14.0f %14.0f %7.2fx%s\n", w.Name, b.RowsPerSec, w.RowsPerSec, ratio, verdict)
+	}
+	for name := range baseline {
+		fmt.Printf("%-16s  (missing from %s)\n", name, *newPath)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcompare: rows/sec regression beyond %.0f%% — failing\n", *maxRegression)
+		os.Exit(1)
+	}
+}
