@@ -28,12 +28,12 @@ bench-smoke:
 
 # Machine-readable benchmark report (schema documented in EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/dmbench -scale 500 -json BENCH_PR5.json
+	$(GO) run ./cmd/dmbench -scale 500 -json BENCH_PR6.json
 
 # Regression gate: re-measure, then diff against the previous PR's baseline.
 # Fails on a >10% rows/sec drop in any workload (tools/benchcompare).
 bench-compare: bench-json
-	$(GO) run ./tools/benchcompare -base BENCH_PR4.json -new BENCH_PR5.json -max-regression 10
+	$(GO) run ./tools/benchcompare -base BENCH_PR5.json -new BENCH_PR6.json -max-regression 10
 
 # Project-specific static analysis (tools/dmlint) plus formatting and vet.
 # dmlint type-checks the module with the stdlib toolchain and enforces the

@@ -5,7 +5,9 @@ package dmclient
 
 import (
 	"bufio"
+	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,6 +123,73 @@ func (c *Client) Execute(command string) (*rowset.Rowset, error) {
 		c.stats, c.hasStats = *stats, true
 	}
 	return rs, err
+}
+
+// roundTrip serializes one request/response exchange: write sends the framed
+// request, then one response is read and its stats (if any) recorded.
+func (c *Client) roundTrip(write func(*bufio.Writer) error) (*rowset.Rowset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.requestTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.requestTimeout)); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := write(c.bw); err != nil {
+		return nil, err
+	}
+	rs, stats, err := dmserver.ReadResponseStats(c.br)
+	if stats != nil {
+		c.stats, c.hasStats = *stats, true
+	}
+	return rs, err
+}
+
+// Prepare registers command on the remote provider under name, for later
+// ExecutePrepared calls. It is sugar for executing PREPARE <name> AS
+// <command>; the name is bracket-quoted, so any identifier is safe.
+func (c *Client) Prepare(name, command string) error {
+	_, err := c.Execute("PREPARE " + quoteName(name) + " AS " + command)
+	return err
+}
+
+// Deallocate drops the prepared statement name on the remote provider.
+func (c *Client) Deallocate(name string) error {
+	_, err := c.Execute("DEALLOCATE " + quoteName(name))
+	return err
+}
+
+// ExecutePrepared runs the remote prepared statement name with args bound to
+// its placeholders by position. Arguments travel in the protocol's binary
+// codec — never spliced into command text — so string values with quotes
+// round-trip exactly. Requires protocol v3 (any current server); clients
+// configured WithPlainProtocol cannot send parameters.
+func (c *Client) ExecutePrepared(name string, args ...rowset.Value) (*rowset.Rowset, error) {
+	if c.plain {
+		return nil, fmt.Errorf("dmclient: server-side parameters require protocol v3 (client configured WithPlainProtocol)")
+	}
+	return c.roundTrip(func(bw *bufio.Writer) error {
+		return dmserver.WriteRequestExecutePrepared(bw, name, args)
+	})
+}
+
+// ExecuteParams runs command with positional args bound to its '?' or
+// '@name' placeholders — one-shot server-side parameters without a named
+// prepared statement. Requires protocol v3.
+func (c *Client) ExecuteParams(command string, args ...rowset.Value) (*rowset.Rowset, error) {
+	if c.plain {
+		return nil, fmt.Errorf("dmclient: server-side parameters require protocol v3 (client configured WithPlainProtocol)")
+	}
+	return c.roundTrip(func(bw *bufio.Writer) error {
+		return dmserver.WriteRequestExecParams(bw, command, args)
+	})
+}
+
+// quoteName brackets an identifier, escaping closing brackets, so arbitrary
+// names survive statement splicing.
+func quoteName(name string) string {
+	return "[" + strings.ReplaceAll(name, "]", "]]") + "]"
 }
 
 // Stats returns the server-side execution summary (elapsed time, row count)

@@ -17,7 +17,11 @@
 //
 // Connections to the same DSN share one provider instance, the way
 // connections to one database share its state. Statements support '?'
-// placeholders, substituted as SQL literals (DMX has no parameter protocol).
+// placeholders, bound server-side through the provider's prepared-statement
+// machinery: argument values never pass through command text, so strings
+// containing quotes (or whole statements) cannot change the statement's
+// shape. db.Prepare maps onto a provider PREPARE handle, so repeated
+// executions reuse one compiled plan.
 package dmdriver
 
 import (
@@ -28,9 +32,9 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/lex"
 	"repro/internal/provider"
 	"repro/internal/rowset"
 )
@@ -48,6 +52,10 @@ type Driver struct{}
 var (
 	providersMu sync.Mutex
 	providers   = make(map[string]*provider.Provider)
+	// stmtSeq numbers driver-issued PREPARE handles; the names are scoped to
+	// the shared provider instance, so a process-wide counter keeps
+	// statements from different sql.DB handles distinct.
+	stmtSeq atomic.Uint64
 )
 
 // RegisterProvider installs an existing provider instance under
@@ -101,16 +109,25 @@ type conn struct {
 	closed bool
 }
 
-// Prepare implements driver.Conn.
+// Prepare implements driver.Conn: the statement compiles into a provider
+// PREPARE handle immediately, so placeholder arity and type errors surface
+// here rather than on first execution, and every Exec/Query on the handle
+// reuses the compiled plan.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
 	if c.closed {
 		return nil, driver.ErrBadConn
 	}
-	n, err := countPlaceholders(query)
+	name := fmt.Sprintf("go_stmt_%d", stmtSeq.Add(1))
+	n, err := c.p.PrepareContext(ctx, name, query, provider.WithOrigin("database/sql"))
 	if err != nil {
 		return nil, err
 	}
-	return &stmt{c: c, query: query, numInput: n}, nil
+	return &stmt{c: c, name: name, numInput: n}, nil
 }
 
 // Close implements driver.Conn.
@@ -132,12 +149,9 @@ func (noopTx) Rollback() error { return nil }
 
 // QueryContext implements driver.QueryerContext. The context is honoured:
 // cancelling it aborts the statement inside the provider's scan loops.
+// Arguments bind server-side by position.
 func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
-	bound, err := bindArgs(query, args)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := c.p.ExecuteContext(ctx, bound, provider.WithOrigin("database/sql"))
+	rs, err := c.execute(ctx, query, args)
 	if err != nil {
 		return nil, err
 	}
@@ -147,33 +161,102 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 // ExecContext implements driver.ExecerContext. The context is honoured the
 // same way as in QueryContext.
 func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
-	bound, err := bindArgs(query, args)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := c.p.ExecuteContext(ctx, bound, provider.WithOrigin("database/sql"))
+	rs, err := c.execute(ctx, query, args)
 	if err != nil {
 		return nil, err
 	}
 	return result{rs: rs}, nil
 }
 
-// stmt implements driver.Stmt.
-type stmt struct {
-	c        *conn
-	query    string
-	numInput int
+func (c *conn) execute(ctx context.Context, query string, args []driver.NamedValue) (*rowset.Rowset, error) {
+	if c.closed {
+		return nil, driver.ErrBadConn
+	}
+	if len(args) == 0 {
+		return c.p.ExecuteContext(ctx, query, provider.WithOrigin("database/sql"))
+	}
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.p.ExecuteParamsContext(ctx, query, vals, provider.WithOrigin("database/sql"))
 }
 
-func (s *stmt) Close() error  { return nil }
+// argValues converts driver arguments to provider values. Arguments must be
+// positional: the provider assigns '@name' placeholders ordinals by first
+// occurrence, so there is no name-addressed binding surface to map
+// sql.Named onto.
+func argValues(args []driver.NamedValue) ([]rowset.Value, error) {
+	vals := make([]rowset.Value, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("dmdriver: named argument %q is not supported; bind positionally", a.Name)
+		}
+		if b, ok := a.Value.([]byte); ok {
+			vals[i] = string(b)
+			continue
+		}
+		vals[i] = a.Value
+	}
+	return vals, nil
+}
+
+// stmt implements driver.Stmt over a provider PREPARE handle.
+type stmt struct {
+	c        *conn
+	name     string
+	numInput int
+	closed   bool
+}
+
+// Close implements driver.Stmt, releasing the provider-side handle.
+// Deallocation is idempotent, so a handle that was already dropped (for
+// example by DEALLOCATE through another connection) does not error here.
+func (s *stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.c.p.Deallocate(s.name)
+}
+
 func (s *stmt) NumInput() int { return s.numInput }
 
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	return s.c.ExecContext(context.Background(), s.query, named(args))
+	return s.ExecContext(context.Background(), named(args))
 }
 
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	return s.c.QueryContext(context.Background(), s.query, named(args))
+	return s.QueryContext(context.Background(), named(args))
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	rs, err := s.run(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return result{rs: rs}, nil
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	rs, err := s.run(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(rs), nil
+}
+
+func (s *stmt) run(ctx context.Context, args []driver.NamedValue) (*rowset.Rowset, error) {
+	if s.closed || s.c.closed {
+		return nil, driver.ErrBadConn
+	}
+	vals, err := argValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.p.ExecutePreparedContext(ctx, s.name, vals, provider.WithOrigin("database/sql"))
 }
 
 func named(args []driver.Value) []driver.NamedValue {
@@ -237,78 +320,4 @@ func (r *rows) Next(dest []driver.Value) error {
 		}
 	}
 	return nil
-}
-
-// countPlaceholders scans the query for '?' tokens outside strings and
-// bracketed names.
-func countPlaceholders(query string) (int, error) {
-	toks, err := lex.Tokenize(query)
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	for _, t := range toks {
-		if t.IsPunct("?") {
-			n++
-		}
-	}
-	return n, nil
-}
-
-// bindArgs splices literal renderings of args over the '?' tokens.
-func bindArgs(query string, args []driver.NamedValue) (string, error) {
-	if len(args) == 0 {
-		return query, nil
-	}
-	toks, err := lex.Tokenize(query)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	prev := 0
-	argIdx := 0
-	for _, t := range toks {
-		if !t.IsPunct("?") {
-			continue
-		}
-		if argIdx >= len(args) {
-			return "", fmt.Errorf("dmdriver: %d placeholders but %d arguments", argIdx+1, len(args))
-		}
-		b.WriteString(query[prev:t.Pos])
-		lit, err := literal(args[argIdx].Value)
-		if err != nil {
-			return "", err
-		}
-		b.WriteString(lit)
-		prev = t.Pos + 1
-		argIdx++
-	}
-	if argIdx != len(args) {
-		return "", fmt.Errorf("dmdriver: %d placeholders but %d arguments", argIdx, len(args))
-	}
-	b.WriteString(query[prev:])
-	return b.String(), nil
-}
-
-func literal(v driver.Value) (string, error) {
-	switch x := v.(type) {
-	case nil:
-		return "NULL", nil
-	case int64:
-		return fmt.Sprintf("%d", x), nil
-	case float64:
-		return fmt.Sprintf("%g", x), nil
-	case bool:
-		if x {
-			return "TRUE", nil
-		}
-		return "FALSE", nil
-	case string:
-		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
-	case []byte:
-		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
-	case time.Time:
-		return "'" + x.Format(time.RFC3339) + "'", nil
-	}
-	return "", fmt.Errorf("dmdriver: unsupported argument type %T", v)
 }

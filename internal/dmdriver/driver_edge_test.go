@@ -78,27 +78,58 @@ func TestTransactionNoop(t *testing.T) {
 	}
 }
 
-func TestLiteralRendering(t *testing.T) {
-	cases := []struct {
-		in   driver.Value
-		want string
-	}{
-		{nil, "NULL"},
-		{int64(-5), "-5"},
-		{2.5, "2.5"},
-		{true, "TRUE"},
-		{false, "FALSE"},
-		{"it's", "'it''s'"},
-		{[]byte("b"), "'b'"},
+// TestQuoteBearingArgsRoundTrip is the regression test for the old literal
+// splicer, which rendered string arguments into command text: a value like
+// "O'Brien" either broke the statement or, escaped wrongly, changed its
+// shape. Server-side binding must round-trip any string byte-for-byte.
+func TestQuoteBearingArgsRoundTrip(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	if _, err := db.Exec("CREATE TABLE T (id LONG, name TEXT)"); err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		got, err := literal(c.in)
-		if err != nil || got != c.want {
-			t.Errorf("literal(%#v) = %q, %v want %q", c.in, got, err, c.want)
+	hostile := []string{
+		"O'Brien",
+		"it's ''quoted''",
+		"x' OR '1'='1",
+		"'; DROP TABLE T; --",
+		"tail\\'",
+		"[bracket]] 'quote'",
+	}
+	for i, name := range hostile {
+		if _, err := db.Exec("INSERT INTO T VALUES (?, ?)", i, name); err != nil {
+			t.Fatalf("insert %q: %v", name, err)
+		}
+		var got string
+		if err := db.QueryRow("SELECT name FROM T WHERE id = ?", i).Scan(&got); err != nil {
+			t.Fatalf("select %q: %v", name, err)
+		}
+		if got != name {
+			t.Errorf("round trip = %q, want %q", got, name)
 		}
 	}
-	if _, err := literal(struct{}{}); err == nil {
-		t.Error("unsupported literal type must fail")
+	// An injection-shaped value is data, not statement text: comparing
+	// against it matches nothing, and the table survives.
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM T WHERE name = ?", "x' OR '1'='1' --").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("injection-shaped value matched %d rows, want 0", n)
+	}
+	if err := db.QueryRow("SELECT COUNT(*) FROM T").Scan(&n); err != nil {
+		t.Fatalf("table must survive hostile values: %v", err)
+	}
+	if n != int64(len(hostile)) {
+		t.Errorf("rows = %d, want %d", n, len(hostile))
+	}
+}
+
+// TestNamedArgsRejected pins the binding surface: arguments are positional.
+func TestNamedArgsRejected(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	db.Exec("CREATE TABLE T (id LONG)")
+	if _, err := db.Exec("INSERT INTO T VALUES (@id)", sql.Named("id", 1)); err == nil {
+		t.Error("sql.Named must be rejected")
 	}
 }
 
@@ -123,12 +154,36 @@ func TestRowsAffectedShapes(t *testing.T) {
 	}
 }
 
-func TestCountPlaceholdersSkipsQuoted(t *testing.T) {
-	n, err := countPlaceholders("SELECT '?' FROM [t?] WHERE a = ? AND b = ?")
-	if err != nil || n != 2 {
-		t.Errorf("placeholders = %d, %v", n, err)
+// TestPlaceholderCountSkipsQuoted pins the placeholder scan the provider
+// runs at prepare time: '?' inside a string literal or a bracketed name is
+// text, not a parameter, so the prepared statement below takes exactly two
+// arguments.
+func TestPlaceholderCountSkipsQuoted(t *testing.T) {
+	db := openDB(t, "memory:"+t.Name())
+	if _, err := db.Exec("CREATE TABLE [t?] (a LONG, b TEXT)"); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := countPlaceholders("SELECT 'unterminated"); err == nil {
+	if _, err := db.Exec("INSERT INTO [t?] VALUES (1, '?')"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM [t?] WHERE b = '?' AND a = ? AND b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	// database/sql enforces NumInput: wrong arity fails before execution.
+	if _, err := stmt.Query(int64(1)); err == nil {
+		t.Error("one arg for two placeholders must fail")
+	}
+	var n int64
+	if err := stmt.QueryRow(int64(1), "?").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d, want 1", n)
+	}
+	// Lex errors in the statement surface at prepare time.
+	if _, err := db.Prepare("SELECT 'unterminated"); err == nil {
 		t.Error("lex error must surface")
 	}
 }

@@ -182,13 +182,14 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		cmd, wantStats, err := readCommand(br)
+		req, err := readRequest(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) && !isTimeout(err) {
 				s.Logf("dmserver: read: %v", err)
 			}
 			return
 		}
+		wantStats := req.wantStats
 		// The deadline covers idle waiting only; command execution and the
 		// response write are not bounded by it.
 		if idle > 0 {
@@ -197,11 +198,20 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		start := time.Now()
-		rs, execErr := s.Provider.ExecuteContext(context.Background(), cmd, provider.WithOrigin(remote))
+		var rs *rowset.Rowset
+		var execErr error
+		switch req.verb {
+		case VerbExecutePrepared:
+			rs, execErr = s.Provider.ExecutePreparedContext(context.Background(), req.name, req.args, provider.WithOrigin(remote))
+		case VerbExecParams:
+			rs, execErr = s.Provider.ExecuteParamsContext(context.Background(), req.cmd, req.args, provider.WithOrigin(remote))
+		default:
+			rs, execErr = s.Provider.ExecuteContext(context.Background(), req.cmd, provider.WithOrigin(remote))
+		}
 		elapsed := time.Since(start)
 		cs.Request(execErr != nil)
 		if s.SlowQuery > 0 && elapsed >= s.SlowQuery {
-			s.Logf("dmserver: slow query (%s) from %s: %s", elapsed.Round(time.Microsecond), remote, truncate(cmd, 200))
+			s.Logf("dmserver: slow query (%s) from %s: %s", elapsed.Round(time.Microsecond), remote, truncate(req.label(), 200))
 		}
 		if execErr != nil {
 			if wantStats {
@@ -245,29 +255,85 @@ func truncate(s string, n int) string {
 	return s[:n] + "..."
 }
 
-// readCommand reads one framed command. A uvarint-0 prefix (a zero-length
-// command, meaningless in v1) marks the request as coming from a v2
-// stats-aware client; the real frame follows.
-func readCommand(br *bufio.Reader) (cmd string, wantStats bool, err error) {
+// request is one decoded client request. verb is 0 for v1/v2 plain-command
+// requests and a Verb* constant for v3.
+type request struct {
+	verb      byte
+	cmd       string // plain command, or the parameterized command (VerbExecParams)
+	name      string // prepared statement name (VerbExecutePrepared)
+	args      []rowset.Value
+	wantStats bool
+}
+
+// label is the request's statement text for log lines.
+func (r *request) label() string {
+	if r.verb == VerbExecutePrepared {
+		return "EXECUTE " + r.name
+	}
+	return r.cmd
+}
+
+// readRequest reads one request. A uvarint-0 prefix (a zero-length command,
+// meaningless in v1) marks the request as coming from a v2 stats-aware
+// client; a second uvarint-0 upgrades to v3, where a verb byte selects the
+// request shape and binary arguments may follow (see params.go).
+func readRequest(br *bufio.Reader) (*request, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", false, err
+		return nil, err
 	}
+	req := &request{}
 	if n == 0 {
-		wantStats = true
+		req.wantStats = true
 		n, err = binary.ReadUvarint(br)
 		if err != nil {
-			return "", false, err
+			return nil, err
+		}
+		if n == 0 {
+			return readRequestV3(br, req)
 		}
 	}
 	if n > MaxCommandLen {
-		return "", false, fmt.Errorf("dmserver: command length %d exceeds limit", n)
+		return nil, fmt.Errorf("dmserver: command length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", false, err
+		return nil, err
 	}
-	return string(buf), wantStats, nil
+	req.cmd = string(buf)
+	return req, nil
+}
+
+// readRequestV3 reads the verb byte and verb-specific body of a v3 request.
+func readRequestV3(br *bufio.Reader, req *request) (*request, error) {
+	verb, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	req.verb = verb
+	switch verb {
+	case VerbExec:
+		if req.cmd, err = readFrame(br); err != nil {
+			return nil, err
+		}
+	case VerbExecutePrepared:
+		if req.name, err = readFrame(br); err != nil {
+			return nil, err
+		}
+		if req.args, err = readArgs(br); err != nil {
+			return nil, err
+		}
+	case VerbExecParams:
+		if req.cmd, err = readFrame(br); err != nil {
+			return nil, err
+		}
+		if req.args, err = readArgs(br); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dmserver: bad request verb %d", verb)
+	}
+	return req, nil
 }
 
 // writeFrame writes a uvarint-length-prefixed string.

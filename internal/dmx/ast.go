@@ -10,6 +10,7 @@ package dmx
 import (
 	"repro/internal/core"
 	"repro/internal/lex"
+	"repro/internal/rowset"
 	"repro/internal/shape"
 	"repro/internal/sqlengine"
 )
@@ -147,6 +148,35 @@ type Explain struct {
 }
 
 func (*Explain) dmxStmt() {}
+
+// Prepare is PREPARE <name> AS <statement>: register the inner command — DMX,
+// SQL, or SHAPE, possibly containing '?' or '@name' placeholders — under a
+// handle for later EXECUTE. The inner command is carried as raw text; the
+// provider compiles and type-checks it at prepare time.
+type Prepare struct {
+	Name    string
+	Command string
+	NamePos lex.Pos
+}
+
+func (*Prepare) dmxStmt() {}
+
+// ExecutePrepared is EXECUTE <name> [(arg, ...)]: run a prepared statement
+// with literal argument values bound to its placeholders.
+type ExecutePrepared struct {
+	Name    string
+	Args    []rowset.Value
+	NamePos lex.Pos
+}
+
+func (*ExecutePrepared) dmxStmt() {}
+
+// Deallocate is DEALLOCATE [PREPARE] <name>: drop a prepared statement.
+type Deallocate struct {
+	Name string
+}
+
+func (*Deallocate) dmxStmt() {}
 
 // Prediction function names recognized in PredictionSelect items. They are
 // parsed as ordinary sqlengine.FuncCall nodes; the provider's projection

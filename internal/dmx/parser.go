@@ -21,6 +21,15 @@ func Parse(src string, isModel func(string) bool) (Statement, error) {
 	if s.Peek().Is("EXPLAIN") {
 		return parseExplain(s, src, isModel)
 	}
+	if s.Peek().Is("PREPARE") {
+		return parsePrepare(s, src)
+	}
+	if s.Peek().Is("EXECUTE") {
+		return parseExecute(s)
+	}
+	if s.Peek().Is("DEALLOCATE") {
+		return parseDeallocate(s)
+	}
 	st, err := parseStatement(s, isModel)
 	if err != nil {
 		return nil, err
@@ -56,6 +65,122 @@ func parseExplain(s *lex.Scanner, src string, isModel func(string) bool) (Statem
 		return nil, err
 	}
 	return &Explain{Analyze: analyze, Stmt: inner, Command: command}, nil
+}
+
+// parsePrepare parses PREPARE <name> AS <statement>. The inner statement is
+// captured as raw text — the provider compiles it (DMX, SQL, or SHAPE) at
+// prepare time, the same late-dispatch trick EXPLAIN uses.
+func parsePrepare(s *lex.Scanner, src string) (Statement, error) {
+	if err := s.Expect("PREPARE"); err != nil {
+		return nil, err
+	}
+	nameTok, err := s.NameToken()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Expect("AS"); err != nil {
+		return nil, err
+	}
+	if s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "PREPARE needs a statement to prepare")
+	}
+	if t := s.Peek(); t.Is("PREPARE") || t.Is("EXECUTE") || t.Is("DEALLOCATE") || t.Is("EXPLAIN") {
+		return nil, lex.Errorf(t, "%s cannot be prepared", strings.ToUpper(t.Text))
+	}
+	command := strings.TrimSpace(src[s.Peek().Pos:])
+	return &Prepare{Name: nameTok.Text, Command: command, NamePos: nameTok.Position()}, nil
+}
+
+// parseExecute parses EXECUTE <name> [(arg, ...)] with literal argument
+// values: numbers (optionally negated), strings, TRUE, FALSE, NULL.
+func parseExecute(s *lex.Scanner) (Statement, error) {
+	if err := s.Expect("EXECUTE"); err != nil {
+		return nil, err
+	}
+	nameTok, err := s.NameToken()
+	if err != nil {
+		return nil, err
+	}
+	ex := &ExecutePrepared{Name: nameTok.Text, NamePos: nameTok.Position()}
+	if s.AcceptPunct("(") {
+		if !s.AcceptPunct(")") {
+			for {
+				v, err := parseArgValue(s)
+				if err != nil {
+					return nil, err
+				}
+				ex.Args = append(ex.Args, v)
+				if s.AcceptPunct(",") {
+					continue
+				}
+				break
+			}
+			if err := s.ExpectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "unexpected input after EXECUTE: %s", s.Peek())
+	}
+	return ex, nil
+}
+
+// parseArgValue parses one EXECUTE argument literal.
+func parseArgValue(s *lex.Scanner) (rowset.Value, error) {
+	neg := s.AcceptPunct("-")
+	t, err := s.Next()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case t.Kind == lex.Number:
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := t.Float()
+			if err != nil {
+				return nil, lex.Errorf(t, "bad number %q", t.Text)
+			}
+			if neg {
+				f = -f
+			}
+			return f, nil
+		}
+		n, err := t.Int()
+		if err != nil {
+			return nil, lex.Errorf(t, "bad number %q", t.Text)
+		}
+		if neg {
+			n = -n
+		}
+		return n, nil
+	case neg:
+		return nil, lex.Errorf(t, "expected number after '-', found %s", t)
+	case t.Kind == lex.String:
+		return t.Text, nil
+	case t.Is("TRUE"):
+		return true, nil
+	case t.Is("FALSE"):
+		return false, nil
+	case t.Is("NULL"):
+		return nil, nil
+	}
+	return nil, lex.Errorf(t, "expected literal argument, found %s", t)
+}
+
+// parseDeallocate parses DEALLOCATE [PREPARE] <name>.
+func parseDeallocate(s *lex.Scanner) (Statement, error) {
+	if err := s.Expect("DEALLOCATE"); err != nil {
+		return nil, err
+	}
+	s.Accept("PREPARE")
+	name, err := s.Name()
+	if err != nil {
+		return nil, err
+	}
+	if !s.AtEOF() {
+		return nil, lex.Errorf(s.Peek(), "unexpected input after DEALLOCATE: %s", s.Peek())
+	}
+	return &Deallocate{Name: name}, nil
 }
 
 func parseStatement(s *lex.Scanner, isModel func(string) bool) (Statement, error) {

@@ -209,6 +209,9 @@ func qualifySchema(src *rowset.Schema, alias string) *rowset.Schema {
 func (c *checker) walkExpr(e sqlengine.Expr, pc *predCtx) {
 	switch x := e.(type) {
 	case nil, *sqlengine.Literal:
+	case *sqlengine.Param:
+		// Placeholders carry no name to resolve; the provider type-checks
+		// them at prepare time and binds literal values before execution.
 	case *sqlengine.ColumnRef:
 		c.resolveRef(x, pc)
 	case *sqlengine.FuncCall:

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/provider"
+	"repro/internal/rowset"
 )
 
 // BenchReport is the machine-readable benchmark output (cmd/dmbench -json).
@@ -33,10 +37,17 @@ type BenchWorkload struct {
 // stable median without making `make bench-json` a coffee break.
 const BenchIterations = 7
 
-// benchWorkloads are the four statement shapes the paper's pipeline
-// exercises: relational scan, hierarchical case assembly, model training,
-// and prediction join. setup runs once and reset before every timed
-// iteration, both untimed.
+// benchPointQueries is how many point lookups one iteration of the
+// parameterized workloads issues: enough that per-statement compile cost
+// dominates over fixed overhead, small enough to keep the bench quick.
+const benchPointQueries = 70
+
+// benchWorkloads are the statement shapes the paper's pipeline exercises:
+// relational scan, hierarchical case assembly, model training, prediction
+// join, and the prepared-vs-ad-hoc point-query pair. setup runs once and
+// reset before every timed iteration, both untimed. prep (untimed, once)
+// does programmatic setup a statement cannot express; workloads with a run
+// hook drive the provider through it instead of executing stmt.
 var benchWorkloads = []struct {
 	name  string
 	setup []string
@@ -46,6 +57,8 @@ var benchWorkloads = []struct {
 	// summary rowset (INSERT INTO reports "cases consumed") instead of the
 	// rowset length.
 	rowsFromCell bool
+	prep         func(p *provider.Provider) error
+	run          func(p *provider.Provider, scale, iter int) (int64, error)
 }{
 	{
 		name: "sql-scan",
@@ -89,6 +102,74 @@ var benchWorkloads = []struct {
 		stmt: `SELECT t.[Customer ID], [Bench Predict].Age FROM [Bench Predict]
 	NATURAL PREDICTION JOIN (SELECT [Customer ID], Gender FROM Customers) AS t`,
 	},
+	{
+		// Ad-hoc point queries: every statement arrives as unique text (the
+		// key is spliced into the command), so each execution pays parse,
+		// semantic analysis, and planning — the plan cache cannot help.
+		name: "adhoc-params",
+		stmt: benchPointStmtShape,
+		prep: benchPointIndex,
+		run: func(p *provider.Provider, scale, iter int) (int64, error) {
+			var rows int64
+			for i := 0; i < benchPointQueries; i++ {
+				id := benchPointID(scale, iter, i)
+				rs, err := p.Execute(fmt.Sprintf(benchPointStmtShape, id))
+				if err != nil {
+					return 0, err
+				}
+				rows += int64(rs.Len())
+			}
+			return rows, nil
+		},
+	},
+	{
+		// The same point queries through a prepared statement: one compile at
+		// PREPARE, then argument binding against the cached plan per call.
+		// The rows/sec gap against adhoc-params is the per-statement
+		// compilation cost the prepared path amortizes away.
+		name: "prepared-params",
+		stmt: benchPointStmtPrepared,
+		prep: func(p *provider.Provider) error {
+			if err := benchPointIndex(p); err != nil {
+				return err
+			}
+			_, err := p.PrepareContext(context.Background(), "bench_point", benchPointStmtPrepared)
+			return err
+		},
+		run: func(p *provider.Provider, scale, iter int) (int64, error) {
+			var rows int64
+			for i := 0; i < benchPointQueries; i++ {
+				id := benchPointID(scale, iter, i)
+				rs, err := p.ExecutePreparedContext(context.Background(), "bench_point", []rowset.Value{int64(id)})
+				if err != nil {
+					return 0, err
+				}
+				rows += int64(rs.Len())
+			}
+			return rows, nil
+		},
+	},
+}
+
+// benchPointStmtShape is the ad-hoc point query; %d receives the customer ID.
+const benchPointStmtShape = `SELECT [Customer ID], Gender, Age FROM Customers WHERE [Customer ID] = %d`
+
+// benchPointStmtPrepared is the same query with a placeholder.
+const benchPointStmtPrepared = `SELECT [Customer ID], Gender, Age FROM Customers WHERE [Customer ID] = ?`
+
+// benchPointIndex gives Customers a hash index on its key so both
+// parameterized workloads measure statement processing, not table scans.
+func benchPointIndex(p *provider.Provider) error {
+	tbl, err := p.DB.Table("Customers")
+	if err != nil {
+		return err
+	}
+	return tbl.CreateIndex("Customer ID")
+}
+
+// benchPointID cycles point-query keys through the customer ID space.
+func benchPointID(scale, iter, i int) int {
+	return (iter*benchPointQueries+i)%scale + 1
 }
 
 // RunBench measures the benchmark workloads over a fresh synthetic
@@ -111,6 +192,11 @@ func RunBench(cfg Config) (*BenchReport, error) {
 				return nil, fmt.Errorf("bench %s setup: %w", w.name, err)
 			}
 		}
+		if w.prep != nil {
+			if err := w.prep(p); err != nil {
+				return nil, fmt.Errorf("bench %s prep: %w", w.name, err)
+			}
+		}
 		durs := make([]time.Duration, 0, BenchIterations)
 		var rows int64
 		var total time.Duration
@@ -119,6 +205,18 @@ func RunBench(cfg Config) (*BenchReport, error) {
 				if _, err := p.Execute(s); err != nil {
 					return nil, fmt.Errorf("bench %s reset: %w", w.name, err)
 				}
+			}
+			if w.run != nil {
+				start := time.Now()
+				n, err := w.run(p, cfg.Scale, i)
+				d := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("bench %s: %w", w.name, err)
+				}
+				durs = append(durs, d)
+				total += d
+				rows = n
+				continue
 			}
 			d, rs, err := timeExec(p, w.stmt)
 			if err != nil {

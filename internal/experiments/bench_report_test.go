@@ -16,7 +16,10 @@ func TestRunBench(t *testing.T) {
 	if report.SchemaVersion != 1 || report.Scale != 60 {
 		t.Errorf("header = %+v", report)
 	}
-	want := map[string]bool{"sql-scan": true, "shape-caseset": true, "train": true, "predict-join": true}
+	want := map[string]bool{
+		"sql-scan": true, "shape-caseset": true, "train": true, "predict-join": true,
+		"adhoc-params": true, "prepared-params": true,
+	}
 	for _, w := range report.Workloads {
 		if !want[w.Name] {
 			t.Errorf("unexpected workload %q", w.Name)

@@ -1,0 +1,175 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestNormalizeFoldsCaseAndWhitespace(t *testing.T) {
+	cases := [][2]string{
+		{"select a from t", "SELECT  A\n\tFROM   T"},
+		{"SELECT a FROM t WHERE x = 1", "select A from T where X=1"},
+		{"select [Age] from t", "SELECT [Age] FROM T"},
+	}
+	for _, c := range cases {
+		if Normalize(c[0]) != Normalize(c[1]) {
+			t.Errorf("Normalize(%q) = %q, want same as Normalize(%q) = %q",
+				c[0], Normalize(c[0]), c[1], Normalize(c[1]))
+		}
+	}
+}
+
+func TestNormalizePreservesQuotedText(t *testing.T) {
+	// String literals keep case: 'abc' and 'ABC' are different values.
+	if Normalize("select 'abc'") == Normalize("select 'ABC'") {
+		t.Error("string literal case must not fold")
+	}
+	// Bracketed identifiers keep case too — the catalog may be
+	// case-sensitive about them in other providers, and folding would merge
+	// statements the user wrote distinctly.
+	if Normalize("select [age] from t") == Normalize("select [AGE] from t") {
+		t.Error("bracketed identifier case must not fold")
+	}
+	// Embedded quotes survive re-escaping round trips.
+	n := Normalize("select 'O''Brien'")
+	if n != "SELECT 'O''Brien'" {
+		t.Errorf("escaped quote normalized to %q", n)
+	}
+	if Normalize("select 'O''Brien'") == Normalize("select 'O','Brien'") {
+		t.Error("escaped quote must not collide with split literals")
+	}
+	// Keywords inside strings are data, not syntax.
+	if Normalize("select 'select'") == Normalize("select 'SELECT'") {
+		t.Error("keyword inside string must not fold")
+	}
+}
+
+func TestNormalizeUnlexableInputIsStable(t *testing.T) {
+	src := "select 'unterminated"
+	if Normalize(src) != src {
+		t.Errorf("unlexable input must normalize to itself, got %q", Normalize(src))
+	}
+}
+
+func TestCacheHitMissAndLRUEviction(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 2)
+	hits, misses, evs := &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+	c.SetMetrics(Metrics{Hits: hits, Misses: misses, Evictions: evs})
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("a", 1, nil, vs.Epoch())
+	c.Put("b", 2, nil, vs.Epoch())
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" is now most recently used; inserting "c" must evict "b".
+	c.Put("c", 3, nil, vs.Epoch())
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used entry must be evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry must survive eviction")
+	}
+	if evs.Value() != 1 {
+		t.Errorf("evictions = %d, want 1", evs.Value())
+	}
+	if hits.Value() != 2 || misses.Value() != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", hits.Value(), misses.Value())
+	}
+}
+
+func TestCacheStaleDependencyInvalidates(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 8)
+	inv, misses := &obs.Counter{}, &obs.Counter{}
+	c.SetMetrics(Metrics{Invalidations: inv, Misses: misses})
+
+	c.Put("q", "plan", vs.Snapshot([]string{"T"}), vs.Epoch())
+	if _, ok := c.Get("q"); !ok {
+		t.Fatal("fresh entry must hit")
+	}
+	vs.Bump("t") // names are case-insensitive
+	if _, ok := c.Get("q"); ok {
+		t.Fatal("entry with bumped dependency must miss")
+	}
+	if inv.Value() != 1 {
+		t.Errorf("invalidations = %d, want 1", inv.Value())
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale entry must be removed, len = %d", c.Len())
+	}
+}
+
+func TestCacheDependencyOnNotYetExistingObject(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 8)
+	// A plan compiled when "m" did not exist (version 0) must invalidate the
+	// moment "m" is created.
+	c.Put("q", "plan", vs.Snapshot([]string{"m"}), vs.Epoch())
+	vs.Bump("m")
+	if _, ok := c.Get("q"); ok {
+		t.Error("plan must invalidate when its missing dependency appears")
+	}
+}
+
+func TestCachePutDroppedOnEpochMove(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 8)
+	epoch := vs.Epoch()
+	// DDL lands between compile start and Put: the store must be dropped.
+	vs.Bump("anything")
+	c.Put("q", "plan", nil, epoch)
+	if c.Len() != 0 {
+		t.Error("Put with a stale epoch must not store")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 8)
+	c.Put("a", 1, nil, vs.Epoch())
+	c.Put("b", 2, nil, vs.Epoch())
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("purged entry must miss")
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	vs := NewVersions()
+	c := NewCache(vs, 4) // small cap: eviction races with reads
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (g+i)%10)
+				if v, ok := c.Get(key); ok {
+					if v.(string) != key {
+						t.Errorf("Get(%q) = %v", key, v)
+						return
+					}
+				} else {
+					c.Put(key, key, vs.Snapshot([]string{"t"}), vs.Epoch())
+				}
+				if i%50 == 0 {
+					vs.Bump("t")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

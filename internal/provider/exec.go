@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/content"
 	"repro/internal/core"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dmx/sem"
 	"repro/internal/lex"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/rowset"
 	"repro/internal/schemarowset"
 	"repro/internal/shape"
@@ -38,13 +40,22 @@ func WithOrigin(origin string) ExecOption {
 // provider metrics — queryable afterwards as $SYSTEM.DM_QUERY_LOG and
 // $SYSTEM.DM_PROVIDER_METRICS.
 func (p *Provider) ExecuteContext(ctx context.Context, command string, opts ...ExecOption) (*rowset.Rowset, error) {
+	return p.run(ctx, command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
+		return p.executeTracedArgs(ctx, t, command, nil, false)
+	})
+}
+
+// run wraps one statement execution with the trace, query-log, and metrics
+// plumbing shared by every public execution entry point. label is what the
+// query log records as the statement text.
+func (p *Provider) run(ctx context.Context, label string, opts []ExecOption, fn func(context.Context, *obs.Trace) (*rowset.Rowset, error)) (*rowset.Rowset, error) {
 	var cfg execConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
 	var t *obs.Trace
 	if p.obs != nil {
-		t = obs.NewTrace(command, cfg.origin)
+		t = obs.NewTrace(label, cfg.origin)
 		ctx = obs.WithTrace(ctx, t)
 	}
 	var rs *rowset.Rowset
@@ -52,7 +63,7 @@ func (p *Provider) ExecuteContext(ctx context.Context, command string, opts ...E
 	// (class "cancelled"), so the log accounts for every submission.
 	err := ctx.Err()
 	if err == nil {
-		rs, err = p.executeTraced(ctx, t, command)
+		rs, err = fn(ctx, t)
 	}
 	if p.obs != nil {
 		if rs != nil {
@@ -113,28 +124,55 @@ func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
 	return p.ExecuteScriptContext(context.Background(), script)
 }
 
-// executeTraced dispatches one command, attributing stage time to the trace
-// carried by ctx (t may be nil: every trace method is a no-op then).
-func (p *Provider) executeTraced(ctx context.Context, t *obs.Trace, command string) (*rowset.Rowset, error) {
+// executeTracedArgs dispatches one command, attributing stage time to the
+// trace carried by ctx (t may be nil: every trace method is a no-op then).
+// Plannable statements go through the plan cache: the normalized command text
+// is the key, so keyword case and insignificant whitespace hit the same
+// entry. args bind the command's placeholders; hasArgs distinguishes "zero
+// arguments supplied" from plain (unparameterized) execution.
+func (p *Provider) executeTracedArgs(ctx context.Context, t *obs.Trace, command string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
 	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
+		if hasArgs && len(args) > 0 {
+			return nil, fmt.Errorf("provider: SHAPE statements take no parameters")
+		}
 		t.SetKind("SHAPE")
 		defer t.StartStage(obs.StageSource)()
 		return shape.ExecuteStringContext(ctx, p.Engine, command)
 	}
-	stopParse := t.StartStage(obs.StageParse)
-	st, err := dmx.Parse(command, p.IsModel)
-	stopParse()
+	// PREPARE / EXECUTE / DEALLOCATE manage the cache rather than live in it:
+	// dispatch them directly so control statements never pollute hit/miss
+	// counters (and a PREPARE's raw text is never a cache key).
+	if sc := lex.NewScanner(command); sc.Peek().Is("PREPARE") || sc.Peek().Is("EXECUTE") || sc.Peek().Is("DEALLOCATE") {
+		if hasArgs && len(args) > 0 {
+			return nil, fmt.Errorf("provider: %s statements take no separate arguments", strings.ToUpper(sc.Peek().Text))
+		}
+		stopParse := t.StartStage(obs.StageParse)
+		st, err := dmx.Parse(command, p.IsModel)
+		stopParse()
+		if err != nil {
+			t.SetErrClass("parse")
+			return nil, err
+		}
+		t.SetKind(statementKind(st))
+		return p.ExecuteDMXContext(ctx, st)
+	}
+	key := plancache.Normalize(command)
+	if v, ok := p.planCache.Get(key); ok {
+		pl := v.(*plan)
+		return p.runPlan(ctx, t, pl, args, hasArgs)
+	}
+	// Snapshot the DDL epoch before compiling: if any DDL lands while this
+	// plan is being built, Put drops the store rather than caching a plan
+	// that may already be stale.
+	epoch := p.versions.Epoch()
+	pl, err := p.compileCommand(ctx, t, command)
 	if err != nil {
-		t.SetErrClass("parse")
 		return nil, err
 	}
-	if st == nil {
-		t.SetKind("SQL")
-		defer t.StartStage(obs.StageScan)()
-		return p.Engine.ExecContext(ctx, command)
+	if pl.cacheable {
+		p.planCache.Put(key, pl, pl.deps, epoch)
 	}
-	t.SetKind(statementKind(st))
-	return p.ExecuteDMXContext(ctx, st)
+	return p.runPlan(ctx, t, pl, args, hasArgs)
 }
 
 // ExecuteDMXContext runs a parsed DMX statement. Statements are bound by the
@@ -148,6 +186,16 @@ func (p *Provider) ExecuteDMXContext(ctx context.Context, st dmx.Statement) (*ro
 	if err != nil {
 		return nil, err
 	}
+	return p.execDMX(ctx, st)
+}
+
+// execDMX dispatches an already-checked DMX statement. Plans run through
+// here directly: they were semantic-checked at compile time and dependency
+// versioning guarantees the catalog they were checked against still stands,
+// so re-checking on every (cached or prepared) execution would only buy
+// latency.
+func (p *Provider) execDMX(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
+	t := obs.FromContext(ctx)
 	switch s := st.(type) {
 	case *dmx.Explain:
 		return p.explainStmt(ctx, s)
@@ -192,6 +240,15 @@ func (p *Provider) ExecuteDMXContext(ctx context.Context, st dmx.Statement) (*ro
 		return p.deleteFrom(s.Model)
 	case *dmx.DropModel:
 		return p.dropModel(s.Name)
+	case *dmx.Prepare:
+		if _, err := p.prepareNamed(ctx, t, s.Name, s.Command); err != nil {
+			return nil, err
+		}
+		return status("statement prepared")
+	case *dmx.ExecutePrepared:
+		return p.runPrepared(ctx, t, s.Name, s.Args, true)
+	case *dmx.Deallocate:
+		return p.deallocateRS(s.Name)
 	}
 	return nil, fmt.Errorf("provider: unsupported DMX statement %T", st)
 }
@@ -226,6 +283,12 @@ func statementKind(st dmx.Statement) string {
 		return "DELETE MODEL"
 	case *dmx.DropModel:
 		return "DROP MODEL"
+	case *dmx.Prepare:
+		return "PREPARE"
+	case *dmx.ExecutePrepared:
+		return "EXECUTE"
+	case *dmx.Deallocate:
+		return "DEALLOCATE"
 	}
 	return "DMX"
 }

@@ -85,7 +85,10 @@ func (p *Provider) planSpan(ex *dmx.Explain) (*obs.Span, error) {
 			return nil, err
 		}
 		if sel, ok := sql.(*sqlengine.SelectStmt); ok {
-			root.Add(sel.PlanSpan())
+			// The engine's plan span resolves real tables, so it carries the
+			// cost-based choices (scan estimates, index pushdown, join
+			// build side) rather than the shape-only fallback.
+			root.Add(p.Engine.PlanSpan(sel))
 		} else {
 			root.Add(obs.NewSpan("sql", fmt.Sprintf("%T", sql)))
 		}

@@ -1,0 +1,516 @@
+package provider
+
+// Prepared statements and the plan cache. Every plannable statement (SQL
+// SELECT/DML, DMX prediction and browsing selects, INSERT INTO a model)
+// compiles into a *plan: the parsed AST plus its parameter slots and the
+// catalog objects it references at their current versions. Plans are
+// immutable once built — parameter binding clones the AST — so one plan can
+// serve concurrent executions out of the LRU cache or a PREPARE handle.
+// DROP/CREATE of any referenced model, table, or view bumps that name's
+// version, which invalidates cached plans on lookup and makes prepared
+// statements replan (or fail with the new schema's real error) instead of
+// executing against a stale view of the catalog.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dmx"
+	"repro/internal/dmx/sem"
+	"repro/internal/lex"
+	"repro/internal/obs"
+	"repro/internal/plancache"
+	"repro/internal/rowset"
+	"repro/internal/shape"
+	"repro/internal/sqlengine"
+)
+
+// plan is one compiled statement. Exactly one of dmxStmt, sqlStmt, or
+// shapeCmd is set. A plan is immutable after compilation.
+type plan struct {
+	kind     string                // statement class for traces and the query log
+	dmxStmt  dmx.Statement         // parsed DMX statement
+	sqlStmt  sqlengine.Statement   // parsed SQL statement
+	shapeCmd string                // raw standalone SHAPE command
+	params   []sqlengine.ParamSlot // placeholder slots, in argument order
+	deps     []plancache.Dep       // referenced catalog objects at compile versions
+	// cacheable marks plans worth keeping: statements that re-execute
+	// meaningfully (queries, DML, model population). DDL and control
+	// statements compile but are never cached.
+	cacheable bool
+}
+
+// preparedStmt is one PREPARE handle. The plan pointer is swapped under
+// Provider.mu when a stale plan is recompiled.
+type preparedStmt struct {
+	name    string
+	command string
+	plan    *plan
+}
+
+// compileCommand parses and compiles one command — DMX, SQL, or SHAPE — into
+// a plan, attributing parse and bind time to t.
+func (p *Provider) compileCommand(ctx context.Context, t *obs.Trace, command string) (*plan, error) {
+	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
+		if commandHasParams(command) {
+			return nil, fmt.Errorf("provider: parameters are not supported inside SHAPE statements")
+		}
+		return &plan{kind: "SHAPE", shapeCmd: command}, nil
+	}
+	stopParse := t.StartStage(obs.StageParse)
+	st, err := dmx.Parse(command, p.IsModel)
+	stopParse()
+	if err != nil {
+		t.SetErrClass("parse")
+		return nil, err
+	}
+	if st == nil {
+		stopParse = t.StartStage(obs.StageParse)
+		sqlSt, err := sqlengine.Parse(command)
+		stopParse()
+		if err != nil {
+			t.SetErrClass("parse")
+			return nil, err
+		}
+		return p.compileSQL(sqlSt)
+	}
+	return p.compileDMX(ctx, t, st)
+}
+
+// compileSQL assigns parameter slots, infers their types from the columns
+// they are compared against, and snapshots the referenced tables' versions.
+func (p *Provider) compileSQL(st sqlengine.Statement) (*plan, error) {
+	pl := &plan{kind: "SQL", sqlStmt: st}
+	switch st.(type) {
+	case *sqlengine.SelectStmt, *sqlengine.InsertStmt, *sqlengine.DeleteStmt, *sqlengine.UpdateStmt:
+		pl.cacheable = true
+	default:
+		// DDL compiles (so it can be prepared and re-run) but is never cached
+		// and takes no parameters.
+		if len(sqlengine.CollectParams(st)) > 0 {
+			return nil, fmt.Errorf("provider: parameters are not supported in DDL statements")
+		}
+		return pl, nil
+	}
+	slots, err := sqlengine.AssignParams(st)
+	if err != nil {
+		return nil, err
+	}
+	tables := sqlengine.ReferencedTables(st)
+	sqlengine.InferParamTypes(st, slots, p.columnTypeResolver(tables))
+	pl.params = slots
+	pl.deps = p.versions.Snapshot(tables)
+	return pl, nil
+}
+
+// compileDMX semantic-checks the statement (so PREPARE surfaces name and
+// type errors immediately), assigns parameter slots where DMX admits
+// placeholders, and snapshots dependency versions.
+func (p *Provider) compileDMX(ctx context.Context, t *obs.Trace, st dmx.Statement) (*plan, error) {
+	_ = ctx
+	pl := &plan{kind: statementKind(st), dmxStmt: st}
+	stopBind := t.StartStage(obs.StageBind)
+	err := sem.Check(st, p)
+	stopBind()
+	if err != nil {
+		return nil, err
+	}
+	deps := func(names ...string) []plancache.Dep { return p.versions.Snapshot(names) }
+	switch s := st.(type) {
+	case *dmx.PredictionSelect:
+		if s.Source.Shape != nil && shapeHasParams(s.Source.Shape) {
+			return nil, fmt.Errorf("provider: parameters are not supported inside SHAPE sources")
+		}
+		var roots []sqlengine.Expr
+		for _, it := range s.Items {
+			if !it.Star {
+				roots = append(roots, it.Expr)
+			}
+		}
+		roots = append(roots, s.On, s.Where)
+		for _, o := range s.OrderBy {
+			roots = append(roots, o.Expr)
+		}
+		slots, tables, err := p.dmxParams(roots, s.Source.Select)
+		if err != nil {
+			return nil, err
+		}
+		pl.params = slots
+		pl.deps = deps(append([]string{s.Model}, append(tables, shapeTables(s.Source.Shape)...)...)...)
+		pl.cacheable = true
+	case *dmx.InsertInto:
+		if s.Source.Shape != nil && shapeHasParams(s.Source.Shape) {
+			return nil, fmt.Errorf("provider: parameters are not supported inside SHAPE sources")
+		}
+		slots, tables, err := p.dmxParams(nil, s.Source.Select)
+		if err != nil {
+			return nil, err
+		}
+		pl.params = slots
+		pl.deps = deps(append([]string{s.Model}, append(tables, shapeTables(s.Source.Shape)...)...)...)
+		pl.cacheable = true
+	case *dmx.ContentSelect:
+		pl.deps, pl.cacheable = deps(s.Model), true
+	case *dmx.ColumnsSelect:
+		pl.deps, pl.cacheable = deps(s.Model), true
+	case *dmx.CasesSelect:
+		pl.deps, pl.cacheable = deps(s.Model), true
+	case *dmx.PMMLSelect:
+		pl.deps, pl.cacheable = deps(s.Model), true
+	case *dmx.SchemaRowsetSelect:
+		pl.cacheable = true
+	default:
+		// EXPLAIN, model DDL, DELETE FROM, and control statements compile but
+		// are not cached and take no parameters.
+	}
+	return pl, nil
+}
+
+// dmxParams collects placeholder slots from the given expression roots plus
+// an optional embedded source SELECT (wrapped as a subquery so statement-wide
+// collection sees it), inferring types from the source tables. It returns the
+// slots and the tables the source references.
+func (p *Provider) dmxParams(roots []sqlengine.Expr, src *sqlengine.SelectStmt) ([]sqlengine.ParamSlot, []string, error) {
+	var tables []string
+	if src != nil {
+		roots = append(roots, &sqlengine.Subquery{Query: src})
+		tables = sqlengine.ReferencedTables(src)
+	}
+	var ps []*sqlengine.Param
+	sqlengine.WalkExprParams(roots, func(pp *sqlengine.Param) { ps = append(ps, pp) })
+	slots, err := sqlengine.AssignOrdinals(ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	if src != nil && len(slots) > 0 {
+		sqlengine.InferParamTypes(src, slots, p.columnTypeResolver(tables))
+	}
+	return slots, tables, nil
+}
+
+// columnTypeResolver resolves a column reference to its declared type by
+// bare-name lookup across the given tables — best-effort input to parameter
+// type inference.
+func (p *Provider) columnTypeResolver(tables []string) func(*sqlengine.ColumnRef) (rowset.Type, bool) {
+	return func(cr *sqlengine.ColumnRef) (rowset.Type, bool) {
+		for _, name := range tables {
+			tbl, err := p.DB.Table(name)
+			if err != nil {
+				continue
+			}
+			if ord, ok := tbl.Schema().Lookup(cr.Name); ok {
+				return tbl.Schema().Column(ord).Type, true
+			}
+		}
+		return rowset.TypeNull, false
+	}
+}
+
+// shapeTables lists the tables a SHAPE query tree references (lower-cased).
+func shapeTables(q *shape.Query) []string {
+	var out []string
+	var walk func(q *shape.Query)
+	walk = func(q *shape.Query) {
+		if q == nil {
+			return
+		}
+		if q.Root != nil {
+			out = append(out, sqlengine.ReferencedTables(q.Root)...)
+		}
+		for _, a := range q.Appends {
+			walk(a.Child)
+		}
+	}
+	walk(q)
+	return out
+}
+
+// shapeHasParams reports whether any SELECT inside a SHAPE query tree
+// contains a parameter placeholder.
+func shapeHasParams(q *shape.Query) bool {
+	if q == nil {
+		return false
+	}
+	if q.Root != nil && len(sqlengine.CollectParams(q.Root)) > 0 {
+		return true
+	}
+	for _, a := range q.Appends {
+		if shapeHasParams(a.Child) {
+			return true
+		}
+	}
+	return false
+}
+
+// commandHasParams scans raw command text for '?' or '@name' placeholder
+// tokens (quoted strings and bracketed identifiers are skipped by the lexer).
+func commandHasParams(command string) bool {
+	toks, err := lex.Tokenize(command)
+	if err != nil {
+		return false
+	}
+	for _, t := range toks {
+		if t.Kind == lex.Punct && t.Text == "?" {
+			return true
+		}
+		if t.Kind == lex.Ident && !t.Quoted && len(t.Text) > 1 && strings.HasPrefix(t.Text, "@") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------- execution ----------
+
+// runPlan validates and coerces arguments against the plan's parameter
+// slots, binds them into a cloned AST, and dispatches. hasArgs distinguishes
+// "EXECUTE p ()" (zero arguments supplied) from plain execution of a
+// parameterized statement, which is an error.
+func (p *Provider) runPlan(ctx context.Context, t *obs.Trace, pl *plan, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+	if len(pl.params) > 0 && !hasArgs {
+		return nil, fmt.Errorf("provider: statement has %d parameter(s); use PREPARE/EXECUTE to bind them", len(pl.params))
+	}
+	if len(args) > 0 && len(pl.params) == 0 {
+		return nil, fmt.Errorf("provider: statement has no parameters but %d argument(s) were supplied", len(args))
+	}
+	var bound []rowset.Value
+	if len(pl.params) > 0 {
+		if len(args) != len(pl.params) {
+			return nil, fmt.Errorf("provider: statement has %d parameter(s), got %d argument(s)", len(pl.params), len(args))
+		}
+		bound = make([]rowset.Value, len(args))
+		for i, a := range args {
+			v := rowset.Normalize(a)
+			if typ := pl.params[i].Type; typ != rowset.TypeNull && v != nil {
+				cv, err := rowset.Coerce(v, typ)
+				if err != nil {
+					return nil, fmt.Errorf("provider: parameter %s: %w", pl.params[i].Label(i), err)
+				}
+				v = cv
+			}
+			bound[i] = v
+		}
+	}
+	switch {
+	case pl.shapeCmd != "":
+		t.SetKind("SHAPE")
+		defer t.StartStage(obs.StageSource)()
+		return shape.ExecuteStringContext(ctx, p.Engine, pl.shapeCmd)
+	case pl.sqlStmt != nil:
+		st := pl.sqlStmt
+		if len(pl.params) > 0 {
+			var err error
+			if st, err = sqlengine.BindStatement(st, bound); err != nil {
+				return nil, err
+			}
+		}
+		t.SetKind("SQL")
+		defer t.StartStage(obs.StageScan)()
+		return p.Engine.ExecStmtContext(ctx, st)
+	default:
+		st := pl.dmxStmt
+		if len(pl.params) > 0 {
+			var err error
+			if st, err = bindDMX(st, bound); err != nil {
+				return nil, err
+			}
+		}
+		t.SetKind(pl.kind)
+		return p.execDMX(ctx, st)
+	}
+}
+
+// bindDMX clones a DMX statement with parameter values substituted for
+// placeholders. Statements without placeholder positions pass through
+// unchanged (they are shared, immutable plan state).
+func bindDMX(st dmx.Statement, args []rowset.Value) (dmx.Statement, error) {
+	switch s := st.(type) {
+	case *dmx.PredictionSelect:
+		out := *s
+		var err error
+		if out.Items, err = sqlengine.BindSelectItems(s.Items, args); err != nil {
+			return nil, err
+		}
+		if out.On, err = sqlengine.BindExpr(s.On, args); err != nil {
+			return nil, err
+		}
+		if out.Where, err = sqlengine.BindExpr(s.Where, args); err != nil {
+			return nil, err
+		}
+		if out.OrderBy, err = sqlengine.BindOrderBy(s.OrderBy, args); err != nil {
+			return nil, err
+		}
+		if s.Source.Select != nil {
+			sel, err := sqlengine.BindSelect(s.Source.Select, args)
+			if err != nil {
+				return nil, err
+			}
+			out.Source = dmx.Source{Shape: s.Source.Shape, Select: sel}
+		}
+		return &out, nil
+	case *dmx.InsertInto:
+		if s.Source.Select == nil {
+			return st, nil
+		}
+		sel, err := sqlengine.BindSelect(s.Source.Select, args)
+		if err != nil {
+			return nil, err
+		}
+		out := *s
+		out.Source = dmx.Source{Shape: s.Source.Shape, Select: sel}
+		return &out, nil
+	}
+	return st, nil
+}
+
+// planStale reports whether any dependency moved since the plan compiled.
+func (p *Provider) planStale(pl *plan) bool {
+	for _, d := range pl.deps {
+		if p.versions.Get(d.Name) != d.Version {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------- PREPARE / EXECUTE / DEALLOCATE ----------
+
+// prepareNamed compiles command and registers it under name, returning the
+// compiled plan. Duplicate names are an error: silently replacing a handle
+// another session is executing would be a trap (DEALLOCATE first, or pick a
+// fresh name).
+func (p *Provider) prepareNamed(ctx context.Context, t *obs.Trace, name, command string) (*plan, error) {
+	key := strings.ToLower(name)
+	p.mu.RLock()
+	_, dup := p.prepared[key]
+	p.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("provider: prepared statement %q already exists", name)
+	}
+	pl, err := p.compileCommand(ctx, t, command)
+	if err != nil {
+		return nil, err
+	}
+	ps := &preparedStmt{name: name, command: command, plan: pl}
+	p.mu.Lock()
+	if _, dup := p.prepared[key]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("provider: prepared statement %q already exists", name)
+	}
+	p.prepared[key] = ps
+	p.mu.Unlock()
+	p.preparedTotal.Inc()
+	return pl, nil
+}
+
+// runPrepared executes a prepared statement, replanning first when any
+// referenced catalog object changed since compilation — a plan bound to a
+// dropped or re-created schema never executes.
+func (p *Provider) runPrepared(ctx context.Context, t *obs.Trace, name string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+	key := strings.ToLower(name)
+	p.mu.RLock()
+	ps, ok := p.prepared[key]
+	var pl *plan
+	if ok {
+		pl = ps.plan
+	}
+	p.mu.RUnlock()
+	if !ok {
+		return nil, &core.NotFoundError{Kind: "prepared statement", Name: name}
+	}
+	if p.planStale(pl) {
+		p.preparedReplans.Inc()
+		fresh, err := p.compileCommand(ctx, t, ps.command)
+		if err != nil {
+			return nil, fmt.Errorf("provider: prepared statement %q is stale (a referenced object changed) and failed to replan: %w", name, err)
+		}
+		p.mu.Lock()
+		ps.plan = fresh
+		p.mu.Unlock()
+		pl = fresh
+	}
+	p.preparedExec.Inc()
+	return p.runPlan(ctx, t, pl, args, hasArgs)
+}
+
+// removePrepared drops a handle, reporting whether it existed.
+func (p *Provider) removePrepared(name string) bool {
+	key := strings.ToLower(name)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.prepared[key]; !ok {
+		return false
+	}
+	delete(p.prepared, key)
+	return true
+}
+
+// deallocateRS is the DEALLOCATE statement body: unknown names are an error
+// at the statement surface (the Deallocate method is the idempotent form).
+func (p *Provider) deallocateRS(name string) (*rowset.Rowset, error) {
+	if !p.removePrepared(name) {
+		return nil, &core.NotFoundError{Kind: "prepared statement", Name: name}
+	}
+	return status("statement deallocated")
+}
+
+// PreparedNames lists registered prepared statements, sorted (primarily for
+// tests and diagnostics).
+func (p *Provider) PreparedNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.prepared))
+	for _, ps := range p.prepared {
+		names = append(names, ps.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------- public API ----------
+
+// PrepareContext compiles command and registers it under name, returning the
+// number of parameter placeholders the statement declares. It is the API
+// form of PREPARE <name> AS <command> and records a query-log entry like any
+// other statement.
+func (p *Provider) PrepareContext(ctx context.Context, name, command string, opts ...ExecOption) (int, error) {
+	n := 0
+	_, err := p.run(ctx, "PREPARE "+name+" AS "+command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
+		t.SetKind("PREPARE")
+		pl, err := p.prepareNamed(ctx, t, name, command)
+		if err != nil {
+			return nil, err
+		}
+		n = len(pl.params)
+		return status("statement prepared")
+	})
+	return n, err
+}
+
+// ExecutePreparedContext runs the prepared statement name with args bound to
+// its placeholders, by position. It is the API form of EXECUTE <name> (...).
+func (p *Provider) ExecutePreparedContext(ctx context.Context, name string, args []rowset.Value, opts ...ExecOption) (*rowset.Rowset, error) {
+	return p.run(ctx, "EXECUTE "+name, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
+		t.SetKind("EXECUTE")
+		return p.runPrepared(ctx, t, name, args, true)
+	})
+}
+
+// ExecuteParamsContext runs one command with positional arguments bound to
+// its placeholders — server-side parameters without a named handle (the wire
+// protocol's one-shot parameterized execution).
+func (p *Provider) ExecuteParamsContext(ctx context.Context, command string, args []rowset.Value, opts ...ExecOption) (*rowset.Rowset, error) {
+	return p.run(ctx, command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
+		return p.executeTracedArgs(ctx, t, command, args, true)
+	})
+}
+
+// Deallocate drops the prepared statement name. Unknown names are a no-op,
+// so statement Close paths can call it unconditionally.
+func (p *Provider) Deallocate(name string) error {
+	p.removePrepared(name)
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/algo/nbayes"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/rowset"
 	"repro/internal/sqlengine"
 	"repro/internal/storage"
@@ -41,12 +42,22 @@ type Provider struct {
 	// Registry holds the installed mining services.
 	Registry *core.Registry
 
-	// mu guards the model catalogue and every trained model's mutable state;
-	// the annotation below is machine-checked by tools/dmlint (lockcheck).
+	// mu guards the model catalogue, the prepared-statement registry, and
+	// every trained model's mutable state; the annotation below is
+	// machine-checked by tools/dmlint (lockcheck).
 	//
-	//dmlint:guard mu: Provider.models, modelEntry.cases, modelEntry.tokenizer, core.Model.Trained, core.Model.Space, core.Model.CaseCount
-	mu     sync.RWMutex
-	models map[string]*modelEntry // keyed by lower-cased model name
+	//dmlint:guard mu: Provider.models, Provider.prepared, preparedStmt.plan, modelEntry.cases, modelEntry.tokenizer, core.Model.Trained, core.Model.Space, core.Model.CaseCount
+	mu       sync.RWMutex
+	models   map[string]*modelEntry   // keyed by lower-cased model name
+	prepared map[string]*preparedStmt // keyed by lower-cased statement name
+
+	// versions tracks catalog-object versions (models, tables, and views in
+	// one namespace) and planCache maps normalized statement text to compiled
+	// plans validated against those versions. planCacheCap overrides the
+	// cache's LRU capacity when positive.
+	versions     *plancache.Versions
+	planCache    *plancache.Cache
+	planCacheCap int
 
 	// dir enables persistence when non-empty (see persist.go).
 	dir string
@@ -64,11 +75,14 @@ type Provider struct {
 	logCap int  // query-log ring capacity for the default registry
 
 	// Cached hot-path metric handles (nil-safe when obs is nil).
-	execTotal   *obs.Counter
-	execErrors  *obs.Counter
-	execCancels *obs.Counter
-	rowsOut     *obs.Counter
-	latency     *obs.Histogram
+	execTotal       *obs.Counter
+	execErrors      *obs.Counter
+	execCancels     *obs.Counter
+	rowsOut         *obs.Counter
+	latency         *obs.Histogram
+	preparedTotal   *obs.Counter
+	preparedExec    *obs.Counter
+	preparedReplans *obs.Counter
 }
 
 // workers returns the effective worker-pool bound.
@@ -119,6 +133,13 @@ func WithQueryLogCapacity(n int) Option {
 	return func(p *Provider) { p.logCap = n }
 }
 
+// WithPlanCacheCap bounds the plan cache's LRU capacity
+// (plancache.DefaultCap when n <= 0). Small caps are mainly useful in tests
+// that need eviction pressure.
+func WithPlanCacheCap(n int) Option {
+	return func(p *Provider) { p.planCacheCap = n }
+}
+
 // New creates a provider with the six reference mining services installed
 // (Decision_Trees, Naive_Bayes, Clustering, Association_Rules,
 // Linear_Regression, Sequence_Analysis).
@@ -149,7 +170,23 @@ func New(opts ...Option) (*Provider, error) {
 	p.execCancels = p.obs.Counter("provider_cancelled_total")
 	p.rowsOut = p.obs.Counter("provider_rows_out_total")
 	p.latency = p.obs.Histogram("provider_statement_latency_us")
+	p.preparedTotal = p.obs.Counter("prepared_statements_total")
+	p.preparedExec = p.obs.Counter("prepared_exec_total")
+	p.preparedReplans = p.obs.Counter("prepared_replans_total")
 	p.Engine.Instrument(p.obs)
+	//dmlint:allow lockcheck — constructor; the provider is not shared yet.
+	p.prepared = make(map[string]*preparedStmt)
+	p.versions = plancache.NewVersions()
+	p.planCache = plancache.NewCache(p.versions, p.planCacheCap)
+	p.planCache.SetMetrics(plancache.Metrics{
+		Hits:          p.obs.Counter("plan_cache_hits_total"),
+		Misses:        p.obs.Counter("plan_cache_misses_total"),
+		Evictions:     p.obs.Counter("plan_cache_evictions_total"),
+		Invalidations: p.obs.Counter("plan_cache_invalidations_total"),
+	})
+	// Table and view DDL executed by the SQL engine invalidates dependent
+	// cached plans; model DDL bumps versions in createModel/dropModel.
+	p.Engine.SetDDLHook(p.versions.Bump)
 	if p.dir != "" {
 		if err := p.load(); err != nil {
 			return nil, err
@@ -263,6 +300,10 @@ func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 	if err := p.saveModelLocked(e); err != nil {
 		return nil, err
 	}
+	// A new model changes DMX/SQL dispatch for statements naming it (INSERT
+	// INTO <name> now trains instead of inserting rows), so cached plans on
+	// the name must die.
+	p.versions.Bump(def.Name)
 	return status("model created")
 }
 
@@ -294,6 +335,7 @@ func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
 	}
 	delete(p.models, key)
 	p.mu.Unlock()
+	p.versions.Bump(name)
 	if err := p.removeModelFile(name); err != nil {
 		return nil, err
 	}

@@ -21,6 +21,22 @@ type Engine struct {
 	stmts    *obs.Counter
 	stmtErrs *obs.Counter
 	rowsOut  *obs.Counter
+
+	// ddlHook, when set, is called with the object name after every
+	// successful CREATE/DROP of a table or view — the provider's plan cache
+	// hangs invalidation off it.
+	ddlHook func(name string)
+}
+
+// SetDDLHook registers fn to run after every successful table or view
+// CREATE/DROP, receiving the object's name. Call before serving statements;
+// the hook is not synchronized.
+func (e *Engine) SetDDLHook(fn func(name string)) { e.ddlHook = fn }
+
+func (e *Engine) notifyDDL(name string) {
+	if e.ddlHook != nil {
+		e.ddlHook(name)
+	}
 }
 
 // NewEngine wraps db.
@@ -87,6 +103,7 @@ func (e *Engine) execStmt(ctx context.Context, stmt Statement) (*rowset.Rowset, 
 		if _, err := e.DB.CreateTable(st.Name, schema); err != nil {
 			return nil, err
 		}
+		e.notifyDDL(st.Name)
 		return affected(0)
 	case *InsertStmt:
 		return e.execInsert(st)
@@ -98,13 +115,19 @@ func (e *Engine) execStmt(ctx context.Context, stmt Statement) (*rowset.Rowset, 
 		if err := e.DB.DropTable(st.Name); err != nil {
 			return nil, err
 		}
+		e.notifyDDL(st.Name)
 		return affected(0)
 	case *CreateViewStmt:
-		return e.execCreateView(st)
+		rs, err := e.execCreateView(st)
+		if err == nil {
+			e.notifyDDL(st.Name)
+		}
+		return rs, err
 	case *DropViewStmt:
 		if err := e.views.drop(st.Name); err != nil {
 			return nil, err
 		}
+		e.notifyDDL(st.Name)
 		return affected(0)
 	}
 	return nil, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
@@ -284,6 +307,64 @@ func (sel *SelectStmt) PlanSpan() *obs.Span {
 		if i > 0 {
 			sp.Add(obs.NewSpan("join", joinKindLabel(ref.Kind)))
 		}
+	}
+	if sel.Where != nil {
+		sp.Add(obs.NewSpan("filter", ""))
+	}
+	if needsAggregate(sel) {
+		sp.Add(obs.NewSpan("group-by", ""))
+	} else {
+		sp.Add(obs.NewSpan("project", ""))
+		if len(sel.OrderBy) > 0 {
+			sp.Add(obs.NewSpan("sort", ""))
+		}
+	}
+	return sp
+}
+
+// PlanSpan is the SELECT's cost-annotated executor plan: the span tree
+// sel.PlanSpan() declares, with scan labels carrying index-pushdown choices
+// and cardinality estimates ("cust index=id est=1") and join labels the
+// build-side decision ("inner build=left") — the same choices QueryContext
+// would make right now against the live catalog and table statistics. Falls
+// back to the shape-only sel.PlanSpan() when the catalog cannot resolve the
+// statement (EXPLAIN must not fail where execution would explain better).
+func (e *Engine) PlanSpan(sel *SelectStmt) *obs.Span {
+	if len(sel.From) == 0 {
+		return sel.PlanSpan()
+	}
+	scans := make([]*compiledScan, len(sel.From))
+	for i, ref := range sel.From {
+		cs, err := e.resolveScan(ref)
+		if err != nil {
+			return sel.PlanSpan()
+		}
+		scans[i] = cs
+	}
+	planPushdown(sel.Where, scans)
+	sp := obs.NewSpan("select", "")
+	accSchema := scans[0].schema
+	accEst := scans[0].estimate
+	for i, cs := range scans {
+		sp.Add(obs.NewSpan("scan", cs.label()))
+		if i == 0 {
+			continue
+		}
+		strategy := "loop"
+		if cs.ref.Kind != JoinCross {
+			if _, _, ok := equiJoinOrdinals(cs.ref.On, accSchema, cs.schema); ok {
+				if buildLeft(-1, -1, accEst, cs.estimate) {
+					strategy = "build=left"
+				} else {
+					strategy = "build=right"
+				}
+			}
+		}
+		sp.Add(obs.NewSpan("join", joinLabel(cs.ref.Kind, strategy)))
+		if joined, err := concatSchemas(accSchema, cs.schema); err == nil {
+			accSchema = joined
+		}
+		accEst = joinEstimate(accEst, cs.estimate, cs.ref.Kind)
 	}
 	if sel.Where != nil {
 		sp.Add(obs.NewSpan("filter", ""))

@@ -18,28 +18,31 @@ import (
 	"repro/internal/rowset"
 )
 
-// newJoinCursor picks a join strategy for one FROM step. Both inputs are
-// owned by the returned cursor (closed on Close or exhaustion); on error the
-// caller still owns them.
-func newJoinCursor(left, right rowset.Cursor, kind JoinKind, on Expr) (rowset.Cursor, error) {
+// newJoinCursor picks a join strategy for one FROM step, reporting the choice
+// ("build=left", "build=right", or "loop") for span labels. Exact cursor
+// sizes decide the hash-join build side when both are known; otherwise the
+// planner's cardinality estimates (lest/rest, negative = unknown) stand in,
+// turning the build-side choice into a cost-based decision instead of a
+// build-right default. Both inputs are owned by the returned cursor (closed
+// on Close or exhaustion); on error the caller still owns them.
+func newJoinCursor(left, right rowset.Cursor, kind JoinKind, on Expr, lest, rest int) (rowset.Cursor, string, error) {
 	schema, err := concatSchemas(left.Schema(), right.Schema())
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if kind != JoinCross {
 		if lo, ro, ok := equiJoinOrdinals(on, left.Schema(), right.Schema()); ok {
-			ls, rs := cursorSize(left), cursorSize(right)
-			if ls >= 0 && rs >= 0 && ls < rs {
+			if buildLeft(cursorSize(left), cursorSize(right), lest, rest) {
 				return &hashJoinBuildLeft{
 					left: left, right: right, schema: schema,
 					lo: lo, ro: ro, leftOuter: kind == JoinLeft,
-				}, nil
+				}, "build=left", nil
 			}
 			return &hashJoinStream{
 				left: left, right: right, schema: schema,
 				lo: lo, ro: ro, leftOuter: kind == JoinLeft,
 				nullRight: make(rowset.Row, right.Schema().Len()),
-			}, nil
+			}, "build=right", nil
 		}
 	}
 	lj := &loopJoin{
@@ -51,7 +54,20 @@ func newJoinCursor(left, right rowset.Cursor, kind JoinKind, on Expr) (rowset.Cu
 		lj.on = on
 		lj.leftOuter = kind == JoinLeft
 	}
-	return lj, nil
+	return lj, "loop", nil
+}
+
+// buildLeft decides the hash-join build side: exact cursor sizes win, the
+// planner's estimates fill in for unknowns, and build-right remains the
+// default when neither side's cardinality is established.
+func buildLeft(ls, rs, lest, rest int) bool {
+	if ls < 0 {
+		ls = lest
+	}
+	if rs < 0 {
+		rs = rest
+	}
+	return ls >= 0 && rs >= 0 && ls < rs
 }
 
 // joinRows concatenates a left and right half into one output row.

@@ -716,6 +716,10 @@ func parsePrimary(s *lex.Scanner) (Expr, error) {
 		s.Next()
 		return &Literal{Val: t.Text}, nil
 	case lex.Punct:
+		if t.Text == "?" {
+			s.Next()
+			return &Param{Ordinal: -1, TokPos: t.Pos, Pos: t.Position()}, nil
+		}
 		if t.Text == "(" {
 			s.Next()
 			if s.Peek().Is("SELECT") {
@@ -738,6 +742,10 @@ func parsePrimary(s *lex.Scanner) (Expr, error) {
 			return e, nil
 		}
 	case lex.Ident:
+		if !t.Quoted && len(t.Text) > 1 && strings.HasPrefix(t.Text, "@") {
+			s.Next()
+			return &Param{Ordinal: -1, Name: t.Text[1:], TokPos: t.Pos, Pos: t.Position()}, nil
+		}
 		if !t.Quoted {
 			switch strings.ToUpper(t.Text) {
 			case "NULL":

@@ -206,7 +206,8 @@ func BenchmarkSkewedJoinBuildSide(b *testing.B) {
 	}
 	b.Run("build-small", func(b *testing.B) {
 		run(b, func() (rowset.Cursor, error) {
-			return newJoinCursor(newSliceCursor(sq, smallRows), newSliceCursor(bq, bigRows), JoinInner, on)
+			c, _, err := newJoinCursor(newSliceCursor(sq, smallRows), newSliceCursor(bq, bigRows), JoinInner, on, -1, -1)
+			return c, err
 		})
 	})
 	b.Run("build-big", func(b *testing.B) {

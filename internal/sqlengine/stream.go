@@ -274,6 +274,12 @@ type compiledScan struct {
 	tbl    *storage.Table // nil for views
 	view   *rowset.Rowset // nil for tables
 	pushed *pushedEq
+
+	// estimate is the scan's expected output cardinality: exact for views and
+	// unpushed table scans, rows/distinct from table statistics for pushed
+	// equalities. Join planning falls back to it when exact cursor sizes are
+	// unavailable.
+	estimate int
 }
 
 // TableSource resolves name to a base table, reporting false when the name
@@ -302,6 +308,7 @@ func (e *Engine) resolveScan(ref TableRef) (*compiledScan, error) {
 			return nil, fmt.Errorf("sqlengine: view %s: %w", ref.Name, err)
 		}
 		cs.view = vr
+		cs.estimate = vr.Len()
 		base = vr.Schema()
 	} else {
 		tbl, err := e.DB.Table(ref.Name)
@@ -309,6 +316,7 @@ func (e *Engine) resolveScan(ref TableRef) (*compiledScan, error) {
 			return nil, err
 		}
 		cs.tbl = tbl
+		cs.estimate = tbl.Len()
 		base = tbl.Schema()
 	}
 	q := ref.AliasOrName()
@@ -328,11 +336,7 @@ func (e *Engine) resolveScan(ref TableRef) (*compiledScan, error) {
 // shared and un-renormalized: table rows were coerced on insert, view rows
 // were normalized when the view query materialized.
 func (cs *compiledScan) open(t *obs.Trace, detailed bool) (rowset.Cursor, error) {
-	label := cs.ref.AliasOrName()
-	if cs.pushed != nil {
-		label += " index=" + cs.pushed.col
-	}
-	sp := t.StartSpan("scan", label)
+	sp := t.StartSpan("scan", cs.label())
 	var cur rowset.Cursor
 	switch {
 	case cs.view != nil:
@@ -352,10 +356,24 @@ func (cs *compiledScan) open(t *obs.Trace, detailed bool) (rowset.Cursor, error)
 	return traced(cur, sp, detailed), nil
 }
 
+// label renders the scan for span output: the FROM alias, the pushed index
+// column (if any), and the cardinality estimate.
+func (cs *compiledScan) label() string {
+	label := cs.ref.AliasOrName()
+	if cs.pushed != nil {
+		label += " index=" + cs.pushed.col
+	}
+	return fmt.Sprintf("%s est=%d", label, cs.estimate)
+}
+
 // planPushdown splits the WHERE conjunction and pushes eligible equality
 // conjuncts into their scans, returning the residual predicate (nil when
-// everything was pushed). A conjunct pushes only when ALL of these hold, each
-// protecting an equivalence with evaluating the predicate post-scan:
+// everything was pushed). When several conjuncts could use an index on the
+// same scan, the planner picks the most selective one by estimated output
+// cardinality (rows / distinct values, from table statistics), breaking ties
+// toward the earliest conjunct. A conjunct is eligible only when ALL of these
+// hold, each protecting an equivalence with evaluating the predicate
+// post-scan:
 //
 //   - it has the shape `column = literal` (either order) with a non-NULL
 //     literal — NULL never equals anything, and rows the index would drop for
@@ -378,11 +396,33 @@ func planPushdown(where Expr, scans []*compiledScan) Expr {
 		return nil
 	}
 	conjuncts := splitAnd(where)
-	residual := conjuncts[:0]
-	for _, c := range conjuncts {
-		if !tryPush(c, scans) {
-			residual = append(residual, c)
+	type candidate struct {
+		scan int
+		eq   pushedEq
+		est  int
+	}
+	cands := make([]*candidate, len(conjuncts))
+	chosen := make(map[int]int) // scan index → index of its cheapest candidate conjunct
+	for i, c := range conjuncts {
+		si, eq, ok := matchPush(c, scans)
+		if !ok {
+			continue
 		}
+		est := scans[si].tbl.Stats().EqEstimate(eq.col)
+		cands[i] = &candidate{scan: si, eq: eq, est: est}
+		if j, have := chosen[si]; !have || est < cands[j].est {
+			chosen[si] = i
+		}
+	}
+	residual := conjuncts[:0]
+	for i, c := range conjuncts {
+		if cd := cands[i]; cd != nil && chosen[cd.scan] == i {
+			cs := scans[cd.scan]
+			cs.pushed = &cd.eq
+			cs.estimate = cd.est
+			continue
+		}
+		residual = append(residual, c)
 	}
 	return joinAnd(residual)
 }
@@ -405,10 +445,14 @@ func joinAnd(list []Expr) Expr {
 	return out
 }
 
-func tryPush(c Expr, scans []*compiledScan) bool {
+// matchPush tests one conjunct against the pushdown soundness rules without
+// committing it, returning the target scan and the index probe it would
+// become. Choosing among competing candidates for one scan is planPushdown's
+// job.
+func matchPush(c Expr, scans []*compiledScan) (int, pushedEq, bool) {
 	b, ok := c.(*Binary)
 	if !ok || b.Op != OpEq {
-		return false
+		return 0, pushedEq{}, false
 	}
 	var cr *ColumnRef
 	var lit *Literal
@@ -422,44 +466,43 @@ func tryPush(c Expr, scans []*compiledScan) bool {
 		}
 	}
 	if cr == nil {
-		return false
+		return 0, pushedEq{}, false
 	}
 	val := rowset.Normalize(lit.Val)
 	if val == nil {
-		return false
+		return 0, pushedEq{}, false
 	}
 	target, ord := -1, -1
 	for i, cs := range scans {
 		if o, err := ResolveColumn(cs.schema, cr.Qualifier, cr.Name); err == nil {
 			if target >= 0 {
-				return false // ambiguous across FROM entries
+				return 0, pushedEq{}, false // ambiguous across FROM entries
 			}
 			target, ord = i, o
 		}
 	}
 	if target < 0 {
-		return false // unknown column: leave it for the filter to report
+		return 0, pushedEq{}, false // unknown column: leave it for the filter to report
 	}
 	cs := scans[target]
-	if cs.tbl == nil || cs.pushed != nil {
-		return false
+	if cs.tbl == nil {
+		return 0, pushedEq{}, false
 	}
 	if target > 0 && cs.ref.Kind == JoinLeft {
-		return false
+		return 0, pushedEq{}, false
 	}
 	col := cs.schema.Column(ord)
 	if !indexableEq(col.Type, val) {
-		return false
+		return 0, pushedEq{}, false
 	}
 	bare := col.Name
 	if dot := strings.LastIndex(bare, "."); dot >= 0 {
 		bare = bare[dot+1:]
 	}
 	if !cs.tbl.HasIndex(bare) {
-		return false
+		return 0, pushedEq{}, false
 	}
-	cs.pushed = &pushedEq{col: bare, val: val}
-	return true
+	return target, pushedEq{col: bare, val: val}, true
 }
 
 // indexableEq reports whether probing an index bucket for v is equivalent to
@@ -513,21 +556,49 @@ func (e *Engine) buildSourceCursor(t *obs.Trace, sel *SelectStmt) (rowset.Cursor
 	if err != nil {
 		return nil, nil, err
 	}
+	accEst := scans[0].estimate
 	for _, cs := range scans[1:] {
 		right, err := cs.open(t, detailed)
 		if err != nil {
 			acc.Close() //nolint:errcheck // already failing
 			return nil, nil, err
 		}
-		sp := t.StartSpan("join", joinKindLabel(cs.ref.Kind))
-		t.EndSpan(sp)
-		jc, err := newJoinCursor(acc, right, cs.ref.Kind, cs.ref.On)
+		jc, strategy, err := newJoinCursor(acc, right, cs.ref.Kind, cs.ref.On, accEst, cs.estimate)
 		if err != nil {
 			acc.Close()   //nolint:errcheck // already failing
 			right.Close() //nolint:errcheck // already failing
 			return nil, nil, err
 		}
+		sp := t.StartSpan("join", joinLabel(cs.ref.Kind, strategy))
+		t.EndSpan(sp)
 		acc = traced(jc, sp, detailed)
+		accEst = joinEstimate(accEst, cs.estimate, cs.ref.Kind)
 	}
 	return acc, residual, nil
+}
+
+// joinLabel renders a join span label: the join kind plus the strategy the
+// planner picked ("build=left", "build=right", or "loop").
+func joinLabel(kind JoinKind, strategy string) string {
+	if strategy == "" {
+		return joinKindLabel(kind)
+	}
+	return joinKindLabel(kind) + " " + strategy
+}
+
+// joinEstimate propagates cardinality estimates across one join step. It is
+// deliberately coarse: cross joins multiply, equi and general joins keep the
+// larger input (a safe upper bound for one-to-many key joins). A negative
+// input marks an unknown and poisons the result.
+func joinEstimate(l, r int, kind JoinKind) int {
+	if l < 0 || r < 0 {
+		return -1
+	}
+	if kind == JoinCross {
+		return l * r
+	}
+	if l > r {
+		return l
+	}
+	return r
 }

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"strings"
+
+	"repro/internal/rowset"
+)
+
+// TableStats is a point-in-time cardinality summary of one table: the row
+// count plus the number of distinct values per column. The cost-based parts
+// of the SQL planner use it to estimate the selectivity of an equality
+// predicate (rows / distinct) and to pick hash-join build sides when exact
+// cursor sizes are unknown.
+type TableStats struct {
+	// Rows is the table's row count when the stats were computed.
+	Rows int
+	// Distinct maps lower-cased bare column names to their distinct value
+	// counts (NULL counts as one value).
+	Distinct map[string]int
+}
+
+// DistinctCount returns the distinct value count for col (case-insensitive),
+// or 0 when the column is unknown.
+func (s *TableStats) DistinctCount(col string) int {
+	if s == nil {
+		return 0
+	}
+	return s.Distinct[strings.ToLower(col)]
+}
+
+// EqEstimate estimates how many rows an equality predicate on col selects:
+// rows divided by the column's distinct count (at least 1 while the table is
+// non-empty), or the full row count when the column has no stats.
+func (s *TableStats) EqEstimate(col string) int {
+	if s == nil {
+		return 0
+	}
+	d := s.DistinctCount(col)
+	if d <= 0 {
+		return s.Rows
+	}
+	est := s.Rows / d
+	if est < 1 && s.Rows > 0 {
+		est = 1
+	}
+	return est
+}
+
+// Version returns the table's data version: a counter bumped by every
+// Insert, Replace, and Truncate. Plan caches key cardinality stats (and plan
+// validity) on it.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// Stats returns cardinality statistics for the table, recomputing them only
+// when the data version moved since the last computation. The returned value
+// is a shared immutable snapshot; callers must not mutate it.
+func (t *Table) Stats() *TableStats {
+	v := t.version.Load()
+	t.mu.RLock()
+	if t.stats != nil && t.statsVersion == v {
+		s := t.stats
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Recheck under the write lock: a concurrent caller may have computed the
+	// stats while we waited, and the version may have moved again.
+	v = t.version.Load()
+	if t.stats != nil && t.statsVersion == v {
+		return t.stats
+	}
+	t.stats = t.computeStatsLocked()
+	t.statsVersion = v
+	return t.stats
+}
+
+// computeStatsLocked scans the table once, counting distinct values per
+// column via the same key encoding the hash indexes use. t.mu must be held.
+func (t *Table) computeStatsLocked() *TableStats {
+	s := &TableStats{Rows: len(t.rows), Distinct: make(map[string]int, t.schema.Len())}
+	var scratch [48]byte
+	for ord := 0; ord < t.schema.Len(); ord++ {
+		seen := make(map[string]struct{})
+		for _, r := range t.rows {
+			key := rowset.AppendKey(scratch[:0], r[ord])
+			if _, dup := seen[string(key)]; !dup {
+				seen[string(key)] = struct{}{}
+			}
+		}
+		s.Distinct[strings.ToLower(t.schema.Column(ord).Name)] = len(seen)
+	}
+	return s
+}
+
+// bumpVersion invalidates cached statistics after a data mutation.
+func (t *Table) bumpVersion() { t.version.Add(1) }

@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rowset"
 )
@@ -18,9 +19,17 @@ type Table struct {
 	name   string
 	schema *rowset.Schema
 
+	// version counts data mutations (Insert/Replace/Truncate); see stats.go.
+	version atomic.Uint64
+
 	mu      sync.RWMutex
 	rows    []rowset.Row
 	indexes map[string]*hashIndex // keyed by lower-cased column name
+
+	// stats caches the cardinality summary computed at statsVersion; both are
+	// guarded by mu and recomputed lazily when version moves (see stats.go).
+	stats        *TableStats
+	statsVersion uint64
 }
 
 // NewTable creates an empty table.
@@ -62,6 +71,7 @@ func (t *Table) Insert(r rowset.Row) error {
 	for _, idx := range t.indexes {
 		idx.add(row[idx.ord], pos)
 	}
+	t.bumpVersion()
 	return nil
 }
 
@@ -103,6 +113,7 @@ func (t *Table) Replace(rows []rowset.Row) error {
 			idx.add(r[idx.ord], pos)
 		}
 	}
+	t.bumpVersion()
 	return nil
 }
 
@@ -114,6 +125,7 @@ func (t *Table) Truncate() {
 	for _, idx := range t.indexes {
 		idx.reset()
 	}
+	t.bumpVersion()
 }
 
 // Scan returns a point-in-time snapshot of the table as a Rowset. The rows
