@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench-parallel bench-smoke bench-json bench-compare lint check
+.PHONY: build test vet race bench-parallel bench-smoke bench-json bench-compare lint vulncheck check
 
 build:
 	$(GO) build ./...
@@ -46,4 +46,14 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./tools/dmlint ./...
 
-check: lint race bench-parallel
+# Known-vulnerability scan. Gated on the binary being present: the scan
+# needs network access for the vuln DB, so offline/sandboxed builds skip it
+# rather than fail.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+check: lint vulncheck race bench-parallel

@@ -80,11 +80,20 @@ type Server struct {
 	// SlowQuery, when positive, logs any statement whose wall time meets the
 	// threshold, with its per-stage breakdown. Set before calling Serve.
 	SlowQuery time.Duration
+	// BaseContext, when non-nil, is the root context every statement
+	// executes under, letting an embedder thread its own shutdown signal.
+	// The server derives its execution context from it (or from an internal
+	// root when nil) in Serve and cancels that context in Close, so
+	// in-flight statements abort instead of running to completion against a
+	// closed server. Set before calling Serve.
+	BaseContext context.Context
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	execCtx  context.Context // statement root, derived in Serve
+	cancel   context.CancelFunc
 }
 
 // New returns a server for the provider.
@@ -107,6 +116,11 @@ func (s *Server) Serve(l net.Listener) error {
 		return fmt.Errorf("dmserver: Serve called twice on the same Server")
 	}
 	s.listener = l
+	base := s.BaseContext
+	if base == nil {
+		base = context.Background() //dmlint:allow ctxflow — the server is the root of the call chain when the embedder supplies no BaseContext; Close cancels the derived context.
+	}
+	s.execCtx, s.cancel = context.WithCancel(base)
 	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
@@ -145,11 +159,16 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting and closes every open connection.
+// Close stops accepting, cancels the execution context so in-flight
+// statements abort at their next cancellation poll, and closes every open
+// connection.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
@@ -162,6 +181,9 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	remote := conn.RemoteAddr().String()
+	s.mu.Lock()
+	execCtx := s.execCtx
+	s.mu.Unlock()
 	cs := s.Provider.Obs().Connections().Open(remote)
 	defer func() {
 		s.Provider.Obs().Connections().Close(cs)
@@ -202,11 +224,11 @@ func (s *Server) handle(conn net.Conn) {
 		var execErr error
 		switch req.verb {
 		case VerbExecutePrepared:
-			rs, execErr = s.Provider.ExecutePreparedContext(context.Background(), req.name, req.args, provider.WithOrigin(remote))
+			rs, execErr = s.Provider.ExecutePreparedContext(execCtx, req.name, req.args, provider.WithOrigin(remote))
 		case VerbExecParams:
-			rs, execErr = s.Provider.ExecuteParamsContext(context.Background(), req.cmd, req.args, provider.WithOrigin(remote))
+			rs, execErr = s.Provider.ExecuteParamsContext(execCtx, req.cmd, req.args, provider.WithOrigin(remote))
 		default:
-			rs, execErr = s.Provider.ExecuteContext(context.Background(), req.cmd, provider.WithOrigin(remote))
+			rs, execErr = s.Provider.ExecuteContext(execCtx, req.cmd, provider.WithOrigin(remote))
 		}
 		elapsed := time.Since(start)
 		cs.Request(execErr != nil)

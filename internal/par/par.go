@@ -22,7 +22,7 @@ const cancelPollMask = 31
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
 // It is ForEachCtx without a cancellation context.
 func ForEach(n, workers int, fn func(i int) error) error {
-	return ForEachCtx(context.Background(), n, workers, fn)
+	return ForEachCtx(context.Background(), n, workers, fn) //dmlint:allow ctxflow — documented context-free convenience form; ForEachCtx is the primary API.
 }
 
 // ForEachCtx runs fn(i) for every i in [0, n) on up to workers goroutines.

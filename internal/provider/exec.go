@@ -97,7 +97,7 @@ func (p *Provider) run(ctx context.Context, label string, opts []ExecOption, fn 
 // ExecuteContext with a background context, kept as the convenience form for
 // callers that have no context to thread.
 func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
-	return p.ExecuteContext(context.Background(), command)
+	return p.ExecuteContext(context.Background(), command) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteContext is the primary API.
 }
 
 // ExecuteScriptContext runs a multi-statement script (statements separated
@@ -121,7 +121,7 @@ func (p *Provider) ExecuteScriptContext(ctx context.Context, script string, opts
 
 // ExecuteScript is ExecuteScriptContext with a background context.
 func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
-	return p.ExecuteScriptContext(context.Background(), script)
+	return p.ExecuteScriptContext(context.Background(), script) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteScriptContext is the primary API.
 }
 
 // executeTracedArgs dispatches one command, attributing stage time to the
@@ -255,7 +255,7 @@ func (p *Provider) execDMX(ctx context.Context, st dmx.Statement) (*rowset.Rowse
 
 // ExecuteDMX is ExecuteDMXContext with a background context.
 func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
-	return p.ExecuteDMXContext(context.Background(), st)
+	return p.ExecuteDMXContext(context.Background(), st) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteDMXContext is the primary API.
 }
 
 // statementKind labels a DMX statement class for the query log.

@@ -29,7 +29,11 @@ import (
 )
 
 // plan is one compiled statement. Exactly one of dmxStmt, sqlStmt, or
-// shapeCmd is set. A plan is immutable after compilation.
+// shapeCmd is set. A plan is immutable after compilation: the plan cache
+// hands the same *plan to concurrent executions, so any post-construction
+// write is a data race. Enforced by the planimmut analyzer.
+//
+//dmlint:immutable
 type plan struct {
 	kind     string                // statement class for traces and the query log
 	dmxStmt  dmx.Statement         // parsed DMX statement

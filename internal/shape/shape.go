@@ -132,7 +132,7 @@ func ParseString(src string) (*Query, error) {
 // hierarchical rowset: the root query's columns plus one TABLE column per
 // APPEND, each cell holding the child rows whose relate key matches.
 func (q *Query) Execute(e *sqlengine.Engine) (*rowset.Rowset, error) {
-	return q.ExecuteContext(context.Background(), e)
+	return q.ExecuteContext(context.Background(), e) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteContext is the primary API.
 }
 
 // childGroup holds one APPEND child's rows bucketed by relate key, ready to
@@ -273,7 +273,7 @@ func (q *Query) PlanSpan() *obs.Span {
 
 // ExecuteString parses and executes a SHAPE statement in one call.
 func ExecuteString(e *sqlengine.Engine, src string) (*rowset.Rowset, error) {
-	return ExecuteStringContext(context.Background(), e, src)
+	return ExecuteStringContext(context.Background(), e, src) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteStringContext is the primary API.
 }
 
 // ExecuteStringContext parses and executes a SHAPE statement in one call,

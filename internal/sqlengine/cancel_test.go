@@ -1,0 +1,91 @@
+package sqlengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// newBigEngine builds an engine with a single table of n rows, big enough
+// that a self cross join produces n*n candidate rows.
+func newBigEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := NewEngine(storage.NewDatabase())
+	if _, err := e.Exec("CREATE TABLE Big (id LONG, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO Big VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, 'r%d')", i, i)
+	}
+	if _, err := e.Exec(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestExecContextPreCancelledAbortsScan is the regression test for the
+// uncancellable-scan bug: before the cancellation poll existed, a SELECT
+// under an already-cancelled context ran the whole cross join to completion
+// and returned its rowset with a nil error.
+func TestExecContextPreCancelledAbortsScan(t *testing.T) {
+	e := newBigEngine(t, 200)
+	const q = "SELECT COUNT(*) FROM Big AS a, Big AS b WHERE a.id < b.id"
+
+	// Sanity: the statement itself is valid and produces the expected count,
+	// so the error below can only come from cancellation.
+	rs, err := e.ExecContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("uncancelled run: %v", err)
+	}
+	if got := rs.Row(0)[0]; got != int64(200*199/2) {
+		t.Fatalf("count = %v", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelCursorStopsMidStream exercises the poll point directly: cancel
+// after some rows have streamed and assert the cursor surfaces the
+// cancellation within one poll interval instead of draining its source.
+func TestCancelCursorStopsMidStream(t *testing.T) {
+	e := newBigEngine(t, 300)
+	rs := mustQuery(t, e, "SELECT * FROM Big")
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &cancelCursor{src: rs.Cursor(), ctx: ctx, done: ctx.Done()}
+	defer c.Close() //nolint:errcheck
+
+	const before = 10
+	for i := 0; i < before; i++ {
+		if r, err := c.Next(); err != nil || r == nil {
+			t.Fatalf("row %d: r=%v err=%v", i, r, err)
+		}
+	}
+	cancel()
+	// The next poll lands within pollEvery rows of the cancellation.
+	for i := 0; i <= pollEvery; i++ {
+		r, err := c.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+		if r == nil {
+			t.Fatal("source drained before the cancellation was observed")
+		}
+	}
+	t.Fatalf("no cancellation surfaced within %d rows", pollEvery+1)
+}

@@ -57,7 +57,7 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 // Exec parses and executes one SQL statement. Every statement returns a
 // rowset; DML statements return a single-row ([rows affected]) result.
 func (e *Engine) Exec(sql string) (*rowset.Rowset, error) {
-	return e.ExecContext(context.Background(), sql)
+	return e.ExecContext(context.Background(), sql) //dmlint:allow ctxflow — documented context-free convenience form; ExecContext is the primary API.
 }
 
 // ExecContext is Exec threading a context: when ctx carries an obs.Trace,
@@ -75,7 +75,7 @@ func (e *Engine) ExecContext(ctx context.Context, sql string) (*rowset.Rowset, e
 
 // ExecStmt executes a parsed statement.
 func (e *Engine) ExecStmt(stmt Statement) (*rowset.Rowset, error) {
-	return e.ExecStmtContext(context.Background(), stmt)
+	return e.ExecStmtContext(context.Background(), stmt) //dmlint:allow ctxflow — documented context-free convenience form; ExecStmtContext is the primary API.
 }
 
 // ExecStmtContext executes a parsed statement, recording operator spans on
@@ -145,7 +145,7 @@ func affected(n int) (*rowset.Rowset, error) {
 
 // Query executes a SELECT and returns the result rowset.
 func (e *Engine) Query(sel *SelectStmt) (*rowset.Rowset, error) {
-	return e.QueryContext(context.Background(), sel)
+	return e.QueryContext(context.Background(), sel) //dmlint:allow ctxflow — documented context-free convenience form; QueryContext is the primary API.
 }
 
 // needsAggregate reports whether the SELECT runs through the aggregation
@@ -186,6 +186,13 @@ func (e *Engine) QueryContext(ctx context.Context, sel *SelectStmt) (*rowset.Row
 	src, residual, err := e.buildSourceCursor(t, sel)
 	if err != nil {
 		return nil, err
+	}
+	if done := ctx.Done(); done != nil {
+		// Cancellable statement: poll ctx between row batches so a Close'd
+		// server or timed-out client stops the scan mid-stream. The wrap
+		// sits above the joins, so one poll point covers the whole source
+		// pipeline.
+		src = &cancelCursor{src: src, ctx: ctx, done: done}
 	}
 	if sel.Where != nil {
 		// The filter span exists whenever the statement has a WHERE, even if

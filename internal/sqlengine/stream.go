@@ -18,6 +18,7 @@ package sqlengine
 // planPushdown for the soundness rules.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -72,6 +73,40 @@ func (c *schemaCursor) Next() (rowset.Row, error) { return c.src.Next() }
 func (c *schemaCursor) Schema() *rowset.Schema    { return c.schema }
 func (c *schemaCursor) Close() error              { return c.src.Close() }
 func (c *schemaCursor) Size() int                 { return cursorSize(c.src) }
+
+// cancelCursor threads context cancellation into the pull pipeline: Next
+// polls ctx.Done() every pollEvery rows, so a cancelled statement stops
+// pulling — and therefore stops every upstream operator — mid-stream
+// instead of running the scan to completion. QueryContext inserts it only
+// when the context is actually cancellable (Done() != nil), keeping the
+// common Background path allocation- and branch-free.
+type cancelCursor struct {
+	src  rowset.Cursor
+	ctx  context.Context
+	done <-chan struct{}
+	n    uint
+}
+
+// pollEvery is the row stride between cancellation polls: frequent enough
+// that a runaway join aborts promptly, sparse enough that the select adds
+// no measurable per-row cost.
+const pollEvery = 64
+
+func (c *cancelCursor) Next() (rowset.Row, error) {
+	if c.n%pollEvery == 0 {
+		select {
+		case <-c.done:
+			return nil, c.ctx.Err()
+		default:
+		}
+	}
+	c.n++
+	return c.src.Next()
+}
+
+func (c *cancelCursor) Schema() *rowset.Schema { return c.src.Schema() }
+func (c *cancelCursor) Close() error           { return c.src.Close() }
+func (c *cancelCursor) Size() int              { return cursorSize(c.src) }
 
 // sized is implemented by cursors that know exactly how many rows they will
 // yield (table snapshots, slices, materialized views). Join planning uses it

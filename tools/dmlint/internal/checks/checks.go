@@ -1,15 +1,21 @@
 // Package checks holds the dmlint analyzers: the project-specific invariants
 // that plain go vet cannot express — provider mutex discipline, error-chain
-// preservation, rowset.Value switch exhaustiveness, and the no-panic rule
-// for library packages.
+// preservation, rowset.Value switch exhaustiveness, the no-panic rule for
+// library packages, and the dataflow invariants of the streaming engine:
+// cursor-close obligations, context propagation, span pairing, and plan
+// immutability.
 package checks
 
 import "repro/tools/dmlint/internal/analysis"
 
 // All lists every analyzer the dmlint driver runs, in output order.
 var All = []*analysis.Analyzer{
+	CursorClose,
+	CtxFlow,
 	LockCheck,
 	NoPanic,
+	PlanImmut,
+	SpanPair,
 	ValueSwitch,
 	WrapCheck,
 }

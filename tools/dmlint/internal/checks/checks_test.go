@@ -37,6 +37,32 @@ func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck"), "repro/internal/lockfixture", LockCheck)
 }
 
+func TestCursorClose(t *testing.T) {
+	analysistest.Run(t, fixture("cursorclose"), "repro/internal/cursorfixture", CursorClose)
+}
+
+func TestCursorCloseSkipsExternalPackages(t *testing.T) {
+	// Outside repro/internal/ the analyzer is silent: same fixture, no
+	// findings expected, so any report fails as unexpected.
+	analysistest.Run(t, fixture("cursorclose_external"), "repro/tools/cursortoolfixture", CursorClose)
+}
+
+func TestSpanPair(t *testing.T) {
+	analysistest.Run(t, fixture("spanpair"), "repro/internal/spanfixture", SpanPair)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow"), "repro/internal/ctxfixture", CtxFlow)
+}
+
+func TestCtxFlowExemptsTestSupportPackages(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow_testpkg"), "repro/internal/ctxfixturetest", CtxFlow)
+}
+
+func TestPlanImmut(t *testing.T) {
+	analysistest.Run(t, fixture("planimmut"), "repro/internal/immutfixture", PlanImmut)
+}
+
 func TestLockCheckSkipsUnguardedPackages(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck_unguarded"), "repro/internal/unguardedfixture", LockCheck)
 }

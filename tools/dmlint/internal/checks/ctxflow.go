@@ -1,0 +1,193 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// CtxFlow enforces context propagation through the engine (the PR3
+// contract: cancellation must reach every scan loop and wire read).
+// Three rules, all scoped to repro/internal/ non-test packages:
+//
+//  1. context.Background() and context.TODO() are forbidden: library
+//     code never originates a context — it receives one from cmd/ or a
+//     test. Deprecated context-less wrappers carry an explicit
+//     //dmlint:allow ctxflow with justification.
+//  2. An exported function that accepts a context.Context must actually
+//     use it (a parameter that is silently dropped breaks cancellation
+//     while advertising it; `_ = ctx` does not count).
+//  3. A function that has a context in scope must not call the
+//     context-less variant of a method or function when a *Context
+//     variant exists (e.g. calling Execute where ExecuteContext is
+//     available drops the caller's deadline on the floor).
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must be accepted and propagated, never originated in internal/",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *analysis.Pass) error {
+	if !strings.HasPrefix(p.Pkg.Path(), "repro/internal/") {
+		return nil
+	}
+	if strings.HasSuffix(p.Pkg.Name(), "test") {
+		return nil // test-support packages own their contexts
+	}
+	for _, f := range p.Files {
+		checkNoBackground(p, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(p, fd)
+			if ctxParam != nil {
+				if fd.Name.IsExported() && !usesObject(p, fd.Body, ctxParam) {
+					p.Reportf(fd.Name.Pos(), "%s accepts a context.Context but never uses it; propagate it into calls and cancellation checks", fd.Name.Name)
+				}
+				checkDroppedContext(p, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNoBackground reports context.Background()/context.TODO() calls.
+func checkNoBackground(p *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			p.Reportf(call.Pos(), "context.%s() in internal/: accept a context.Context from the caller instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// contextParam returns the object of fd's context.Context parameter.
+func contextParam(p *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesObject reports whether body references obj outside a blank
+// assignment (`_ = ctx` is documentation, not propagation).
+func usesObject(p *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && isBlankDiscard(as, p, obj) {
+			return false // skip the discard's subtree
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// isBlankDiscard matches `_ = obj` exactly.
+func isBlankDiscard(as *ast.AssignStmt, p *analysis.Pass, obj types.Object) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return false
+	}
+	rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+	return ok && p.Info.Uses[rhs] == obj
+}
+
+// checkDroppedContext reports calls to M(...) made while a context is in
+// scope when the callee also provides MContext(ctx, ...): the caller is
+// discarding its own cancellation signal.
+func checkDroppedContext(p *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if strings.HasSuffix(name, "Context") {
+			return true
+		}
+		variant := name + "Context"
+		switch callee := p.Info.Uses[sel.Sel].(type) {
+		case *types.Func:
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if sig.Recv() != nil {
+				// Method: look the *Context variant up on the receiver.
+				obj, _, _ := types.LookupFieldOrMethod(sig.Recv().Type(), true, p.Pkg, variant)
+				if fnTakesContext(obj) {
+					p.Reportf(call.Pos(), "%s drops the in-scope context; call %s instead", name, variant)
+				}
+				return true
+			}
+			// Package-level function: look in the defining package.
+			if callee.Pkg() != nil {
+				if fnTakesContext(callee.Pkg().Scope().Lookup(variant)) {
+					p.Reportf(call.Pos(), "%s drops the in-scope context; call %s instead", name, variant)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fnTakesContext reports whether obj is a function whose first parameter
+// is a context.Context.
+func fnTakesContext(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}

@@ -1,0 +1,205 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// PlanImmut enforces the immutability contract of types marked
+//
+//	//dmlint:immutable
+//
+// in their doc comment (compiled plans published to internal/plancache:
+// one plan serves concurrent executions, so any post-construction write
+// is a data race the epoch guard cannot see). Within the defining
+// package:
+//
+//   - Fields of a marked type may be written only inside a constructor —
+//     a function whose results include the marked type (compileSQL,
+//     clone helpers). Everywhere else, mutation must go through cloning.
+//   - Non-constructor functions must not return a reference-typed field
+//     (slice, map, pointer) of a marked type directly, and must not take
+//     a field's address: both alias the shared plan's innards to a
+//     caller who may mutate them.
+//
+// The marker is checked in the type's defining package, where its
+// unexported fields are reachable; cross-package writes are impossible
+// for unexported fields and covered by the compiler.
+var PlanImmut = &analysis.Analyzer{
+	Name: "planimmut",
+	Doc:  "types marked //dmlint:immutable reject writes and aliasing outside constructors",
+	Run:  runPlanImmut,
+}
+
+func runPlanImmut(p *analysis.Pass) error {
+	marked := collectImmutableTypes(p)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isCtor := isConstructor(p, fd, marked)
+			checkImmutableWrites(p, fd, marked, isCtor)
+		}
+	}
+	return nil
+}
+
+// collectImmutableTypes gathers the named types whose declaration carries
+// the //dmlint:immutable marker.
+func collectImmutableTypes(p *analysis.Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := hasImmutableMarker(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !declMarked && !hasImmutableMarker(ts.Doc) && !hasImmutableMarker(ts.Comment) {
+					continue
+				}
+				if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasImmutableMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "dmlint:immutable" {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstructor reports whether fd's results include a marked type —
+// the convention that makes a function part of the construction phase
+// (compile functions, clone helpers).
+func isConstructor(p *analysis.Pass, fd *ast.FuncDecl, marked map[*types.TypeName]bool) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if tn := namedTypeName(tv.Type); tn != nil && marked[tn] {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypeName unwraps pointers and returns the *types.TypeName behind
+// t, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// checkImmutableWrites reports field writes and aliasing escapes of
+// marked types inside fd.
+func checkImmutableWrites(p *analysis.Pass, fd *ast.FuncDecl, marked map[*types.TypeName]bool, isCtor bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isCtor {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if tn, field := immutableFieldAccess(p, lhs, marked); tn != nil {
+					p.Reportf(lhs.Pos(), "write to field %s of immutable type %s outside a constructor; clone the %s instead",
+						field, tn.Name(), tn.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if isCtor {
+				return true
+			}
+			if tn, field := immutableFieldAccess(p, n.X, marked); tn != nil {
+				p.Reportf(n.X.Pos(), "write to field %s of immutable type %s outside a constructor; clone the %s instead",
+					field, tn.Name(), tn.Name())
+			}
+		case *ast.UnaryExpr:
+			if isCtor {
+				return true
+			}
+			if n.Op.String() != "&" {
+				return true
+			}
+			if tn, field := immutableFieldAccess(p, n.X, marked); tn != nil {
+				p.Reportf(n.Pos(), "address of field %s aliases immutable type %s; copy the value instead",
+					field, tn.Name())
+			}
+		case *ast.ReturnStmt:
+			if isCtor {
+				return true
+			}
+			for _, r := range n.Results {
+				tn, field := immutableFieldAccess(p, r, marked)
+				if tn == nil {
+					continue
+				}
+				if tv, ok := p.Info.Types[r]; ok && isReferenceType(tv.Type) {
+					p.Reportf(r.Pos(), "returning reference field %s aliases immutable type %s; return a copy",
+						field, tn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// immutableFieldAccess reports whether expr selects a field of a marked
+// type, returning the type and field name.
+func immutableFieldAccess(p *analysis.Pass, expr ast.Expr, marked map[*types.TypeName]bool) (*types.TypeName, string) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	tn := namedTypeName(s.Recv())
+	if tn == nil || !marked[tn] {
+		return nil, ""
+	}
+	return tn, sel.Sel.Name
+}
+
+// isReferenceType reports whether t shares underlying storage when
+// copied: slices, maps, pointers, and channels.
+func isReferenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}

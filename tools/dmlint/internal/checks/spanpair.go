@@ -1,0 +1,165 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// SpanPair enforces the obs span discipline from PR4, until now prose
+// only:
+//
+//  1. Every span begun with Trace.StartSpan/StartSpanStage is ended —
+//     t.EndSpan(sp) plain or deferred — on every path out of the
+//     function, or its ownership is handed to another holder (a
+//     traced-cursor wrapper, a struct field). A span left open on an
+//     error or cancellation path corrupts the statement's span tree.
+//  2. Worker goroutines never touch the statement-owned trace: a
+//     function literal launched with `go` or handed to the par worker
+//     pool must not reference a *obs.Trace or *obs.Span captured from
+//     the enclosing statement goroutine. Fan-out is recorded in span
+//     labels by the owner instead.
+//
+// Scoped to repro/internal/.
+var SpanPair = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "obs spans must be ended on all paths and never escape to workers",
+	Run:  runSpanPair,
+}
+
+type spanSpec struct{}
+
+func (spanSpec) noun() string { return "span" }
+func (spanSpec) hint() string {
+	return "defer t.EndSpan(sp), end it on this path, or hand it to an owner"
+}
+
+func (spanSpec) acquires(p *analysis.Pass, call *ast.CallExpr, i int) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "StartSpan" && sel.Sel.Name != "StartSpanStage" {
+		return false
+	}
+	return isObsType(resultType(p, call, i), "Span")
+}
+
+func (spanSpec) releases(_ *analysis.Pass, call *ast.CallExpr) []*ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "EndSpan" {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// isObsType reports whether t is *obs.<name> (or obs.<name>) for the
+// repro/internal/obs package.
+func isObsType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/obs"
+}
+
+func runSpanPair(p *analysis.Pass) error {
+	if !strings.HasPrefix(p.Pkg.Path(), "repro/internal/") {
+		return nil
+	}
+	if p.Pkg.Path() == "repro/internal/obs" {
+		return nil // the trace implementation manipulates its own stack
+	}
+	checkResourceFlow(p, spanSpec{})
+	checkWorkerTraceEscape(p)
+	return nil
+}
+
+// checkWorkerTraceEscape reports references to captured *obs.Trace or
+// *obs.Span values inside function literals that run on another
+// goroutine: `go func(){...}` bodies and literals passed to the
+// repro/internal/par worker pool.
+func checkWorkerTraceEscape(p *analysis.Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					reportTraceCaptures(p, fl, "goroutine")
+				}
+			case *ast.CallExpr:
+				if !isParCall(p, n) {
+					return true
+				}
+				for _, a := range n.Args {
+					if fl, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+						reportTraceCaptures(p, fl, "par worker")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isParCall reports whether call invokes a function from the par package.
+func isParCall(p *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "repro/internal/par"
+}
+
+// reportTraceCaptures flags identifiers inside fl whose object is a
+// Trace or Span declared outside the literal — statement-owned tracing
+// state leaking onto a worker goroutine.
+func reportTraceCaptures(p *analysis.Pass, fl *ast.FuncLit, where string) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if !isObsType(obj.Type(), "Trace") && !isObsType(obj.Type(), "Span") {
+			return true
+		}
+		// Declared inside the literal (its own params or locals) is fine.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		p.Reportf(id.Pos(), "%s %s is captured by a %s function literal; the trace is owned by the statement goroutine (record fan-out in span labels instead)",
+			strings.ToLower(typeShortName(obj.Type())), id.Name, where)
+		return true
+	})
+}
+
+func typeShortName(t types.Type) string {
+	if isObsType(t, "Trace") {
+		return "Trace"
+	}
+	return "Span"
+}

@@ -1,0 +1,53 @@
+// Package ctxfixture exercises the ctxflow analyzer: no
+// context.Background()/TODO() in internal/, no silently dropped context
+// parameters, and no calls to a context-less variant when a *Context
+// one exists.
+package ctxfixture
+
+import "context"
+
+type engine struct{}
+
+func (e *engine) Exec(q string) error { return nil }
+
+func (e *engine) ExecContext(ctx context.Context, q string) error { return ctx.Err() }
+
+func (e *engine) Close() error { return nil }
+
+func badBackground() {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+}
+
+func badTODO() {
+	_ = context.TODO() // want "context.TODO"
+}
+
+func BadUnused(ctx context.Context) { // want "accepts a context.Context but never uses it"
+	_ = ctx
+}
+
+func GoodUsed(ctx context.Context, e *engine) error {
+	return e.ExecContext(ctx, "q")
+}
+
+func GoodUnexportedUnused(e *engine) error {
+	// Unexported helpers without a context are fine; this one exists so
+	// the fixture has a context-free call with no *Context variant.
+	return e.Close()
+}
+
+func BadDropped(ctx context.Context, e *engine) error {
+	if err := e.ExecContext(ctx, "warm"); err != nil {
+		return err
+	}
+	return e.Exec("q") // want "Exec drops the in-scope context; call ExecContext"
+}
+
+// GoodAllowed is a deprecated wrapper kept for callers that have no
+// context.
+//
+//dmlint:allow ctxflow — fixture: deprecated context-less wrapper.
+func GoodAllowed() {
+	_ = context.Background()
+}

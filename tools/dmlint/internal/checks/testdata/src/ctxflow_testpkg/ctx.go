@@ -1,0 +1,10 @@
+// Package ctxfixturetest is a test-support package (name ends in
+// "test"): ctxflow leaves it alone, so the Background call below carries
+// no want annotation.
+package ctxfixturetest
+
+import "context"
+
+func MustContext() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,16 @@
+// Package cursortoolfixture holds the same leak shape as the cursorclose
+// fixture but lives outside repro/internal/, where the analyzer is
+// silent — so this file carries no want annotations.
+package cursortoolfixture
+
+import "repro/internal/rowset"
+
+func open() rowset.Cursor { return nil }
+
+func leakEarlyReturn(b bool) error {
+	c := open()
+	if b {
+		return nil
+	}
+	return c.Close()
+}

@@ -1,0 +1,69 @@
+// Package immutfixture exercises the planimmut analyzer: a type marked
+// //dmlint:immutable accepts field writes only inside constructors
+// (functions whose results include the type) and must not leak aliasable
+// reference fields.
+package immutfixture
+
+// box is a compiled artifact shared across concurrent executions.
+//
+//dmlint:immutable
+type box struct {
+	name string
+	hits int
+	deps []int
+}
+
+// mutable has no marker: writes anywhere are fine.
+type mutable struct {
+	n int
+}
+
+// newBox is a constructor (returns *box): writes allowed.
+func newBox(name string, deps []int) *box {
+	b := &box{}
+	b.name = name
+	b.deps = deps
+	return b
+}
+
+// withName clones — also a constructor by signature.
+func (b *box) withName(name string) *box {
+	nb := &box{deps: b.deps}
+	nb.name = name
+	return nb
+}
+
+func badWrite(b *box) {
+	b.name = "x" // want "write to field name of immutable type box"
+}
+
+func badIncrement(b *box) {
+	b.hits++ // want "write to field hits of immutable type box"
+}
+
+func badAliasReturn(b *box) []int {
+	return b.deps // want "returning reference field deps aliases immutable type box"
+}
+
+func badAddr(b *box) *string {
+	return &b.name // want "address of field name aliases immutable type box"
+}
+
+func goodRead(b *box) string {
+	return b.name
+}
+
+func goodValueReturn(b *box) int {
+	return b.hits
+}
+
+func goodUnmarked(m *mutable) {
+	m.n = 7
+}
+
+// goodAllowed is a sanctioned migration shim.
+//
+//dmlint:allow planimmut — fixture: migration shim, deleted next PR.
+func goodAllowed(b *box) {
+	b.name = "y"
+}

@@ -6,18 +6,23 @@
 // (export data comes from `go list -export`; no external analysis framework
 // is required) and applies the checks in tools/dmlint/internal/checks.
 // Findings print as file:line:col: analyzer: message and make the run exit
-// nonzero.
+// nonzero. With -json, each finding instead prints as one JSON object per
+// line ({"file","line","col","analyzer","message","baselined"}), for editor
+// and CI integration.
 //
 // Known pre-existing findings can be recorded in tools/dmlint/baseline.txt
 // as "<analyzer> <import path> <count>" lines: a package's findings for an
 // analyzer are tolerated up to the recorded count (and still printed, marked
 // as baselined), so new violations fail the build while the recorded debt is
-// burned down deliberately. Inline suppression uses
+// burned down deliberately. The baseline is meant to be empty: whenever it
+// holds any budget, dmlint prints a warning to stderr so the debt stays
+// visible. Inline suppression uses
 // //dmlint:allow <analyzer> — <justification>.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,18 +42,19 @@ var extraPackages = []string{"fmt", "errors", "strings", "time", "sync", "os", "
 
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline file (default <module>/tools/dmlint/baseline.txt)")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if err := run(patterns, *baselinePath); err != nil {
+	if err := run(patterns, *baselinePath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dmlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, baselinePath string) error {
+func run(patterns []string, baselinePath string, jsonOut bool) error {
 	root, err := load.ModuleRoot()
 	if err != nil {
 		return err
@@ -59,6 +65,9 @@ func run(patterns []string, baselinePath string) error {
 	baseline, err := readBaseline(baselinePath)
 	if err != nil {
 		return err
+	}
+	if n := len(baseline); n > 0 {
+		fmt.Fprintf(os.Stderr, "dmlint: warning: baseline carries %d budget line(s); the target is an empty baseline — burn the debt down\n", n)
 	}
 
 	metas, roots, err := load.List(root, append(append([]string{}, patterns...), extraPackages...)...)
@@ -85,7 +94,7 @@ func run(patterns []string, baselinePath string) error {
 			}
 			diags = append(diags, pass.Diagnostics()...)
 		}
-		if report(root, path, diags, baseline) {
+		if report(root, path, diags, baseline, jsonOut) {
 			failed = true
 		}
 	}
@@ -95,13 +104,24 @@ func run(patterns []string, baselinePath string) error {
 	return nil
 }
 
+// jsonFinding is the -json record shape, one object per line.
+type jsonFinding struct {
+	File      string `json:"file"` // module-relative when possible
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined"`
+}
+
 // report prints a package's findings, applying the baseline, and reports
 // whether any finding exceeds it.
-func report(root, pkgPath string, diags []analysis.Diagnostic, baseline map[string]int) bool {
+func report(root, pkgPath string, diags []analysis.Diagnostic, baseline map[string]int, jsonOut bool) bool {
 	counts := make(map[string]int)
 	for _, d := range diags {
 		counts[d.Analyzer]++
 	}
+	enc := json.NewEncoder(os.Stdout)
 	failed := false
 	for _, d := range diags {
 		pos := d.Pos
@@ -109,12 +129,26 @@ func report(root, pkgPath string, diags []analysis.Diagnostic, baseline map[stri
 			pos.Filename = rel
 		}
 		key := d.Analyzer + " " + pkgPath
-		if counts[d.Analyzer] <= baseline[key] {
+		baselined := counts[d.Analyzer] <= baseline[key]
+		if !baselined {
+			failed = true
+		}
+		if jsonOut {
+			enc.Encode(jsonFinding{ //nolint:errcheck // stdout encode of plain strings cannot fail
+				File:      pos.Filename,
+				Line:      pos.Line,
+				Col:       pos.Column,
+				Analyzer:  d.Analyzer,
+				Message:   d.Message,
+				Baselined: baselined,
+			})
+			continue
+		}
+		if baselined {
 			fmt.Printf("%s:%d:%d: %s: %s (baselined)\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 			continue
 		}
 		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
-		failed = true
 	}
 	return failed
 }

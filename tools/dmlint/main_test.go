@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,13 +48,45 @@ func TestReportAppliesBaseline(t *testing.T) {
 		}
 	}
 	baseline := map[string]int{"nopanic repro/x": 2}
-	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2)}, baseline); failed {
+	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2)}, baseline, false); failed {
 		t.Error("findings within the baseline count should not fail the run")
 	}
-	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2), diag(3)}, baseline); !failed {
+	if failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag(1), diag(2), diag(3)}, baseline, false); !failed {
 		t.Error("findings beyond the baseline count must fail the run")
 	}
-	if failed := report("/root/x", "repro/x", nil, baseline); failed {
+	if failed := report("/root/x", "repro/x", nil, baseline, false); failed {
 		t.Error("no findings must never fail")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	diag := analysis.Diagnostic{
+		Analyzer: "nopanic",
+		Pos:      token.Position{Filename: "/root/x/f.go", Line: 7, Column: 3},
+		Message:  "panic in internal/",
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	failed := report("/root/x", "repro/x", []analysis.Diagnostic{diag}, nil, true)
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("unbaselined finding must fail in json mode too")
+	}
+	var got jsonFinding
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("output %q is not one JSON object per line: %v", out, err)
+	}
+	want := jsonFinding{File: "f.go", Line: 7, Col: 3, Analyzer: "nopanic", Message: "panic in internal/"}
+	if got != want {
+		t.Errorf("json finding = %+v, want %+v", got, want)
 	}
 }
