@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench-parallel bench-smoke bench-json bench-compare lint vulncheck check
+.PHONY: build test vet race bench-parallel bench-smoke bench-json bench-compare loadsmoke lint vulncheck check
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,20 @@ bench-smoke:
 
 # Machine-readable benchmark report (schema documented in EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/dmbench -scale 500 -json BENCH_PR6.json
+	$(GO) run ./cmd/dmbench -scale 500 -json BENCH_PR8.json
 
 # Regression gate: re-measure, then diff against the previous PR's baseline.
 # Fails on a >10% rows/sec drop in any workload (tools/benchcompare).
 bench-compare: bench-json
-	$(GO) run ./tools/benchcompare -base BENCH_PR5.json -new BENCH_PR6.json -max-regression 10
+	$(GO) run ./tools/benchcompare -base BENCH_PR6.json -new BENCH_PR8.json -max-regression 10
+
+# Concurrency smoke: five seconds of mixed dmload traffic (8 reader
+# connections + a training loop) against an in-process dmserver. Fails on
+# any statement error or zero throughput. No latency-ratio gate here: CI
+# hosts are too small for stable tail-latency comparisons (the ratio is
+# measured and recorded in EXPERIMENTS.md instead).
+loadsmoke:
+	$(GO) run ./cmd/dmload -conns 8 -duration 5s -scale 200
 
 # Project-specific static analysis (tools/dmlint) plus formatting and vet.
 # dmlint type-checks the module with the stdlib toolchain and enforces the

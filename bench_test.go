@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -38,7 +39,7 @@ func benchWarehouse(b *testing.B, n int) *provider.Provider {
 
 func mustExecB(b *testing.B, p *provider.Provider, cmd string) *rowset.Rowset {
 	b.Helper()
-	rs, err := p.Execute(cmd)
+	rs, err := p.ExecuteContext(context.Background(), cmd)
 	if err != nil {
 		b.Fatalf("Execute(%.60q): %v", cmd, err)
 	}
@@ -265,7 +266,7 @@ func BenchmarkE7_CaseAssembly(b *testing.B) {
 
 func BenchmarkE8_Accuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run("E8", experiments.Config{Scale: 600, Seed: 1}); err != nil {
+		if _, err := experiments.Run(context.Background(), "E8", experiments.Config{Scale: 600, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -308,7 +309,7 @@ func BenchmarkE9_Server(b *testing.B) {
 
 func BenchmarkE10_PaperLifecycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run("E10", experiments.Config{Scale: 300, Seed: 1}); err != nil {
+		if _, err := experiments.Run(context.Background(), "E10", experiments.Config{Scale: 300, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

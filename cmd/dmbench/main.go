@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonPath != "" {
-		report, err := experiments.RunBench(experiments.Config{Scale: *scale, Seed: *seed})
+		report, err := experiments.RunBench(context.Background(), experiments.Config{Scale: *scale, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
@@ -76,7 +77,7 @@ func main() {
 
 	start := time.Now()
 	for _, id := range ids {
-		r, err := experiments.Run(strings.TrimSpace(id), cfg)
+		r, err := experiments.Run(context.Background(), strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,11 +38,16 @@ func main() {
 		"log statements whose server-side execution exceeds this; 0 disables")
 	httpAddr := flag.String("http", "",
 		"HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof); empty disables")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"per-connection in-flight statement limit; excess waits, then gets a busy error; <=0 disables")
 	flag.Parse()
 
 	var opts []provider.Option
 	if *dir != "" {
 		opts = append(opts, provider.WithDirectory(*dir))
+	}
+	if *maxInFlight > 0 {
+		opts = append(opts, provider.WithMaxInFlight(*maxInFlight))
 	}
 	p, err := provider.New(opts...)
 	if err != nil {
@@ -63,11 +69,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("init script: %v", err)
 		}
+		sess := p.NewSession(provider.WithSessionOrigin("init-script"))
 		for _, s := range stmts {
-			if _, err := p.Execute(s); err != nil {
+			if _, err := sess.Execute(context.Background(), s); err != nil {
 				log.Fatalf("init statement %.60q: %v", s, err)
 			}
 		}
+		sess.Close()
 		log.Printf("executed %d init statements", len(stmts))
 	}
 

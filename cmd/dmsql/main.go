@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,16 @@ import (
 // executor abstracts local and remote providers.
 type executor interface {
 	Execute(command string) (*rowset.Rowset, error)
+}
+
+// localExec adapts a provider session to the executor interface: the shell
+// is one interactive consumer, so it gets one session for its lifetime.
+type localExec struct {
+	s *provider.Session
+}
+
+func (l localExec) Execute(command string) (*rowset.Rowset, error) {
+	return l.s.Execute(context.Background(), command)
 }
 
 // shell bundles the execution target with display options.
@@ -70,7 +81,7 @@ func main() {
 			fatal("provider: %v", err)
 		}
 		sh.local = p
-		sh.exec = p
+		sh.exec = localExec{s: p.NewSession(provider.WithSessionOrigin("dmsql"))}
 	}
 
 	in := os.Stdin

@@ -51,7 +51,7 @@ func TestScriptSurfacesBindDiagnostics(t *testing.T) {
 	}
 
 	stderr := captureStderr(t, func() {
-		run(f, &shell{exec: p, local: p}, false)
+		run(f, &shell{exec: localExec{s: p.NewSession()}, local: p}, false)
 	})
 
 	for _, want := range []string{
@@ -90,7 +90,7 @@ func TestScriptExecutesValidStatements(t *testing.T) {
 		t.Fatalf("provider.New: %v", err)
 	}
 	stderr := captureStderr(t, func() {
-		run(f, &shell{exec: p, local: p}, false)
+		run(f, &shell{exec: localExec{s: p.NewSession()}, local: p}, false)
 	})
 	if stderr != "" {
 		t.Errorf("clean script wrote to stderr:\n%s", stderr)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := p.NewSession()
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: customers, Seed: 42}); err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func main() {
 			[Quantity] DOUBLE NORMAL CONTINUOUS,
 			[Product Type] TEXT DISCRETE RELATED TO [Product Name]
 		)) USING [Decision_Trees_101] %Mining Algorithm used`
-	must(p, create)
+	must(sess, create)
 	fmt.Println("CREATE MINING MODEL [Age Prediction] — ok")
 
 	// Section 3.3 — populate it from a SHAPE-assembled caseset.
@@ -50,7 +52,7 @@ func main() {
 		APPEND (
 			{SELECT [CustID], [Product Name], [Quantity], [Product Type] FROM Sales ORDER BY [CustID]}
 			RELATE [Customer ID] To [CustID]) AS [Product Purchases]`
-	rs := must(p, insert)
+	rs := must(sess, insert)
 	fmt.Printf("INSERT INTO — consumed %v cases\n\n", rs.Row(0)[0])
 
 	// Section 3.3 — predict age for customers whose age is "unknown".
@@ -64,12 +66,12 @@ func main() {
 	ON [Age Prediction].Gender = t.Gender and
 		[Age Prediction].[Product Purchases].[Product Name] = t.[Product Purchases].[Product Name] and
 		[Age Prediction].[Product Purchases].[Quantity] = t.[Product Purchases].[Quantity]`
-	rs = must(p, predict)
+	rs = must(sess, predict)
 	fmt.Println("PREDICTION JOIN — first 8 customers, predicted age bucket:")
 	fmt.Print(rs.String())
 
 	// The richer output Section 3.2.4 describes: the full histogram.
-	rs = must(p, `SELECT PredictHistogram([Age]) AS histogram
+	rs = must(sess, `SELECT PredictHistogram([Age]) AS histogram
 	FROM [Age Prediction] NATURAL PREDICTION JOIN
 		(SHAPE {SELECT 1 AS [Customer ID], 'Male' AS Gender}
 		 APPEND ({SELECT 1 AS CustID, 'Beer' AS [Product Name], 6.0 AS Quantity}
@@ -78,12 +80,12 @@ func main() {
 	fmt.Print(rs.Row(0)[0].(*rowset.Rowset).String())
 
 	// Browse the model (Section 3.3).
-	rs = must(p, "SELECT * FROM [Age Prediction].CONTENT")
+	rs = must(sess, "SELECT * FROM [Age Prediction].CONTENT")
 	fmt.Printf("\nModel content: %d browsable nodes (SELECT * FROM [Age Prediction].CONTENT)\n", rs.Len())
 }
 
-func must(p *provider.Provider, cmd string) *rowset.Rowset {
-	rs, err := p.Execute(cmd)
+func must(s *provider.Session, cmd string) *rowset.Rowset {
+	rs, err := s.Execute(context.Background(), cmd)
 	if err != nil {
 		log.Fatalf("%v\nstatement:\n%s", err, cmd)
 	}

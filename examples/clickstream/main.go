@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,10 +22,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := p.NewSession()
 
 	// Session logs: most sessions follow home → search → product →
 	// checkout, with some wandering back to search.
-	must(p, "CREATE TABLE Visits (SessionID LONG, Step LONG, Page TEXT)")
+	must(sess, "CREATE TABLE Visits (SessionID LONG, Step LONG, Page TEXT)")
 	rng := rand.New(rand.NewSource(17))
 	var b strings.Builder
 	b.WriteString("INSERT INTO Visits VALUES ")
@@ -63,33 +65,33 @@ func main() {
 			write(s, step, page)
 		}
 	}
-	must(p, b.String())
+	must(sess, b.String())
 
-	must(p, `CREATE MINING MODEL [Navigation] (
+	must(sess, `CREATE MINING MODEL [Navigation] (
 		[SessionID] LONG KEY,
 		[Pages] TABLE(
 			[Page] TEXT KEY,
 			[Step] LONG SEQUENCE_TIME
 		) PREDICT
 	) USING [Sequence_Analysis]`)
-	must(p, `INSERT INTO [Navigation] ([SessionID], [Pages]([Page], [Step]))
+	must(sess, `INSERT INTO [Navigation] ([SessionID], [Pages]([Page], [Step]))
 	SHAPE {SELECT DISTINCT SessionID FROM Visits ORDER BY SessionID}
 	APPEND ({SELECT SessionID AS SID, Page, Step FROM Visits ORDER BY SID}
 		RELATE [SessionID] TO [SID]) AS [Pages]`)
 	fmt.Println("Trained [Navigation] on 500 sessions.")
 
 	// Where is a session headed from each page?
-	must(p, "CREATE TABLE Live (SID LONG, Page TEXT, Step LONG)")
+	must(sess, "CREATE TABLE Live (SID LONG, Page TEXT, Step LONG)")
 	for _, trail := range [][]string{
 		{"home"},
 		{"home", "search"},
 		{"home", "search", "product"},
 	} {
-		must(p, "DELETE FROM Live")
+		must(sess, "DELETE FROM Live")
 		for i, pg := range trail {
-			must(p, fmt.Sprintf("INSERT INTO Live VALUES (1, '%s', %d)", pg, i))
+			must(sess, fmt.Sprintf("INSERT INTO Live VALUES (1, '%s', %d)", pg, i))
 		}
-		rs := must(p, `SELECT Predict([Pages], 2) AS nxt FROM [Navigation]
+		rs := must(sess, `SELECT Predict([Pages], 2) AS nxt FROM [Navigation]
 		NATURAL PREDICTION JOIN
 			(SHAPE {SELECT 1 AS SessionID}
 			 APPEND ({SELECT SID, Page, Step FROM Live ORDER BY SID}
@@ -99,7 +101,7 @@ func main() {
 	}
 
 	// The learned transition graph, straight from model content.
-	content := must(p, "SELECT * FROM [Navigation].CONTENT")
+	content := must(sess, "SELECT * FROM [Navigation].CONTENT")
 	fmt.Println("\nTransition graph (per-state distributions):")
 	typeOrd, _ := content.Schema().Lookup("NODE_TYPE")
 	capOrd, _ := content.Schema().Lookup("NODE_CAPTION")
@@ -120,8 +122,8 @@ func main() {
 	}
 }
 
-func must(p *provider.Provider, cmd string) *rowset.Rowset {
-	rs, err := p.Execute(cmd)
+func must(s *provider.Session, cmd string) *rowset.Rowset {
+	rs, err := s.Execute(context.Background(), cmd)
 	if err != nil {
 		log.Fatalf("%v\nstatement:\n%.300s", err, cmd)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := p.NewSession()
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: 3000, Seed: 7}); err != nil {
 		log.Fatal(err)
 	}
 
-	must(p, `CREATE MINING MODEL [Market Baskets] (
+	must(sess, `CREATE MINING MODEL [Market Baskets] (
 		[Customer ID] LONG KEY,
 		[Product Purchases] TABLE(
 			[Product Name] TEXT KEY,
@@ -32,7 +34,7 @@ func main() {
 		) PREDICT
 	) USING [Association_Rules] (MINIMUM_SUPPORT = 0.05, MINIMUM_PROBABILITY = 0.5)`)
 
-	must(p, `INSERT INTO [Market Baskets] ([Customer ID],
+	must(sess, `INSERT INTO [Market Baskets] ([Customer ID],
 		[Product Purchases]([Product Name], [Product Type]))
 	SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
 	APPEND ({SELECT CustID, [Product Name], [Product Type] FROM Sales ORDER BY CustID}
@@ -41,17 +43,17 @@ func main() {
 
 	// Recommendations for three different baskets. Each basket is staged in
 	// a scratch table and fed to the model as a nested SHAPE input.
-	must(p, "CREATE TABLE BasketInput (CustID LONG, [Product Name] TEXT)")
+	must(sess, "CREATE TABLE BasketInput (CustID LONG, [Product Name] TEXT)")
 	for _, basket := range [][]string{
 		{"Beer"},
 		{"Milk", "Bread"},
 		{"Wine", "Laptop"},
 	} {
-		must(p, "DELETE FROM BasketInput")
+		must(sess, "DELETE FROM BasketInput")
 		for _, item := range basket {
-			must(p, fmt.Sprintf("INSERT INTO BasketInput VALUES (1, '%s')", item))
+			must(sess, fmt.Sprintf("INSERT INTO BasketInput VALUES (1, '%s')", item))
 		}
-		rs := must(p, `SELECT Predict([Product Purchases], 3) AS recs
+		rs := must(sess, `SELECT Predict([Product Purchases], 3) AS recs
 		FROM [Market Baskets] NATURAL PREDICTION JOIN
 			(SHAPE {SELECT 1 AS [Customer ID]}
 			 APPEND ({SELECT CustID, [Product Name] FROM BasketInput ORDER BY CustID}
@@ -61,7 +63,7 @@ func main() {
 	}
 
 	// Browse the rule base (Section 3.3: content as a graph; here rules).
-	content := must(p, "SELECT * FROM [Market Baskets].CONTENT")
+	content := must(sess, "SELECT * FROM [Market Baskets].CONTENT")
 	fmt.Printf("\nRule/itemset content nodes: %d. Strongest rules:\n", content.Len())
 	typeOrd, _ := content.Schema().Lookup("NODE_TYPE")
 	capOrd, _ := content.Schema().Lookup("NODE_CAPTION")
@@ -75,8 +77,8 @@ func main() {
 	}
 }
 
-func must(p *provider.Provider, cmd string) *rowset.Rowset {
-	rs, err := p.Execute(cmd)
+func must(s *provider.Session, cmd string) *rowset.Rowset {
+	rs, err := s.Execute(context.Background(), cmd)
 	if err != nil {
 		log.Fatalf("%v\nstatement:\n%s", err, cmd)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,6 +22,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	sess := p.NewSession()
 
 	steps := []string{
 		// 1. Relational data, plain SQL.
@@ -44,13 +47,13 @@ func main() {
 			SELECT ID, Hours, Plan, Churned FROM Players`,
 	}
 	for _, s := range steps {
-		if _, err := p.Execute(s); err != nil {
+		if _, err := sess.Execute(ctx, s); err != nil {
 			log.Fatalf("%v\nstatement: %s", err, s)
 		}
 	}
 
 	// 4. Predictions come from a PREDICTION JOIN (Section 3.3).
-	rs, err := p.Execute(`SELECT
+	rs, err := sess.Execute(ctx, `SELECT
 			t.[Plan],
 			Predict([Churned]) AS will_churn,
 			PredictProbability([Churned]) AS confidence
@@ -63,7 +66,7 @@ func main() {
 	fmt.Print(rs.String())
 
 	// 5. The model itself is browsable (Section 3.3's CONTENT).
-	content, err := p.Execute(`SELECT * FROM [Churn].CONTENT`)
+	content, err := sess.Execute(ctx, `SELECT * FROM [Churn].CONTENT`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,17 +21,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := p.NewSession()
 	if _, err := workload.Populate(p.DB, workload.Config{Customers: 3000, Seed: 3}); err != nil {
 		log.Fatal(err)
 	}
 
-	must(p, `CREATE MINING MODEL [Customer Segments] (
+	must(sess, `CREATE MINING MODEL [Customer Segments] (
 		[Customer ID] LONG KEY,
 		[Age] DOUBLE CONTINUOUS,
 		[Product Purchases] TABLE([Product Name] TEXT KEY)
 	) USING [Clustering] (CLUSTER_COUNT = 3, SEED = 7)`)
 
-	must(p, `INSERT INTO [Customer Segments] ([Customer ID], [Age],
+	must(sess, `INSERT INTO [Customer Segments] ([Customer ID], [Age],
 		[Product Purchases]([Product Name]))
 	SHAPE {SELECT [Customer ID], Age FROM Customers ORDER BY [Customer ID]}
 	APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
@@ -48,8 +50,8 @@ func main() {
 		{"39-year-old milk+diapers buyer", 39, []string{"Milk", "Diapers"}},
 		{"50-year-old wine+laptop buyer", 50, []string{"Wine", "Laptop"}},
 	} {
-		stageBasket(p, c.items)
-		rs := must(p, fmt.Sprintf(`SELECT Cluster() AS segment, ClusterProbability() AS prob
+		stageBasket(sess, c.items)
+		rs := must(sess, fmt.Sprintf(`SELECT Cluster() AS segment, ClusterProbability() AS prob
 		FROM [Customer Segments] NATURAL PREDICTION JOIN
 			(SHAPE {SELECT 1 AS [Customer ID], %g AS Age}
 			 APPEND ({SELECT CustID, [Product Name] FROM BasketInput ORDER BY CustID}
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// Browse cluster profiles.
-	content := must(p, "SELECT * FROM [Customer Segments].CONTENT")
+	content := must(sess, "SELECT * FROM [Customer Segments].CONTENT")
 	fmt.Println("\nCluster profiles (top features per centroid):")
 	typeOrd, _ := content.Schema().Lookup("NODE_TYPE")
 	capOrd, _ := content.Schema().Lookup("NODE_CAPTION")
@@ -76,17 +78,17 @@ func main() {
 	}
 }
 
-func stageBasket(p *provider.Provider, items []string) {
-	if _, err := p.Execute("DELETE FROM BasketInput"); err != nil {
-		must(p, "CREATE TABLE BasketInput (CustID LONG, [Product Name] TEXT)")
+func stageBasket(sess *provider.Session, items []string) {
+	if _, err := sess.Execute(context.Background(), "DELETE FROM BasketInput"); err != nil {
+		must(sess, "CREATE TABLE BasketInput (CustID LONG, [Product Name] TEXT)")
 	}
 	for _, it := range items {
-		must(p, fmt.Sprintf("INSERT INTO BasketInput VALUES (1, '%s')", it))
+		must(sess, fmt.Sprintf("INSERT INTO BasketInput VALUES (1, '%s')", it))
 	}
 }
 
-func must(p *provider.Provider, cmd string) *rowset.Rowset {
-	rs, err := p.Execute(cmd)
+func must(s *provider.Session, cmd string) *rowset.Rowset {
+	rs, err := s.Execute(context.Background(), cmd)
 	if err != nil {
 		log.Fatalf("%v\nstatement:\n%s", err, cmd)
 	}

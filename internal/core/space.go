@@ -156,6 +156,31 @@ func (s *AttributeSpace) setRelation(column, key, value string) {
 	s.Relations[column+"\x00"+key] = value
 }
 
+// Clone deep-copies the space: attributes (including their state
+// dictionaries and cut points), the name index, and the relation map. The
+// copy-on-write training path clones the published space before growing it,
+// so concurrent predictions keep reading the old snapshot untouched.
+func (s *AttributeSpace) Clone() *AttributeSpace {
+	out := &AttributeSpace{
+		Attrs:     make([]Attribute, len(s.Attrs)),
+		byName:    make(map[string]int, len(s.byName)),
+		Relations: make(map[string]string, len(s.Relations)),
+	}
+	copy(out.Attrs, s.Attrs)
+	for i := range out.Attrs {
+		a := &out.Attrs[i]
+		a.States = append([]string(nil), a.States...)
+		a.Cuts = append([]float64(nil), a.Cuts...)
+	}
+	for k, v := range s.byName {
+		out.byName[k] = v
+	}
+	for k, v := range s.Relations {
+		out.Relations[k] = v
+	}
+	return out
+}
+
 // rebuildIndex restores the name index after decoding a persisted space.
 func (s *AttributeSpace) rebuildIndex() {
 	s.byName = make(map[string]int, len(s.Attrs))
@@ -199,6 +224,41 @@ func (c Case) Sequence(tableColumn string) []string {
 // NewCase returns an empty case of weight 1.
 func NewCase() Case {
 	return Case{Values: make(map[int]rowset.Value), Weight: 1}
+}
+
+// Clone deep-copies the case: the value, probability, and sequence maps are
+// fresh, so mutating the copy (discretization rewrites Values in place) never
+// reaches the original.
+func (c Case) Clone() Case {
+	out := c
+	if c.Values != nil {
+		out.Values = make(map[int]rowset.Value, len(c.Values))
+		for k, v := range c.Values {
+			out.Values[k] = v
+		}
+	}
+	if c.Prob != nil {
+		out.Prob = make(map[int]float64, len(c.Prob))
+		for k, v := range c.Prob {
+			out.Prob[k] = v
+		}
+	}
+	if c.Sequences != nil {
+		out.Sequences = make(map[string][]string, len(c.Sequences))
+		for k, v := range c.Sequences {
+			out.Sequences[k] = append([]string(nil), v...)
+		}
+	}
+	return out
+}
+
+// CloneCases deep-copies a case slice (see Case.Clone).
+func CloneCases(cases []Case) []Case {
+	out := make([]Case, len(cases))
+	for i := range cases {
+		out[i] = cases[i].Clone()
+	}
+	return out
 }
 
 // Discrete returns the state index of attribute i in the case, or -1 when

@@ -1,6 +1,7 @@
 package dmdriver
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 	"strings"
@@ -172,7 +173,7 @@ func TestSharedProviderAcrossConnections(t *testing.T) {
 
 func TestRegisteredProvider(t *testing.T) {
 	p := providertest.MustNew()
-	if _, err := p.Execute("CREATE TABLE R (x LONG)"); err != nil {
+	if _, err := p.ExecuteContext(context.Background(), "CREATE TABLE R (x LONG)"); err != nil {
 		t.Fatal(err)
 	}
 	RegisterProvider(t.Name(), p)
@@ -180,7 +181,7 @@ func TestRegisteredProvider(t *testing.T) {
 	if _, err := db.Exec("INSERT INTO R VALUES (42)"); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := p.Execute("SELECT COUNT(*) FROM R")
+	rs, err := p.ExecuteContext(context.Background(), "SELECT COUNT(*) FROM R")
 	if err != nil || rs.Row(0)[0] != int64(1) {
 		t.Errorf("provider sharing failed: %v %v", rs, err)
 	}

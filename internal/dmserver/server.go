@@ -25,8 +25,12 @@
 //
 //	response := 3:byte msglen:uvarint message:bytes trailerlen:uvarint trailer:bytes
 //
-// Connections are handled concurrently; the provider's own locking makes
-// command execution safe.
+// Each connection is handled by its own goroutine and mapped onto one
+// provider.Session: prepared-statement names are scoped to the connection,
+// the session's origin label is the remote address, and the provider's
+// admission control (when configured) bounds the connection's in-flight
+// statements. Execution itself is safe under concurrency because catalog
+// reads resolve against immutable snapshots.
 package dmserver
 
 import (
@@ -184,8 +188,12 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Lock()
 	execCtx := s.execCtx
 	s.mu.Unlock()
+	// One session per connection: handles PREPAREd here are invisible to
+	// other connections and vanish when the connection ends.
+	sess := s.Provider.NewSession(provider.WithSessionOrigin(remote))
 	cs := s.Provider.Obs().Connections().Open(remote)
 	defer func() {
+		sess.Close()
 		s.Provider.Obs().Connections().Close(cs)
 		conn.Close()
 		s.mu.Lock()
@@ -224,11 +232,11 @@ func (s *Server) handle(conn net.Conn) {
 		var execErr error
 		switch req.verb {
 		case VerbExecutePrepared:
-			rs, execErr = s.Provider.ExecutePreparedContext(execCtx, req.name, req.args, provider.WithOrigin(remote))
+			rs, execErr = sess.ExecutePrepared(execCtx, req.name, req.args)
 		case VerbExecParams:
-			rs, execErr = s.Provider.ExecuteParamsContext(execCtx, req.cmd, req.args, provider.WithOrigin(remote))
+			rs, execErr = sess.ExecuteParams(execCtx, req.cmd, req.args)
 		default:
-			rs, execErr = s.Provider.ExecuteContext(execCtx, req.cmd, provider.WithOrigin(remote))
+			rs, execErr = sess.Execute(execCtx, req.cmd)
 		}
 		elapsed := time.Since(start)
 		cs.Request(execErr != nil)

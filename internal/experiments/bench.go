@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/provider"
 	"repro/internal/rowset"
+	"repro/internal/workload"
 )
 
 // BenchReport is the machine-readable benchmark output (cmd/dmbench -json).
@@ -19,6 +20,11 @@ type BenchReport struct {
 	Seed          int64           `json:"seed"`
 	Iterations    int             `json:"iterations"`
 	Workloads     []BenchWorkload `json:"workloads"`
+	// Load carries the cmd/dmload concurrency-harness result when one has
+	// been merged in (dmload -merge). benchcompare ignores it: load numbers
+	// are wall-clock tail latencies under contention, not per-statement
+	// throughput, so they are reported rather than regression-gated.
+	Load *workload.LoadReport `json:"load,omitempty"`
 }
 
 // BenchWorkload is one measured statement: per-iteration latency quantiles
@@ -31,6 +37,7 @@ type BenchWorkload struct {
 	RowsPerSec float64 `json:"rows_per_sec"`
 	P50Micros  int64   `json:"p50_micros"`
 	P95Micros  int64   `json:"p95_micros"`
+	P99Micros  int64   `json:"p99_micros,omitempty"`
 }
 
 // BenchIterations is the default per-workload repeat count: enough for a
@@ -57,8 +64,8 @@ var benchWorkloads = []struct {
 	// summary rowset (INSERT INTO reports "cases consumed") instead of the
 	// rowset length.
 	rowsFromCell bool
-	prep         func(p *provider.Provider) error
-	run          func(p *provider.Provider, scale, iter int) (int64, error)
+	prep         func(ctx context.Context, p *provider.Provider) error
+	run          func(ctx context.Context, p *provider.Provider, scale, iter int) (int64, error)
 }{
 	{
 		name: "sql-scan",
@@ -108,12 +115,12 @@ var benchWorkloads = []struct {
 		// semantic analysis, and planning — the plan cache cannot help.
 		name: "adhoc-params",
 		stmt: benchPointStmtShape,
-		prep: benchPointIndex,
-		run: func(p *provider.Provider, scale, iter int) (int64, error) {
+		prep: func(_ context.Context, p *provider.Provider) error { return benchPointIndex(p) },
+		run: func(ctx context.Context, p *provider.Provider, scale, iter int) (int64, error) {
 			var rows int64
 			for i := 0; i < benchPointQueries; i++ {
 				id := benchPointID(scale, iter, i)
-				rs, err := p.Execute(fmt.Sprintf(benchPointStmtShape, id))
+				rs, err := p.ExecuteContext(ctx, fmt.Sprintf(benchPointStmtShape, id))
 				if err != nil {
 					return 0, err
 				}
@@ -129,18 +136,18 @@ var benchWorkloads = []struct {
 		// compilation cost the prepared path amortizes away.
 		name: "prepared-params",
 		stmt: benchPointStmtPrepared,
-		prep: func(p *provider.Provider) error {
+		prep: func(ctx context.Context, p *provider.Provider) error {
 			if err := benchPointIndex(p); err != nil {
 				return err
 			}
-			_, err := p.PrepareContext(context.Background(), "bench_point", benchPointStmtPrepared) //dmlint:allow ctxflow — untimed bench setup; RunBench has no cancellation surface and the workloads must not pay context-poll overhead in the timed region.
+			_, err := p.PrepareContext(ctx, "bench_point", benchPointStmtPrepared)
 			return err
 		},
-		run: func(p *provider.Provider, scale, iter int) (int64, error) {
+		run: func(ctx context.Context, p *provider.Provider, scale, iter int) (int64, error) {
 			var rows int64
 			for i := 0; i < benchPointQueries; i++ {
 				id := benchPointID(scale, iter, i)
-				rs, err := p.ExecutePreparedContext(context.Background(), "bench_point", []rowset.Value{int64(id)}) //dmlint:allow ctxflow — timed bench inner loop; a cancellable context would add a poll branch to the measured path.
+				rs, err := p.ExecutePreparedContext(ctx, "bench_point", []rowset.Value{int64(id)})
 				if err != nil {
 					return 0, err
 				}
@@ -174,7 +181,7 @@ func benchPointID(scale, iter, i int) int {
 
 // RunBench measures the benchmark workloads over a fresh synthetic
 // warehouse and returns the machine-readable report.
-func RunBench(cfg Config) (*BenchReport, error) {
+func RunBench(ctx context.Context, cfg Config) (*BenchReport, error) {
 	cfg = cfg.withDefaults()
 	p, _, err := freshWarehouse(cfg, 0)
 	if err != nil {
@@ -188,12 +195,12 @@ func RunBench(cfg Config) (*BenchReport, error) {
 	}
 	for _, w := range benchWorkloads {
 		for _, s := range w.setup {
-			if _, err := p.Execute(s); err != nil {
+			if _, err := p.ExecuteContext(ctx, s); err != nil {
 				return nil, fmt.Errorf("bench %s setup: %w", w.name, err)
 			}
 		}
 		if w.prep != nil {
-			if err := w.prep(p); err != nil {
+			if err := w.prep(ctx, p); err != nil {
 				return nil, fmt.Errorf("bench %s prep: %w", w.name, err)
 			}
 		}
@@ -202,13 +209,13 @@ func RunBench(cfg Config) (*BenchReport, error) {
 		var total time.Duration
 		for i := 0; i < BenchIterations; i++ {
 			for _, s := range w.reset {
-				if _, err := p.Execute(s); err != nil {
+				if _, err := p.ExecuteContext(ctx, s); err != nil {
 					return nil, fmt.Errorf("bench %s reset: %w", w.name, err)
 				}
 			}
 			if w.run != nil {
 				start := time.Now()
-				n, err := w.run(p, cfg.Scale, i)
+				n, err := w.run(ctx, p, cfg.Scale, i)
 				d := time.Since(start)
 				if err != nil {
 					return nil, fmt.Errorf("bench %s: %w", w.name, err)
@@ -218,7 +225,7 @@ func RunBench(cfg Config) (*BenchReport, error) {
 				rows = n
 				continue
 			}
-			d, rs, err := timeExec(p, w.stmt)
+			d, rs, err := timeExec(ctx, p, w.stmt)
 			if err != nil {
 				return nil, fmt.Errorf("bench %s: %w", w.name, err)
 			}
@@ -242,6 +249,7 @@ func RunBench(cfg Config) (*BenchReport, error) {
 			RowsPerSec: float64(rows) * float64(BenchIterations) / total.Seconds(),
 			P50Micros:  quantileMicros(durs, 0.50),
 			P95Micros:  quantileMicros(durs, 0.95),
+			P99Micros:  quantileMicros(durs, 0.99),
 		})
 	}
 	return report, nil

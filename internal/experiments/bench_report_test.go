@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -9,7 +10,7 @@ import (
 // TestRunBench: the report covers every workload with sane measurements and
 // round-trips through JSON with the documented field names.
 func TestRunBench(t *testing.T) {
-	report, err := RunBench(Config{Scale: 60, Seed: 1})
+	report, err := RunBench(context.Background(), Config{Scale: 60, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

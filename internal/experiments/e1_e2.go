@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ import (
 // The paper's prose describes customer 1 exactly (4 purchases, 2 cars); the
 // 12-row figure implies a second customer contributing 4 more join rows, so
 // we add customer 2 with 2 purchases and 2 cars — the only free assumption.
-func RunE1(Config) (*Result, error) {
+func RunE1(ctx context.Context, _ Config) (*Result, error) {
 	p, err := provider.New()
 	if err != nil {
 		return nil, err
@@ -42,11 +43,11 @@ func RunE1(Config) (*Result, error) {
 		"INSERT INTO Cars VALUES (1, 'Truck', 1.0), (1, 'Van', 0.5), (2, 'Sedan', 1.0), (2, 'Bike', 0.5)",
 	}
 	for _, s := range setup {
-		if _, err := p.Execute(s); err != nil {
+		if _, err := p.ExecuteContext(ctx, s); err != nil {
 			return nil, err
 		}
 	}
-	flat, err := p.Execute(`SELECT c.[Customer ID], c.Gender, c.[Hair Color], c.Age,
+	flat, err := p.ExecuteContext(ctx, `SELECT c.[Customer ID], c.Gender, c.[Hair Color], c.Age,
 			s.[Product Name], s.Quantity, s.[Product Type], k.Car, k.[Car Prob]
 		FROM Customers c
 		JOIN Sales s ON c.[Customer ID] = s.CustID
@@ -54,7 +55,7 @@ func RunE1(Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	shaped, err := shape.ExecuteString(p.Engine, `SHAPE
+	shaped, err := shape.ExecuteStringContext(ctx, p.Engine, `SHAPE
 		{SELECT [Customer ID], Gender, [Hair Color], Age, [Age Prob] FROM Customers ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, [Product Name], Quantity, [Product Type] FROM Sales ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]
@@ -99,7 +100,7 @@ func renderCase(rs *rowset.Rowset, row int) string {
 // the identical caseset; the export path additionally pays CSV export,
 // re-parse, and client-side case assembly, and leaves a file trail whose
 // size we report as data moved.
-func RunE2(cfg Config) (*Result, error) {
+func RunE2(ctx context.Context, cfg Config) (*Result, error) {
 	p, _, err := freshWarehouse(cfg, 0)
 	if err != nil {
 		return nil, err
@@ -119,10 +120,10 @@ func RunE2(cfg Config) (*Result, error) {
 
 	// Path A: in-provider.
 	start := time.Now()
-	if _, err := p.Execute(createModel); err != nil {
+	if _, err := p.ExecuteContext(ctx, createModel); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(insertModel); err != nil {
+	if _, err := p.ExecuteContext(ctx, insertModel); err != nil {
 		return nil, err
 	}
 	inDB := time.Since(start)

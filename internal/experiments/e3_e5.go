@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -83,7 +84,7 @@ var e3Models = []struct {
 
 // RunE3 measures INSERT INTO (model population) throughput per service over
 // a size sweep — the paper's Section 3.3 operation under load.
-func RunE3(cfg Config) (*Result, error) {
+func RunE3(ctx context.Context, cfg Config) (*Result, error) {
 	sizes := []int{cfg.Scale / 4, cfg.Scale / 2, cfg.Scale}
 	t := newTable("service", "cases", "train time", "cases/sec")
 	for _, m := range e3Models {
@@ -95,11 +96,11 @@ func RunE3(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := p.Execute(m.create); err != nil {
+			if _, err := p.ExecuteContext(ctx, m.create); err != nil {
 				return nil, err
 			}
 			start := time.Now()
-			if _, err := p.Execute(m.insert); err != nil {
+			if _, err := p.ExecuteContext(ctx, m.insert); err != nil {
 				return nil, err
 			}
 			dur := time.Since(start)
@@ -124,15 +125,15 @@ func RunE3(cfg Config) (*Result, error) {
 // RunE4 measures PREDICTION JOIN throughput, comparing ON-clause binding
 // against NATURAL binding (which the paper introduces to obviate the ON
 // clause when names line up).
-func RunE4(cfg Config) (*Result, error) {
+func RunE4(ctx context.Context, cfg Config) (*Result, error) {
 	p, _, err := freshWarehouse(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(e3Models[0].create); err != nil {
+	if _, err := p.ExecuteContext(ctx, e3Models[0].create); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(e3Models[0].insert); err != nil {
+	if _, err := p.ExecuteContext(ctx, e3Models[0].insert); err != nil {
 		return nil, err
 	}
 
@@ -153,7 +154,7 @@ func RunE4(cfg Config) (*Result, error) {
 		{"NATURAL (nested caseset input)", nestedQuery},
 	} {
 		start := time.Now()
-		rs, err := p.Execute(q.query)
+		rs, err := p.ExecuteContext(ctx, q.query)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +181,7 @@ func RunE4(cfg Config) (*Result, error) {
 // RunE5 measures content browsing (SELECT ... FROM <model>.CONTENT) and the
 // PMML-inspired XML round trip across model sizes controlled by
 // MINIMUM_SUPPORT (smaller support → bigger trees).
-func RunE5(cfg Config) (*Result, error) {
+func RunE5(ctx context.Context, cfg Config) (*Result, error) {
 	t := newTable("MINIMUM_SUPPORT", "content nodes", "rowset build", "XML encode", "XML bytes", "round trip ok")
 	for _, minSupport := range []string{"64", "16", "4"} {
 		p, _, err := freshWarehouse(cfg, 0)
@@ -192,19 +193,19 @@ func RunE5(cfg Config) (*Result, error) {
 			[Age] DOUBLE DISCRETIZED PREDICT,
 			[Product Purchases] TABLE([Product Name] TEXT KEY)
 		) USING [Decision_Trees] (MINIMUM_SUPPORT = %s)`, minSupport)
-		if _, err := p.Execute(create); err != nil {
+		if _, err := p.ExecuteContext(ctx, create); err != nil {
 			return nil, err
 		}
 		insert := `INSERT INTO [E5] ([Customer ID], [Gender], [Age], [Product Purchases]([Product Name]))
 		SHAPE {SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`
-		if _, err := p.Execute(insert); err != nil {
+		if _, err := p.ExecuteContext(ctx, insert); err != nil {
 			return nil, err
 		}
 
 		start := time.Now()
-		rs, err := p.Execute("SELECT * FROM [E5].CONTENT")
+		rs, err := p.ExecuteContext(ctx, "SELECT * FROM [E5].CONTENT")
 		if err != nil {
 			return nil, err
 		}

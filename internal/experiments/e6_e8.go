@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -13,10 +14,10 @@ import (
 // same Age-prediction model trained with each bucketing policy, evaluated by
 // holdout bucket accuracy — how often the predicted age bucket contains the
 // customer's true age.
-func RunE6(cfg Config) (*Result, error) {
+func RunE6(ctx context.Context, cfg Config) (*Result, error) {
 	t := newTable("method", "buckets produced", "holdout bucket accuracy")
 	for _, method := range []string{"EQUAL_RANGES", "EQUAL_AREAS", "ENTROPY"} {
-		acc, buckets, err := e6Once(cfg, method)
+		acc, buckets, err := e6Once(ctx, cfg, method)
 		if err != nil {
 			return nil, err
 		}
@@ -37,7 +38,7 @@ func RunE6(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func e6Once(cfg Config, method string) (accuracy float64, buckets int, err error) {
+func e6Once(ctx context.Context, cfg Config, method string) (accuracy float64, buckets int, err error) {
 	p, truth, err := freshWarehouse(cfg, 0)
 	if err != nil {
 		return 0, 0, err
@@ -49,12 +50,12 @@ func e6Once(cfg Config, method string) (accuracy float64, buckets int, err error
 		[Archetype Hint] TEXT DISCRETE PREDICT,
 		[Age] DOUBLE DISCRETIZED(%s, 4) PREDICT
 	) USING [Decision_Trees]`, method)
-	if _, err := p.Execute(create); err != nil {
+	if _, err := p.ExecuteContext(ctx, create); err != nil {
 		return 0, 0, err
 	}
 	// The archetype hint gives the ENTROPY method labels to discretize
 	// against (and the tree a second target), mirroring supervised use.
-	if _, err := p.Execute("CREATE TABLE Hints (HID LONG, Hint TEXT)"); err != nil {
+	if _, err := p.ExecuteContext(ctx, "CREATE TABLE Hints (HID LONG, Hint TEXT)"); err != nil {
 		return 0, 0, err
 	}
 	hints, err := p.DB.Table("Hints")
@@ -70,7 +71,7 @@ func e6Once(cfg Config, method string) (accuracy float64, buckets int, err error
 		SELECT c.[Customer ID], c.Gender, h.Hint, c.Age
 		FROM Customers c JOIN Hints h ON c.[Customer ID] = h.HID
 		WHERE c.[Customer ID] > %d`, holdout)
-	if _, err := p.Execute(insert); err != nil {
+	if _, err := p.ExecuteContext(ctx, insert); err != nil {
 		return 0, 0, err
 	}
 
@@ -88,7 +89,7 @@ func e6Once(cfg Config, method string) (accuracy float64, buckets int, err error
 	// Holdout: customers 1..holdout, unseen in training. The prediction
 	// input carries gender and the archetype hint, so accuracy reflects
 	// how well each bucketing aligns with the planted age segments.
-	pred, err := p.Execute(fmt.Sprintf(`SELECT t.[Customer ID], Predict([Age]) FROM [E6]
+	pred, err := p.ExecuteContext(ctx, fmt.Sprintf(`SELECT t.[Customer ID], Predict([Age]) FROM [E6]
 		NATURAL PREDICTION JOIN (SELECT c.[Customer ID], c.Gender, h.Hint AS [Archetype Hint]
 			FROM Customers c JOIN Hints h ON c.[Customer ID] = h.HID
 			WHERE c.[Customer ID] <= %d) AS t`, holdout))
@@ -123,18 +124,18 @@ func bucketLabelOf(v float64, cuts []float64, labels []string) string {
 // rowset) versus the flat-join path (replicate then regroup client side),
 // sweeping nested fanout via noise products. This quantifies Section 3.1's
 // claim that consolidated cases eliminate algorithm-side bookkeeping.
-func RunE7(cfg Config) (*Result, error) {
+func RunE7(ctx context.Context, cfg Config) (*Result, error) {
 	t := newTable("noise products", "join rows", "caseset rows", "SHAPE time", "join+regroup time")
 	for _, noise := range []int{0, 25, 50} {
 		p, _, err := freshWarehouse(Config{Scale: cfg.Scale, Seed: cfg.Seed}, noise)
 		if err != nil {
 			return nil, err
 		}
-		shapeDur, shaped, err := timeExec(p, workload.PaperShape)
+		shapeDur, shaped, err := timeExec(ctx, p, workload.PaperShape)
 		if err != nil {
 			return nil, err
 		}
-		joinDur, flat, err := timeExec(p, `SELECT c.[Customer ID], c.Gender, c.Age,
+		joinDur, flat, err := timeExec(ctx, p, `SELECT c.[Customer ID], c.Gender, c.Age,
 				s.[Product Name], s.Quantity, k.Car
 			FROM Customers c
 			JOIN Sales s ON c.[Customer ID] = s.CustID
@@ -174,7 +175,7 @@ func RunE7(cfg Config) (*Result, error) {
 // RunE8 checks the paper's claim that one API serves "all well-known mining
 // models": the six bundled services each recover their planted structure
 // from the same warehouse through the same statements.
-func RunE8(cfg Config) (*Result, error) {
+func RunE8(ctx context.Context, cfg Config) (*Result, error) {
 	p, truth, err := freshWarehouse(cfg, 0)
 	if err != nil {
 		return nil, err
@@ -183,70 +184,70 @@ func RunE8(cfg Config) (*Result, error) {
 
 	// Decision trees: gender classification accuracy (holdout).
 	holdout := cfg.Scale / 5
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 Trees] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 Trees] (
 		[Customer ID] LONG KEY, [Age] DOUBLE CONTINUOUS, [Gender] TEXT DISCRETE PREDICT
 	) USING [Decision_Trees]`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(fmt.Sprintf(`INSERT INTO [E8 Trees] ([Customer ID], [Age], [Gender])
+	if _, err := p.ExecuteContext(ctx, fmt.Sprintf(`INSERT INTO [E8 Trees] ([Customer ID], [Age], [Gender])
 		SELECT [Customer ID], Age, Gender FROM Customers WHERE [Customer ID] > %d`, holdout)); err != nil {
 		return nil, err
 	}
-	treeAcc, err := genderAccuracy(p, "E8 Trees", truth, holdout)
+	treeAcc, err := genderAccuracy(ctx, p, "E8 Trees", truth, holdout)
 	if err != nil {
 		return nil, err
 	}
 	t.add("Decision_Trees", "gender from age", "holdout accuracy", fmt.Sprintf("%.3f", treeAcc))
 
 	// Naive Bayes: same task, same data.
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 Bayes] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 Bayes] (
 		[Customer ID] LONG KEY, [Age] DOUBLE CONTINUOUS, [Gender] TEXT DISCRETE PREDICT
 	) USING [Naive_Bayes]`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(fmt.Sprintf(`INSERT INTO [E8 Bayes] ([Customer ID], [Age], [Gender])
+	if _, err := p.ExecuteContext(ctx, fmt.Sprintf(`INSERT INTO [E8 Bayes] ([Customer ID], [Age], [Gender])
 		SELECT [Customer ID], Age, Gender FROM Customers WHERE [Customer ID] > %d`, holdout)); err != nil {
 		return nil, err
 	}
-	nbAcc, err := genderAccuracy(p, "E8 Bayes", truth, holdout)
+	nbAcc, err := genderAccuracy(ctx, p, "E8 Bayes", truth, holdout)
 	if err != nil {
 		return nil, err
 	}
 	t.add("Naive_Bayes", "gender from age", "holdout accuracy", fmt.Sprintf("%.3f", nbAcc))
 
 	// Clustering: cluster purity against planted archetypes.
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 Cluster] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 Cluster] (
 		[Customer ID] LONG KEY, [Age] DOUBLE CONTINUOUS,
 		[Product Purchases] TABLE([Product Name] TEXT KEY)
 	) USING [Clustering] (CLUSTER_COUNT = 3)`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(`INSERT INTO [E8 Cluster] ([Customer ID], [Age], [Product Purchases]([Product Name]))
+	if _, err := p.ExecuteContext(ctx, `INSERT INTO [E8 Cluster] ([Customer ID], [Age], [Product Purchases]([Product Name]))
 		SHAPE {SELECT [Customer ID], Age FROM Customers ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`); err != nil {
 		return nil, err
 	}
-	purity, err := clusterPurity(p, truth)
+	purity, err := clusterPurity(ctx, p, truth)
 	if err != nil {
 		return nil, err
 	}
 	t.add("Clustering", "recover 3 archetypes", "cluster purity", fmt.Sprintf("%.3f", purity))
 
 	// Association rules: recall of the planted Beer⇒Chips rule.
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 Assoc] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 Assoc] (
 		[Customer ID] LONG KEY,
 		[Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT
 	) USING [Association_Rules] (MINIMUM_SUPPORT = 0.05, MINIMUM_PROBABILITY = 0.5)`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(`INSERT INTO [E8 Assoc] ([Customer ID], [Product Purchases]([Product Name]))
+	if _, err := p.ExecuteContext(ctx, `INSERT INTO [E8 Assoc] ([Customer ID], [Product Purchases]([Product Name]))
 		SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`); err != nil {
 		return nil, err
 	}
-	rec, err := p.Execute(`SELECT Predict([Product Purchases], 1) AS r FROM [E8 Assoc]
+	rec, err := p.ExecuteContext(ctx, `SELECT Predict([Product Purchases], 1) AS r FROM [E8 Assoc]
 		NATURAL PREDICTION JOIN
 		(SHAPE {SELECT 1 AS [Customer ID]}
 		 APPEND ({SELECT 1 AS CustID, 'Beer' AS [Product Name]}
@@ -264,40 +265,40 @@ func RunE8(cfg Config) (*Result, error) {
 		fmt.Sprintf("%v / %.2f", found, conf))
 
 	// Linear regression: age from gender + basket (archetype proxies).
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 LinReg] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 LinReg] (
 		[Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
 		[Product Purchases] TABLE([Product Name] TEXT KEY),
 		[Age] DOUBLE CONTINUOUS PREDICT
 	) USING [Linear_Regression]`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(fmt.Sprintf(`INSERT INTO [E8 LinReg] ([Customer ID], [Gender], [Age],
+	if _, err := p.ExecuteContext(ctx, fmt.Sprintf(`INSERT INTO [E8 LinReg] ([Customer ID], [Gender], [Age],
 		[Product Purchases]([Product Name]))
 		SHAPE {SELECT [Customer ID], Gender, Age FROM Customers WHERE [Customer ID] > %d ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Product Purchases]`, holdout)); err != nil {
 		return nil, err
 	}
-	mae, err := regressionMAE(p, truth, holdout)
+	mae, err := regressionMAE(ctx, p, truth, holdout)
 	if err != nil {
 		return nil, err
 	}
 	t.add("Linear_Regression", "age from gender+basket", "holdout MAE (years)", fmt.Sprintf("%.2f", mae))
 
 	// Sequence analysis: does the chain recover the planted transitions?
-	if _, err := p.Execute(`CREATE MINING MODEL [E8 Seq] (
+	if _, err := p.ExecuteContext(ctx, `CREATE MINING MODEL [E8 Seq] (
 		[Customer ID] LONG KEY,
 		[Visits] TABLE([Page] TEXT KEY, [Step] LONG SEQUENCE_TIME) PREDICT
 	) USING [Sequence_Analysis]`); err != nil {
 		return nil, err
 	}
-	if _, err := p.Execute(`INSERT INTO [E8 Seq] ([Customer ID], [Visits]([Page], [Step]))
+	if _, err := p.ExecuteContext(ctx, `INSERT INTO [E8 Seq] ([Customer ID], [Visits]([Page], [Step]))
 		SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
 		APPEND ({SELECT CustID, Page, Step FROM Visits ORDER BY CustID}
 			RELATE [Customer ID] TO [CustID]) AS [Visits]`); err != nil {
 		return nil, err
 	}
-	recovered, total, err := transitionsRecovered(p, truth)
+	recovered, total, err := transitionsRecovered(ctx, p, truth)
 	if err != nil {
 		return nil, err
 	}
@@ -319,8 +320,8 @@ func RunE8(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func genderAccuracy(p *provider.Provider, model string, truth *workload.Truth, holdout int) (float64, error) {
-	pred, err := p.Execute(fmt.Sprintf(`SELECT t.[Customer ID], Predict([Gender]) FROM [%s]
+func genderAccuracy(ctx context.Context, p *provider.Provider, model string, truth *workload.Truth, holdout int) (float64, error) {
+	pred, err := p.ExecuteContext(ctx, fmt.Sprintf(`SELECT t.[Customer ID], Predict([Gender]) FROM [%s]
 		NATURAL PREDICTION JOIN (SELECT [Customer ID], Age FROM Customers
 			WHERE [Customer ID] <= %d) AS t`, model, holdout))
 	if err != nil {
@@ -338,8 +339,8 @@ func genderAccuracy(p *provider.Provider, model string, truth *workload.Truth, h
 	return float64(correct) / float64(pred.Len()), nil
 }
 
-func clusterPurity(p *provider.Provider, truth *workload.Truth) (float64, error) {
-	pred, err := p.Execute(`SELECT t.[Customer ID], Cluster() FROM [E8 Cluster]
+func clusterPurity(ctx context.Context, p *provider.Provider, truth *workload.Truth) (float64, error) {
+	pred, err := p.ExecuteContext(ctx, `SELECT t.[Customer ID], Cluster() FROM [E8 Cluster]
 		NATURAL PREDICTION JOIN
 		(SHAPE {SELECT [Customer ID], Age FROM Customers ORDER BY [Customer ID]}
 		 APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
@@ -375,8 +376,8 @@ func clusterPurity(p *provider.Provider, truth *workload.Truth) (float64, error)
 
 // regressionMAE measures mean absolute error of the E8 linreg model on the
 // holdout customers.
-func regressionMAE(p *provider.Provider, truth *workload.Truth, holdout int) (float64, error) {
-	pred, err := p.Execute(fmt.Sprintf(`SELECT t.[Customer ID], Predict([Age]) FROM [E8 LinReg]
+func regressionMAE(ctx context.Context, p *provider.Provider, truth *workload.Truth, holdout int) (float64, error) {
+	pred, err := p.ExecuteContext(ctx, fmt.Sprintf(`SELECT t.[Customer ID], Predict([Age]) FROM [E8 LinReg]
 		NATURAL PREDICTION JOIN
 		(SHAPE {SELECT [Customer ID], Gender FROM Customers WHERE [Customer ID] <= %d ORDER BY [Customer ID]}
 		 APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}
@@ -402,18 +403,18 @@ func regressionMAE(p *provider.Provider, truth *workload.Truth, holdout int) (fl
 
 // transitionsRecovered checks, for each planted page transition, whether the
 // sequence model's top next-page prediction matches.
-func transitionsRecovered(p *provider.Provider, truth *workload.Truth) (recovered, total int, err error) {
+func transitionsRecovered(ctx context.Context, p *provider.Provider, truth *workload.Truth) (recovered, total int, err error) {
 	for from, want := range truth.NextPage {
 		total++
-		if _, err := p.Execute("DELETE FROM SeqProbe"); err != nil {
-			if _, cerr := p.Execute("CREATE TABLE SeqProbe (CustID LONG, Page TEXT, Step LONG)"); cerr != nil {
+		if _, err := p.ExecuteContext(ctx, "DELETE FROM SeqProbe"); err != nil {
+			if _, cerr := p.ExecuteContext(ctx, "CREATE TABLE SeqProbe (CustID LONG, Page TEXT, Step LONG)"); cerr != nil {
 				return 0, 0, cerr
 			}
 		}
-		if _, err := p.Execute(fmt.Sprintf("INSERT INTO SeqProbe VALUES (1, '%s', 0)", from)); err != nil {
+		if _, err := p.ExecuteContext(ctx, fmt.Sprintf("INSERT INTO SeqProbe VALUES (1, '%s', 0)", from)); err != nil {
 			return 0, 0, err
 		}
-		rs, err := p.Execute(`SELECT Predict([Visits], 1) AS nxt FROM [E8 Seq]
+		rs, err := p.ExecuteContext(ctx, `SELECT Predict([Visits], 1) AS nxt FROM [E8 Seq]
 			NATURAL PREDICTION JOIN
 			(SHAPE {SELECT 1 AS [Customer ID]}
 			 APPEND ({SELECT CustID, Page, Step FROM SeqProbe ORDER BY CustID}

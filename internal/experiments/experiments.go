@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -60,8 +61,9 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Runner executes one experiment.
-type Runner func(Config) (*Result, error)
+// Runner executes one experiment. ctx cancellation aborts the experiment
+// between and inside statements.
+type Runner func(context.Context, Config) (*Result, error)
 
 // registry of experiments in order.
 var experiments = []struct {
@@ -91,20 +93,20 @@ func IDs() []string {
 }
 
 // Run executes one experiment by ID (case-insensitive).
-func Run(id string, cfg Config) (*Result, error) {
+func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
 	for _, e := range experiments {
 		if strings.EqualFold(e.id, id) {
-			return e.runner(cfg.withDefaults())
+			return e.runner(ctx, cfg.withDefaults())
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 }
 
 // RunAll executes every experiment in order.
-func RunAll(cfg Config) ([]*Result, error) {
+func RunAll(ctx context.Context, cfg Config) ([]*Result, error) {
 	out := make([]*Result, 0, len(experiments))
 	for _, e := range experiments {
-		r, err := e.runner(cfg.withDefaults())
+		r, err := e.runner(ctx, cfg.withDefaults())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.id, err)
 		}
@@ -205,9 +207,9 @@ const msRound = time.Millisecond
 var nowFn = time.Now
 
 // timeExec runs one command and reports its wall time and result.
-func timeExec(p *provider.Provider, cmd string) (time.Duration, *rowset.Rowset, error) {
+func timeExec(ctx context.Context, p *provider.Provider, cmd string) (time.Duration, *rowset.Rowset, error) {
 	start := time.Now()
-	rs, err := p.Execute(cmd)
+	rs, err := p.ExecuteContext(ctx, cmd)
 	return time.Since(start), rs, err
 }
 

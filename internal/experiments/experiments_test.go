@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 var small = Config{Scale: 300, Seed: 1}
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("E99", small); err == nil {
+	if _, err := Run(context.Background(), "E99", small); err == nil {
 		t.Error("unknown experiment must fail")
 	}
 }
@@ -23,7 +24,7 @@ func TestIDsComplete(t *testing.T) {
 }
 
 func TestE1ReproducesTwelveRows(t *testing.T) {
-	r, err := Run("e1", small)
+	r, err := Run(context.Background(), "e1", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestE1ReproducesTwelveRows(t *testing.T) {
 }
 
 func TestE2InDBFasterAndZeroBytes(t *testing.T) {
-	r, err := Run("E2", small)
+	r, err := Run(context.Background(), "E2", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestE2InDBFasterAndZeroBytes(t *testing.T) {
 }
 
 func TestE3AllServicesTrain(t *testing.T) {
-	r, err := Run("E3", Config{Scale: 200, Seed: 1})
+	r, err := Run(context.Background(), "E3", Config{Scale: 200, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestE3AllServicesTrain(t *testing.T) {
 }
 
 func TestE4BothBindingsRun(t *testing.T) {
-	r, err := Run("E4", small)
+	r, err := Run(context.Background(), "E4", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestE4BothBindingsRun(t *testing.T) {
 }
 
 func TestE5RoundTripOK(t *testing.T) {
-	r, err := Run("E5", small)
+	r, err := Run(context.Background(), "E5", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestE5RoundTripOK(t *testing.T) {
 }
 
 func TestE6AllMethodsScore(t *testing.T) {
-	r, err := Run("E6", small)
+	r, err := Run(context.Background(), "E6", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestE6AllMethodsScore(t *testing.T) {
 }
 
 func TestE7JoinBlowup(t *testing.T) {
-	r, err := Run("E7", small)
+	r, err := Run(context.Background(), "E7", small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestE7JoinBlowup(t *testing.T) {
 }
 
 func TestE8RecoversPlantedStructure(t *testing.T) {
-	r, err := Run("E8", Config{Scale: 900, Seed: 1})
+	r, err := Run(context.Background(), "E8", Config{Scale: 900, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestE8RecoversPlantedStructure(t *testing.T) {
 }
 
 func TestE9BothTransports(t *testing.T) {
-	r, err := Run("E9", Config{Scale: 200, Seed: 1})
+	r, err := Run(context.Background(), "E9", Config{Scale: 200, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestE9BothTransports(t *testing.T) {
 }
 
 func TestE10VerbatimStatements(t *testing.T) {
-	r, err := Run("E10", small)
+	r, err := Run(context.Background(), "E10", small)
 	if err != nil {
 		t.Fatal(err)
 	}

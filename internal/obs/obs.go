@@ -46,6 +46,44 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a level that can go up and down — queue depths, in-flight
+// statement counts. Like Counter, every method is safe for concurrent use
+// and a no-op on a nil receiver, so an uninstrumented provider pays one
+// pointer test per call site.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // histBuckets is the number of log-scaled histogram buckets. Bucket i counts
 // observations whose value has bit length i: bucket 0 holds v == 0, bucket i
 // holds v in [2^(i-1), 2^i). 40 buckets cover microsecond latencies up to
@@ -159,11 +197,12 @@ const DefaultQueryLogCap = 256
 // handles, whose methods are no-ops, which is how observability is disabled
 // wholesale.
 //
-//dmlint:guard mu: Registry.counters, Registry.hists, QueryLog.records, QueryLog.seq, TraceLog.records, TraceLog.seq, ConnTracker.conns, ConnTracker.seq
+//dmlint:guard mu: Registry.counters, Registry.hists, Registry.gauges, QueryLog.records, QueryLog.seq, TraceLog.records, TraceLog.seq, ConnTracker.conns, ConnTracker.seq
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 
 	log    *QueryLog
 	traces *TraceLog
@@ -177,6 +216,7 @@ func NewRegistry(logCap int) *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
 		log:      NewQueryLog(logCap),
 		traces:   NewTraceLog(0),
 		conns:    &ConnTracker{},
@@ -225,6 +265,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h = &Histogram{}
 	r.hists[name] = h
 	return h
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
 }
 
 // QueryLog returns the registry's statement log (nil on a nil registry).
@@ -289,6 +351,27 @@ func (r *Registry) Histograms() []NamedHistogram {
 	out := make([]NamedHistogram, 0, len(r.hists))
 	for name, h := range r.hists {
 		out = append(out, NamedHistogram{Name: name, Snap: h.Snapshot()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedGauge pairs a gauge name with its current level.
+type NamedGauge struct {
+	Name  string
+	Value int64
+}
+
+// Gauges returns a sorted snapshot of every registered gauge.
+func (r *Registry) Gauges() []NamedGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]NamedGauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		out = append(out, NamedGauge{Name: name, Value: g.Value()})
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

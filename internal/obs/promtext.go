@@ -7,7 +7,8 @@ import (
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): every counter as a counter metric, every log2
+// format (version 0.0.4): every counter as a counter metric, every registry
+// gauge as a gauge, every log2
 // histogram as a cumulative-bucket histogram (the non-cumulative bucket
 // counts in a HistSnapshot are summed into le-bounded buckets plus +Inf, as
 // the format requires), the open-connection count as a gauge, and two process
@@ -17,6 +18,11 @@ import (
 func WritePrometheus(w io.Writer, r *Registry) error {
 	for _, c := range r.Counters() {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.Gauges() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
 			return err
 		}
 	}

@@ -15,12 +15,12 @@ import (
 // OLE DB DM specification; it also makes the tokenizer's work inspectable —
 // useful when debugging why a model sees the data the way it does.
 func (p *Provider) casesRowset(name string) (*rowset.Rowset, error) {
+	// e is an immutable snapshot entry; its cases and space never change
+	// after publication, so the render needs no lock.
 	e, err := p.entry(name)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
 	schema := rowset.MustSchema(
 		rowset.Column{Name: "CASE_KEY", Type: rowset.TypeText},
 		rowset.Column{Name: "ATTRIBUTE", Type: rowset.TypeText},
@@ -68,10 +68,9 @@ func (p *Provider) pmmlRowset(name string) (*rowset.Rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.RLock()
+	// Immutable snapshot entry: Trained/CaseCount are fixed at publication.
 	trained := e.model.Trained
 	caseCount := e.model.CaseCount
-	p.mu.RUnlock()
 	if trained == nil {
 		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", name)
 	}

@@ -18,7 +18,7 @@ import (
 	"repro/internal/shape"
 )
 
-// ExecOption configures one ExecuteContext call.
+// ExecOption configures one execution call.
 type ExecOption func(*execConfig)
 
 type execConfig struct {
@@ -26,103 +26,43 @@ type execConfig struct {
 }
 
 // WithOrigin labels where the statement came from (a remote address, a tool
-// name); the label is recorded in the $SYSTEM.DM_QUERY_LOG rowset.
+// name); the label is recorded in the $SYSTEM.DM_QUERY_LOG rowset. It
+// overrides the session's WithSessionOrigin label for this call.
 func WithOrigin(origin string) ExecOption {
 	return func(c *execConfig) { c.origin = origin }
 }
 
-// ExecuteContext runs one DMX or SQL statement and returns its result
-// rowset; standalone SHAPE statements are also accepted and return the
-// hierarchical rowset they assemble. It is the provider's primary entry
-// point: ctx cancellation aborts the statement (checked inside the
-// worker-pool scan loops, so a runaway PREDICTION JOIN stops promptly), and
-// every statement is timed per stage and recorded in the query log and the
-// provider metrics — queryable afterwards as $SYSTEM.DM_QUERY_LOG and
-// $SYSTEM.DM_PROVIDER_METRICS.
+// ---------- flat Provider entry points (wrappers over an internal session) ----------
+//
+// The Session API is the primary surface; these delegate to a provider-owned
+// session so existing embedders keep working. They share that one session's
+// prepared-statement namespace and admission gate.
+
+// ExecuteContext runs one statement on the provider's internal session.
+//
+// Deprecated: use [Provider.NewSession] and [Session.Execute]; sessions scope
+// prepared statements and admission per consumer.
 func (p *Provider) ExecuteContext(ctx context.Context, command string, opts ...ExecOption) (*rowset.Rowset, error) {
-	return p.run(ctx, command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
-		return p.executeTracedArgs(ctx, t, command, nil, false)
-	})
+	return p.session.Execute(ctx, command, opts...)
 }
 
-// run wraps one statement execution with the trace, query-log, and metrics
-// plumbing shared by every public execution entry point. label is what the
-// query log records as the statement text.
-func (p *Provider) run(ctx context.Context, label string, opts []ExecOption, fn func(context.Context, *obs.Trace) (*rowset.Rowset, error)) (*rowset.Rowset, error) {
-	var cfg execConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	var t *obs.Trace
-	if p.obs != nil {
-		t = obs.NewTrace(label, cfg.origin)
-		ctx = obs.WithTrace(ctx, t)
-	}
-	var rs *rowset.Rowset
-	// A statement arriving already cancelled still gets a query-log record
-	// (class "cancelled"), so the log accounts for every submission.
-	err := ctx.Err()
-	if err == nil {
-		rs, err = fn(ctx, t)
-	}
-	if p.obs != nil {
-		if rs != nil {
-			t.SetRowsOut(int64(rs.Len()))
-		}
-		rec := t.Finish(errorClass(t, err))
-		seq := p.obs.QueryLog().Append(rec)
-		p.obs.Traces().Append(obs.TraceRecord{
-			Seq:       seq,
-			Start:     rec.Start,
-			Statement: rec.Statement,
-			Kind:      rec.Kind,
-			ErrClass:  rec.ErrClass,
-			Root:      t.Root(),
-		})
-		p.execTotal.Inc()
-		p.latency.Observe(rec.Elapsed.Microseconds())
-		if err != nil {
-			p.execErrors.Inc()
-			if rec.ErrClass == "cancelled" {
-				p.execCancels.Inc()
-			}
-		} else {
-			p.rowsOut.Add(rec.RowsOut)
-		}
-	}
-	return rs, err
-}
-
-// Execute runs one statement without cancellation or an origin label. It is
-// ExecuteContext with a background context, kept as the convenience form for
-// callers that have no context to thread.
-func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
-	return p.ExecuteContext(context.Background(), command) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteContext is the primary API.
-}
-
-// ExecuteScriptContext runs a multi-statement script (statements separated
-// by semicolons) and returns the last statement's result. Each statement
-// passes through ExecuteContext, so all of them land in the query log and
-// cancellation is honoured between and inside statements.
+// ExecuteScriptContext runs a multi-statement script on the provider's
+// internal session.
+//
+// Deprecated: use [Provider.NewSession] and [Session.ExecuteScript].
 func (p *Provider) ExecuteScriptContext(ctx context.Context, script string, opts ...ExecOption) (*rowset.Rowset, error) {
-	stmts, err := splitStatements(script)
-	if err != nil {
-		return nil, err
-	}
-	var last *rowset.Rowset
-	for _, s := range stmts {
-		last, err = p.ExecuteContext(ctx, s, opts...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return last, nil
+	return p.session.ExecuteScript(ctx, script, opts...)
 }
 
-// ExecuteScript is ExecuteScriptContext with a background context.
-func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
-	return p.ExecuteScriptContext(context.Background(), script) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteScriptContext is the primary API.
+// ExecuteParamsContext runs one command with positional arguments on the
+// provider's internal session.
+//
+// Deprecated: use [Provider.NewSession] and [Session.ExecuteParams].
+func (p *Provider) ExecuteParamsContext(ctx context.Context, command string, args []rowset.Value, opts ...ExecOption) (*rowset.Rowset, error) {
+	return p.session.ExecuteParams(ctx, command, args, opts...)
 }
+
+// ---------- statement pipeline (session-scoped) ----------
 
 // executeTracedArgs dispatches one command, attributing stage time to the
 // trace carried by ctx (t may be nil: every trace method is a no-op then).
@@ -130,7 +70,8 @@ func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
 // is the key, so keyword case and insignificant whitespace hit the same
 // entry. args bind the command's placeholders; hasArgs distinguishes "zero
 // arguments supplied" from plain (unparameterized) execution.
-func (p *Provider) executeTracedArgs(ctx context.Context, t *obs.Trace, command string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+func (s *Session) executeTracedArgs(ctx context.Context, t *obs.Trace, command string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+	p := s.p
 	if sc := lex.NewScanner(command); sc.Peek().Is("SHAPE") {
 		if hasArgs && len(args) > 0 {
 			return nil, fmt.Errorf("provider: SHAPE statements take no parameters")
@@ -154,12 +95,12 @@ func (p *Provider) executeTracedArgs(ctx context.Context, t *obs.Trace, command 
 			return nil, err
 		}
 		t.SetKind(statementKind(st))
-		return p.ExecuteDMXContext(ctx, st)
+		return s.execDMXChecked(ctx, st)
 	}
 	key := plancache.Normalize(command)
 	if v, ok := p.planCache.Get(key); ok {
 		pl := v.(*plan)
-		return p.runPlan(ctx, t, pl, args, hasArgs)
+		return s.runPlan(ctx, t, pl, args, hasArgs)
 	}
 	// Snapshot the DDL epoch before compiling: if any DDL lands while this
 	// plan is being built, Put drops the store rather than caching a plan
@@ -172,90 +113,81 @@ func (p *Provider) executeTracedArgs(ctx context.Context, t *obs.Trace, command 
 	if pl.cacheable {
 		p.planCache.Put(key, pl, pl.deps, epoch)
 	}
-	return p.runPlan(ctx, t, pl, args, hasArgs)
+	return s.runPlan(ctx, t, pl, args, hasArgs)
 }
 
-// ExecuteDMXContext runs a parsed DMX statement. Statements are bound by the
+// execDMXChecked runs a parsed DMX statement. Statements are bound by the
 // semantic checker first, so name and type errors surface with source
 // positions before any execution work starts.
-func (p *Provider) ExecuteDMXContext(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
+func (s *Session) execDMXChecked(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
 	t := obs.FromContext(ctx)
 	stopBind := t.StartStage(obs.StageBind)
-	err := sem.Check(st, p)
+	err := sem.Check(st, s.p)
 	stopBind()
 	if err != nil {
 		return nil, err
 	}
-	return p.execDMX(ctx, st)
+	return s.execDMX(ctx, st)
 }
 
 // execDMX dispatches an already-checked DMX statement. Plans run through
 // here directly: they were semantic-checked at compile time and dependency
 // versioning guarantees the catalog they were checked against still stands,
 // so re-checking on every (cached or prepared) execution would only buy
-// latency.
-func (p *Provider) execDMX(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
+// latency. Catalog reads resolve against the current immutable snapshot, so
+// no dispatch arm takes a lock.
+func (s *Session) execDMX(ctx context.Context, st dmx.Statement) (*rowset.Rowset, error) {
+	p := s.p
 	t := obs.FromContext(ctx)
-	switch s := st.(type) {
+	switch st := st.(type) {
 	case *dmx.Explain:
-		return p.explainStmt(ctx, s)
+		return s.explainStmt(ctx, st)
 	case *dmx.CreateModel:
-		return p.createModel(s.Def)
+		return p.createModel(st.Def)
 	case *dmx.InsertInto:
-		return p.insertInto(ctx, s)
+		return p.insertInto(ctx, st)
 	case *dmx.PredictionSelect:
-		return p.predictionSelect(ctx, s)
+		return p.predictionSelect(ctx, st)
 	case *dmx.ContentSelect:
-		e, err := p.entry(s.Model)
+		e, err := p.entry(st.Model)
 		if err != nil {
 			return nil, err
 		}
-		p.mu.RLock()
 		trained := e.model.Trained
-		p.mu.RUnlock()
 		if trained == nil {
-			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", s.Model)
+			return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", st.Model)
 		}
 		return content.Rowset(e.model.Def.Name, trained.Content())
 	case *dmx.ColumnsSelect:
-		e, err := p.entry(s.Model)
+		e, err := p.entry(st.Model)
 		if err != nil {
 			return nil, err
 		}
 		return schemarowset.ModelColumns(e.model)
 	case *dmx.CasesSelect:
-		return p.casesRowset(s.Model)
+		return p.casesRowset(st.Model)
 	case *dmx.PMMLSelect:
-		return p.pmmlRowset(s.Model)
+		return p.pmmlRowset(st.Model)
 	case *dmx.SchemaRowsetSelect:
-		// Build reads Trained/Space/CaseCount off every model, so the read
-		// lock must cover the build itself, not just the catalogue snapshot —
-		// a concurrent INSERT INTO rewrites those fields under the write lock.
-		// The obs registry has its own locks and never takes p.mu, so holding
-		// p.mu across the observability rowsets cannot deadlock.
-		p.mu.RLock()
-		defer p.mu.RUnlock()
-		return schemarowset.Build(s.Rowset, p.modelsLocked(), p.Registry, p.obs)
+		// allModels hands back entries from one atomic snapshot: Build sees a
+		// consistent catalog even while a training commit publishes the next
+		// one, and never blocks behind it.
+		return schemarowset.Build(st.Rowset, p.allModels(), p.Registry, p.obs)
 	case *dmx.DeleteFrom:
-		return p.deleteFrom(s.Model)
+		return p.deleteFrom(st.Model)
 	case *dmx.DropModel:
-		return p.dropModel(s.Name)
+		return p.dropModel(st.Name)
 	case *dmx.Prepare:
-		if _, err := p.prepareNamed(ctx, t, s.Name, s.Command); err != nil {
+		if _, err := s.prepareNamed(ctx, t, st.Name, st.Command); err != nil {
 			return nil, err
 		}
 		return status("statement prepared")
 	case *dmx.ExecutePrepared:
-		return p.runPrepared(ctx, t, s.Name, s.Args, true)
+		return s.runPrepared(ctx, t, st.Name, st.Args, true)
 	case *dmx.Deallocate:
-		return p.deallocateRS(s.Name)
+		return s.deallocateRS(st.Name)
 	}
 	return nil, fmt.Errorf("provider: unsupported DMX statement %T", st)
-}
-
-// ExecuteDMX is ExecuteDMXContext with a background context.
-func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
-	return p.ExecuteDMXContext(context.Background(), st) //dmlint:allow ctxflow — documented context-free convenience form; ExecuteDMXContext is the primary API.
 }
 
 // statementKind labels a DMX statement class for the query log.
@@ -295,7 +227,8 @@ func statementKind(st dmx.Statement) string {
 
 // errorClass buckets an execution error for the query log: parse (set by the
 // parse stage), semantic (binder diagnostics), not_found (catalogue misses),
-// cancelled (context cancellation or deadline), or exec for everything else.
+// cancelled (context cancellation or deadline), busy (admission rejection),
+// or exec for everything else.
 func errorClass(t *obs.Trace, err error) string {
 	if err == nil {
 		return ""
@@ -305,6 +238,9 @@ func errorClass(t *obs.Trace, err error) string {
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return "cancelled"
+	}
+	if IsBusy(err) {
+		return "busy"
 	}
 	if core.IsNotFound(err) {
 		return "not_found"

@@ -18,9 +18,9 @@ import (
 // times and row counts. EXPLAIN ANALYZE runs the wrapped statement under the
 // statement's trace and renders the measured span tree — per-operator wall
 // time and rows — as the result rowset.
-func (p *Provider) explainStmt(ctx context.Context, ex *dmx.Explain) (*rowset.Rowset, error) {
+func (s *Session) explainStmt(ctx context.Context, ex *dmx.Explain) (*rowset.Rowset, error) {
 	if !ex.Analyze {
-		root, err := p.planSpan(ex)
+		root, err := s.p.planSpan(ex)
 		if err != nil {
 			return nil, err
 		}
@@ -39,21 +39,22 @@ func (p *Provider) explainStmt(ctx context.Context, ex *dmx.Explain) (*rowset.Ro
 	// makes streaming operators read the clock around every row, a cost
 	// normal traced execution must not pay (spans there count rows only).
 	t.SetDetailed(true)
-	rs, err := p.executeExplained(ctx, t, ex)
+	rs, err := s.executeExplained(ctx, t, ex)
 	if err != nil {
 		return nil, err
 	}
 	return schemarowset.Explain(t.SpanTree(int64(rs.Len())), true)
 }
 
-// executeExplained dispatches the wrapped statement exactly as executeTraced
-// would have dispatched it unprefixed: parsed DMX runs through
-// ExecuteDMXContext, a SHAPE source through the shaping service, anything
-// else through the SQL engine. The parser rejects nested EXPLAIN, so this
-// cannot recurse.
-func (p *Provider) executeExplained(ctx context.Context, t *obs.Trace, ex *dmx.Explain) (*rowset.Rowset, error) {
+// executeExplained dispatches the wrapped statement exactly as
+// executeTracedArgs would have dispatched it unprefixed: parsed DMX runs
+// through the checked DMX path, a SHAPE source through the shaping service,
+// anything else through the SQL engine. The parser rejects nested EXPLAIN,
+// so this cannot recurse.
+func (s *Session) executeExplained(ctx context.Context, t *obs.Trace, ex *dmx.Explain) (*rowset.Rowset, error) {
+	p := s.p
 	if ex.Stmt != nil {
-		return p.ExecuteDMXContext(ctx, ex.Stmt)
+		return s.execDMXChecked(ctx, ex.Stmt)
 	}
 	if sc := lex.NewScanner(ex.Command); sc.Peek().Is("SHAPE") {
 		defer t.StartStage(obs.StageSource)()

@@ -1,0 +1,25 @@
+package provider
+
+import (
+	"context"
+
+	"repro/internal/dmx"
+	"repro/internal/rowset"
+)
+
+// Context-free execution shims, compiled only into the test binary. The
+// production surface is context-first (Session.Execute and the deprecated
+// Provider.ExecuteContext wrappers); tests exercising statement behavior
+// rather than cancellation keep the short spelling.
+
+func (p *Provider) Execute(command string) (*rowset.Rowset, error) {
+	return p.ExecuteContext(context.Background(), command)
+}
+
+func (p *Provider) ExecuteScript(script string) (*rowset.Rowset, error) {
+	return p.ExecuteScriptContext(context.Background(), script)
+}
+
+func (p *Provider) ExecuteDMX(st dmx.Statement) (*rowset.Rowset, error) {
+	return p.session.execDMXChecked(context.Background(), st)
+}

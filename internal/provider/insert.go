@@ -54,44 +54,73 @@ func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset
 	// The deferred EndSpan covers every error return below; any "tokenize"
 	// child abandoned by an early return is closed by EndSpan's defensive pop.
 	defer t.EndSpan(spTrain)
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// Copy-on-write training commit: writers serialize on commitMu, but
+	// readers never wait — they keep using the published snapshot while this
+	// run tokenizes, discretizes, and trains against private clones, and see
+	// the new model only when the finished entry is published atomically.
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	// Re-resolve under the commit lock: the model may have been dropped or
+	// reset while the source query ran.
+	key := strings.ToLower(ins.Model)
+	cur, ok := p.catalog[key]
+	if !ok {
+		return nil, &core.NotFoundError{Kind: "mining model", Name: ins.Model}
+	}
+	def := cur.model.Def
+	if def != e.model.Def {
+		// Dropped and re-created while the source ran: the bindings above were
+		// resolved against the old definition and may not fit the new one.
+		return nil, fmt.Errorf("provider: mining model %q was re-created while the training source was executing; retry", ins.Model)
+	}
+
+	// Clone the published space and cases before touching them: tokenization
+	// grows the attribute space and discretization rewrites case values in
+	// place, and both would otherwise reach through the live snapshot into a
+	// concurrent prediction's working state.
+	space := cur.tokenizer.Space.Clone()
+	tok := core.NewTokenizerWithSpace(def, space)
+	cases := core.CloneCases(cur.cases)
 
 	// Tokenization stays on this single consumer goroutine: it grows the
-	// shared attribute space, and state dictionaries are built in first-seen
+	// cloned attribute space, and state dictionaries are built in first-seen
 	// order, so a parallel tokenize would make attribute indexes depend on
 	// scheduling. The parallelizable part of the training scan — per-row
 	// binding and nested reshaping — already ran above, outside the lock.
 	spTok := t.StartSpan("tokenize", "")
-	cs, err := e.tokenizer.Tokenize(bound)
+	cs, err := tok.Tokenize(bound)
 	if err != nil {
 		t.EndSpan(spTok)
 		return nil, err
 	}
 	spTok.SetRows(int64(len(cs.Cases)))
 	t.EndSpan(spTok)
-	e.cases = append(e.cases, cs.Cases...)
-	full := &core.Caseset{Space: e.tokenizer.Space, Cases: e.cases}
+	cases = append(cases, cs.Cases...)
+	full := &core.Caseset{Space: space, Cases: cases}
 
-	if err := p.discretizePipeline(e, full); err != nil {
+	if err := p.discretizePipeline(def, full); err != nil {
 		return nil, err
 	}
 
-	algo, err := p.Registry.Lookup(e.model.Def.Algorithm)
+	algo, err := p.Registry.Lookup(def.Algorithm)
 	if err != nil {
 		return nil, err
 	}
 	targets := full.Space.Targets()
-	trained, err := algo.Train(full, targets, e.model.Def.Params)
+	trained, err := algo.Train(full, targets, def.Params)
 	if err != nil {
 		return nil, err
 	}
-	e.model.Trained = trained
-	e.model.Space = full.Space
-	e.model.CaseCount = len(e.cases)
-	if err := p.saveModelLocked(e); err != nil {
+	fresh := &modelEntry{
+		model:     &core.Model{Def: def, Space: space, Trained: trained, CaseCount: len(cases)},
+		tokenizer: tok,
+		cases:     cases,
+	}
+	if err := p.saveModel(fresh); err != nil {
 		return nil, err
 	}
+	p.catalog[key] = fresh
+	p.publishLocked()
 
 	spTrain.SetRows(int64(len(cs.Cases)))
 	rs := rowset.New(rowset.MustSchema(rowset.Column{Name: "cases consumed", Type: rowset.TypeLong}))
@@ -116,8 +145,7 @@ func (p *Provider) executeSource(ctx context.Context, src dmx.Source) (*rowset.R
 // does not have them yet. Cut points are computed once, from the first
 // training batch that mentions the attribute, and frozen thereafter —
 // prediction inputs bucket through the same cuts.
-func (p *Provider) discretizePipeline(e *modelEntry, full *core.Caseset) error {
-	def := e.model.Def
+func (p *Provider) discretizePipeline(def *core.ModelDef, full *core.Caseset) error {
 	for i := range def.Columns {
 		col := &def.Columns[i]
 		if col.Content != core.ContentAttribute || col.AttrType != core.AttrDiscretized {

@@ -53,11 +53,12 @@ func modelFileName(name string) string {
 	return b.String() + ".dmm"
 }
 
-// saveModelLocked persists one model entry; a no-op without a directory.
-// p.mu must be held (read or write): the entry's cases, tokenizer, and case
-// count are guarded state, and encoding them during a concurrent INSERT INTO
-// would snapshot a torn model.
-func (p *Provider) saveModelLocked(e *modelEntry) error {
+// saveModel persists one model entry; a no-op without a directory. Entries
+// passed here are either writer-private (freshly built, not yet published)
+// or already-published and therefore immutable, so encoding them cannot
+// observe a torn model; writers serialize on commitMu, which keeps the
+// file writes ordered.
+func (p *Provider) saveModel(e *modelEntry) error {
 	if p.dir == "" {
 		return nil
 	}
@@ -160,8 +161,9 @@ func (p *Provider) loadModel(path string) error {
 		}
 		e.model.Trained = trained
 	}
-	p.mu.Lock()
-	p.models[strings.ToLower(mf.Def.Name)] = e
-	p.mu.Unlock()
+	p.commitMu.Lock()
+	p.catalog[strings.ToLower(mf.Def.Name)] = e
+	p.publishLocked()
+	p.commitMu.Unlock()
 	return nil
 }

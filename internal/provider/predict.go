@@ -24,11 +24,10 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 	if err != nil {
 		return nil, err
 	}
-	// Hold the provider read lock for the whole statement: a concurrent
-	// INSERT INTO would otherwise retrain the model (and grow the shared
-	// attribute space) underneath us. Readers still run concurrently.
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	// e is an immutable catalog-snapshot entry: a concurrent INSERT INTO
+	// trains against private clones and publishes a replacement entry, so
+	// this statement reads a consistent (model, tokenizer, cases) triple for
+	// its whole lifetime without taking any lock.
 	if !e.model.IsTrained() {
 		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", ps.Model)
 	}
@@ -519,8 +518,6 @@ type predictionContext struct {
 }
 
 // predictFor resolves a model column name to a Prediction, caching per case.
-//
-//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) predictFor(column string) (core.Prediction, error) {
 	key := strings.ToLower(column)
 	if p, ok := pc.cache[key]; ok {
@@ -581,8 +578,6 @@ func (pc *predictionContext) resolveExternal(model, alias string) func(string, s
 }
 
 // callUDF dispatches the DMX prediction functions.
-//
-//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) callUDF(f *sqlengine.FuncCall, env *sqlengine.Env) (rowset.Value, bool, error) {
 	if !dmx.IsPredictionFunc(f.Name) {
 		return nil, false, nil
@@ -763,8 +758,6 @@ func intArg(e sqlengine.Expr, env *sqlengine.Env) (int, error) {
 // rangeOf implements RangeMin/RangeMid/RangeMax: the numeric bounds of the
 // predicted DISCRETIZED bucket, turning a bucket label back into a usable
 // number (the open first/last buckets close over the observed data range).
-//
-//dmlint:allow lockcheck — runs inside the per-case scan; predictionSelect holds p.mu.RLock for the whole statement.
 func (pc *predictionContext) rangeOf(fn, column string) (rowset.Value, bool, error) {
 	idx, ok := pc.entry.model.Space.Lookup(column)
 	if !ok {

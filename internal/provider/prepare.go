@@ -47,8 +47,9 @@ type plan struct {
 	cacheable bool
 }
 
-// preparedStmt is one PREPARE handle. The plan pointer is swapped under
-// Provider.mu when a stale plan is recompiled.
+// preparedStmt is one PREPARE handle, owned by the session that PREPAREd it.
+// The plan pointer is swapped under Session.mu when a stale plan is
+// recompiled.
 type preparedStmt struct {
 	name    string
 	command string
@@ -273,7 +274,8 @@ func commandHasParams(command string) bool {
 // slots, binds them into a cloned AST, and dispatches. hasArgs distinguishes
 // "EXECUTE p ()" (zero arguments supplied) from plain execution of a
 // parameterized statement, which is an error.
-func (p *Provider) runPlan(ctx context.Context, t *obs.Trace, pl *plan, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+func (s *Session) runPlan(ctx context.Context, t *obs.Trace, pl *plan, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+	p := s.p
 	if len(pl.params) > 0 && !hasArgs {
 		return nil, fmt.Errorf("provider: statement has %d parameter(s); use PREPARE/EXECUTE to bind them", len(pl.params))
 	}
@@ -323,7 +325,7 @@ func (p *Provider) runPlan(ctx context.Context, t *obs.Trace, pl *plan, args []r
 			}
 		}
 		t.SetKind(pl.kind)
-		return p.execDMX(ctx, st)
+		return s.execDMX(ctx, st)
 	}
 }
 
@@ -382,46 +384,49 @@ func (p *Provider) planStale(pl *plan) bool {
 
 // ---------- PREPARE / EXECUTE / DEALLOCATE ----------
 
-// prepareNamed compiles command and registers it under name, returning the
-// compiled plan. Duplicate names are an error: silently replacing a handle
-// another session is executing would be a trap (DEALLOCATE first, or pick a
+// prepareNamed compiles command and registers it under name in this
+// session, returning the compiled plan. Names are session-scoped — the same
+// handle name on two sessions never collides. Duplicate names within a
+// session are an error: silently replacing a handle a concurrent statement
+// on this session is executing would be a trap (DEALLOCATE first, or pick a
 // fresh name).
-func (p *Provider) prepareNamed(ctx context.Context, t *obs.Trace, name, command string) (*plan, error) {
+func (s *Session) prepareNamed(ctx context.Context, t *obs.Trace, name, command string) (*plan, error) {
 	key := strings.ToLower(name)
-	p.mu.RLock()
-	_, dup := p.prepared[key]
-	p.mu.RUnlock()
+	s.mu.Lock()
+	_, dup := s.prepared[key]
+	s.mu.Unlock()
 	if dup {
 		return nil, fmt.Errorf("provider: prepared statement %q already exists", name)
 	}
-	pl, err := p.compileCommand(ctx, t, command)
+	pl, err := s.p.compileCommand(ctx, t, command)
 	if err != nil {
 		return nil, err
 	}
 	ps := &preparedStmt{name: name, command: command, plan: pl}
-	p.mu.Lock()
-	if _, dup := p.prepared[key]; dup {
-		p.mu.Unlock()
+	s.mu.Lock()
+	if _, dup := s.prepared[key]; dup {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("provider: prepared statement %q already exists", name)
 	}
-	p.prepared[key] = ps
-	p.mu.Unlock()
-	p.preparedTotal.Inc()
+	s.prepared[key] = ps
+	s.mu.Unlock()
+	s.p.preparedTotal.Inc()
 	return pl, nil
 }
 
 // runPrepared executes a prepared statement, replanning first when any
 // referenced catalog object changed since compilation — a plan bound to a
 // dropped or re-created schema never executes.
-func (p *Provider) runPrepared(ctx context.Context, t *obs.Trace, name string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+func (s *Session) runPrepared(ctx context.Context, t *obs.Trace, name string, args []rowset.Value, hasArgs bool) (*rowset.Rowset, error) {
+	p := s.p
 	key := strings.ToLower(name)
-	p.mu.RLock()
-	ps, ok := p.prepared[key]
+	s.mu.Lock()
+	ps, ok := s.prepared[key]
 	var pl *plan
 	if ok {
 		pl = ps.plan
 	}
-	p.mu.RUnlock()
+	s.mu.Unlock()
 	if !ok {
 		return nil, &core.NotFoundError{Kind: "prepared statement", Name: name}
 	}
@@ -431,90 +436,80 @@ func (p *Provider) runPrepared(ctx context.Context, t *obs.Trace, name string, a
 		if err != nil {
 			return nil, fmt.Errorf("provider: prepared statement %q is stale (a referenced object changed) and failed to replan: %w", name, err)
 		}
-		p.mu.Lock()
+		s.mu.Lock()
 		ps.plan = fresh
-		p.mu.Unlock()
+		s.mu.Unlock()
 		pl = fresh
 	}
 	p.preparedExec.Inc()
-	return p.runPlan(ctx, t, pl, args, hasArgs)
+	return s.runPlan(ctx, t, pl, args, hasArgs)
 }
 
-// removePrepared drops a handle, reporting whether it existed.
-func (p *Provider) removePrepared(name string) bool {
+// removePrepared drops a handle from this session, reporting whether it
+// existed.
+func (s *Session) removePrepared(name string) bool {
 	key := strings.ToLower(name)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.prepared[key]; !ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.prepared[key]; !ok {
 		return false
 	}
-	delete(p.prepared, key)
+	delete(s.prepared, key)
 	return true
 }
 
 // deallocateRS is the DEALLOCATE statement body: unknown names are an error
 // at the statement surface (the Deallocate method is the idempotent form).
-func (p *Provider) deallocateRS(name string) (*rowset.Rowset, error) {
-	if !p.removePrepared(name) {
+func (s *Session) deallocateRS(name string) (*rowset.Rowset, error) {
+	if !s.removePrepared(name) {
 		return nil, &core.NotFoundError{Kind: "prepared statement", Name: name}
 	}
 	return status("statement deallocated")
 }
 
-// PreparedNames lists registered prepared statements, sorted (primarily for
-// tests and diagnostics).
-func (p *Provider) PreparedNames() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	names := make([]string, 0, len(p.prepared))
-	for _, ps := range p.prepared {
+// PreparedNames lists the session's registered prepared statements, sorted
+// ascending (primarily for tests and diagnostics).
+func (s *Session) PreparedNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.prepared))
+	for _, ps := range s.prepared {
 		names = append(names, ps.name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// ---------- public API ----------
+// ---------- flat Provider entry points (wrappers over the internal session) ----------
 
-// PrepareContext compiles command and registers it under name, returning the
-// number of parameter placeholders the statement declares. It is the API
-// form of PREPARE <name> AS <command> and records a query-log entry like any
-// other statement.
+// PrepareContext compiles command and registers it on the provider's
+// internal session.
+//
+// Deprecated: use [Provider.NewSession] and [Session.Prepare]; handles are
+// session-scoped.
 func (p *Provider) PrepareContext(ctx context.Context, name, command string, opts ...ExecOption) (int, error) {
-	n := 0
-	_, err := p.run(ctx, "PREPARE "+name+" AS "+command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
-		t.SetKind("PREPARE")
-		pl, err := p.prepareNamed(ctx, t, name, command)
-		if err != nil {
-			return nil, err
-		}
-		n = len(pl.params)
-		return status("statement prepared")
-	})
-	return n, err
+	return p.session.Prepare(ctx, name, command, opts...)
 }
 
-// ExecutePreparedContext runs the prepared statement name with args bound to
-// its placeholders, by position. It is the API form of EXECUTE <name> (...).
+// ExecutePreparedContext runs a statement prepared on the provider's
+// internal session.
+//
+// Deprecated: use [Provider.NewSession] and [Session.ExecutePrepared].
 func (p *Provider) ExecutePreparedContext(ctx context.Context, name string, args []rowset.Value, opts ...ExecOption) (*rowset.Rowset, error) {
-	return p.run(ctx, "EXECUTE "+name, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
-		t.SetKind("EXECUTE")
-		return p.runPrepared(ctx, t, name, args, true)
-	})
+	return p.session.ExecutePrepared(ctx, name, args, opts...)
 }
 
-// ExecuteParamsContext runs one command with positional arguments bound to
-// its placeholders — server-side parameters without a named handle (the wire
-// protocol's one-shot parameterized execution).
-func (p *Provider) ExecuteParamsContext(ctx context.Context, command string, args []rowset.Value, opts ...ExecOption) (*rowset.Rowset, error) {
-	return p.run(ctx, command, opts, func(ctx context.Context, t *obs.Trace) (*rowset.Rowset, error) {
-		return p.executeTracedArgs(ctx, t, command, args, true)
-	})
-}
-
-// Deallocate drops the prepared statement name. Unknown names are a no-op,
-// so statement Close paths can call it unconditionally.
+// Deallocate drops a prepared statement from the provider's internal
+// session. Unknown names are a no-op.
+//
+// Deprecated: use [Provider.NewSession] and [Session.Deallocate].
 func (p *Provider) Deallocate(name string) error {
-	p.removePrepared(name)
-	return nil
+	return p.session.Deallocate(name)
+}
+
+// PreparedNames lists the internal session's prepared statements, sorted.
+//
+// Deprecated: use [Provider.NewSession] and [Session.PreparedNames].
+func (p *Provider) PreparedNames() []string {
+	return p.session.PreparedNames()
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algo/assoc"
 	"repro/internal/algo/cluster"
@@ -42,14 +43,27 @@ type Provider struct {
 	// Registry holds the installed mining services.
 	Registry *core.Registry
 
-	// mu guards the model catalogue, the prepared-statement registry, and
-	// every trained model's mutable state; the annotation below is
+	// snap is the published model-catalog snapshot. Readers (predictions,
+	// content browsing, $SYSTEM rowsets, semantic checks) load it once and
+	// never lock: a snapshot and every modelEntry reachable from it are
+	// immutable after publication. Writers build replacement entries off to
+	// the side under commitMu and swap in a fresh snapshot atomically, so a
+	// long training run never blocks a single read.
+	snap atomic.Pointer[catalogSnapshot]
+
+	// commitMu is the snapshot-swap mutex: it serializes catalog writers
+	// (CREATE/DROP/DELETE FROM/INSERT INTO a model, persistence load) and
+	// guards the writer-owned working map below; the annotation is
 	// machine-checked by tools/dmlint (lockcheck).
 	//
-	//dmlint:guard mu: Provider.models, Provider.prepared, preparedStmt.plan, modelEntry.cases, modelEntry.tokenizer, core.Model.Trained, core.Model.Space, core.Model.CaseCount
-	mu       sync.RWMutex
-	models   map[string]*modelEntry   // keyed by lower-cased model name
-	prepared map[string]*preparedStmt // keyed by lower-cased statement name
+	//dmlint:guard commitMu: Provider.catalog
+	commitMu sync.Mutex
+	catalog  map[string]*modelEntry // keyed by lower-cased model name
+
+	// session is the provider's internal default session, behind the
+	// deprecated flat Execute* wrappers. Real consumers create their own
+	// (NewSession), which scopes prepared-statement names per consumer.
+	session *Session
 
 	// versions tracks catalog-object versions (models, tables, and views in
 	// one namespace) and planCache maps normalized statement text to compiled
@@ -67,6 +81,11 @@ type Provider struct {
 	// runtime.GOMAXPROCS(0); 1 forces the sequential path.
 	parallelism int
 
+	// maxInFlight bounds concurrently executing statements per session
+	// (admission control). 0 means unbounded. Sessions may override it with
+	// WithSessionMaxInFlight.
+	maxInFlight int
+
 	// obs is the observability registry behind the $SYSTEM.DM_QUERY_LOG,
 	// DM_PROVIDER_METRICS, and DM_CONNECTIONS schema rowsets. nil disables
 	// instrumentation entirely (all handles below become no-ops).
@@ -83,6 +102,9 @@ type Provider struct {
 	preparedTotal   *obs.Counter
 	preparedExec    *obs.Counter
 	preparedReplans *obs.Counter
+	admInFlight     *obs.Gauge
+	admQueueDepth   *obs.Gauge
+	admRejected     *obs.Counter
 }
 
 // workers returns the effective worker-pool bound.
@@ -93,9 +115,20 @@ func (p *Provider) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// catalogSnapshot is one published, immutable view of the model catalog.
+// The map and every entry in it are read-only after the snapshot is stored;
+// a catalog change builds a new map (sharing unchanged entries) and swaps
+// the pointer.
+type catalogSnapshot struct {
+	models map[string]*modelEntry // keyed by lower-cased model name
+}
+
 // modelEntry couples a catalogued model with its tokenizer and accumulated
 // training cases (INSERT INTO may run repeatedly; each run retrains over
-// everything consumed so far).
+// everything consumed so far). Entries are immutable once published in a
+// snapshot: training clones the space and cases, trains on the clones, and
+// publishes a replacement entry, so concurrent readers keep a consistent
+// (model, tokenizer, cases) triple for as long as they hold the pointer.
 type modelEntry struct {
 	model     *core.Model
 	tokenizer *core.Tokenizer
@@ -140,6 +173,16 @@ func WithPlanCacheCap(n int) Option {
 	return func(p *Provider) { p.planCacheCap = n }
 }
 
+// WithMaxInFlight bounds the number of statements a session executes
+// concurrently (admission control). A statement arriving at a full session
+// waits in a bounded queue (at most n waiters); when the queue is also full
+// it is rejected immediately with a *BusyError. n <= 0 (the default) leaves
+// sessions unbounded. Individual sessions may override the bound with
+// WithSessionMaxInFlight.
+func WithMaxInFlight(n int) Option {
+	return func(p *Provider) { p.maxInFlight = n }
+}
+
 // New creates a provider with the six reference mining services installed
 // (Decision_Trees, Naive_Bayes, Clustering, Association_Rules,
 // Linear_Regression, Sequence_Analysis).
@@ -149,8 +192,9 @@ func New(opts ...Option) (*Provider, error) {
 		DB:       db,
 		Engine:   sqlengine.NewEngine(db),
 		Registry: core.NewRegistry(),
-		models:   make(map[string]*modelEntry),
+		catalog:  make(map[string]*modelEntry),
 	}
+	p.snap.Store(&catalogSnapshot{models: map[string]*modelEntry{}})
 	p.Registry.Register(dtree.New())
 	p.Registry.Register(nbayes.New())
 	p.Registry.Register(cluster.New())
@@ -173,9 +217,10 @@ func New(opts ...Option) (*Provider, error) {
 	p.preparedTotal = p.obs.Counter("prepared_statements_total")
 	p.preparedExec = p.obs.Counter("prepared_exec_total")
 	p.preparedReplans = p.obs.Counter("prepared_replans_total")
+	p.admInFlight = p.obs.Gauge("admission_inflight")
+	p.admQueueDepth = p.obs.Gauge("admission_queue_depth")
+	p.admRejected = p.obs.Counter("admission_rejected_total")
 	p.Engine.Instrument(p.obs)
-	//dmlint:allow lockcheck — constructor; the provider is not shared yet.
-	p.prepared = make(map[string]*preparedStmt)
 	p.versions = plancache.NewVersions()
 	p.planCache = plancache.NewCache(p.versions, p.planCacheCap)
 	p.planCache.SetMetrics(plancache.Metrics{
@@ -187,6 +232,7 @@ func New(opts ...Option) (*Provider, error) {
 	// Table and view DDL executed by the SQL engine invalidates dependent
 	// cached plans; model DDL bumps versions in createModel/dropModel.
 	p.Engine.SetDDLHook(p.versions.Bump)
+	p.session = p.NewSession()
 	if p.dir != "" {
 		if err := p.load(); err != nil {
 			return nil, err
@@ -202,14 +248,13 @@ func (p *Provider) Obs() *obs.Registry { return p.obs }
 
 // IsModel reports whether name refers to a catalogued mining model.
 func (p *Provider) IsModel(name string) bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	_, ok := p.models[strings.ToLower(name)]
+	_, ok := p.snap.Load().models[strings.ToLower(name)]
 	return ok
 }
 
 // Model returns the catalogued model by name. A miss reports a
-// *core.NotFoundError.
+// *core.NotFoundError. The returned model is an immutable snapshot: a
+// concurrent INSERT INTO publishes a replacement rather than mutating it.
 func (p *Provider) Model(name string) (*core.Model, error) {
 	e, err := p.entry(name)
 	if err != nil {
@@ -218,10 +263,9 @@ func (p *Provider) Model(name string) (*core.Model, error) {
 	return e.model, nil
 }
 
+// entry resolves a model against the current catalog snapshot, lock-free.
 func (p *Provider) entry(name string) (*modelEntry, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	e, ok := p.models[strings.ToLower(name)]
+	e, ok := p.snap.Load().models[strings.ToLower(name)]
 	if !ok {
 		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
@@ -230,39 +274,33 @@ func (p *Provider) entry(name string) (*modelEntry, error) {
 
 // ModelNames lists catalogued models, sorted.
 func (p *Provider) ModelNames() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	names := make([]string, 0, len(p.models))
-	for _, e := range p.models {
+	snap := p.snap.Load()
+	names := make([]string, 0, len(snap.models))
+	for _, e := range snap.models {
 		names = append(names, e.model.Def.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
+// allModels lists the catalogued models from the current snapshot, sorted by
+// name so $SYSTEM rowsets render deterministically.
 func (p *Provider) allModels() []*core.Model {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.modelsLocked()
-}
-
-// modelsLocked lists the catalogued models; p.mu must be held.
-func (p *Provider) modelsLocked() []*core.Model {
-	out := make([]*core.Model, 0, len(p.models))
-	for _, e := range p.models {
+	snap := p.snap.Load()
+	out := make([]*core.Model, 0, len(snap.models))
+	for _, e := range snap.models {
 		out = append(out, e.model)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
 	return out
 }
 
 // ModelDef implements sem.Catalog: the definition of a catalogued model.
 // A miss reports a *core.NotFoundError.
 func (p *Provider) ModelDef(name string) (*core.ModelDef, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	e, ok := p.models[strings.ToLower(name)]
-	if !ok {
-		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
+	e, err := p.entry(name)
+	if err != nil {
+		return nil, err
 	}
 	return e.model.Def, nil
 }
@@ -277,18 +315,25 @@ func (p *Provider) TableSchema(name string) (*rowset.Schema, error) {
 	return t.Schema(), nil
 }
 
+// publishLocked swaps in a fresh catalog snapshot built from the writer's
+// working map. commitMu must be held.
+func (p *Provider) publishLocked() {
+	models := make(map[string]*modelEntry, len(p.catalog))
+	for k, v := range p.catalog {
+		models[k] = v
+	}
+	p.snap.Store(&catalogSnapshot{models: models})
+}
+
 // createModel registers a validated model definition.
 func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 	if _, err := p.Registry.Lookup(def.Algorithm); err != nil {
 		return nil, err
 	}
-	// The lock covers the save too: the entry is visible in the catalogue the
-	// moment it is inserted, and persisting it outside the lock would race a
-	// concurrent INSERT INTO mutating the very state being encoded.
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
 	key := strings.ToLower(def.Name)
-	if _, dup := p.models[key]; dup {
+	if _, dup := p.catalog[key]; dup {
 		return nil, fmt.Errorf("provider: mining model %q already exists", def.Name)
 	}
 	e := &modelEntry{
@@ -296,10 +341,13 @@ func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 		tokenizer: core.NewTokenizer(def),
 	}
 	e.model.Space = e.tokenizer.Space
-	p.models[key] = e
-	if err := p.saveModelLocked(e); err != nil {
+	// Persist before publishing: a snapshot never exposes an entry whose
+	// save failed, and the entry is still writer-private here.
+	if err := p.saveModel(e); err != nil {
 		return nil, err
 	}
+	p.catalog[key] = e
+	p.publishLocked()
 	// A new model changes DMX/SQL dispatch for statements naming it (INSERT
 	// INTO <name> now trains instead of inserting rows), so cached plans on
 	// the name must die.
@@ -307,34 +355,42 @@ func (p *Provider) createModel(def *core.ModelDef) (*rowset.Rowset, error) {
 	return status("model created")
 }
 
-// deleteFrom resets a model (the paper's "emptied (reset) via DELETE").
+// deleteFrom resets a model (the paper's "emptied (reset) via DELETE") by
+// publishing a fresh, untrained entry. In-flight readers keep the old
+// trained snapshot until they finish — the copy-on-write analogue of a
+// reader holding a read lock across its statement.
 func (p *Provider) deleteFrom(name string) (*rowset.Rowset, error) {
-	e, err := p.entry(name)
-	if err != nil {
-		return nil, err
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	key := strings.ToLower(name)
+	old, ok := p.catalog[key]
+	if !ok {
+		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e.model.Reset()
-	e.tokenizer = core.NewTokenizer(e.model.Def)
+	e := &modelEntry{
+		model:     &core.Model{Def: old.model.Def},
+		tokenizer: core.NewTokenizer(old.model.Def),
+	}
 	e.model.Space = e.tokenizer.Space
-	e.cases = nil
-	if err := p.saveModelLocked(e); err != nil {
+	if err := p.saveModel(e); err != nil {
 		return nil, err
 	}
+	p.catalog[key] = e
+	p.publishLocked()
 	return status("model reset")
 }
 
 func (p *Provider) dropModel(name string) (*rowset.Rowset, error) {
-	p.mu.Lock()
+	p.commitMu.Lock()
 	key := strings.ToLower(name)
-	_, ok := p.models[key]
+	_, ok := p.catalog[key]
 	if !ok {
-		p.mu.Unlock()
+		p.commitMu.Unlock()
 		return nil, &core.NotFoundError{Kind: "mining model", Name: name}
 	}
-	delete(p.models, key)
-	p.mu.Unlock()
+	delete(p.catalog, key)
+	p.publishLocked()
+	p.commitMu.Unlock()
 	p.versions.Bump(name)
 	if err := p.removeModelFile(name); err != nil {
 		return nil, err

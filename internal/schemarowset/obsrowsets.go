@@ -79,6 +79,11 @@ func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
 			return nil, err
 		}
 	}
+	for _, g := range o.Gauges() {
+		if err := rs.AppendVals(g.Name, "gauge", nil, g.Value); err != nil {
+			return nil, err
+		}
+	}
 	for _, h := range o.Histograms() {
 		if err := rs.AppendVals(h.Name+"_count", "histogram", nil, h.Snap.Count); err != nil {
 			return nil, err

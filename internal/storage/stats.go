@@ -51,35 +51,49 @@ func (s *TableStats) EqEstimate(col string) int {
 // validity) on it.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
+// statsSnapshot pairs an immutable cardinality summary with the data version
+// it reflects.
+type statsSnapshot struct {
+	version uint64
+	stats   *TableStats
+}
+
 // Stats returns cardinality statistics for the table, recomputing them only
 // when the data version moved since the last computation. The returned value
 // is a shared immutable snapshot; callers must not mutate it.
+//
+// The cache is a copy-on-write snapshot swapped atomically: the fast path is
+// one atomic load, and recomputation takes only the read lock (the scan does
+// not mutate), so a planner asking for statistics never serializes behind —
+// or blocks — concurrent writers for longer than the scan itself.
 func (t *Table) Stats() *TableStats {
-	v := t.version.Load()
+	if snap := t.statsSnap.Load(); snap != nil && snap.version == t.version.Load() {
+		return snap.stats
+	}
+	// Read the version inside the lock so the tag matches the rows scanned:
+	// writers bump it under the write lock.
 	t.mu.RLock()
-	if t.stats != nil && t.statsVersion == v {
-		s := t.stats
-		t.mu.RUnlock()
-		return s
-	}
+	v := t.version.Load()
+	s := t.computeStatsRLocked()
 	t.mu.RUnlock()
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	// Recheck under the write lock: a concurrent caller may have computed the
-	// stats while we waited, and the version may have moved again.
-	v = t.version.Load()
-	if t.stats != nil && t.statsVersion == v {
-		return t.stats
+	// Publish unless someone already published stats for a newer version —
+	// concurrent computes are idempotent per version, but an older result
+	// must not clobber a fresher one.
+	for {
+		old := t.statsSnap.Load()
+		if old != nil && old.version > v {
+			return s
+		}
+		if t.statsSnap.CompareAndSwap(old, &statsSnapshot{version: v, stats: s}) {
+			return s
+		}
 	}
-	t.stats = t.computeStatsLocked()
-	t.statsVersion = v
-	return t.stats
 }
 
-// computeStatsLocked scans the table once, counting distinct values per
-// column via the same key encoding the hash indexes use. t.mu must be held.
-func (t *Table) computeStatsLocked() *TableStats {
+// computeStatsRLocked scans the table once, counting distinct values per
+// column via the same key encoding the hash indexes use. t.mu must be held
+// (read or write).
+func (t *Table) computeStatsRLocked() *TableStats {
 	s := &TableStats{Rows: len(t.rows), Distinct: make(map[string]int, t.schema.Len())}
 	var scratch [48]byte
 	for ord := 0; ord < t.schema.Len(); ord++ {

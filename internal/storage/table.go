@@ -26,10 +26,12 @@ type Table struct {
 	rows    []rowset.Row
 	indexes map[string]*hashIndex // keyed by lower-cased column name
 
-	// stats caches the cardinality summary computed at statsVersion; both are
-	// guarded by mu and recomputed lazily when version moves (see stats.go).
-	stats        *TableStats
-	statsVersion uint64
+	// statsSnap holds the immutable cardinality summary last computed, tagged
+	// with the data version it reflects. Readers swap in fresh snapshots
+	// atomically (see stats.go), so the planner reads statistics without ever
+	// taking the write lock — a stats lookup never blocks behind an insert
+	// burst, and vice versa.
+	statsSnap atomic.Pointer[statsSnapshot]
 }
 
 // NewTable creates an empty table.

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestLoadMixDeterministic(t *testing.T) {
+	a := NewLoadMix(7, 100, DefaultMixWeights())
+	b := NewLoadMix(7, 100, DefaultMixWeights())
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(), b.Next()
+		if !reflect.DeepEqual(x, y) {
+			t.Fatalf("op %d diverges with equal seeds: %v vs %v", i, x, y)
+		}
+	}
+	c := NewLoadMix(8, 100, DefaultMixWeights())
+	same := true
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(NewLoadMix(7, 100, DefaultMixWeights()).Next(), c.Next()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-op streams")
+	}
+}
+
+func TestLoadMixRespectsWeights(t *testing.T) {
+	m := NewLoadMix(1, 50, MixWeights{Predict: 1, Select: 1, System: 0})
+	counts := map[OpKind]int{}
+	for i := 0; i < 500; i++ {
+		counts[m.Next().Kind]++
+	}
+	if counts[OpSystem] != 0 {
+		t.Fatalf("zero system weight still produced %d system ops", counts[OpSystem])
+	}
+	if counts[OpPredict] == 0 || counts[OpSelect] == 0 {
+		t.Fatalf("mix starved a weighted class: %v", counts)
+	}
+}
+
+func TestSummarizeClassQuantiles(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	c := SummarizeClass("x", samples, 10*time.Second)
+	if c.Ops != 100 || c.OpsPerSec != 10 {
+		t.Fatalf("ops = %d, ops/sec = %v", c.Ops, c.OpsPerSec)
+	}
+	if c.P50Micros != 50_000 || c.P95Micros != 95_000 || c.P99Micros != 99_000 {
+		t.Fatalf("quantiles = %d/%d/%d µs", c.P50Micros, c.P95Micros, c.P99Micros)
+	}
+	if empty := SummarizeClass("e", nil, time.Second); empty.P95Micros != 0 || empty.Ops != 0 {
+		t.Fatalf("empty class = %+v", empty)
+	}
+}
+
+func TestTrainOpShape(t *testing.T) {
+	op := TrainOp()
+	if op.Kind != OpTrain || len(op.Statements) != 3 {
+		t.Fatalf("TrainOp = %+v, want drop/create/insert triple", op)
+	}
+	if len(LoadSetupStatements()) != 3 {
+		t.Fatalf("LoadSetupStatements = %d statements, want 3", len(LoadSetupStatements()))
+	}
+}

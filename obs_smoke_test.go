@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -33,10 +34,10 @@ func TestObsOverheadSmoke(t *testing.T) {
 		if _, err := workload.Populate(p.DB, workload.Config{Customers: scale, Seed: 1}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Execute(benchCreateAge); err != nil {
+		if _, err := p.ExecuteContext(context.Background(), benchCreateAge); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Execute(benchInsertAge); err != nil {
+		if _, err := p.ExecuteContext(context.Background(), benchInsertAge); err != nil {
 			t.Fatal(err)
 		}
 		return p
@@ -45,7 +46,7 @@ func TestObsOverheadSmoke(t *testing.T) {
 	measure := func(p *provider.Provider) float64 {
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := p.Execute(q); err != nil {
+				if _, err := p.ExecuteContext(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}

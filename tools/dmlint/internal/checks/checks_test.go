@@ -63,6 +63,10 @@ func TestPlanImmut(t *testing.T) {
 	analysistest.Run(t, fixture("planimmut"), "repro/internal/immutfixture", PlanImmut)
 }
 
+func TestLockCheckMultipleGuards(t *testing.T) {
+	analysistest.Run(t, fixture("lockcheck_multi"), "repro/internal/lockmultifixture", LockCheck)
+}
+
 func TestLockCheckSkipsUnguardedPackages(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck_unguarded"), "repro/internal/unguardedfixture", LockCheck)
 }

@@ -18,8 +18,10 @@ import (
 // acquire the named mutex somewhere in its body (a textual <x>.mu.Lock() or
 // <x>.mu.RLock() call — the static approximation of "holds the lock"),
 // carry a "Locked" name suffix declaring the caller holds it, or be
-// explicitly allowlisted with //dmlint:allow lockcheck. Packages without a
-// guard annotation are not checked.
+// explicitly allowlisted with //dmlint:allow lockcheck. A package may declare
+// several guards (one annotation per mutex, e.g. a catalog commit mutex and
+// a session registry mutex); each guarded field is checked against its own
+// mutex. Packages without a guard annotation are not checked.
 var LockCheck = &analysis.Analyzer{
 	Name: "lockcheck",
 	Doc:  "guarded model state must be read under the provider mutex",
@@ -44,8 +46,8 @@ type guardField struct {
 }
 
 func runLockCheck(p *analysis.Pass) error {
-	spec := parseGuards(p.Files)
-	if spec == nil {
+	specs := parseGuards(p.Files)
+	if len(specs) == 0 {
 		return nil
 	}
 	for _, f := range p.Files {
@@ -57,31 +59,37 @@ func runLockCheck(p *analysis.Pass) error {
 			if strings.HasSuffix(fd.Name.Name, "Locked") || strings.HasSuffix(fd.Name.Name, "locked") {
 				continue // declared lock-transfer convention: caller holds the mutex
 			}
-			if acquiresMutex(fd.Body, spec.mutex) {
-				continue
+			for _, spec := range specs {
+				if acquiresMutex(fd.Body, spec.mutex) {
+					continue
+				}
+				spec := spec
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					gf, ok := guardedAccess(p, spec, sel)
+					if !ok {
+						return true
+					}
+					p.Reportf(sel.Sel.Pos(), "%s accesses %s without holding %s; lock it, use a *Locked helper, or annotate with //dmlint:allow lockcheck",
+						fd.Name.Name, gf, spec.mutex)
+					return true
+				})
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				gf, ok := guardedAccess(p, spec, sel)
-				if !ok {
-					return true
-				}
-				p.Reportf(sel.Sel.Pos(), "%s accesses %s without holding %s; lock it, use a *Locked helper, or annotate with //dmlint:allow lockcheck",
-					fd.Name.Name, gf, spec.mutex)
-				return true
-			})
 		}
 	}
 	return nil
 }
 
-// parseGuards collects guard annotations from every comment in the package,
-// merging multiple annotations for the same mutex.
-func parseGuards(files []*ast.File) *guardSpec {
-	var spec *guardSpec
+// parseGuards collects guard annotations from every comment in the package:
+// one spec per distinct mutex name, merging multiple annotations for the
+// same mutex. Specs come back in first-seen order so diagnostics are
+// deterministic.
+func parseGuards(files []*ast.File) []*guardSpec {
+	var specs []*guardSpec
+	byMutex := make(map[string]*guardSpec)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -89,8 +97,11 @@ func parseGuards(files []*ast.File) *guardSpec {
 				if m == nil {
 					continue
 				}
+				spec := byMutex[m[1]]
 				if spec == nil {
 					spec = &guardSpec{mutex: m[1]}
+					byMutex[m[1]] = spec
+					specs = append(specs, spec)
 				}
 				for _, entry := range strings.Split(m[2], ",") {
 					parts := strings.Split(strings.TrimSpace(entry), ".")
@@ -104,7 +115,7 @@ func parseGuards(files []*ast.File) *guardSpec {
 			}
 		}
 	}
-	return spec
+	return specs
 }
 
 // acquiresMutex reports whether body contains a call to <anything>.<mutex>.Lock

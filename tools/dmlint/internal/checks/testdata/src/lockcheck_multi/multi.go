@@ -1,0 +1,47 @@
+// Package lockmultifixture exercises lockcheck with two guard annotations in
+// one package: each guarded field is checked against its own mutex, and
+// holding the other guard's mutex does not count.
+package lockmultifixture
+
+import "sync"
+
+// catalog is swapped under commitMu.
+type catalog struct {
+	//dmlint:guard commitMu: catalog.models
+	commitMu sync.Mutex
+	models   map[string]int
+}
+
+// session owns a per-consumer registry under its own mu.
+type session struct {
+	//dmlint:guard mu: session.prepared
+	mu       sync.Mutex
+	prepared map[string]int
+}
+
+func (c *catalog) bad(name string) int {
+	return c.models[name] // want "without holding commitMu"
+}
+
+func (c *catalog) good(name string) int {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	return c.models[name]
+}
+
+func (s *session) bad(name string) int {
+	return s.prepared[name] // want "without holding mu"
+}
+
+func (s *session) good(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prepared[name]
+}
+
+// crossLock holds the wrong guard: commitMu does not cover session.prepared.
+func crossLock(c *catalog, s *session, name string) int {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	return c.models[name] + s.prepared[name] // want "without holding mu"
+}
