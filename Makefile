@@ -22,7 +22,10 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkPredictionJoinParallel -benchtime=1x .
 
 # Instrumentation-overhead guard: fails when enabling the obs registry slows
-# the PREDICTION JOIN scan by more than 10% over WithObsRegistry(nil).
+# the PREDICTION JOIN scan by more than 10% over WithObsRegistry(nil). The
+# instrumented side runs with the flight recorder considering every statement
+# and the metrics-history ticker snapshotting, so the 10% budget prices in
+# the whole recorder+history pipeline.
 bench-smoke:
 	BENCH_SMOKE=1 $(GO) test -run TestObsOverheadSmoke -v .
 
@@ -37,11 +40,14 @@ bench-compare: bench-json
 
 # Concurrency smoke: five seconds of mixed dmload traffic (8 reader
 # connections + a training loop) against an in-process dmserver. Fails on
-# any statement error or zero throughput. No latency-ratio gate here: CI
-# hosts are too small for stable tail-latency comparisons (the ratio is
-# measured and recorded in EXPERIMENTS.md instead).
+# any statement error or zero throughput. -slo surfaces over-budget
+# statements with their wire-correlated seq; -check-recorder then asserts
+# $SYSTEM.DM_FLIGHT_RECORDER is non-empty and joins DM_QUERY_LOG on SEQ.
+# No latency-ratio gate here: CI hosts are too small for stable
+# tail-latency comparisons (the ratio is measured and recorded in
+# EXPERIMENTS.md instead).
 loadsmoke:
-	$(GO) run ./cmd/dmload -conns 8 -duration 5s -scale 200
+	$(GO) run ./cmd/dmload -conns 8 -duration 5s -scale 200 -slo 250ms -check-recorder
 
 # Project-specific static analysis (tools/dmlint) plus formatting and vet.
 # dmlint type-checks the module with the stdlib toolchain and enforces the

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/dmserver"
 	"repro/internal/experiments"
 	"repro/internal/provider"
+	"repro/internal/rowset"
 	"repro/internal/workload"
 )
 
@@ -51,6 +53,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the LoadReport as JSON to this file")
 		mergePath   = flag.String("merge", "", "merge the LoadReport into this dmbench BenchReport JSON file")
 		checkRatio  = flag.Float64("check-ratio", 0, "fail unless training-phase read p95 is within this factor of idle p95 (0 = no check)")
+		slo         = flag.Duration("slo", 0, "log statements slower than this with their server seq (0 = off)")
+		checkRec    = flag.Bool("check-recorder", false, "after the run, assert $SYSTEM.DM_FLIGHT_RECORDER is non-empty and joins DM_QUERY_LOG on SEQ")
 	)
 	flag.Parse()
 
@@ -85,6 +89,7 @@ func main() {
 		customers: *scale,
 		weights:   weights,
 		rate:      *rate,
+		slo:       *slo,
 	}
 	fmt.Printf("phase 1/2: idle — %d readers, %v\n", cfg.conns, cfg.duration)
 	idle := runPhase(cfg)
@@ -94,6 +99,13 @@ func main() {
 
 	report := buildReport(*conns, *trainConns, *scale, *seed, *rate, idle, training)
 	printReport(report)
+	printSlow(*slo, idle, training)
+
+	if *checkRec {
+		if err := checkFlightRecorder(target); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, report); err != nil {
@@ -195,7 +207,8 @@ type phaseConfig struct {
 	seed       int64
 	customers  int
 	weights    workload.MixWeights
-	rate       float64 // aggregate open-loop ops/sec; 0 = closed loop
+	rate       float64       // aggregate open-loop ops/sec; 0 = closed loop
+	slo        time.Duration // per-statement latency SLO; 0 = no slow logging
 }
 
 // phaseResult aggregates every worker's samples for one phase.
@@ -204,6 +217,17 @@ type phaseResult struct {
 	byKind  map[workload.OpKind][]time.Duration
 	errors  int64
 	busy    int64
+	slow    []slowStmt
+}
+
+// slowStmt is one statement that missed the -slo budget (or failed): its
+// server-assigned query-log seq is the handle for pulling the statement's
+// DM_QUERY_LOG / DM_FLIGHT_RECORDER rows afterwards.
+type slowStmt struct {
+	seq     int64
+	kind    workload.OpKind
+	elapsed time.Duration
+	errMsg  string
 }
 
 // runPhase drives the configured connections until the phase deadline and
@@ -260,6 +284,7 @@ func runPhase(cfg phaseConfig) phaseResult {
 		}
 		res.errors += r.errors
 		res.busy += r.busy
+		res.slow = append(res.slow, r.slow...)
 	}
 	return res
 }
@@ -268,13 +293,15 @@ type workerStats struct {
 	byKind map[workload.OpKind][]time.Duration
 	errors int64
 	busy   int64
+	slo    time.Duration
+	slow   []slowStmt
 }
 
 // readWorker runs the deterministic read mix on one connection until the
 // deadline. Each worker's mix is seeded from (run seed, worker index) so
 // runs are reproducible and workers do not issue identical streams.
 func readWorker(cfg phaseConfig, idx int, deadline time.Time, arrivals <-chan time.Time) workerStats {
-	st := workerStats{byKind: map[workload.OpKind][]time.Duration{}}
+	st := workerStats{byKind: map[workload.OpKind][]time.Duration{}, slo: cfg.slo}
 	c, err := dmclient.New(cfg.addr)
 	if err != nil {
 		st.errors++
@@ -305,7 +332,7 @@ func readWorker(cfg phaseConfig, idx int, deadline time.Time, arrivals <-chan ti
 
 // trainWorker loops full retrains of [Load Train] on its own connection.
 func trainWorker(cfg phaseConfig, deadline time.Time) workerStats {
-	st := workerStats{byKind: map[workload.OpKind][]time.Duration{}}
+	st := workerStats{byKind: map[workload.OpKind][]time.Duration{}, slo: cfg.slo}
 	c, err := dmclient.New(cfg.addr)
 	if err != nil {
 		st.errors++
@@ -326,19 +353,135 @@ func trainWorker(cfg phaseConfig, deadline time.Time) workerStats {
 
 // runOp executes one operation's statements in order; it reports whether the
 // whole unit succeeded. Admission-control busy rejections are intentional
-// load shedding and counted separately from errors.
+// load shedding and counted separately from errors. With -slo set, any
+// statement over budget (or failing) is recorded with the server's query-log
+// seq from the stats trailer, so it can be pulled back out of
+// $SYSTEM.DM_QUERY_LOG / DM_FLIGHT_RECORDER by key after the run.
 func runOp(c *dmclient.Client, op workload.Op, st *workerStats) bool {
 	for _, stmt := range op.Statements {
-		if _, err := c.Execute(stmt); err != nil {
-			if strings.Contains(err.Error(), "session is busy") {
+		begin := time.Now()
+		_, err := c.Execute(stmt)
+		took := time.Since(begin)
+		if err != nil {
+			busy := strings.Contains(err.Error(), "session is busy")
+			if busy {
 				st.busy++
 			} else {
 				st.errors++
 			}
+			if st.slo > 0 && !busy {
+				st.slow = append(st.slow, slowStmt{seq: trailerSeq(c), kind: op.Kind, elapsed: took, errMsg: err.Error()})
+			}
 			return false
+		}
+		if st.slo > 0 && took > st.slo {
+			st.slow = append(st.slow, slowStmt{seq: trailerSeq(c), kind: op.Kind, elapsed: took})
 		}
 	}
 	return true
+}
+
+// trailerSeq reads the last statement's seq from the client's stats trailer
+// (0 when the server did not report one).
+func trailerSeq(c *dmclient.Client) int64 {
+	if stats, ok := c.Stats(); ok {
+		return stats.Seq
+	}
+	return 0
+}
+
+// printSlow reports the statements that missed the SLO, worst first, capped
+// so a badly misconfigured budget does not flood the terminal.
+func printSlow(slo time.Duration, phases ...phaseResult) {
+	if slo == 0 {
+		return
+	}
+	var all []slowStmt
+	for _, ph := range phases {
+		all = append(all, ph.slow...)
+	}
+	if len(all) == 0 {
+		fmt.Printf("slo: all statements within %v\n", slo)
+		return
+	}
+	sortSlowDesc(all)
+	const maxLines = 20
+	fmt.Printf("slo: %d statements over %v (worst %d shown; look rows up by seq in $SYSTEM.DM_FLIGHT_RECORDER)\n",
+		len(all), slo, min(maxLines, len(all)))
+	for i, s := range all {
+		if i == maxLines {
+			break
+		}
+		line := fmt.Sprintf("  seq=%-8d %-8s %9dµ", s.seq, s.kind, s.elapsed.Microseconds())
+		if s.errMsg != "" {
+			line += " error: " + s.errMsg
+		}
+		fmt.Println(line)
+	}
+}
+
+func sortSlowDesc(ss []slowStmt) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].elapsed > ss[j].elapsed })
+}
+
+// checkFlightRecorder pulls $SYSTEM.DM_FLIGHT_RECORDER and DM_QUERY_LOG over
+// the wire after the run and performs the client-side join: the recorder must
+// hold records, and its SEQ values must intersect the query log's (the log is
+// a FIFO ring, so old retained records may legitimately have scrolled out of
+// it — an empty intersection, not a partial one, is the failure).
+func checkFlightRecorder(addr string) error {
+	c, err := dmclient.New(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rec, err := c.Execute("SELECT * FROM $SYSTEM.DM_FLIGHT_RECORDER")
+	if err != nil {
+		return fmt.Errorf("dmload: -check-recorder: %w", err)
+	}
+	if rec.Len() == 0 {
+		return fmt.Errorf("dmload: -check-recorder: DM_FLIGHT_RECORDER is empty after the run")
+	}
+	qlog, err := c.Execute("SELECT * FROM $SYSTEM.DM_QUERY_LOG")
+	if err != nil {
+		return fmt.Errorf("dmload: -check-recorder: %w", err)
+	}
+	logSeqs := map[int64]bool{}
+	for i := 0; i < qlog.Len(); i++ {
+		if seq, ok := seqValue(qlog, i); ok {
+			logSeqs[seq] = true
+		}
+	}
+	// The recorder rowset renders one row per span node; dedupe to distinct
+	// statements before joining.
+	recSeqs := map[int64]bool{}
+	for i := 0; i < rec.Len(); i++ {
+		if seq, ok := seqValue(rec, i); ok {
+			recSeqs[seq] = true
+		}
+	}
+	joined := 0
+	for seq := range recSeqs {
+		if logSeqs[seq] {
+			joined++
+		}
+	}
+	if joined == 0 {
+		return fmt.Errorf("dmload: -check-recorder: no DM_FLIGHT_RECORDER SEQ joins DM_QUERY_LOG (%d recorder statements, %d log rows)",
+			len(recSeqs), qlog.Len())
+	}
+	fmt.Printf("flight recorder: %d retained statements, %d join DM_QUERY_LOG on SEQ\n", len(recSeqs), joined)
+	return nil
+}
+
+// seqValue reads row i's SEQ column as an int64.
+func seqValue(rs *rowset.Rowset, i int) (int64, bool) {
+	v, err := rs.Value(i, "SEQ")
+	if err != nil {
+		return 0, false
+	}
+	n, ok := v.(int64)
+	return n, ok
 }
 
 // readSamples pools a phase's read-class samples (everything but train).

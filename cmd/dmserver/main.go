@@ -40,6 +40,8 @@ func main() {
 		"HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	maxInFlight := flag.Int("max-inflight", 0,
 		"per-connection in-flight statement limit; excess waits, then gets a busy error; <=0 disables")
+	historyInterval := flag.Duration("history-interval", 0,
+		"metrics-history snapshot interval for $SYSTEM.DM_METRICS_HISTORY; 0 = default, <0 disables")
 	flag.Parse()
 
 	var opts []provider.Option
@@ -105,6 +107,7 @@ func main() {
 		s.IdleTimeout = *idle
 	}
 	s.SlowQuery = *slow
+	s.HistoryInterval = *historyInterval
 	// Print the bound address (not the flag) so -addr :0 is usable.
 	fmt.Printf("dmserver listening on %s\n", l.Addr())
 	if err := s.Serve(l); err != nil {

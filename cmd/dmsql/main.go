@@ -170,13 +170,20 @@ func execute(sh *shell, stmt string) {
 	fmt.Printf("(%d rows)\n", rs.Len())
 	if sh.timing {
 		// In remote mode prefer the server's own execution time over the
-		// round trip, when the protocol's stats trailer reported one.
+		// round trip, when the protocol's stats trailer reported one. The
+		// trailer's seq is the statement's DM_QUERY_LOG/DM_FLIGHT_RECORDER
+		// join key — print it so a slow statement can be looked up later.
+		var seq int64
 		if sh.remote != nil {
 			if stats, ok := sh.remote.Stats(); ok {
-				elapsed = stats.Elapsed
+				elapsed, seq = stats.Elapsed, stats.Seq
 			}
 		}
-		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
+		if seq > 0 {
+			fmt.Printf("Time: %s (seq %d)\n", elapsed.Round(time.Microsecond), seq)
+		} else {
+			fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
+		}
 	}
 }
 

@@ -221,6 +221,72 @@ func TestPlainRequestErrorUnchangedByV2(t *testing.T) {
 	}
 }
 
+func TestStatsTrailerCarriesSeq(t *testing.T) {
+	// A v2 statement's trailer carries the server's query-log seq, and that
+	// seq keys the statement's row in $SYSTEM.DM_QUERY_LOG.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequestStats(bw, "SELECT 1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := dmserver.ReadResponseStats(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || stats.Seq <= 0 {
+		t.Fatalf("stats = %+v, want a positive Seq", stats)
+	}
+	first := stats.Seq
+
+	if err := dmserver.WriteRequestStats(bw, "SELECT 2 + 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err = dmserver.ReadResponseStats(br); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Seq <= first {
+		t.Errorf("second Seq = %d, want > %d", stats.Seq, first)
+	}
+
+	// Server-side join: the returned seq finds the statement in the log.
+	rec, ok := p.Obs().QueryLog().Find(first)
+	if !ok {
+		t.Fatalf("seq %d not in DM_QUERY_LOG", first)
+	}
+	if rec.Statement != "SELECT 1 + 1" {
+		t.Errorf("log row for seq %d holds %q", first, rec.Statement)
+	}
+}
+
+func TestStatsTrailerErrorCarriesSeq(t *testing.T) {
+	// Failed statements are logged too — their trailer seq is how a client
+	// pulls the failure back out of the flight recorder.
+	p := providertest.MustNew()
+	_, addr := startServer(t, p)
+	conn := rawDial(t, addr)
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := dmserver.WriteRequestStats(bw, "THIS IS NOT SQL"); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := dmserver.ReadResponseStats(br)
+	if err == nil {
+		t.Fatal("garbage command must fail")
+	}
+	if stats == nil || stats.Seq <= 0 {
+		t.Fatalf("error stats = %+v, want a positive Seq", stats)
+	}
+	// Errors are always retained: the seq must hit the flight recorder.
+	if _, ok := p.Obs().FlightRecorder().Find(stats.Seq); !ok {
+		t.Errorf("seq %d not retained in the flight recorder", stats.Seq)
+	}
+}
+
 func TestMixedProtocolVersionsOneConnection(t *testing.T) {
 	// The marker gates per request, so one connection can interleave v1 and
 	// v2 requests freely.

@@ -25,6 +25,13 @@
 //
 //	response := 3:byte msglen:uvarint message:bytes trailerlen:uvarint trailer:bytes
 //
+// When the provider's observability registry is on, both trailer forms also
+// carry " seq=<n>": the statement's query-log sequence number, which joins
+// the server-side $SYSTEM.DM_QUERY_LOG and $SYSTEM.DM_FLIGHT_RECORDER rows
+// for that exact statement. The trailer grammar ignores unknown fields, so
+// pre-seq clients parse new-server trailers unchanged and new clients parse
+// pre-seq trailers as Seq 0 — no protocol rev needed in either direction.
+//
 // Each connection is handled by its own goroutine and mapped onto one
 // provider.Session: prepared-statement names are scoped to the connection,
 // the session's origin label is the remote address, and the provider's
@@ -91,13 +98,18 @@ type Server struct {
 	// in-flight statements abort instead of running to completion against a
 	// closed server. Set before calling Serve.
 	BaseContext context.Context
+	// HistoryInterval is the $SYSTEM.DM_METRICS_HISTORY snapshot period.
+	// Zero means obs.DefaultHistoryInterval; negative disables the history
+	// ticker. Set before calling Serve; Close stops the ticker.
+	HistoryInterval time.Duration
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	execCtx  context.Context // statement root, derived in Serve
-	cancel   context.CancelFunc
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	closed      bool
+	execCtx     context.Context // statement root, derived in Serve
+	cancel      context.CancelFunc
+	stopHistory func() // stops the metrics-history ticker; set in Serve
 }
 
 // New returns a server for the provider.
@@ -125,6 +137,9 @@ func (s *Server) Serve(l net.Listener) error {
 		base = context.Background() //dmlint:allow ctxflow — the server is the root of the call chain when the embedder supplies no BaseContext; Close cancels the derived context.
 	}
 	s.execCtx, s.cancel = context.WithCancel(base)
+	if s.HistoryInterval >= 0 {
+		s.stopHistory = s.Provider.Obs().StartHistoryTicker(s.HistoryInterval)
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
@@ -173,6 +188,9 @@ func (s *Server) Close() error {
 	if s.cancel != nil {
 		s.cancel()
 	}
+	if s.stopHistory != nil {
+		s.stopHistory()
+	}
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
@@ -192,6 +210,7 @@ func (s *Server) handle(conn net.Conn) {
 	// other connections and vanish when the connection ends.
 	sess := s.Provider.NewSession(provider.WithSessionOrigin(remote))
 	cs := s.Provider.Obs().Connections().Open(remote)
+	cs.BindSession(remote, sess.InFlight)
 	defer func() {
 		sess.Close()
 		s.Provider.Obs().Connections().Close(cs)
@@ -230,13 +249,15 @@ func (s *Server) handle(conn net.Conn) {
 		start := time.Now()
 		var rs *rowset.Rowset
 		var execErr error
+		var seq int64
+		seqOpt := provider.WithSeqOut(&seq)
 		switch req.verb {
 		case VerbExecutePrepared:
-			rs, execErr = sess.ExecutePrepared(execCtx, req.name, req.args)
+			rs, execErr = sess.ExecutePrepared(execCtx, req.name, req.args, seqOpt)
 		case VerbExecParams:
-			rs, execErr = sess.ExecuteParams(execCtx, req.cmd, req.args)
+			rs, execErr = sess.ExecuteParams(execCtx, req.cmd, req.args, seqOpt)
 		default:
-			rs, execErr = sess.Execute(execCtx, req.cmd)
+			rs, execErr = sess.Execute(execCtx, req.cmd, seqOpt)
 		}
 		elapsed := time.Since(start)
 		cs.Request(execErr != nil)
@@ -245,7 +266,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if execErr != nil {
 			if wantStats {
-				err = writeErrorStats(bw, execErr, elapsed)
+				err = writeErrorStats(bw, execErr, elapsed, seq)
 			} else {
 				err = writeError(bw, execErr)
 			}
@@ -266,7 +287,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if wantStats {
-			trailer := fmt.Sprintf("elapsed-us=%d rows=%d", elapsed.Microseconds(), rs.Len())
+			trailer := statsTrailer(elapsed, int64(rs.Len()), seq)
 			if err := writeFrame(bw, trailer); err != nil {
 				return
 			}
@@ -393,16 +414,26 @@ func writeError(bw *bufio.Writer, execErr error) error {
 	return bw.Flush()
 }
 
+// statsTrailer renders the v2 trailer. seq 0 (observability off, or a
+// pre-seq code path) omits the field, matching what pre-seq servers sent.
+func statsTrailer(elapsed time.Duration, rows, seq int64) string {
+	t := fmt.Sprintf("elapsed-us=%d rows=%d", elapsed.Microseconds(), rows)
+	if seq > 0 {
+		t += fmt.Sprintf(" seq=%d", seq)
+	}
+	return t
+}
+
 // writeErrorStats writes the v2 error response: status 3, the error message
 // frame, then the stats trailer (rows is always 0 — the statement failed).
-func writeErrorStats(bw *bufio.Writer, execErr error, elapsed time.Duration) error {
+func writeErrorStats(bw *bufio.Writer, execErr error, elapsed time.Duration, seq int64) error {
 	if err := bw.WriteByte(StatusErrStats); err != nil {
 		return err
 	}
 	if err := writeFrame(bw, execErr.Error()); err != nil {
 		return err
 	}
-	if err := writeFrame(bw, fmt.Sprintf("elapsed-us=%d rows=0", elapsed.Microseconds())); err != nil {
+	if err := writeFrame(bw, statsTrailer(elapsed, 0, seq)); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -446,6 +477,10 @@ type ExecStats struct {
 	Elapsed time.Duration
 	// Rows is the number of result rows.
 	Rows int64
+	// Seq is the statement's query-log sequence number: the join key into
+	// $SYSTEM.DM_QUERY_LOG and $SYSTEM.DM_FLIGHT_RECORDER on the server.
+	// Zero when the server predates the field or ran with observability off.
+	Seq int64
 }
 
 // ReadResponse reads one response from br (shared with the client package).
@@ -523,10 +558,11 @@ func readFrame(br *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// parseStatsTrailer parses "elapsed-us=<n> rows=<n>". Unknown fields are
-// ignored so the trailer can grow without another protocol rev.
+// parseStatsTrailer parses "elapsed-us=<n> rows=<n> [seq=<n>]". Unknown
+// fields are ignored so the trailer can grow without another protocol rev;
+// seq is one such growth — old clients skip it, old servers omit it.
 func parseStatsTrailer(s string) (*ExecStats, error) {
-	var elapsedUS, rows int64
+	var elapsedUS, rows, seq int64
 	sawElapsed := false
 	for _, field := range strings.Fields(s) {
 		key, val, ok := strings.Cut(field, "=")
@@ -542,12 +578,14 @@ func parseStatsTrailer(s string) (*ExecStats, error) {
 			elapsedUS, sawElapsed = n, true
 		case "rows":
 			rows = n
+		case "seq":
+			seq = n
 		}
 	}
 	if !sawElapsed {
 		return nil, fmt.Errorf("dmserver: stats trailer %q missing elapsed-us", s)
 	}
-	return &ExecStats{Elapsed: time.Duration(elapsedUS) * time.Microsecond, Rows: rows}, nil
+	return &ExecStats{Elapsed: time.Duration(elapsedUS) * time.Microsecond, Rows: rows, Seq: seq}, nil
 }
 
 // RemoteError is a provider-side error surfaced to the client.

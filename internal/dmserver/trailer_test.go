@@ -1,0 +1,63 @@
+package dmserver
+
+import (
+	"testing"
+	"time"
+)
+
+// The stats trailer is the one spot where old and new binaries meet without
+// a protocol rev: servers grew a seq field, clients must accept trailers
+// with and without it, and servers must keep emitting something old clients
+// parse. These tests pin both directions.
+
+func TestParseStatsTrailerPreSeqCompat(t *testing.T) {
+	// A trailer from a server predating the seq field: Seq stays zero.
+	stats, err := parseStatsTrailer("elapsed-us=1500 rows=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elapsed != 1500*time.Microsecond || stats.Rows != 3 || stats.Seq != 0 {
+		t.Errorf("stats = %+v, want elapsed 1.5ms rows 3 seq 0", stats)
+	}
+}
+
+func TestParseStatsTrailerSeq(t *testing.T) {
+	stats, err := parseStatsTrailer("elapsed-us=42 rows=1 seq=977")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Seq != 977 {
+		t.Errorf("Seq = %d, want 977", stats.Seq)
+	}
+}
+
+func TestParseStatsTrailerIgnoresUnknownFields(t *testing.T) {
+	// The growth rule that made seq possible: unknown keys are skipped, so
+	// future fields do not break this client either.
+	stats, err := parseStatsTrailer("elapsed-us=7 rows=0 seq=9 future-field=123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elapsed != 7*time.Microsecond || stats.Seq != 9 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestParseStatsTrailerMissingElapsed(t *testing.T) {
+	if _, err := parseStatsTrailer("rows=1 seq=5"); err == nil {
+		t.Error("trailer without elapsed-us must error")
+	}
+}
+
+func TestStatsTrailerOmitsZeroSeq(t *testing.T) {
+	// Seq 0 means "no query log entry": the field is omitted entirely so the
+	// bytes match what a pre-seq server sent.
+	got := statsTrailer(3*time.Microsecond, 2, 0)
+	if got != "elapsed-us=3 rows=2" {
+		t.Errorf("trailer = %q", got)
+	}
+	got = statsTrailer(3*time.Microsecond, 2, 41)
+	if got != "elapsed-us=3 rows=2 seq=41" {
+		t.Errorf("trailer = %q", got)
+	}
+}

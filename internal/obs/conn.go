@@ -17,6 +17,27 @@ type ConnStats struct {
 	requests   atomic.Int64
 	errors     atomic.Int64
 	lastActive atomic.Int64 // unix nanoseconds; 0 = no request yet
+
+	// session is set once by BindSession (before the connection serves
+	// requests) and read by Snapshot.
+	session atomic.Pointer[connSession]
+}
+
+// connSession is the provider-session state a connection binds for the
+// DM_CONNECTIONS rowset: the session origin plus a live in-flight probe.
+type connSession struct {
+	origin   string
+	inFlight func() int64
+}
+
+// BindSession attaches the connection's provider-session identity: its origin
+// string and a callback reporting statements currently in flight past
+// admission. Safe on nil; inFlight may be nil.
+func (cs *ConnStats) BindSession(origin string, inFlight func() int64) {
+	if cs == nil {
+		return
+	}
+	cs.session.Store(&connSession{origin: origin, inFlight: inFlight})
 }
 
 // Request records one completed request on the connection.
@@ -39,6 +60,10 @@ type ConnSnapshot struct {
 	Requests   int64
 	Errors     int64
 	LastActive time.Time // zero when the connection has served no request
+	// Origin is the bound provider session's origin ("" when unbound).
+	Origin string
+	// InFlight is the session's statements currently past admission.
+	InFlight int64
 }
 
 // ConnTracker tracks the server's open connections for the
@@ -94,6 +119,12 @@ func (ct *ConnTracker) Snapshot() []ConnSnapshot {
 		}
 		if ns := cs.lastActive.Load(); ns != 0 {
 			s.LastActive = time.Unix(0, ns)
+		}
+		if sess := cs.session.Load(); sess != nil {
+			s.Origin = sess.origin
+			if sess.inFlight != nil {
+				s.InFlight = sess.inFlight()
+			}
 		}
 		out = append(out, s)
 	}

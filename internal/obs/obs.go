@@ -197,30 +197,43 @@ const DefaultQueryLogCap = 256
 // handles, whose methods are no-ops, which is how observability is disabled
 // wholesale.
 //
-//dmlint:guard mu: Registry.counters, Registry.hists, Registry.gauges, QueryLog.records, QueryLog.seq, TraceLog.records, TraceLog.seq, ConnTracker.conns, ConnTracker.seq
+//dmlint:guard mu: Registry.counters, Registry.hists, Registry.gauges, Registry.counterVecs, Registry.histVecs, QueryLog.records, QueryLog.seq, ConnTracker.conns, ConnTracker.seq
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	hists    map[string]*Histogram
-	gauges   map[string]*Gauge
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	hists       map[string]*Histogram
+	gauges      map[string]*Gauge
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 
-	log    *QueryLog
-	traces *TraceLog
-	conns  *ConnTracker
+	log      *QueryLog
+	recorder *FlightRecorder
+	history  *History
+	conns    *ConnTracker
 }
 
 // NewRegistry creates a registry whose query log keeps the last logCap
-// statements (DefaultQueryLogCap when logCap <= 0). The span-tree retention
-// ring behind $SYSTEM.DM_TRACE keeps DefaultTraceLogCap statements.
+// statements (DefaultQueryLogCap when logCap <= 0). The flight recorder
+// behind $SYSTEM.DM_FLIGHT_RECORDER keeps DefaultFlightRecorderCap span
+// trees; the metrics-history ring keeps DefaultHistoryCap snapshots.
 func NewRegistry(logCap int) *Registry {
-	return &Registry{
-		counters: make(map[string]*Counter),
-		hists:    make(map[string]*Histogram),
-		gauges:   make(map[string]*Gauge),
-		log:      NewQueryLog(logCap),
-		traces:   NewTraceLog(0),
-		conns:    &ConnTracker{},
+	r := &Registry{
+		counters:    make(map[string]*Counter),
+		hists:       make(map[string]*Histogram),
+		gauges:      make(map[string]*Gauge),
+		counterVecs: make(map[string]*CounterVec),
+		histVecs:    make(map[string]*HistogramVec),
+		log:         NewQueryLog(logCap),
+		recorder:    NewFlightRecorder(0),
+		history:     NewHistory(0),
+		conns:       &ConnTracker{},
 	}
+	r.recorder.considered = r.Counter(MetricFlightConsidered)
+	r.recorder.kept = r.CounterVec(MetricFlightKept, LabelReason)
+	// Pre-register the history counter so the very first snapshot already
+	// carries it (at zero) and successive snapshots show its delta.
+	r.Counter(MetricHistorySnapshots)
+	return r
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil
@@ -297,13 +310,89 @@ func (r *Registry) QueryLog() *QueryLog {
 	return r.log
 }
 
-// Traces returns the registry's span-tree retention ring (nil on a nil
-// registry).
-func (r *Registry) Traces() *TraceLog {
+// CounterVec returns the named counter vec keyed by the given label key,
+// creating it on first use. The key is fixed at creation; later calls with a
+// different key return the existing vec unchanged. Returns nil (a no-op vec)
+// on a nil registry.
+func (r *Registry) CounterVec(name, key string) *CounterVec {
 	if r == nil {
 		return nil
 	}
-	return r.traces
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v := r.counterVecs[name]; v != nil {
+		return v
+	}
+	v = &CounterVec{name: name, key: key, max: DefaultVecMaxLabels, children: make(map[string]*Counter)}
+	r.counterVecs[name] = v
+	return v
+}
+
+// HistogramVec returns the named histogram vec keyed by the given label key,
+// creating it on first use. Returns nil (a no-op vec) on a nil registry.
+func (r *Registry) HistogramVec(name, key string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.histVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v := r.histVecs[name]; v != nil {
+		return v
+	}
+	v = &HistogramVec{name: name, key: key, max: DefaultVecMaxLabels, children: make(map[string]*Histogram)}
+	r.histVecs[name] = v
+	return v
+}
+
+// CounterVecs returns every registered counter vec, sorted by name.
+func (r *Registry) CounterVecs() []*CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]*CounterVec, 0, len(r.counterVecs))
+	for _, v := range r.counterVecs {
+		out = append(out, v)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// HistogramVecs returns every registered histogram vec, sorted by name.
+func (r *Registry) HistogramVecs() []*HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]*HistogramVec, 0, len(r.histVecs))
+	for _, v := range r.histVecs {
+		out = append(out, v)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// FlightRecorder returns the registry's tail-based trace retention ring (nil
+// on a nil registry).
+func (r *Registry) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.recorder
 }
 
 // Connections returns the registry's connection tracker (nil on a nil

@@ -127,6 +127,25 @@ func (l *QueryLog) Total() int64 {
 	return l.seq
 }
 
+// Find returns the record with the given seq, if the ring still holds it.
+// Seq is a ring position (Append assigns them densely), so the lookup is
+// O(1). Safe on a nil log.
+func (l *QueryLog) Find(seq int64) (Record, bool) {
+	if l == nil || seq <= 0 {
+		return Record{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.seq || seq <= l.seq-int64(len(l.records)) {
+		return Record{}, false // never assigned, or already overwritten
+	}
+	r := l.records[int((seq-1)%int64(l.cap))]
+	if r.Seq != seq {
+		return Record{}, false
+	}
+	return r, true
+}
+
 // Snapshot returns the retained records, oldest first. A nil log snapshots
 // as empty.
 func (l *QueryLog) Snapshot() []Record {

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Flight recorder: tail-based span-tree retention. The old DM_TRACE ring kept
+// the last 32 statements FIFO, so 32 fast statements evicted the one slow
+// trace an operator needed. The recorder instead scores every completed
+// statement and retains by interest: errors, busy rejections, and
+// cancellations are always kept; statements slower than their class's moving
+// p95 are kept; and a small reservoir sample of normal traffic is kept so the
+// ring also shows what "healthy" looks like. Interesting records evict boring
+// ones, never the other way round.
+
+// DefaultFlightRecorderCap is the ring capacity. Span trees are the heaviest
+// per-statement telemetry we hold, so the ring stays deliberately small; the
+// point of tail-based retention is that a small ring is enough.
+const DefaultFlightRecorderCap = 128
+
+// defaultSampleCap is the number of ring slots reserved (at most) for the
+// reservoir of normal traffic.
+const defaultSampleCap = 8
+
+const (
+	// flightMinSamples is how many observations a class needs before its
+	// moving p95 is trusted as a slowness threshold.
+	flightMinSamples = 32
+	// flightDecayLimit bounds a class's histogram mass: when reached, every
+	// bucket halves, so the p95 tracks load shifts instead of all history.
+	flightDecayLimit = 1024
+	// flightMaxClasses caps the per-class tracking map; further classes
+	// collapse into OverflowLabel.
+	flightMaxClasses = 32
+	// flightHotWindow is how long detailed per-op sampling stays armed for a
+	// class after a severe (>= 2x p95) outlier.
+	flightHotWindow = 2 * time.Second
+	// flightDetailEvery thins detailed sampling while a class is hot: one
+	// statement in flightDetailEvery records per-operator detail.
+	flightDetailEvery = 4
+)
+
+// KeepReason says why the recorder retained a statement.
+type KeepReason string
+
+const (
+	KeepError     KeepReason = "error"
+	KeepBusy      KeepReason = "busy"
+	KeepCancelled KeepReason = "cancelled"
+	KeepSlow      KeepReason = "slow"
+	KeepSample    KeepReason = "sample"
+)
+
+// keepPriority orders retention classes for eviction: higher-priority records
+// evict lower-priority ones; ties evict oldest-first.
+func keepPriority(r KeepReason) int {
+	switch r {
+	case KeepSample:
+		return 0
+	case KeepBusy:
+		return 1
+	default: // error, cancelled, slow
+		return 2
+	}
+}
+
+// FlightRecord is one retained statement, surfaced through the
+// $SYSTEM.DM_FLIGHT_RECORDER schema rowset and /debug/flightrecorder. Seq is
+// the statement's query-log sequence number, so records join DM_QUERY_LOG
+// rows and match the seq clients see in the wire stats trailer.
+type FlightRecord struct {
+	Seq       int64
+	Start     time.Time
+	Statement string
+	Kind      string
+	Origin    string
+	ErrClass  string
+	Elapsed   time.Duration
+	// Reason is why the record was kept.
+	Reason KeepReason
+	// ThresholdUS is the class p95 (µs) the statement was judged against at
+	// completion; 0 while the class was still warming up.
+	ThresholdUS int64
+	// Root is the completed, immutable span tree.
+	Root *Span
+}
+
+// classTrack is the recorder's per-statement-class moving latency envelope: a
+// decaying log2 histogram for the p95 threshold plus the hot-window state
+// that arms detailed sampling. Guarded by the owning recorder's mu.
+type classTrack struct {
+	seen       int64
+	buckets    [histBuckets]int64
+	hotUntil   time.Time
+	detailTick int64
+}
+
+func (ct *classTrack) observeLocked(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	ct.buckets[i]++
+	ct.seen++
+	if ct.seen >= flightDecayLimit {
+		var kept int64
+		for i := range ct.buckets {
+			ct.buckets[i] /= 2
+			kept += ct.buckets[i]
+		}
+		ct.seen = kept
+	}
+}
+
+// p95Locked returns the class's current slowness threshold in µs: the upper
+// bound of the log2 bucket holding the p95 rank. Using the bucket's upper
+// edge (not an interpolated mid-bucket value) means "slow" requires escaping
+// the latency regime 95% of traffic lives in — uniform traffic is never
+// flagged against itself. Returns 0 while the class has fewer than
+// flightMinSamples observations (threshold not yet trusted).
+func (ct *classTrack) p95Locked() int64 {
+	if ct.seen < flightMinSamples {
+		return 0
+	}
+	target := (ct.seen*95 + 99) / 100 // ceil(0.95 * seen)
+	var cum int64
+	for i, n := range ct.buckets {
+		cum += n
+		if cum >= target {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(histBuckets - 1)
+}
+
+type flightEntry struct {
+	rec  FlightRecord
+	prio int
+}
+
+// FlightRecorder scores completed statements into a prioritized ring.
+// All methods are safe on a nil receiver.
+//
+//dmlint:guard mu: FlightRecorder.records, FlightRecorder.classes, FlightRecorder.normalSeen, FlightRecorder.sampleCount, FlightRecorder.rng
+type FlightRecorder struct {
+	mu          sync.Mutex
+	records     []flightEntry
+	cap         int
+	sampleCap   int
+	classes     map[string]*classTrack
+	normalSeen  int64
+	sampleCount int
+	// rng drives reservoir sampling; seeded deterministically so tests and
+	// repeated runs are reproducible.
+	rng *rand.Rand
+
+	// considered / kept are wired by NewRegistry; nil (no-op) on a detached
+	// recorder.
+	considered *Counter
+	kept       *CounterVec
+}
+
+// NewFlightRecorder creates a recorder whose ring keeps capacity records
+// (DefaultFlightRecorderCap when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRecorderCap
+	}
+	sc := defaultSampleCap
+	if sc > capacity {
+		sc = capacity
+	}
+	return &FlightRecorder{
+		cap:       capacity,
+		sampleCap: sc,
+		classes:   make(map[string]*classTrack),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return f.cap
+}
+
+func (f *FlightRecorder) classLocked(kind string) *classTrack {
+	if kind == "" {
+		kind = OverflowLabel
+	}
+	ct := f.classes[kind]
+	if ct == nil {
+		if len(f.classes) >= flightMaxClasses && kind != OverflowLabel {
+			return f.classLocked(OverflowLabel)
+		}
+		ct = &classTrack{}
+		f.classes[kind] = ct
+	}
+	return ct
+}
+
+// Consider scores one completed statement and retains it if interesting.
+// Records with a nil Root are dropped. Safe on a nil recorder.
+func (f *FlightRecorder) Consider(rec FlightRecord) {
+	if f == nil || rec.Root == nil {
+		return
+	}
+	if len(rec.Statement) > maxStatementLen {
+		rec.Statement = rec.Statement[:maxStatementLen]
+	}
+	f.considered.Inc()
+	us := rec.Elapsed.Microseconds()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ct := f.classLocked(rec.Kind)
+	// Record-then-decide: the threshold is the envelope of *prior* traffic,
+	// then this statement's latency joins the envelope for the next one.
+	threshold := ct.p95Locked()
+	ct.observeLocked(us)
+
+	var reason KeepReason
+	switch rec.ErrClass {
+	case "":
+		if threshold > 0 && us >= threshold {
+			reason = KeepSlow
+			if us >= 2*threshold {
+				ct.hotUntil = time.Now().Add(flightHotWindow)
+			}
+		} else {
+			// Normal, fast statement: reservoir-sample it.
+			f.normalSeen++
+			if f.sampleCount >= f.sampleCap {
+				if f.rng.Int63n(f.normalSeen) >= int64(f.sampleCap) {
+					return
+				}
+				rec.Reason = KeepSample
+				rec.ThresholdUS = threshold
+				f.replaceRandomSampleLocked(rec)
+				f.kept.With(string(KeepSample)).Inc()
+				return
+			}
+			reason = KeepSample
+		}
+	case "busy":
+		reason = KeepBusy
+	case "cancelled":
+		reason = KeepCancelled
+	default:
+		reason = KeepError
+	}
+	rec.Reason = reason
+	rec.ThresholdUS = threshold
+	f.insertLocked(flightEntry{rec: rec, prio: keepPriority(reason)})
+	f.kept.With(string(reason)).Inc()
+}
+
+// insertLocked places an entry in the ring, evicting the lowest-priority,
+// oldest record when full. A new entry that would have to evict a
+// higher-priority one is dropped instead.
+func (f *FlightRecorder) insertLocked(e flightEntry) {
+	if len(f.records) < f.cap {
+		f.records = append(f.records, e)
+		if e.prio == 0 {
+			f.sampleCount++
+		}
+		return
+	}
+	vi := 0
+	for i := 1; i < len(f.records); i++ {
+		v, c := f.records[vi], f.records[i]
+		if c.prio < v.prio || (c.prio == v.prio && c.rec.Seq < v.rec.Seq) {
+			vi = i
+		}
+	}
+	if f.records[vi].prio > e.prio {
+		return
+	}
+	if f.records[vi].prio == 0 {
+		f.sampleCount--
+	}
+	if e.prio == 0 {
+		f.sampleCount++
+	}
+	f.records[vi] = e
+}
+
+// replaceRandomSampleLocked swaps a uniformly-chosen reservoir slot for rec,
+// completing the reservoir-sampling step. No-op if no sample slots exist.
+func (f *FlightRecorder) replaceRandomSampleLocked(rec FlightRecord) {
+	n := f.rng.Intn(f.sampleCount)
+	for i := range f.records {
+		if f.records[i].prio != 0 {
+			continue
+		}
+		if n == 0 {
+			f.records[i] = flightEntry{rec: rec, prio: 0}
+			return
+		}
+		n--
+	}
+}
+
+// ShouldDetail reports whether a statement of the given class should record
+// detailed per-operator timing: true (thinned to one in flightDetailEvery)
+// while the class is hot — i.e. within flightHotWindow of a >= 2x-p95
+// outlier. Safe on a nil recorder (false).
+func (f *FlightRecorder) ShouldDetail(class string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if class == "" {
+		class = OverflowLabel
+	}
+	ct := f.classes[class]
+	if ct == nil || time.Now().After(ct.hotUntil) {
+		return false
+	}
+	ct.detailTick++
+	return ct.detailTick%flightDetailEvery == 1
+}
+
+// Snapshot returns the retained records sorted by Seq ascending. A nil
+// recorder snapshots as empty.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]FlightRecord, 0, len(f.records))
+	for _, e := range f.records {
+		out = append(out, e.rec)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Find returns the retained record with the given query-log seq, if any.
+// Safe on a nil recorder.
+func (f *FlightRecorder) Find(seq int64) (FlightRecord, bool) {
+	if f == nil {
+		return FlightRecord{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.records {
+		if e.rec.Seq == seq {
+			return e.rec, true
+		}
+	}
+	return FlightRecord{}, false
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func flightRec(seq int64, kind, errClass string, elapsed time.Duration) FlightRecord {
+	return FlightRecord{
+		Seq:       seq,
+		Start:     time.Unix(seq, 0),
+		Statement: "stmt",
+		Kind:      kind,
+		ErrClass:  errClass,
+		Elapsed:   elapsed,
+		Root:      NewSpan("statement", ""),
+	}
+}
+
+func TestRecorderKeepsFailures(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Consider(flightRec(1, "PREDICT", "exec", time.Millisecond))
+	f.Consider(flightRec(2, "PREDICT", "busy", time.Millisecond))
+	f.Consider(flightRec(3, "PREDICT", "cancelled", time.Millisecond))
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("recorder holds %d records, want 3", len(snap))
+	}
+	want := map[int64]KeepReason{1: KeepError, 2: KeepBusy, 3: KeepCancelled}
+	for _, r := range snap {
+		if r.Reason != want[r.Seq] {
+			t.Fatalf("seq %d kept as %q, want %q", r.Seq, r.Reason, want[r.Seq])
+		}
+	}
+}
+
+func TestRecorderKeepsSlowOverMovingP95(t *testing.T) {
+	f := NewFlightRecorder(0)
+	// Warm the PREDICT class well past flightMinSamples with ~1ms statements.
+	seq := int64(0)
+	for i := 0; i < 2*flightMinSamples; i++ {
+		seq++
+		f.Consider(flightRec(seq, "PREDICT", "", time.Millisecond))
+	}
+	// A 100ms outlier must be kept as slow, with the threshold it beat.
+	seq++
+	f.Consider(flightRec(seq, "PREDICT", "", 100*time.Millisecond))
+	got, ok := f.Find(seq)
+	if !ok {
+		t.Fatalf("slow statement seq %d not retained", seq)
+	}
+	if got.Reason != KeepSlow {
+		t.Fatalf("kept as %q, want %q", got.Reason, KeepSlow)
+	}
+	if got.ThresholdUS <= 0 || got.ThresholdUS > 100_000 {
+		t.Fatalf("threshold = %dus, want in (0, 100000]", got.ThresholdUS)
+	}
+	// The 2x-p95 outlier armed detailed sampling for the class.
+	detailed := false
+	for i := 0; i < 2*flightDetailEvery; i++ {
+		if f.ShouldDetail("PREDICT") {
+			detailed = true
+		}
+	}
+	if !detailed {
+		t.Fatal("hot class never asked for detail")
+	}
+	if f.ShouldDetail("SQL") {
+		t.Fatal("cold class asked for detail")
+	}
+}
+
+// TestRecorderTailRetention is the core tail-based guarantee the old FIFO
+// ring lacked: one interesting statement survives hundreds of later fast
+// statements.
+func TestRecorderTailRetention(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Consider(flightRec(1, "PREDICT", "exec", time.Millisecond))
+	for i := int64(2); i <= 600; i++ {
+		f.Consider(flightRec(i, "PREDICT", "", time.Millisecond))
+	}
+	got, ok := f.Find(1)
+	if !ok {
+		t.Fatal("error record evicted by fast normal traffic")
+	}
+	if got.Reason != KeepError {
+		t.Fatalf("reason = %q, want error", got.Reason)
+	}
+	// Normal traffic is still represented by a bounded reservoir.
+	var samples int
+	for _, r := range f.Snapshot() {
+		if r.Reason == KeepSample {
+			samples++
+		}
+	}
+	if samples == 0 || samples > defaultSampleCap {
+		t.Fatalf("reservoir holds %d samples, want 1..%d", samples, defaultSampleCap)
+	}
+}
+
+// TestRecorderEvictionPriorities: when the ring is full of high-priority
+// records, a new sample is dropped rather than evicting one, and a new error
+// evicts the oldest same-priority record.
+func TestRecorderEvictionPriorities(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := int64(1); i <= 4; i++ {
+		f.Consider(flightRec(i, "SQL", "exec", time.Millisecond))
+	}
+	// Full of errors: a normal statement must not displace any.
+	f.Consider(flightRec(5, "SQL", "", time.Millisecond))
+	if _, ok := f.Find(5); ok {
+		t.Fatal("sample evicted an error record")
+	}
+	// A new error evicts the oldest error.
+	f.Consider(flightRec(6, "SQL", "exec", time.Millisecond))
+	if _, ok := f.Find(1); ok {
+		t.Fatal("oldest error survived same-priority eviction")
+	}
+	if _, ok := f.Find(6); !ok {
+		t.Fatal("new error not retained")
+	}
+	// Busy records rank below errors: fill a fresh ring with busy, then
+	// errors push them all out.
+	f2 := NewFlightRecorder(2)
+	f2.Consider(flightRec(1, "SQL", "busy", time.Millisecond))
+	f2.Consider(flightRec(2, "SQL", "busy", time.Millisecond))
+	f2.Consider(flightRec(3, "SQL", "exec", time.Millisecond))
+	f2.Consider(flightRec(4, "SQL", "exec", time.Millisecond))
+	snap := f2.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 3 || snap[1].Seq != 4 {
+		t.Fatalf("snapshot = %+v, want errors [3 4]", snap)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Consider(flightRec(1, "SQL", "", time.Millisecond))
+	if f.Snapshot() != nil || f.Cap() != 0 || f.ShouldDetail("SQL") {
+		t.Fatal("nil recorder misbehaves")
+	}
+	if _, ok := f.Find(1); ok {
+		t.Fatal("nil recorder found a record")
+	}
+	// Nil roots are dropped.
+	real := NewFlightRecorder(0)
+	real.Consider(FlightRecord{Seq: 1, ErrClass: "exec"})
+	if len(real.Snapshot()) != 0 {
+		t.Fatal("nil-root record retained")
+	}
+}
+
+func TestRecorderKeptCounters(t *testing.T) {
+	r := NewRegistry(0)
+	f := r.FlightRecorder()
+	f.Consider(flightRec(1, "SQL", "exec", time.Millisecond))
+	f.Consider(flightRec(2, "SQL", "", time.Millisecond))
+	if got := r.Counter(MetricFlightConsidered).Value(); got != 2 {
+		t.Fatalf("considered = %d, want 2", got)
+	}
+	kept := map[string]int64{}
+	for _, s := range r.CounterVec(MetricFlightKept, LabelReason).Snapshot() {
+		kept[s.Label] = s.Value
+	}
+	if kept["error"] != 1 || kept["sample"] != 1 {
+		t.Fatalf("kept counters = %v", kept)
+	}
+}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"sync"
 	"time"
 )
 
@@ -156,94 +155,4 @@ func (t *Trace) SpanTree(rowsOut int64) *Span {
 	t.root.Rows = rowsOut
 	t.root.Label = t.kind
 	return t.root
-}
-
-// DefaultTraceLogCap is the span-tree retention ring capacity. Span trees
-// hold more memory per statement than query-log records, so the ring is
-// deliberately smaller than DefaultQueryLogCap.
-const DefaultTraceLogCap = 32
-
-// TraceRecord is one retained statement span tree, surfaced through the
-// $SYSTEM.DM_TRACE schema rowset.
-type TraceRecord struct {
-	// Seq is the statement's query-log sequence number, so DM_TRACE rows join
-	// against DM_QUERY_LOG rows.
-	Seq int64
-	// Start is when execution began.
-	Start time.Time
-	// Statement is the command text, truncated like the query log's.
-	Statement string
-	// Kind labels the statement class.
-	Kind string
-	// ErrClass is the error classification ("" on success).
-	ErrClass string
-	// Root is the completed, immutable span tree.
-	Root *Span
-}
-
-// TraceLog is a bounded ring of the most recent statements' span trees,
-// retained alongside the query-log ring. The trees it stores are immutable
-// (the owning statement finished before Append), so the lock guards only the
-// ring itself.
-type TraceLog struct {
-	// mu guards the ring and counter; see the package guard annotation on
-	// Registry.
-	mu      sync.Mutex
-	records []TraceRecord
-	cap     int
-	seq     int64
-}
-
-// NewTraceLog creates a log keeping the last capacity span trees
-// (DefaultTraceLogCap when capacity <= 0).
-func NewTraceLog(capacity int) *TraceLog {
-	if capacity <= 0 {
-		capacity = DefaultTraceLogCap
-	}
-	return &TraceLog{cap: capacity}
-}
-
-// Append retains one statement's span tree. Records with a nil Root are
-// dropped (nothing to show). Safe on a nil log.
-func (l *TraceLog) Append(r TraceRecord) {
-	if l == nil || r.Root == nil {
-		return
-	}
-	if len(r.Statement) > maxStatementLen {
-		r.Statement = r.Statement[:maxStatementLen]
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	if len(l.records) < l.cap {
-		l.records = append(l.records, r)
-	} else {
-		l.records[int((l.seq-1)%int64(l.cap))] = r
-	}
-}
-
-// Cap returns the ring capacity.
-func (l *TraceLog) Cap() int {
-	if l == nil {
-		return 0
-	}
-	return l.cap
-}
-
-// Snapshot returns the retained records, oldest first. A nil log snapshots
-// as empty.
-func (l *TraceLog) Snapshot() []TraceRecord {
-	if l == nil {
-		return nil
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]TraceRecord, 0, len(l.records))
-	if len(l.records) < l.cap {
-		return append(out, l.records...)
-	}
-	start := int(l.seq % int64(l.cap))
-	out = append(out, l.records[start:]...)
-	out = append(out, l.records[:start]...)
-	return out
 }

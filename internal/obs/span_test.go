@@ -127,41 +127,17 @@ func BenchmarkNilTraceSpan(b *testing.B) {
 	}
 }
 
-func TestTraceLogRing(t *testing.T) {
-	l := NewTraceLog(2)
-	mk := func(seq int64) TraceRecord {
-		return TraceRecord{Seq: seq, Statement: "s", Root: NewSpan("statement", "")}
-	}
-	l.Append(mk(1))
-	l.Append(mk(2))
-	l.Append(mk(3))
-	snap := l.Snapshot()
-	if len(snap) != 2 || snap[0].Seq != 2 || snap[1].Seq != 3 {
-		t.Fatalf("snapshot = %+v, want seqs [2 3]", snap)
-	}
-	// Nil roots are dropped; nil log is safe.
-	l.Append(TraceRecord{Seq: 4})
-	if got := len(l.Snapshot()); got != 2 {
-		t.Fatalf("nil-root record retained (%d)", got)
-	}
-	var nilLog *TraceLog
-	nilLog.Append(mk(1))
-	if nilLog.Snapshot() != nil || nilLog.Cap() != 0 {
-		t.Fatalf("nil TraceLog misbehaves")
-	}
-}
-
-func TestRegistryTraces(t *testing.T) {
+func TestRegistryFlightRecorder(t *testing.T) {
 	r := NewRegistry(0)
-	if r.Traces() == nil {
-		t.Fatal("registry has no trace log")
+	if r.FlightRecorder() == nil {
+		t.Fatal("registry has no flight recorder")
 	}
-	if r.Traces().Cap() != DefaultTraceLogCap {
-		t.Fatalf("trace cap = %d, want %d", r.Traces().Cap(), DefaultTraceLogCap)
+	if r.FlightRecorder().Cap() != DefaultFlightRecorderCap {
+		t.Fatalf("recorder cap = %d, want %d", r.FlightRecorder().Cap(), DefaultFlightRecorderCap)
 	}
 	var nilReg *Registry
-	if nilReg.Traces() != nil {
-		t.Fatal("nil registry returned a trace log")
+	if nilReg.FlightRecorder() != nil {
+		t.Fatal("nil registry returned a flight recorder")
 	}
 }
 

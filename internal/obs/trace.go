@@ -36,9 +36,22 @@ type Trace struct {
 	// detailed requests per-operator timing from streaming executors. The
 	// streaming pipeline interleaves all operators in one drain loop, so
 	// attributing wall time to individual operators costs two clock reads per
-	// row per operator; only EXPLAIN ANALYZE asks for that. When false,
-	// streamed operator spans carry exact row counts but ~zero elapsed time.
+	// row per operator; EXPLAIN ANALYZE asks for that explicitly, and the
+	// flight recorder (via detailSource) turns it on automatically while a
+	// statement class is running hot.
 	detailed bool
+
+	// detailSource, when set, is consulted once the statement class is known
+	// (SetKind) to decide whether this statement should record per-operator
+	// detail. In practice it is the registry's FlightRecorder.
+	detailSource Detailer
+}
+
+// Detailer decides whether a statement of the given class should record
+// detailed per-operator timing. Implemented by *FlightRecorder; any
+// implementation must tolerate concurrent calls.
+type Detailer interface {
+	ShouldDetail(class string) bool
 }
 
 // NewTrace starts a trace for one statement.
@@ -61,10 +74,23 @@ func (t *Trace) StartStage(s Stage) func() {
 	return func() { t.stages[s] += time.Since(begin) }
 }
 
-// SetKind labels the statement class.
+// SetKind labels the statement class. If a detail source is attached and
+// reports the class as hot, per-operator timing switches on for the rest of
+// the statement — SetKind fires during dispatch, before the heavy stages run.
 func (t *Trace) SetKind(kind string) {
+	if t == nil {
+		return
+	}
+	t.kind = kind
+	if !t.detailed && t.detailSource != nil && t.detailSource.ShouldDetail(kind) {
+		t.detailed = true
+	}
+}
+
+// SetDetailSource attaches the decider consulted by SetKind; see Detailer.
+func (t *Trace) SetDetailSource(d Detailer) {
 	if t != nil {
-		t.kind = kind
+		t.detailSource = d
 	}
 }
 

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Dimensional metrics: a Vec is a family of counters or histograms keyed by
+// exactly one label. Cardinality is bounded — once a vec holds
+// DefaultVecMaxLabels distinct children, further labels collapse into the
+// OverflowLabel bucket — so a client sending adversarial origins or model
+// names cannot grow server memory or the /metrics payload without bound.
+
+// OverflowLabel is the bucket that absorbs label values beyond a vec's
+// cardinality cap.
+const OverflowLabel = "__other__"
+
+// DefaultVecMaxLabels is the per-vec cap on distinct label values.
+const DefaultVecMaxLabels = 16
+
+// CounterVec is a family of counters keyed by one label.
+// All methods are safe on a nil receiver.
+type CounterVec struct {
+	name string
+	key  string
+	max  int
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// HistogramVec is a family of histograms keyed by one label.
+// All methods are safe on a nil receiver.
+type HistogramVec struct {
+	name string
+	key  string
+	max  int
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// Name returns the vec's metric name ("" on nil).
+func (v *CounterVec) Name() string {
+	if v == nil {
+		return ""
+	}
+	return v.name
+}
+
+// Key returns the vec's label key ("" on nil).
+func (v *CounterVec) Key() string {
+	if v == nil {
+		return ""
+	}
+	return v.key
+}
+
+// With returns the counter for label, creating it if the cardinality cap
+// allows and otherwise returning the OverflowLabel bucket. Nil-safe: a nil
+// vec returns a nil *Counter, whose methods are themselves nil-safe.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.children[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[label]; c != nil {
+		return c
+	}
+	if len(v.children) >= v.max && label != OverflowLabel {
+		label = OverflowLabel
+		if c := v.children[label]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	v.children[label] = c
+	return c
+}
+
+// VecSample is one (label, value) pair from a counter vec snapshot.
+type VecSample struct {
+	Label string
+	Value int64
+}
+
+// Snapshot returns the vec's children sorted by label. Nil-safe.
+func (v *CounterVec) Snapshot() []VecSample {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	out := make([]VecSample, 0, len(v.children))
+	for label, c := range v.children {
+		out = append(out, VecSample{Label: label, Value: c.Value()})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Name returns the vec's metric name ("" on nil).
+func (v *HistogramVec) Name() string {
+	if v == nil {
+		return ""
+	}
+	return v.name
+}
+
+// Key returns the vec's label key ("" on nil).
+func (v *HistogramVec) Key() string {
+	if v == nil {
+		return ""
+	}
+	return v.key
+}
+
+// With returns the histogram for label, creating it if the cardinality cap
+// allows and otherwise returning the OverflowLabel bucket. Nil-safe.
+func (v *HistogramVec) With(label string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.children[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.children[label]; h != nil {
+		return h
+	}
+	if len(v.children) >= v.max && label != OverflowLabel {
+		label = OverflowLabel
+		if h := v.children[label]; h != nil {
+			return h
+		}
+	}
+	h = &Histogram{}
+	v.children[label] = h
+	return h
+}
+
+// VecHistSample is one (label, histogram) pair from a histogram vec snapshot.
+type VecHistSample struct {
+	Label string
+	Hist  HistSnapshot
+}
+
+// Snapshot returns the vec's children sorted by label. Nil-safe.
+func (v *HistogramVec) Snapshot() []VecHistSample {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	out := make([]VecHistSample, 0, len(v.children))
+	for label, h := range v.children {
+		out = append(out, VecHistSample{Label: label, Hist: h.Snapshot()})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}

@@ -23,6 +23,7 @@ type ExecOption func(*execConfig)
 
 type execConfig struct {
 	origin string
+	seqOut *int64
 }
 
 // WithOrigin labels where the statement came from (a remote address, a tool
@@ -30,6 +31,15 @@ type execConfig struct {
 // overrides the session's WithSessionOrigin label for this call.
 func WithOrigin(origin string) ExecOption {
 	return func(c *execConfig) { c.origin = origin }
+}
+
+// WithSeqOut asks the execution to write the statement's query-log sequence
+// number into *seq when the statement completes (success or failure). The
+// seq correlates the caller's view of a statement with its DM_QUERY_LOG and
+// DM_FLIGHT_RECORDER rows — dmserver forwards it to clients in the stats
+// trailer. With observability disabled *seq is left untouched.
+func WithSeqOut(seq *int64) ExecOption {
+	return func(c *execConfig) { c.seqOut = seq }
 }
 
 // ---------- flat Provider entry points (wrappers over an internal session) ----------

@@ -28,6 +28,7 @@ func (p *Provider) insertInto(ctx context.Context, ins *dmx.InsertInto) (*rowset
 	if err != nil {
 		return nil, err
 	}
+	p.trainsByModel.With(e.model.Def.Name).Inc()
 	spSource := t.StartSpanStage(obs.StageSource, "caseset", "")
 	src, err := p.executeSource(ctx, ins.Source)
 	if err != nil {

@@ -31,6 +31,7 @@ func (p *Provider) predictionSelect(ctx context.Context, ps *dmx.PredictionSelec
 	if !e.model.IsTrained() {
 		return nil, fmt.Errorf("provider: model %q is not populated; INSERT INTO it first", ps.Model)
 	}
+	p.predsByModel.With(e.model.Def.Name).Inc()
 	spSource := t.StartSpanStage(obs.StageSource, "caseset", "")
 	src, err := p.executeSource(ctx, ps.Source)
 	if err != nil {

@@ -105,6 +105,14 @@ type Provider struct {
 	admInFlight     *obs.Gauge
 	admQueueDepth   *obs.Gauge
 	admRejected     *obs.Counter
+
+	// Dimensional handles: per-statement-class and per-origin families
+	// (bounded-cardinality labels; see obs.DefaultVecMaxLabels).
+	stmtsByClass  *obs.CounterVec
+	latByClass    *obs.HistogramVec
+	stmtsByOrigin *obs.CounterVec
+	predsByModel  *obs.CounterVec
+	trainsByModel *obs.CounterVec
 }
 
 // workers returns the effective worker-pool bound.
@@ -209,25 +217,30 @@ func New(opts ...Option) (*Provider, error) {
 	if !p.obsSet {
 		p.obs = obs.NewRegistry(p.logCap)
 	}
-	p.execTotal = p.obs.Counter("provider_statements_total")
-	p.execErrors = p.obs.Counter("provider_errors_total")
-	p.execCancels = p.obs.Counter("provider_cancelled_total")
-	p.rowsOut = p.obs.Counter("provider_rows_out_total")
-	p.latency = p.obs.Histogram("provider_statement_latency_us")
-	p.preparedTotal = p.obs.Counter("prepared_statements_total")
-	p.preparedExec = p.obs.Counter("prepared_exec_total")
-	p.preparedReplans = p.obs.Counter("prepared_replans_total")
-	p.admInFlight = p.obs.Gauge("admission_inflight")
-	p.admQueueDepth = p.obs.Gauge("admission_queue_depth")
-	p.admRejected = p.obs.Counter("admission_rejected_total")
+	p.execTotal = p.obs.Counter(obs.MetricStatementsTotal)
+	p.execErrors = p.obs.Counter(obs.MetricErrorsTotal)
+	p.execCancels = p.obs.Counter(obs.MetricCancelledTotal)
+	p.rowsOut = p.obs.Counter(obs.MetricRowsOutTotal)
+	p.latency = p.obs.Histogram(obs.MetricStatementLatency)
+	p.preparedTotal = p.obs.Counter(obs.MetricPreparedTotal)
+	p.preparedExec = p.obs.Counter(obs.MetricPreparedExecTotal)
+	p.preparedReplans = p.obs.Counter(obs.MetricPreparedReplans)
+	p.admInFlight = p.obs.Gauge(obs.MetricAdmissionInFlight)
+	p.admQueueDepth = p.obs.Gauge(obs.MetricAdmissionQueueDepth)
+	p.admRejected = p.obs.Counter(obs.MetricAdmissionRejected)
+	p.stmtsByClass = p.obs.CounterVec(obs.MetricStatementsByClass, obs.LabelClass)
+	p.latByClass = p.obs.HistogramVec(obs.MetricLatencyByClass, obs.LabelClass)
+	p.stmtsByOrigin = p.obs.CounterVec(obs.MetricStatementsByOrigin, obs.LabelOrigin)
+	p.predsByModel = p.obs.CounterVec(obs.MetricPredictionsByModel, obs.LabelModel)
+	p.trainsByModel = p.obs.CounterVec(obs.MetricTrainingsByModel, obs.LabelModel)
 	p.Engine.Instrument(p.obs)
 	p.versions = plancache.NewVersions()
 	p.planCache = plancache.NewCache(p.versions, p.planCacheCap)
 	p.planCache.SetMetrics(plancache.Metrics{
-		Hits:          p.obs.Counter("plan_cache_hits_total"),
-		Misses:        p.obs.Counter("plan_cache_misses_total"),
-		Evictions:     p.obs.Counter("plan_cache_evictions_total"),
-		Invalidations: p.obs.Counter("plan_cache_invalidations_total"),
+		Hits:          p.obs.Counter(obs.MetricPlanCacheHits),
+		Misses:        p.obs.Counter(obs.MetricPlanCacheMisses),
+		Evictions:     p.obs.Counter(obs.MetricPlanCacheEvictions),
+		Invalidations: p.obs.Counter(obs.MetricPlanCacheInvalidations),
 	})
 	// Table and view DDL executed by the SQL engine invalidates dependent
 	// cached plans; model DDL bumps versions in createModel/dropModel.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/rowset"
@@ -49,6 +50,10 @@ type Session struct {
 	origin string
 	adm    *admission
 
+	// inFlight counts statements currently executing past the admission
+	// gate, surfaced per connection as DM_CONNECTIONS.ADMISSION_INFLIGHT.
+	inFlight atomic.Int64
+
 	// mu guards the session-scoped prepared-statement registry and the
 	// closed flag; execution itself never holds it.
 	//
@@ -57,6 +62,13 @@ type Session struct {
 	closed   bool
 	prepared map[string]*preparedStmt // keyed by lower-cased handle name
 }
+
+// Origin returns the session's origin label.
+func (s *Session) Origin() string { return s.origin }
+
+// InFlight returns the number of statements the session is currently
+// executing past admission.
+func (s *Session) InFlight() int64 { return s.inFlight.Load() }
 
 // SessionOption configures NewSession.
 type SessionOption func(*sessionConfig)
@@ -206,6 +218,9 @@ func (s *Session) run(ctx context.Context, label string, opts []ExecOption, fn f
 	var t *obs.Trace
 	if p.obs != nil {
 		t = obs.NewTrace(label, cfg.origin)
+		// The flight recorder flips on per-operator detail while a statement
+		// class is running hot; SetKind consults it during dispatch.
+		t.SetDetailSource(p.obs.FlightRecorder())
 		ctx = obs.WithTrace(ctx, t)
 	}
 	var rs *rowset.Rowset
@@ -217,7 +232,9 @@ func (s *Session) run(ctx context.Context, label string, opts []ExecOption, fn f
 	if err == nil {
 		if err = s.adm.acquire(ctx); err == nil {
 			admitted = true
+			s.inFlight.Add(1)
 			rs, err = fn(ctx, t)
+			s.inFlight.Add(-1)
 		}
 	}
 	if admitted {
@@ -229,16 +246,26 @@ func (s *Session) run(ctx context.Context, label string, opts []ExecOption, fn f
 		}
 		rec := t.Finish(errorClass(t, err))
 		seq := p.obs.QueryLog().Append(rec)
-		p.obs.Traces().Append(obs.TraceRecord{
+		if cfg.seqOut != nil {
+			*cfg.seqOut = seq
+		}
+		p.obs.FlightRecorder().Consider(obs.FlightRecord{
 			Seq:       seq,
 			Start:     rec.Start,
 			Statement: rec.Statement,
 			Kind:      rec.Kind,
+			Origin:    rec.Origin,
 			ErrClass:  rec.ErrClass,
+			Elapsed:   rec.Elapsed,
 			Root:      t.Root(),
 		})
 		p.execTotal.Inc()
 		p.latency.Observe(rec.Elapsed.Microseconds())
+		p.stmtsByClass.With(classLabel(rec.Kind)).Inc()
+		p.latByClass.With(classLabel(rec.Kind)).Observe(rec.Elapsed.Microseconds())
+		if rec.Origin != "" {
+			p.stmtsByOrigin.With(rec.Origin).Inc()
+		}
 		if err != nil {
 			p.execErrors.Inc()
 			if rec.ErrClass == "cancelled" {
@@ -249,6 +276,15 @@ func (s *Session) run(ctx context.Context, label string, opts []ExecOption, fn f
 		}
 	}
 	return rs, err
+}
+
+// classLabel maps a statement kind onto the vec label space; unclassified
+// statements group under "unknown" rather than an empty label.
+func classLabel(kind string) string {
+	if kind == "" {
+		return "unknown"
+	}
+	return kind
 }
 
 // admission is a session's statement gate: at most max statements in flight,

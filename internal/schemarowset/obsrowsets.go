@@ -84,6 +84,28 @@ func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
 			return nil, err
 		}
 	}
+	for _, v := range o.CounterVecs() {
+		for _, s := range v.Snapshot() {
+			name := fmt.Sprintf("%s{%s=%q}", v.Name(), v.Key(), s.Label)
+			if err := rs.AppendVals(name, "counter", nil, s.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, v := range o.HistogramVecs() {
+		for _, s := range v.Snapshot() {
+			name := fmt.Sprintf("%s{%s=%q}", v.Name(), v.Key(), s.Label)
+			if err := rs.AppendVals(name+"_count", "histogram", nil, s.Hist.Count); err != nil {
+				return nil, err
+			}
+			if err := rs.AppendVals(name+"_sum", "histogram", nil, s.Hist.Sum); err != nil {
+				return nil, err
+			}
+			if err := rs.AppendVals(name+"_p95", "quantile", nil, s.Hist.Quantile(0.95)); err != nil {
+				return nil, err
+			}
+		}
+	}
 	for _, h := range o.Histograms() {
 		if err := rs.AppendVals(h.Name+"_count", "histogram", nil, h.Snap.Count); err != nil {
 			return nil, err
@@ -120,15 +142,20 @@ func ProviderMetrics(o *obs.Registry) (*rowset.Rowset, error) {
 	return rs, nil
 }
 
-// Connections renders $SYSTEM.DM_CONNECTIONS: the server's live connections.
-// An in-process provider with no server reports an empty rowset.
+// Connections renders $SYSTEM.DM_CONNECTIONS: the server's live connections,
+// including the provider session each one is bound to (SESSION_ORIGIN) and
+// that session's statements currently past admission (ADMISSION_INFLIGHT),
+// so per-connection load is visible rather than only the aggregate admission
+// gauges. An in-process provider with no server reports an empty rowset.
 func Connections(o *obs.Registry) (*rowset.Rowset, error) {
 	rs := rowset.New(rowset.MustSchema(
 		rowset.Column{Name: "CONNECTION_ID", Type: rowset.TypeLong},
 		rowset.Column{Name: "REMOTE_ADDRESS", Type: rowset.TypeText},
+		rowset.Column{Name: "SESSION_ORIGIN", Type: rowset.TypeText},
 		rowset.Column{Name: "OPENED", Type: rowset.TypeDate},
 		rowset.Column{Name: "REQUESTS", Type: rowset.TypeLong},
 		rowset.Column{Name: "ERRORS", Type: rowset.TypeLong},
+		rowset.Column{Name: "ADMISSION_INFLIGHT", Type: rowset.TypeLong},
 		rowset.Column{Name: "IDLE_US", Type: rowset.TypeLong},
 	))
 	for _, c := range o.Connections().Snapshot() {
@@ -137,8 +164,38 @@ func Connections(o *obs.Registry) (*rowset.Rowset, error) {
 			last = c.Opened
 		}
 		idle := time.Since(last).Microseconds()
-		if err := rs.AppendVals(c.ID, c.Remote, c.Opened, c.Requests, c.Errors, idle); err != nil {
+		if err := rs.AppendVals(c.ID, c.Remote, c.Origin, c.Opened, c.Requests, c.Errors, c.InFlight, idle); err != nil {
 			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// MetricsHistory renders $SYSTEM.DM_METRICS_HISTORY: the periodic
+// whole-registry snapshots taken by the history ticker, oldest first, one
+// row per metric point. DELTA is the change since the same (NAME, LABEL)
+// point in the previous snapshot (NULL on its first appearance), so rates
+// over the ticker interval are a SELECT away — no external scraper needed.
+func MetricsHistory(o *obs.Registry) (*rowset.Rowset, error) {
+	rs := rowset.New(rowset.MustSchema(
+		rowset.Column{Name: "TS", Type: rowset.TypeDate},
+		rowset.Column{Name: "NAME", Type: rowset.TypeText},
+		rowset.Column{Name: "LABEL", Type: rowset.TypeText},
+		rowset.Column{Name: "VALUE", Type: rowset.TypeLong},
+		rowset.Column{Name: "DELTA", Type: rowset.TypeLong},
+	))
+	prev := make(map[string]int64)
+	for _, snap := range o.History().Snapshot() {
+		for _, p := range snap.Points {
+			key := p.Name + "\x00" + p.Label
+			var delta rowset.Value
+			if last, ok := prev[key]; ok {
+				delta = p.Value - last
+			}
+			prev[key] = p.Value
+			if err := rs.AppendVals(snap.TS, p.Name, p.Label, p.Value, delta); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return rs, nil

@@ -16,15 +16,17 @@ import (
 
 // Names of the supported schema rowsets (SELECT * FROM $SYSTEM.<name>).
 const (
-	RowsetModels        = "MINING_MODELS"
-	RowsetColumns       = "MINING_COLUMNS"
-	RowsetServices      = "MINING_SERVICES"
-	RowsetServiceParams = "SERVICE_PARAMETERS"
-	RowsetFunctions     = "MINING_FUNCTIONS"
-	RowsetQueryLog      = "DM_QUERY_LOG"
-	RowsetMetrics       = "DM_PROVIDER_METRICS"
-	RowsetConnections   = "DM_CONNECTIONS"
-	RowsetTrace         = "DM_TRACE"
+	RowsetModels         = "MINING_MODELS"
+	RowsetColumns        = "MINING_COLUMNS"
+	RowsetServices       = "MINING_SERVICES"
+	RowsetServiceParams  = "SERVICE_PARAMETERS"
+	RowsetFunctions      = "MINING_FUNCTIONS"
+	RowsetQueryLog       = "DM_QUERY_LOG"
+	RowsetMetrics        = "DM_PROVIDER_METRICS"
+	RowsetConnections    = "DM_CONNECTIONS"
+	RowsetTrace          = "DM_TRACE"
+	RowsetFlightRecorder = "DM_FLIGHT_RECORDER"
+	RowsetMetricsHistory = "DM_METRICS_HISTORY"
 )
 
 // Names lists the available schema rowsets.
@@ -32,6 +34,7 @@ func Names() []string {
 	return []string{
 		RowsetModels, RowsetColumns, RowsetServices, RowsetServiceParams, RowsetFunctions,
 		RowsetQueryLog, RowsetMetrics, RowsetConnections, RowsetTrace,
+		RowsetFlightRecorder, RowsetMetricsHistory,
 	}
 }
 
@@ -58,6 +61,10 @@ func Build(name string, models []*core.Model, reg *core.Registry, o *obs.Registr
 		return Connections(o)
 	case RowsetTrace:
 		return TraceLog(o)
+	case RowsetFlightRecorder:
+		return FlightRecorder(o)
+	case RowsetMetricsHistory:
+		return MetricsHistory(o)
 	}
 	return nil, &core.NotFoundError{Kind: "schema rowset", Name: name}
 }

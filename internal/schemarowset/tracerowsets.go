@@ -67,9 +67,11 @@ func Explain(root *obs.Span, measured bool) (*rowset.Rowset, error) {
 	return rs, nil
 }
 
-// TraceLog renders $SYSTEM.DM_TRACE: the retained span trees of the most
-// recent statements, oldest first, one row per span. SEQ matches
-// DM_QUERY_LOG's SEQ so the two rowsets join.
+// TraceLog renders $SYSTEM.DM_TRACE: the span trees currently retained by
+// the flight recorder, by ascending SEQ, one row per span. SEQ matches
+// DM_QUERY_LOG's SEQ so the two rowsets join. The rowset predates the flight
+// recorder and keeps its original column set; DM_FLIGHT_RECORDER adds the
+// retention metadata (why a statement was kept, against what threshold).
 func TraceLog(o *obs.Registry) (*rowset.Rowset, error) {
 	cols := append([]rowset.Column{
 		{Name: "SEQ", Type: rowset.TypeLong},
@@ -78,8 +80,43 @@ func TraceLog(o *obs.Registry) (*rowset.Rowset, error) {
 		{Name: "ERROR_CLASS", Type: rowset.TypeText},
 	}, spanColumns()...)
 	rs := rowset.New(rowset.MustSchema(cols...))
-	for _, r := range o.Traces().Snapshot() {
+	for _, r := range o.FlightRecorder().Snapshot() {
 		prefix := []rowset.Value{r.Seq, r.Statement, r.Kind, r.ErrClass}
+		if err := appendSpans(rs, r.Root, true, prefix); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// FlightRecorder renders $SYSTEM.DM_FLIGHT_RECORDER: every statement the
+// tail-based recorder retained — errors, busy rejections, cancellations,
+// over-p95 outliers, and a reservoir sample of normal traffic — by ascending
+// SEQ, one row per span. KEEP_REASON says why the statement survived;
+// THRESHOLD_US is the class p95 it was judged against (NULL while the class
+// was warming up). SEQ joins DM_QUERY_LOG and matches the seq field clients
+// receive in the wire stats trailer.
+func FlightRecorder(o *obs.Registry) (*rowset.Rowset, error) {
+	cols := append([]rowset.Column{
+		{Name: "SEQ", Type: rowset.TypeLong},
+		{Name: "START_TIME", Type: rowset.TypeDate},
+		{Name: "STATEMENT", Type: rowset.TypeText},
+		{Name: "KIND", Type: rowset.TypeText},
+		{Name: "ORIGIN", Type: rowset.TypeText},
+		{Name: "ERROR_CLASS", Type: rowset.TypeText},
+		{Name: "KEEP_REASON", Type: rowset.TypeText},
+		{Name: "THRESHOLD_US", Type: rowset.TypeLong},
+	}, spanColumns()...)
+	rs := rowset.New(rowset.MustSchema(cols...))
+	for _, r := range o.FlightRecorder().Snapshot() {
+		var threshold rowset.Value
+		if r.ThresholdUS > 0 {
+			threshold = r.ThresholdUS
+		}
+		prefix := []rowset.Value{
+			r.Seq, r.Start, r.Statement, r.Kind, r.Origin, r.ErrClass,
+			string(r.Reason), threshold,
+		}
 		if err := appendSpans(rs, r.Root, true, prefix); err != nil {
 			return nil, err
 		}

@@ -49,9 +49,9 @@ func NewEngine(db *storage.Database) *Engine {
 // $SYSTEM.DM_PROVIDER_METRICS rowset. A nil registry leaves the engine
 // uninstrumented.
 func (e *Engine) Instrument(reg *obs.Registry) {
-	e.stmts = reg.Counter("sql_statements_total")
-	e.stmtErrs = reg.Counter("sql_errors_total")
-	e.rowsOut = reg.Counter("sql_rows_out_total")
+	e.stmts = reg.Counter(obs.MetricSQLStatementsTotal)
+	e.stmtErrs = reg.Counter(obs.MetricSQLErrorsTotal)
+	e.rowsOut = reg.Counter(obs.MetricSQLRowsOutTotal)
 }
 
 // Exec parses and executes one SQL statement. Every statement returns a

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/provider"
@@ -17,9 +18,12 @@ const maxObsOverhead = 0.10
 
 // TestObsOverheadSmoke compares batch-scoring throughput with observability
 // enabled against the same provider built with WithObsRegistry(nil), and
-// fails when the instrumented run is more than 10% slower. Guarded by
-// BENCH_SMOKE=1 (run via `make bench-smoke`) so routine `go test ./...`
-// stays fast and free of timing-sensitive assertions.
+// fails when the instrumented run is more than 10% slower. The instrumented
+// side runs the whole surface — counters, vecs, the flight recorder on every
+// statement, and the metrics-history ticker snapshotting concurrently — so
+// the budget covers the full recorder+history pipeline, not just counter
+// increments. Guarded by BENCH_SMOKE=1 (run via `make bench-smoke`) so
+// routine `go test ./...` stays fast and free of timing-sensitive assertions.
 func TestObsOverheadSmoke(t *testing.T) {
 	if os.Getenv("BENCH_SMOKE") == "" {
 		t.Skip("set BENCH_SMOKE=1 (or run `make bench-smoke`) to check instrumentation overhead")
@@ -56,6 +60,11 @@ func TestObsOverheadSmoke(t *testing.T) {
 
 	plain := build(nil)
 	instrumented := build(obs.NewRegistry(0))
+	// Snapshot aggressively: at the default 5s interval a short benchmark
+	// round might never see a tick, and the gate is meant to price the
+	// history collector in.
+	stop := instrumented.Obs().StartHistoryTicker(50 * time.Millisecond)
+	defer stop()
 
 	// Interleave several rounds and keep each side's best time, which damps
 	// scheduler and GC noise far better than one long run per side.

@@ -13,6 +13,7 @@ var All = []*analysis.Analyzer{
 	CursorClose,
 	CtxFlow,
 	LockCheck,
+	MetricName,
 	NoPanic,
 	PlanImmut,
 	SpanPair,

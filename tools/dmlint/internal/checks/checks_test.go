@@ -33,6 +33,14 @@ func TestValueSwitch(t *testing.T) {
 	analysistest.Run(t, fixture("valueswitch"), "repro/internal/vswitchfixture", ValueSwitch)
 }
 
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, fixture("metricname"), "repro/internal/metricfixture", MetricName)
+}
+
+func TestMetricNameExemptsTestSupportPackages(t *testing.T) {
+	analysistest.Run(t, fixture("metricname_testpkg"), "repro/internal/metricfixturetest", MetricName)
+}
+
 func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck"), "repro/internal/lockfixture", LockCheck)
 }

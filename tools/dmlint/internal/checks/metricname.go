@@ -1,0 +1,130 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/dmlint/internal/analysis"
+)
+
+// MetricName reports metric registrations whose name (or vec label key) is a
+// string literal or locally computed value instead of a constant from the
+// obs package's name catalog (names.go). The catalog is what keeps the
+// dimensional surface coherent: every name appears once, gets HELP text,
+// renders under one Prometheus family, and is greppable from a dashboard
+// back to the registration site. An inline literal silently forks a second
+// spelling of the same metric — or a metric with no catalog entry at all.
+//
+// The rule applies to Registry.Counter, Registry.Gauge, Registry.Histogram,
+// Registry.CounterVec, and Registry.HistogramVec call sites in
+// repro/internal/... packages; the obs package itself (which declares the
+// catalog and tests the registry with throwaway names) is exempt, as are
+// test-support packages.
+var MetricName = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "metric registrations must use name constants from the obs catalog",
+	Run:  runMetricName,
+}
+
+// metricMethods maps registry method names to how many leading string
+// arguments must come from the catalog (name for scalars; name and label key
+// for vecs).
+var metricMethods = map[string]int{
+	"Counter":      1,
+	"Gauge":        1,
+	"Histogram":    1,
+	"CounterVec":   2,
+	"HistogramVec": 2,
+}
+
+const obsPkgPath = "repro/internal/obs"
+
+func runMetricName(p *analysis.Pass) error {
+	path := p.Pkg.Path()
+	if !strings.HasPrefix(path, "repro/internal/") || path == obsPkgPath {
+		return nil
+	}
+	if strings.HasSuffix(p.Pkg.Name(), "test") {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			nargs, ok := metricMethods[sel.Sel.Name]
+			if !ok || !isObsRegistry(p.Info.Types[sel.X].Type) {
+				return true
+			}
+			for i := 0; i < nargs && i < len(call.Args); i++ {
+				arg := call.Args[i]
+				if isObsConst(p.Info, arg) {
+					continue
+				}
+				what := "name"
+				if i == 1 {
+					what = "label key"
+				}
+				p.Reportf(arg.Pos(), "metric %s passed to Registry.%s must be a constant from %s (names.go), not %s",
+					what, sel.Sel.Name, obsPkgPath, describeArg(arg))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistry reports whether t is repro/internal/obs.Registry or a
+// pointer to it.
+func isObsRegistry(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath
+}
+
+// isObsConst reports whether the expression resolves to a constant declared
+// in the obs package. Selector form (obs.MetricFoo) is the normal spelling;
+// a bare identifier covers dot-imports and aliases within obs-adjacent code.
+func isObsConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	c, ok := obj.(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Path() == obsPkgPath
+}
+
+// describeArg names the offending argument shape for the diagnostic.
+func describeArg(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return "a string literal"
+	case *ast.BinaryExpr:
+		return "a computed string"
+	case *ast.CallExpr:
+		return "a computed string"
+	case *ast.Ident:
+		return "identifier " + e.Name
+	case *ast.SelectorExpr:
+		return "identifier " + e.Sel.Name
+	}
+	return "a non-constant expression"
+}

@@ -1,0 +1,35 @@
+// Package metricfixture exercises the metricname analyzer: registry
+// registrations must take their metric names (and vec label keys) from the
+// obs package's catalog constants, never inline literals.
+package metricfixture
+
+import (
+	"repro/internal/obs"
+)
+
+const localName = "locally_declared_total"
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter(obs.MetricStatementsTotal)                      // catalog constant: fine
+	r.Histogram(obs.MetricStatementLatency)                   // fine
+	r.Gauge(obs.MetricAdmissionInFlight)                      // fine
+	r.CounterVec(obs.MetricStatementsByClass, obs.LabelClass) // fine
+	r.HistogramVec(obs.MetricLatencyByClass, obs.LabelClass)  // fine
+	r.Counter("inline_literal_total")                         // want "must be a constant from repro/internal/obs .* a string literal"
+	r.Histogram("inline_hist_us")                             // want "must be a constant from repro/internal/obs"
+	r.Gauge("inline_gauge")                                   // want "must be a constant from repro/internal/obs"
+	r.Counter(localName)                                      // want "must be a constant from repro/internal/obs .* identifier localName"
+	r.Counter(dynamic)                                        // want "must be a constant from repro/internal/obs .* identifier dynamic"
+	r.Counter(obs.MetricStatementsTotal + "_fork")            // want "must be a constant from repro/internal/obs .* a computed string"
+	r.CounterVec(obs.MetricStatementsByOrigin, "origin")      // want "label key .* must be a constant from repro/internal/obs .* a string literal"
+	r.HistogramVec("inline_vec_us", obs.LabelClass)           // want "must be a constant from repro/internal/obs .* a string literal"
+	notARegistry{}.Counter("free")                            // different receiver type: not our rule
+	//dmlint:allow metricname — fixture: sanctioned one-off registration.
+	r.Counter("suppressed_total")
+}
+
+// notARegistry has the same method shape but is not obs.Registry; calls on it
+// are out of scope.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name string) {}

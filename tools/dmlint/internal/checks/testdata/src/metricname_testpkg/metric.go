@@ -1,0 +1,13 @@
+// Package metricfixturetest mimics a test-support package (name ends in
+// "test"): throwaway metric names are fine there, so the analyzer stays
+// silent and this fixture carries no want annotations.
+package metricfixturetest
+
+import (
+	"repro/internal/obs"
+)
+
+func register(r *obs.Registry) {
+	r.Counter("scratch_total")
+	r.CounterVec("scratch_by_label", "label")
+}
