@@ -12,7 +12,7 @@
 //	dmbench -json out.json  # benchmark workloads, machine-readable report
 //
 // -json skips the experiments and instead times the benchmark workloads
-// (sql-scan, shape-caseset, train, predict-join), writing a BenchReport
+// (sql-scan, scan-wide-filter, group-by-agg, shape-caseset, train, ...), writing a BenchReport
 // JSON file whose schema EXPERIMENTS.md documents.
 package main
 

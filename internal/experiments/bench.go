@@ -72,6 +72,21 @@ var benchWorkloads = []struct {
 		stmt: `SELECT [Customer ID], Gender, Age FROM Customers WHERE Age > 30 ORDER BY Age`,
 	},
 	{
+		// No ORDER BY, wide conjunctive filter: the shape the batch pipeline
+		// and (on multi-core hosts past the size threshold) the morsel-parallel
+		// scan are built for — selection vectors instead of per-row copies.
+		name: "scan-wide-filter",
+		stmt: `SELECT [Customer ID], Gender, Age FROM Customers
+	WHERE Age > 21 AND Age < 60 AND Gender = 'Male' AND [Customer ID] > 0`,
+	},
+	{
+		// Mergeable aggregates over a group key: eligible for per-morsel
+		// partial aggregation with a merge at the sink.
+		name: "group-by-agg",
+		stmt: `SELECT Gender, COUNT(*), AVG(Age), MIN(Age), MAX(Age)
+	FROM Customers GROUP BY Gender`,
+	},
+	{
 		name: "shape-caseset",
 		stmt: `SHAPE {SELECT [Customer ID], Gender, Age FROM Customers ORDER BY [Customer ID]}
 	APPEND ({SELECT CustID, [Product Name] FROM Sales ORDER BY CustID}

@@ -18,7 +18,8 @@ func TestRunBench(t *testing.T) {
 		t.Errorf("header = %+v", report)
 	}
 	want := map[string]bool{
-		"sql-scan": true, "shape-caseset": true, "train": true, "predict-join": true,
+		"sql-scan": true, "scan-wide-filter": true, "group-by-agg": true,
+		"shape-caseset": true, "train": true, "predict-join": true,
 		"adhoc-params": true, "prepared-params": true,
 	}
 	for _, w := range report.Workloads {

@@ -37,6 +37,11 @@ const (
 	MetricSQLErrorsTotal     = "sql_errors_total"
 	MetricSQLRowsOutTotal    = "sql_rows_out_total"
 
+	// Vectorized / morsel-parallel execution.
+	MetricSQLBatchesTotal       = "sql_batches_total"
+	MetricSQLMorselsTotal       = "sql_morsels_total"
+	MetricSQLParallelScansTotal = "sql_parallel_scans_total"
+
 	// Flight recorder (registered by the registry itself; see NewRegistry).
 	MetricFlightConsidered = "flight_recorder_considered_total"
 	MetricFlightKept       = "flight_recorder_kept_total"
@@ -67,19 +72,22 @@ const (
 // helpText documents metrics for the Prometheus exposition's # HELP lines.
 // Entries are optional: metrics without one render TYPE only.
 var helpText = map[string]string{
-	MetricStatementsTotal:    "Statements executed, successful or not.",
-	MetricErrorsTotal:        "Statements that returned an error.",
-	MetricCancelledTotal:     "Statements aborted by context cancellation.",
-	MetricRowsOutTotal:       "Result rows produced by successful statements.",
-	MetricStatementLatency:   "Statement wall time in microseconds.",
-	MetricStatementsByClass:  "Statements executed, by statement class.",
-	MetricLatencyByClass:     "Statement wall time in microseconds, by statement class.",
-	MetricStatementsByOrigin: "Statements executed, by session origin.",
-	MetricPredictionsByModel: "PREDICTION JOIN statements, by mining model.",
-	MetricTrainingsByModel:   "Model training runs (INSERT INTO), by mining model.",
-	MetricFlightConsidered:   "Completed statements offered to the flight recorder.",
-	MetricFlightKept:         "Statements retained by the flight recorder, by keep reason.",
-	MetricHistorySnapshots:   "Metric-history snapshots taken by the background ticker.",
+	MetricStatementsTotal:       "Statements executed, successful or not.",
+	MetricErrorsTotal:           "Statements that returned an error.",
+	MetricCancelledTotal:        "Statements aborted by context cancellation.",
+	MetricRowsOutTotal:          "Result rows produced by successful statements.",
+	MetricStatementLatency:      "Statement wall time in microseconds.",
+	MetricStatementsByClass:     "Statements executed, by statement class.",
+	MetricLatencyByClass:        "Statement wall time in microseconds, by statement class.",
+	MetricStatementsByOrigin:    "Statements executed, by session origin.",
+	MetricPredictionsByModel:    "PREDICTION JOIN statements, by mining model.",
+	MetricTrainingsByModel:      "Model training runs (INSERT INTO), by mining model.",
+	MetricSQLBatchesTotal:       "Row batches drained by vectorized query pipelines.",
+	MetricSQLMorselsTotal:       "Table morsels dispatched to parallel scan workers.",
+	MetricSQLParallelScansTotal: "Queries executed via the morsel-parallel path.",
+	MetricFlightConsidered:      "Completed statements offered to the flight recorder.",
+	MetricFlightKept:            "Statements retained by the flight recorder, by keep reason.",
+	MetricHistorySnapshots:      "Metric-history snapshots taken by the background ticker.",
 }
 
 // Help returns the catalog's HELP text for a metric name ("" when none).

@@ -214,6 +214,9 @@ func New(opts ...Option) (*Provider, error) {
 	for _, o := range opts {
 		o(p)
 	}
+	// The SQL engine's morsel-parallel scans and hash-join key builds share
+	// the provider's worker bound (<= 0 means GOMAXPROCS there too).
+	p.Engine.Vec.Workers = p.parallelism
 	if !p.obsSet {
 		p.obs = obs.NewRegistry(p.logCap)
 	}

@@ -1,0 +1,165 @@
+package rowset
+
+// Batch-at-a-time cursors. The Volcano Cursor contract pays an interface
+// call per row per operator; BatchCursor amortizes that over up to
+// DefaultBatchSize rows, and a selection vector lets filters drop rows
+// without copying the survivors into a fresh slice.
+//
+// Ownership rule (the "Batch ownership rule" dmlint's batchown analyzer
+// enforces): a Batch returned by NextBatch is OWNED BY THE PRODUCER. Its
+// Rows and Sel slices may be reused by the very next NextBatch call, so a
+// consumer must fully process (or copy out of) a batch before pulling the
+// next one, and must never store a Batch — or its Rows/Sel slices — into a
+// field, append it to a slice that outlives the pull loop, or hand it to
+// another goroutine. The individual Row values inside a batch are NOT
+// covered by the rule: every producer in this module yields immutable rows
+// that remain valid indefinitely (the same guarantee Cursor documents), so
+// appending b.Row(i) to a result slice is fine; appending b.Rows is not.
+
+// DefaultBatchSize is the row capacity batch producers use: large enough to
+// amortize per-batch overhead to noise, small enough that a batch of rows
+// stays cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is a producer-owned view of up to DefaultBatchSize rows. When Sel is
+// non-nil it is a selection vector: only Rows[Sel[0]], Rows[Sel[1]], ... are
+// live, in that order. When Sel is nil every row in Rows is live. The zero
+// Batch (Rows == nil) marks end of stream; producers never yield a non-nil
+// empty batch.
+type Batch struct {
+	Rows []Row
+	Sel  []int
+}
+
+// Len returns the number of live rows in the batch.
+func (b Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
+
+// Row returns the i-th live row (selection-vector aware).
+func (b Batch) Row(i int) Row {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+// Empty reports end of stream.
+func (b Batch) Empty() bool { return b.Rows == nil }
+
+// Slice returns the live-row window [lo, hi) of the batch as a new view
+// sharing the same backing slices (no copies). Cancellation chunking uses it
+// to re-poll between sub-batches.
+func (b Batch) Slice(lo, hi int) Batch {
+	if b.Sel != nil {
+		return Batch{Rows: b.Rows, Sel: b.Sel[lo:hi]}
+	}
+	return Batch{Rows: b.Rows[lo:hi]}
+}
+
+// BatchCursor is the batch-at-a-time counterpart of Cursor. NextBatch
+// returns the next batch of live rows, or an empty Batch at end of stream.
+// Close follows the Cursor contract (idempotent, safe after exhaustion).
+// See the package comment above for the batch ownership rule.
+type BatchCursor interface {
+	NextBatch() (Batch, error)
+	Schema() *Schema
+	Close() error
+}
+
+// BatchCursorOf adapts a Cursor into a BatchCursor. Cursors that natively
+// produce batches (table scans, slice cursors, the engine's vectorized
+// operators) pass through unchanged; anything else is wrapped in a batcher
+// that assembles reused DefaultBatchSize batches from row-at-a-time pulls.
+func BatchCursorOf(c Cursor) BatchCursor {
+	if bc, ok := c.(BatchCursor); ok {
+		return bc
+	}
+	return &rowBatcher{src: c}
+}
+
+// rowBatcher assembles batches from a row-at-a-time source. The batch buffer
+// is reused across NextBatch calls, honoring the producer-owned contract.
+type rowBatcher struct {
+	src Cursor
+	buf []Row
+}
+
+func (rb *rowBatcher) NextBatch() (Batch, error) {
+	if rb.buf == nil {
+		rb.buf = make([]Row, 0, DefaultBatchSize)
+	}
+	rb.buf = rb.buf[:0]
+	for len(rb.buf) < cap(rb.buf) {
+		r, err := rb.src.Next()
+		if err != nil {
+			return Batch{}, err
+		}
+		if r == nil {
+			break
+		}
+		rb.buf = append(rb.buf, r)
+	}
+	if len(rb.buf) == 0 {
+		return Batch{}, nil
+	}
+	return Batch{Rows: rb.buf}, nil
+}
+
+func (rb *rowBatcher) Schema() *Schema { return rb.src.Schema() }
+func (rb *rowBatcher) Close() error    { return rb.src.Close() }
+
+// RowCursor adapts a BatchCursor into a row-at-a-time Cursor. Hybrid
+// producers that already implement Cursor pass through unchanged. A consumer
+// must drive a cursor through one interface only — interleaving Next and
+// NextBatch pulls on the same cursor is undefined.
+func RowCursor(bc BatchCursor) Cursor {
+	if c, ok := bc.(Cursor); ok {
+		return c
+	}
+	return &batchRowCursor{src: bc}
+}
+
+type batchRowCursor struct {
+	src BatchCursor
+	cur Batch
+	i   int
+}
+
+func (c *batchRowCursor) Next() (Row, error) {
+	for c.i >= c.cur.Len() {
+		b, err := c.src.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b.Empty() {
+			return nil, nil
+		}
+		c.cur, c.i = b, 0
+	}
+	r := c.cur.Row(c.i)
+	c.i++
+	return r, nil
+}
+
+func (c *batchRowCursor) Schema() *Schema { return c.src.Schema() }
+func (c *batchRowCursor) Close() error    { return c.src.Close() }
+
+// NextBatch makes the materialized-rowset cursor a native batch producer:
+// each batch is a zero-copy subslice of the rowset's backing rows.
+func (it *sliceIter) NextBatch() (Batch, error) {
+	n := it.rs.Len()
+	if it.i >= n {
+		return Batch{}, nil
+	}
+	hi := it.i + DefaultBatchSize
+	if hi > n {
+		hi = n
+	}
+	b := Batch{Rows: it.rs.rows[it.i:hi]}
+	it.i = hi
+	return b, nil
+}

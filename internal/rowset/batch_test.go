@@ -1,0 +1,217 @@
+package rowset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func batchTestRowset(t *testing.T, n int) *Rowset {
+	t.Helper()
+	s := mustSchema(t, Column{Name: "A", Type: TypeLong}, Column{Name: "B", Type: TypeText})
+	rs := New(s)
+	for i := 0; i < n; i++ {
+		mustAppend(rs, int64(i), "r")
+	}
+	return rs
+}
+
+func TestBatchSelectionVector(t *testing.T) {
+	rows := []Row{{int64(0)}, {int64(1)}, {int64(2)}, {int64(3)}}
+	b := Batch{Rows: rows, Sel: []int{1, 3}}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if Compare(b.Row(0)[0], int64(1)) != 0 || Compare(b.Row(1)[0], int64(3)) != 0 {
+		t.Fatalf("selection vector rows wrong: %v %v", b.Row(0), b.Row(1))
+	}
+	sub := b.Slice(1, 2)
+	if sub.Len() != 1 || Compare(sub.Row(0)[0], int64(3)) != 0 {
+		t.Fatalf("Slice over Sel wrong: len=%d", sub.Len())
+	}
+	plain := Batch{Rows: rows}
+	if plain.Len() != 4 {
+		t.Fatalf("plain Len = %d", plain.Len())
+	}
+	sub = plain.Slice(2, 4)
+	if sub.Len() != 2 || Compare(sub.Row(0)[0], int64(2)) != 0 {
+		t.Fatalf("Slice over Rows wrong")
+	}
+	if !(Batch{}).Empty() {
+		t.Fatal("zero Batch should be Empty")
+	}
+	if plain.Empty() {
+		t.Fatal("non-nil Batch reported Empty")
+	}
+}
+
+func TestSliceIterNextBatch(t *testing.T) {
+	rs := batchTestRowset(t, 2*DefaultBatchSize+5)
+	bc := BatchCursorOf(rs.Cursor())
+	// The rowset cursor is batch-native: no wrapper, zero-copy subslices.
+	if _, wrapped := bc.(*rowBatcher); wrapped {
+		t.Fatal("sliceIter was wrapped instead of passing through")
+	}
+	total, batches := 0, 0
+	for {
+		b, err := bc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Empty() {
+			break
+		}
+		if b.Sel != nil {
+			t.Fatal("scan batch should have nil Sel")
+		}
+		if &b.Rows[0][0] != &rs.Rows()[total][0] {
+			t.Fatal("batch rows are not zero-copy views of the rowset")
+		}
+		total += b.Len()
+		batches++
+	}
+	if total != rs.Len() || batches != 3 {
+		t.Fatalf("drained %d rows in %d batches, want %d in 3", total, batches, rs.Len())
+	}
+	if err := bc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAdaptersRoundTrip(t *testing.T) {
+	rs := batchTestRowset(t, DefaultBatchSize+37)
+
+	// Row → batch → row: plainIter hides both Close and NextBatch, so both
+	// adapters must actually wrap.
+	bc := BatchCursorOf(CursorOf(plainIter{rs.Iter()}))
+	if _, ok := bc.(*rowBatcher); !ok {
+		t.Fatal("expected rowBatcher wrapper for a row-only source")
+	}
+	rc := RowCursor(onlyBatch{bc})
+	out, err := FromCursor(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != rs.Len() {
+		t.Fatalf("round-trip len = %d, want %d", out.Len(), rs.Len())
+	}
+	for i := range rs.Rows() {
+		if Compare(out.Row(i)[0], rs.Row(i)[0]) != 0 {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+
+	// A hybrid cursor passes through both adapters unchanged.
+	c := rs.Cursor()
+	if RowCursor(BatchCursorOf(c)) != c {
+		t.Fatal("hybrid cursor did not pass through adapters")
+	}
+}
+
+// onlyBatch hides the Next method so RowCursor sees a batch-only source.
+type onlyBatch struct{ bc BatchCursor }
+
+func (o onlyBatch) NextBatch() (Batch, error) { return o.bc.NextBatch() }
+func (o onlyBatch) Schema() *Schema           { return o.bc.Schema() }
+func (o onlyBatch) Close() error              { return o.bc.Close() }
+
+func TestRowBatcherReusesBuffer(t *testing.T) {
+	rs := batchTestRowset(t, DefaultBatchSize+10)
+	rb := &rowBatcher{src: CursorOf(plainIter{rs.Iter()})}
+	b1, err := rb.NextBatch()
+	if err != nil || b1.Len() != DefaultBatchSize {
+		t.Fatalf("first batch = %d rows, err %v", b1.Len(), err)
+	}
+	first := &b1.Rows[0]
+	b2, err := rb.NextBatch()
+	if err != nil || b2.Len() != 10 {
+		t.Fatalf("second batch = %d rows, err %v", b2.Len(), err)
+	}
+	// Producer-owned: the second batch reuses the first batch's backing array.
+	if &b2.Rows[0] != first {
+		t.Fatal("rowBatcher allocated a fresh buffer per batch")
+	}
+	if b3, err := rb.NextBatch(); err != nil || !b3.Empty() {
+		t.Fatalf("expected end of stream, got %d rows, err %v", b3.Len(), err)
+	}
+}
+
+// FromCursor on a fresh cursor over a materialized rowset must return the
+// rowset itself — same backing rows, not copies (ISSUE 10 satellite: no
+// double bookkeeping).
+func TestFromCursorMaterializedFastPath(t *testing.T) {
+	rs := batchTestRowset(t, 8)
+	out, err := FromCursor(rs.Cursor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != rs {
+		t.Fatal("FromCursor did not return the underlying rowset")
+	}
+	for i := range rs.Rows() {
+		if &out.Rows()[i][0] != &rs.Rows()[i][0] {
+			t.Fatalf("row %d was copied", i)
+		}
+	}
+
+	// A partially-consumed cursor must NOT take the fast path: the result
+	// holds only the remaining rows.
+	c := rs.Cursor()
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := FromCursor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest == rs || rest.Len() != rs.Len()-1 {
+		t.Fatalf("partial drain: got %d rows (same=%v), want %d", rest.Len(), rest == rs, rs.Len()-1)
+	}
+}
+
+func TestFromCursorBatchDrainSelAware(t *testing.T) {
+	rs := batchTestRowset(t, 6)
+	// selBatches is a hybrid Cursor+BatchCursor, so FromCursor must prefer
+	// the batch drain (its Next reports an error if called).
+	src := &selBatches{schema: rs.Schema(), rows: rs.Rows()}
+	out, err := FromCursor(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5}
+	if out.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", out.Len(), len(want))
+	}
+	for i, w := range want {
+		if Compare(out.Row(i)[0], w) != 0 {
+			t.Fatalf("row %d = %v, want %d", i, out.Row(i)[0], w)
+		}
+	}
+}
+
+// selBatches yields one batch with a selection vector picking odd rows.
+type selBatches struct {
+	schema *Schema
+	rows   []Row
+	done   bool
+}
+
+func (s *selBatches) NextBatch() (Batch, error) {
+	if s.done {
+		return Batch{}, nil
+	}
+	s.done = true
+	sel := make([]int, 0, len(s.rows)/2)
+	for i := 1; i < len(s.rows); i += 2 {
+		sel = append(sel, i)
+	}
+	return Batch{Rows: s.rows, Sel: sel}, nil
+}
+
+func (s *selBatches) Next() (Row, error) {
+	return nil, errUnexpectedRowPull
+}
+
+var errUnexpectedRowPull = fmt.Errorf("row-at-a-time pull on a batch-preferred source")
+
+func (s *selBatches) Schema() *Schema { return s.schema }
+func (s *selBatches) Close() error    { return nil }

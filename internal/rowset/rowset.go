@@ -305,8 +305,46 @@ func Materialize(it Iterator) (*Rowset, error) {
 // rows are normalized at projection. The cursor is closed before returning.
 func FromCursor(c Cursor) (*Rowset, error) {
 	defer c.Close() //nolint:errcheck // Close after exhaustion is a no-op
+	// Fast path: a cursor over an already-materialized rowset that has not
+	// been pulled from yet hands back its backing rowset directly — no
+	// row-by-row copy, no second bookkeeping of the same rows. The rowset's
+	// own Append validated arity when the rows went in.
+	if si, ok := c.(*sliceIter); ok && si.i == 0 {
+		si.i = si.rs.Len()
+		return si.rs, nil
+	}
 	rs := New(c.Schema())
 	want := rs.schema.Len()
+	if bc, ok := c.(BatchCursor); ok {
+		// Batch drain: one interface call per batch instead of per row. The
+		// batch buffer is producer-owned, so live rows are copied out (rows
+		// themselves are immutable and safe to retain).
+		for {
+			b, err := bc.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b.Empty() {
+				return rs, nil
+			}
+			if b.Sel == nil {
+				for _, r := range b.Rows {
+					if len(r) != want {
+						return nil, fmt.Errorf("rowset: cursor row has %d values, schema has %d columns", len(r), want)
+					}
+				}
+				rs.rows = append(rs.rows, b.Rows...)
+				continue
+			}
+			for _, i := range b.Sel {
+				r := b.Rows[i]
+				if len(r) != want {
+					return nil, fmt.Errorf("rowset: cursor row has %d values, schema has %d columns", len(r), want)
+				}
+				rs.rows = append(rs.rows, r)
+			}
+		}
+	}
 	for {
 		r, err := c.Next()
 		if err != nil {

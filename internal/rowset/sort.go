@@ -15,22 +15,34 @@ func SortByKeys[T any](items []T, keys []Row, desc []bool) {
 	if len(items) < 2 || len(keys) == 0 {
 		return
 	}
+	// The index values are unique, so breaking key ties on the original index
+	// reproduces stable order exactly while letting the faster unstable
+	// pattern-defeating quicksort run instead of the symmerge stable sort.
 	idx := make([]int, len(items))
 	for i := range idx {
 		idx[i] = i
 	}
 	if len(keys[0]) == 1 {
-		if len(desc) > 0 && desc[0] {
-			slices.SortStableFunc(idx, func(a, b int) int {
-				return Compare(keys[b][0], keys[a][0])
-			})
-		} else {
-			slices.SortStableFunc(idx, func(a, b int) int {
-				return Compare(keys[a][0], keys[b][0])
-			})
+		d := len(desc) > 0 && desc[0]
+		if !sortSingleTyped(idx, keys, d) {
+			if d {
+				slices.SortFunc(idx, func(a, b int) int {
+					if c := Compare(keys[b][0], keys[a][0]); c != 0 {
+						return c
+					}
+					return a - b
+				})
+			} else {
+				slices.SortFunc(idx, func(a, b int) int {
+					if c := Compare(keys[a][0], keys[b][0]); c != 0 {
+						return c
+					}
+					return a - b
+				})
+			}
 		}
 	} else {
-		slices.SortStableFunc(idx, func(a, b int) int {
+		slices.SortFunc(idx, func(a, b int) int {
 			ka, kb := keys[a], keys[b]
 			for k := range ka {
 				c := Compare(ka[k], kb[k])
@@ -42,21 +54,105 @@ func SortByKeys[T any](items []T, keys []Row, desc []bool) {
 				}
 				return c
 			}
-			return 0
+			return a - b
 		})
 	}
 	applyPermutation(idx, items, keys)
 }
 
-// applyPermutation reorders items and keys so that position i receives the
-// element previously at idx[i].
-func applyPermutation[T any](idx []int, items []T, keys []Row) {
-	outItems := make([]T, len(items))
-	outKeys := make([]Row, len(keys))
-	for i, j := range idx {
-		outItems[i] = items[j]
-		outKeys[i] = keys[j]
+// sortSingleTyped sorts idx by a homogeneous single-column key without any
+// per-comparison interface dispatch: one pass extracts the key column into a
+// typed slice, then the comparator reads machine values directly. It reports
+// false (leaving idx untouched) when the column mixes types or contains NULLs
+// — the generic Compare comparator handles those. Ordering is identical to
+// Compare's: floats order NaN as tying everything (both < and > are false, so
+// the index tiebreak — stable order — decides), exactly like Compare's
+// float path.
+func sortSingleTyped(idx []int, keys []Row, desc bool) bool {
+	switch keys[0][0].(type) {
+	case int64:
+		vals := make([]int64, len(keys))
+		for i, k := range keys {
+			v, ok := k[0].(int64)
+			if !ok {
+				return false
+			}
+			vals[i] = v
+		}
+		sortTyped(idx, vals, desc)
+	case float64:
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			v, ok := k[0].(float64)
+			if !ok {
+				return false
+			}
+			vals[i] = v
+		}
+		sortTyped(idx, vals, desc)
+	case string:
+		vals := make([]string, len(keys))
+		for i, k := range keys {
+			v, ok := k[0].(string)
+			if !ok {
+				return false
+			}
+			vals[i] = v
+		}
+		sortTyped(idx, vals, desc)
+	default:
+		return false
 	}
-	copy(items, outItems)
-	copy(keys, outKeys)
+	return true
+}
+
+func sortTyped[E int64 | float64 | string](idx []int, vals []E, desc bool) {
+	if desc {
+		slices.SortFunc(idx, func(a, b int) int {
+			x, y := vals[b], vals[a]
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			default:
+				return a - b
+			}
+		})
+		return
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		x, y := vals[a], vals[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return a - b
+		}
+	})
+}
+
+// applyPermutation reorders items and keys in place so that position i
+// receives the element previously at idx[i], rotating each permutation cycle
+// — no scratch slices. idx is consumed (visited entries are marked negative).
+func applyPermutation[T any](idx []int, items []T, keys []Row) {
+	for i := range idx {
+		if idx[i] < 0 {
+			continue // already placed by an earlier cycle
+		}
+		j := i
+		tmpItem, tmpKey := items[i], keys[i]
+		for {
+			k := idx[j]
+			idx[j] = -1 - k
+			if k == i {
+				items[j], keys[j] = tmpItem, tmpKey
+				break
+			}
+			items[j], keys[j] = items[k], keys[k]
+			j = k
+		}
+	}
 }

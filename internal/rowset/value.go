@@ -318,6 +318,39 @@ func Compare(a, b Value) int {
 	if b == nil {
 		return 1
 	}
+	// Same-type fast paths for the three types that dominate sort keys and
+	// grouping: no ToFloat round-trip, no TypeOf. Semantics are unchanged
+	// (mixed numeric pairs still fall through to the float comparison).
+	switch x := a.(type) {
+	case int64:
+		if y, ok := b.(int64); ok {
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case float64:
+		if y, ok := b.(float64); ok {
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y)
+		}
+	default:
+		// bool, time.Time, *Rowset, mixed pairs: generic path below.
+	}
 	af, aNum := ToFloat(a)
 	bf, bNum := ToFloat(b)
 	if aNum && bNum {

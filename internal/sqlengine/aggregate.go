@@ -7,12 +7,125 @@ import (
 	"repro/internal/rowset"
 )
 
-// aggregate executes a SELECT with GROUP BY and/or aggregate functions,
-// consuming its source one row at a time (grouping is the materializing step:
-// the group map holds every input row until the stream ends). For each group
-// it computes every aggregate call in the statement, then evaluates the
-// projection with those calls replaced by their values.
+// aggregate executes a SELECT with GROUP BY and/or aggregate functions.
+// Mergeable aggregates (COUNT/SUM/AVG/MIN/MAX without DISTINCT) stream: one
+// pass folds each row into per-group partial states and no input row is
+// retained beyond each group's representative. Two-pass (STDEV/VAR) and
+// DISTINCT aggregates fall back to the materializing path, where the group
+// map holds every input row until the stream ends and computeAggregate
+// re-scans the group per call site.
 func (e *Engine) aggregate(sel *SelectStmt, src rowset.Iterator) (*rowset.Rowset, error) {
+	aggs, err := statementAggs(sel)
+	if err != nil {
+		return nil, err
+	}
+	srcSchema := src.Schema()
+	if aggsMergeable(aggs) {
+		acc := newAggAccum(sel, aggs, srcSchema)
+		if err := e.drainInto(src, acc.observe); err != nil {
+			return nil, err
+		}
+		return finishAggregate(sel, srcSchema, acc.finish(sel, srcSchema))
+	}
+
+	type group struct {
+		first rowset.Row
+		rows  []rowset.Row
+	}
+	env := &Env{Schema: srcSchema}
+	groups := make(map[string]*group)
+	var keyOrder []string
+	var keyBuf []byte
+	accum := func(r rowset.Row) error {
+		env.Row = r
+		keyBuf = keyBuf[:0]
+		for _, g := range sel.GroupBy {
+			v, err := Eval(g, env)
+			if err != nil {
+				return err
+			}
+			keyBuf = rowset.AppendKey(keyBuf, v)
+			keyBuf = append(keyBuf, '|')
+		}
+		grp, ok := groups[string(keyBuf)]
+		if !ok {
+			grp = &group{first: r}
+			k := string(keyBuf)
+			groups[k] = grp
+			keyOrder = append(keyOrder, k)
+		}
+		grp.rows = append(grp.rows, r)
+		return nil
+	}
+	if err := e.drainInto(src, accum); err != nil {
+		return nil, err
+	}
+	// Aggregation without GROUP BY over empty input still yields one group.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		nulls := make(rowset.Row, srcSchema.Len())
+		groups[""] = &group{first: nulls}
+		keyOrder = append(keyOrder, "")
+	}
+
+	finished := make([]finishedGroup, 0, len(keyOrder))
+	for _, k := range keyOrder {
+		grp := groups[k]
+		vals := make(map[*FuncCall]rowset.Value, len(aggs))
+		for _, f := range aggs {
+			v, err := computeAggregate(f, grp.rows, srcSchema)
+			if err != nil {
+				return nil, err
+			}
+			vals[f] = v
+		}
+		finished = append(finished, finishedGroup{first: grp.first, vals: vals})
+	}
+	return finishAggregate(sel, srcSchema, finished)
+}
+
+// drainInto pulls src to exhaustion, feeding every row to fn. Batch-capable
+// sources drain one interface call per batch (counted into the engine's batch
+// metric); everything else walks row-at-a-time.
+func (e *Engine) drainInto(src rowset.Iterator, fn func(r rowset.Row) error) error {
+	if bc, ok := src.(rowset.BatchCursor); ok {
+		var batches int64
+		for {
+			b, err := bc.NextBatch()
+			if err != nil {
+				return err
+			}
+			if b.Empty() {
+				break
+			}
+			batches++
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				if err := fn(b.Row(i)); err != nil {
+					return err
+				}
+			}
+		}
+		e.batches.Add(batches)
+		return nil
+	}
+	for {
+		r, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+// statementAggs collects every aggregate call site in the statement (items,
+// HAVING, ORDER BY). Duplicate textual calls stay distinct pointers, so each
+// site gets its own computed value.
+func statementAggs(sel *SelectStmt) ([]*FuncCall, error) {
 	var aggs []*FuncCall
 	for _, it := range sel.Items {
 		if it.Star {
@@ -26,66 +139,30 @@ func (e *Engine) aggregate(sel *SelectStmt, src rowset.Iterator) (*rowset.Rowset
 	for _, o := range sel.OrderBy {
 		collectAggs(o.Expr, &aggs)
 	}
+	return aggs, nil
+}
 
-	type group struct {
-		first rowset.Row
-		rows  []rowset.Row
-	}
-	srcSchema := src.Schema()
-	env := &Env{Schema: srcSchema}
-	groups := make(map[string]*group)
-	var keyOrder []string
-	var keyBuf []byte
-	for {
-		r, err := src.Next()
-		if err != nil {
-			return nil, err
-		}
-		if r == nil {
-			break
-		}
-		env.Row = r
-		keyBuf = keyBuf[:0]
-		for _, g := range sel.GroupBy {
-			v, err := Eval(g, env)
-			if err != nil {
-				return nil, err
-			}
-			keyBuf = rowset.AppendKey(keyBuf, v)
-			keyBuf = append(keyBuf, '|')
-		}
-		grp, ok := groups[string(keyBuf)]
-		if !ok {
-			grp = &group{first: r}
-			k := string(keyBuf)
-			groups[k] = grp
-			keyOrder = append(keyOrder, k)
-		}
-		grp.rows = append(grp.rows, r)
-	}
-	// Aggregation without GROUP BY over empty input still yields one group.
-	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		nulls := make(rowset.Row, srcSchema.Len())
-		groups[""] = &group{first: nulls}
-		keyOrder = append(keyOrder, "")
-	}
+// finishedGroup is one group ready for the aggregation tail: its first input
+// row (the representative non-aggregate expressions evaluate against) and the
+// computed value of every aggregate call site. Both the sequential and the
+// morsel-parallel paths produce these, so HAVING, projection, ORDER BY, and
+// schema inference run through exactly one implementation.
+type finishedGroup struct {
+	first rowset.Row
+	vals  map[*FuncCall]rowset.Value
+}
 
+// finishAggregate applies HAVING, evaluates the projection with aggregates
+// substituted, sorts by ORDER BY, and materializes the result. Groups must
+// arrive in first-seen input order.
+func finishAggregate(sel *SelectStmt, srcSchema *rowset.Schema, groups []finishedGroup) (*rowset.Rowset, error) {
 	names := outputNames(sel.Items)
 	var outRows []rowset.Row
 	var keyRows []rowset.Row
-	for _, k := range keyOrder {
-		grp := groups[k]
-		vals := make(map[*FuncCall]rowset.Value, len(aggs))
-		for _, f := range aggs {
-			v, err := computeAggregate(f, grp.rows, srcSchema)
-			if err != nil {
-				return nil, err
-			}
-			vals[f] = v
-		}
+	for _, grp := range groups {
 		genv := &Env{Schema: srcSchema, Row: grp.first}
 		if sel.Having != nil {
-			hv, err := Eval(substituteAggs(sel.Having, vals), genv)
+			hv, err := Eval(substituteAggs(sel.Having, grp.vals), genv)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +176,7 @@ func (e *Engine) aggregate(sel *SelectStmt, src rowset.Iterator) (*rowset.Rowset
 		}
 		out := make(rowset.Row, len(sel.Items))
 		for i, it := range sel.Items {
-			v, err := Eval(substituteAggs(it.Expr, vals), genv)
+			v, err := Eval(substituteAggs(it.Expr, grp.vals), genv)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +184,7 @@ func (e *Engine) aggregate(sel *SelectStmt, src rowset.Iterator) (*rowset.Rowset
 		}
 		subOrder := make([]OrderItem, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
-			subOrder[i] = OrderItem{Expr: substituteAggs(o.Expr, vals), Desc: o.Desc}
+			subOrder[i] = OrderItem{Expr: substituteAggs(o.Expr, grp.vals), Desc: o.Desc}
 		}
 		keys, err := orderKeys(subOrder, sel.Items, names, out, genv)
 		if err != nil {

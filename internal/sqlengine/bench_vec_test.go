@@ -1,0 +1,70 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// benchTable builds one table shaped like the dmbench warehouse scan target:
+// an integer key, a low-cardinality group column, and a numeric measure.
+func benchTable(b *testing.B, n int) *Engine {
+	b.Helper()
+	e := NewEngine(storage.NewDatabase())
+	if _, err := e.Exec("CREATE TABLE T (id LONG, g TEXT, age DOUBLE)"); err != nil {
+		b.Fatal(err)
+	}
+	var ins strings.Builder
+	ins.WriteString("INSERT INTO T VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, 'g%d', %d)", i, i%2, 18+i%60)
+	}
+	if _, err := e.Exec(ins.String()); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkScanFilterOrderBy is the sql-scan workload shape: filter plus sort,
+// so it exercises the batch pipeline but not the morsel path (ORDER BY).
+func BenchmarkScanFilterOrderBy(b *testing.B) {
+	e := benchTable(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT id, g, age FROM T WHERE age > 30 ORDER BY age"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanWideFilter is the scan-wide-filter workload shape: conjunctive
+// predicate, no sort — morsel-eligible on multicore hosts.
+func BenchmarkScanWideFilter(b *testing.B) {
+	e := benchTable(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT id, g, age FROM T WHERE age > 21 AND age < 60 AND g = 'g1' AND id > 0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByAgg is the group-by-agg workload shape: mergeable
+// aggregates over a low-cardinality key.
+func BenchmarkGroupByAgg(b *testing.B) {
+	e := benchTable(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT g, COUNT(*), AVG(age), MIN(age), MAX(age) FROM T GROUP BY g"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

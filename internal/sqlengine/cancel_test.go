@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/rowset"
 	"repro/internal/storage"
 )
 
@@ -88,4 +89,60 @@ func TestCancelCursorStopsMidStream(t *testing.T) {
 		}
 	}
 	t.Fatalf("no cancellation surfaced within %d rows", pollEvery+1)
+}
+
+// TestCancelCursorBatchLatency is the batching regression test for
+// cancellation latency: with a batch-capable source yielding
+// DefaultBatchSize-row batches, the cancel cursor must still observe a
+// cancellation within pollEvery rows — it doles upstream batches out in
+// sub-batch windows and polls per window, instead of letting a 1024-row batch
+// stretch the poll interval 16×.
+func TestCancelCursorBatchLatency(t *testing.T) {
+	e := newBigEngine(t, 4*int(rowset.DefaultBatchSize))
+	rs := mustQuery(t, e, "SELECT * FROM Big")
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &cancelCursor{src: rs.Cursor(), ctx: ctx, done: ctx.Done()}
+	defer c.Close() //nolint:errcheck
+
+	// First pull: the upstream batch is DefaultBatchSize rows, but the window
+	// handed downstream must not exceed the poll stride.
+	b, err := c.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 || b.Len() > pollEvery {
+		t.Fatalf("window = %d rows, want 1..%d", b.Len(), pollEvery)
+	}
+	cancel()
+	// The very next pull starts with a poll, so at most one more window —
+	// pollEvery rows — can flow after the cancellation.
+	rows := 0
+	for i := 0; i < 3; i++ {
+		b, err = c.NextBatch()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if rows > pollEvery {
+				t.Fatalf("%d rows flowed after cancellation, want <= %d", rows, pollEvery)
+			}
+			return
+		}
+		rows += b.Len()
+	}
+	t.Fatalf("no cancellation surfaced after %d rows", rows)
+}
+
+// TestCancelCursorBatchPreCancelled: a pre-cancelled context aborts the batch
+// path before any row flows.
+func TestCancelCursorBatchPreCancelled(t *testing.T) {
+	e := newBigEngine(t, 100)
+	rs := mustQuery(t, e, "SELECT * FROM Big")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &cancelCursor{src: rs.Cursor(), ctx: ctx, done: ctx.Done()}
+	defer c.Close() //nolint:errcheck
+	if b, err := c.NextBatch(); !errors.Is(err, context.Canceled) || b.Len() != 0 {
+		t.Fatalf("NextBatch = %d rows, err %v; want 0 rows and context.Canceled", b.Len(), err)
+	}
 }

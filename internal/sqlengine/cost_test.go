@@ -139,8 +139,18 @@ func TestCostPlanSpanMirrorsExecution(t *testing.T) {
 		planned := e.PlanSpan(st.(*SelectStmt))
 		root := runTraced(t, e, q)
 		for _, kind := range []string{"scan", "join"} {
-			if got, want := findSpans(planned, kind), findSpans(root.Children[0], kind); fmt.Sprint(got) != fmt.Sprint(want) {
-				t.Errorf("%q %s labels: plan %v != executed %v", q, kind, got, want)
+			plan, exec := findSpans(planned, kind), findSpans(root.Children[0], kind)
+			if len(plan) != len(exec) {
+				t.Errorf("%q %s spans: plan %v != executed %v", q, kind, plan, exec)
+				continue
+			}
+			for i := range plan {
+				// Executed spans may append runtime-only annotations
+				// ("batches=N") after the planned label; the planning
+				// decisions themselves must match exactly.
+				if !strings.HasPrefix(exec[i], plan[i]) {
+					t.Errorf("%q %s label: plan %q is not a prefix of executed %q", q, kind, plan[i], exec[i])
+				}
 			}
 		}
 	}

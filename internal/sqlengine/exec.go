@@ -16,11 +16,19 @@ type Engine struct {
 	DB    *storage.Database
 	views viewCatalog
 
+	// Vec tunes the batch/morsel execution paths; the zero value means
+	// sensible defaults (GOMAXPROCS workers, storage.DefaultMorselSize
+	// morsels, parallelism only for tables past the size threshold).
+	Vec VecConfig
+
 	// Metric handles resolved by Instrument; nil-safe no-ops until then, so
 	// an uninstrumented engine pays nothing.
 	stmts    *obs.Counter
 	stmtErrs *obs.Counter
 	rowsOut  *obs.Counter
+	batches  *obs.Counter
+	morsels  *obs.Counter
+	parScans *obs.Counter
 
 	// ddlHook, when set, is called with the object name after every
 	// successful CREATE/DROP of a table or view — the provider's plan cache
@@ -52,6 +60,9 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.stmts = reg.Counter(obs.MetricSQLStatementsTotal)
 	e.stmtErrs = reg.Counter(obs.MetricSQLErrorsTotal)
 	e.rowsOut = reg.Counter(obs.MetricSQLRowsOutTotal)
+	e.batches = reg.Counter(obs.MetricSQLBatchesTotal)
+	e.morsels = reg.Counter(obs.MetricSQLMorselsTotal)
+	e.parScans = reg.Counter(obs.MetricSQLParallelScansTotal)
 }
 
 // Exec parses and executes one SQL statement. Every statement returns a
@@ -182,6 +193,16 @@ func (e *Engine) QueryContext(ctx context.Context, sel *SelectStmt) (*rowset.Row
 	if err != nil {
 		return nil, err
 	}
+	// Order-insensitive single-table statements over large tables take the
+	// morsel-parallel path (see morsel.go); everything else runs the
+	// sequential (but batch-vectorized) pipeline below.
+	if out, handled, err := e.tryMorsel(ctx, t, sel); handled {
+		if err != nil {
+			return nil, err
+		}
+		spSel.SetRows(int64(out.Len()))
+		return out, nil
+	}
 	detailed := t.Detailed()
 	src, residual, err := e.buildSourceCursor(t, sel)
 	if err != nil {
@@ -265,11 +286,12 @@ func (e *Engine) projectStream(t *obs.Trace, sel *SelectStmt, src rowset.Cursor)
 	cur := traced(proj, spProj, detailed)
 	if len(sel.OrderBy) > 0 {
 		spSort := t.StartSpan("sort", "")
-		outs, keys, err := drainWithKeys(cur, proj)
+		outs, keys, batches, err := drainWithKeys(cur, proj)
 		if err != nil {
 			t.EndSpan(spSort)
 			return nil, err
 		}
+		e.batches.Add(batches)
 		rowset.SortByKeys(outs, keys, descFlags(sel.OrderBy))
 		spSort.SetRows(int64(len(outs)))
 		t.EndSpan(spSort)
@@ -281,15 +303,18 @@ func (e *Engine) projectStream(t *obs.Trace, sel *SelectStmt, src rowset.Cursor)
 	if sel.Top > 0 {
 		cur = &limitCursor{src: cur, n: sel.Top}
 	}
-	rows, err := drainRows(cur)
+	rows, batches, err := drainRowsCounted(cur)
 	if err != nil {
 		return nil, err
 	}
+	e.batches.Add(batches)
 	schema, err := outputSchema(items, names, srcSchema, rows)
 	if err != nil {
 		return nil, err
 	}
-	return rowset.FromCursor(newSliceCursor(schema, rows))
+	// Rows are already canonical (projection normalizes computed values), so
+	// the result adopts them without another pass.
+	return rowset.Adopt(schema, rows), nil
 }
 
 // joinKindLabel names a join kind for span labels.

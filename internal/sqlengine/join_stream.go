@@ -15,7 +15,9 @@ package sqlengine
 //     side once and streams the left.
 
 import (
+	"repro/internal/par"
 	"repro/internal/rowset"
+	"repro/internal/storage"
 )
 
 // newJoinCursor picks a join strategy for one FROM step, reporting the choice
@@ -86,6 +88,7 @@ type hashJoinStream struct {
 	lo, ro      int
 	leftOuter   bool
 	nullRight   rowset.Row
+	workers     int // parallel key workers for the build side (0 = sequential)
 
 	built    bool
 	ht       map[string][]rowset.Row
@@ -93,30 +96,60 @@ type hashJoinStream struct {
 	pend     []rowset.Row
 	pi       int
 	scratch  []byte
+
+	bleft  rowset.BatchCursor
+	outBuf []rowset.Row
 }
 
 func (j *hashJoinStream) build() error {
-	size := cursorSize(j.right)
-	if size < 0 {
-		size = 16
+	rows, err := drainRows(j.right)
+	if err != nil {
+		return err
 	}
-	j.ht = make(map[string][]rowset.Row, size)
-	defer j.right.Close() //nolint:errcheck // drained to exhaustion below
-	for {
-		r, err := j.right.Next()
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			j.built = true
-			return nil
-		}
+	keys := buildKeys(rows, j.ro, j.workers)
+	j.ht = make(map[string][]rowset.Row, len(rows))
+	for i, r := range rows {
 		if r[j.ro] == nil {
 			continue // NULL never matches in an equi-join
 		}
-		k := rowset.Key(r[j.ro])
-		j.ht[k] = append(j.ht[k], r)
+		j.ht[keys[i]] = append(j.ht[keys[i]], r)
 	}
+	j.built = true
+	return nil
+}
+
+// parallelKeyMin is the build-side row count below which computing hash keys
+// on parallel workers costs more than it saves.
+const parallelKeyMin = 4096
+
+// buildKeys precomputes each row's join key ("" for NULL, which the insert
+// loops skip). Key rendering is the CPU-bound part of a hash-join build, so
+// large build sides compute keys on parallel workers over contiguous ranges;
+// the hash-table INSERTION afterward stays sequential in row order, keeping
+// bucket order — and therefore probe output order — identical to a
+// sequential build.
+func buildKeys(rows []rowset.Row, ord, workers int) []string {
+	keys := make([]string, len(rows))
+	fill := func(lo, hi int) {
+		var scratch []byte
+		for i := lo; i < hi; i++ {
+			if v := rows[i][ord]; v != nil {
+				scratch = rowset.AppendKey(scratch[:0], v)
+				keys[i] = string(scratch)
+			}
+		}
+	}
+	if workers > 1 && len(rows) >= parallelKeyMin {
+		ms := storage.MorselRanges(len(rows), 0)
+		// fn never returns an error, so neither does ForEach.
+		_ = par.ForEach(len(ms), workers, func(mi int) error {
+			fill(ms[mi].Lo, ms[mi].Hi)
+			return nil
+		})
+		return keys
+	}
+	fill(0, len(rows))
+	return keys
 }
 
 func (j *hashJoinStream) Next() (rowset.Row, error) {
@@ -150,6 +183,50 @@ func (j *hashJoinStream) Next() (rowset.Row, error) {
 	}
 }
 
+// NextBatch probes a whole left batch against the hash table, assembling the
+// joined rows into a reused output buffer. A batch's worth of probes per
+// interface call; the joined rows themselves are freshly allocated (they are
+// result rows, retained by consumers).
+func (j *hashJoinStream) NextBatch() (rowset.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return rowset.Batch{}, err
+		}
+	}
+	if j.bleft == nil {
+		j.bleft = rowset.BatchCursorOf(j.left)
+	}
+	for {
+		b, err := j.bleft.NextBatch()
+		if err != nil || b.Empty() {
+			return b, err
+		}
+		out := j.outBuf[:0]
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			l := b.Row(i)
+			var matches []rowset.Row
+			if l[j.lo] != nil {
+				matches = j.ht[string(rowset.AppendKey(j.scratch[:0], l[j.lo]))]
+			}
+			if len(matches) == 0 {
+				if j.leftOuter {
+					out = append(out, joinRows(l, j.nullRight))
+				}
+				continue
+			}
+			for _, r := range matches {
+				out = append(out, joinRows(l, r))
+			}
+		}
+		j.outBuf = out
+		if len(out) == 0 {
+			continue // no left row in this batch matched: keep pulling
+		}
+		return rowset.Batch{Rows: out}, nil
+	}
+}
+
 func (j *hashJoinStream) Schema() *rowset.Schema { return j.schema }
 
 func (j *hashJoinStream) Close() error {
@@ -170,6 +247,7 @@ type hashJoinBuildLeft struct {
 	schema      *rowset.Schema
 	lo, ro      int
 	leftOuter   bool
+	workers     int // parallel key workers for the build side (0 = sequential)
 
 	out []rowset.Row
 	oi  int
@@ -185,29 +263,34 @@ func (j *hashJoinBuildLeft) run() error {
 	if err != nil {
 		return err
 	}
+	keys := buildKeys(leftRows, j.lo, j.workers)
 	ht := make(map[string][]int, len(leftRows))
-	var scratch []byte
 	for i, l := range leftRows {
 		if l[j.lo] == nil {
 			continue // NULL never matches
 		}
-		scratch = rowset.AppendKey(scratch[:0], l[j.lo])
-		ht[string(scratch)] = append(ht[string(scratch)], i)
+		ht[keys[i]] = append(ht[keys[i]], i)
 	}
 	matches := make([][]rowset.Row, len(leftRows))
+	var scratch []byte
+	brc := rowset.BatchCursorOf(j.right)
 	for {
-		r, err := j.right.Next()
+		b, err := brc.NextBatch()
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if b.Empty() {
 			break
 		}
-		if r[j.ro] == nil {
-			continue
-		}
-		for _, li := range ht[string(rowset.AppendKey(scratch[:0], r[j.ro]))] {
-			matches[li] = append(matches[li], r)
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			r := b.Row(i)
+			if r[j.ro] == nil {
+				continue
+			}
+			for _, li := range ht[string(rowset.AppendKey(scratch[:0], r[j.ro]))] {
+				matches[li] = append(matches[li], r)
+			}
 		}
 	}
 	var nullRight rowset.Row
@@ -240,6 +323,25 @@ func (j *hashJoinBuildLeft) Next() (rowset.Row, error) {
 	r := j.out[j.oi]
 	j.oi++
 	return r, nil
+}
+
+// NextBatch streams the materialized output in zero-copy windows.
+func (j *hashJoinBuildLeft) NextBatch() (rowset.Batch, error) {
+	if !j.ran {
+		if err := j.run(); err != nil {
+			return rowset.Batch{}, err
+		}
+	}
+	if j.oi >= len(j.out) {
+		return rowset.Batch{}, nil
+	}
+	hi := j.oi + rowset.DefaultBatchSize
+	if hi > len(j.out) {
+		hi = len(j.out)
+	}
+	b := rowset.Batch{Rows: j.out[j.oi:hi]}
+	j.oi = hi
+	return b, nil
 }
 
 func (j *hashJoinBuildLeft) Schema() *rowset.Schema { return j.schema }
@@ -332,7 +434,9 @@ func (j *loopJoin) Close() error {
 
 // compile-time interface checks
 var (
-	_ rowset.Cursor = (*hashJoinStream)(nil)
-	_ rowset.Cursor = (*hashJoinBuildLeft)(nil)
-	_ rowset.Cursor = (*loopJoin)(nil)
+	_ rowset.Cursor      = (*hashJoinStream)(nil)
+	_ rowset.Cursor      = (*hashJoinBuildLeft)(nil)
+	_ rowset.Cursor      = (*loopJoin)(nil)
+	_ rowset.BatchCursor = (*hashJoinStream)(nil)
+	_ rowset.BatchCursor = (*hashJoinBuildLeft)(nil)
 )

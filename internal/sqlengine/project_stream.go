@@ -33,11 +33,24 @@ type projectCursor struct {
 	orderPlan []orderPlanEntry
 	lastKeys  rowset.Row
 
+	// keyOrds non-nil means every ORDER BY key is a projected output column
+	// (keys[k] == out[keyOrds[k]]): the cursor skips per-row key work
+	// entirely and the sort drain gathers keys from the output rows after
+	// the drain (zero-copy views in the single-key case).
+	keyOrds []int
+
 	// identity short-circuits projection entirely: the item list is exactly
 	// the source columns in order (SELECT * over one table), so source rows
 	// pass through unshaped. The engine never mutates stored rows (UPDATE
 	// clones before writing), so sharing them with the result is safe.
 	identity bool
+
+	// batch mode state: the batched source, the reused output-row buffer,
+	// and the per-batch sort keys (parallel to the last returned batch's
+	// live rows; read via batchKeys before the next pull, like lastKeys).
+	bsrc   rowset.BatchCursor
+	outBuf []rowset.Row
+	keyBuf []rowset.Row
 }
 
 // newProjectCursor compiles the projection. Column references that fail to
@@ -86,6 +99,7 @@ func newProjectCursor(src rowset.Cursor, items []SelectItem, names []string, ord
 
 	if len(order) > 0 {
 		p.orderPlan = make([]orderPlanEntry, len(order))
+		allOut := true
 		for i, o := range order {
 			p.orderPlan[i] = orderPlanEntry{outOrd: -1, expr: o.Expr}
 			if cr, ok := o.Expr.(*ColumnRef); ok && cr.Qualifier == "" {
@@ -96,9 +110,43 @@ func newProjectCursor(src rowset.Cursor, items []SelectItem, names []string, ord
 					}
 				}
 			}
+			if p.orderPlan[i].outOrd < 0 {
+				allOut = false
+			}
+		}
+		if allOut {
+			p.keyOrds = make([]int, len(p.orderPlan))
+			for i, pe := range p.orderPlan {
+				p.keyOrds[i] = pe.outOrd
+			}
+			p.orderPlan = nil
 		}
 	}
 	return p, nil
+}
+
+// keysForOrds gathers ORDER BY key rows from projected output columns after
+// the drain (the keyOrds fast path). Single-key ORDER BY — the common case —
+// produces zero-copy one-column views into the output rows.
+func keysForOrds(outs []rowset.Row, ords []int) []rowset.Row {
+	keys := make([]rowset.Row, len(outs))
+	if len(ords) == 1 {
+		o := ords[0]
+		for i, r := range outs {
+			keys[i] = r[o : o+1 : o+1]
+		}
+		return keys
+	}
+	w := len(ords)
+	arena := make(rowset.Row, len(outs)*w)
+	for i, r := range outs {
+		k := arena[i*w : (i+1)*w : (i+1)*w]
+		for j, o := range ords {
+			k[j] = r[o]
+		}
+		keys[i] = k
+	}
+	return keys
 }
 
 func (p *projectCursor) Next() (rowset.Row, error) {
@@ -106,42 +154,140 @@ func (p *projectCursor) Next() (rowset.Row, error) {
 	if err != nil || r == nil {
 		return r, err
 	}
-	var out rowset.Row
-	if p.identity {
-		out = r
-	} else {
-		p.env.Row = r
-		out = make(rowset.Row, len(p.items))
-		for i, it := range p.items {
-			if o := p.ords[i]; o >= 0 {
-				out[i] = r[o] // already canonical: coerced on insert or normalized upstream
-				continue
-			}
-			v, err := Eval(it.Expr, p.env)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = rowset.Normalize(v)
-		}
+	out, err := p.projectRow(r)
+	if err != nil {
+		return nil, err
 	}
 	if len(p.orderPlan) > 0 {
-		keys := make(rowset.Row, len(p.orderPlan))
-		p.env.Row = r
-		for i, pe := range p.orderPlan {
-			if pe.outOrd >= 0 {
-				keys[i] = out[pe.outOrd]
-				continue
-			}
-			v, err := Eval(pe.expr, p.env)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
+		keys, err := p.keysFor(out, r)
+		if err != nil {
+			return nil, err
 		}
 		p.lastKeys = keys
 	}
 	return out, nil
 }
+
+// projectRow shapes one source row into an output row (nil error only).
+func (p *projectCursor) projectRow(r rowset.Row) (rowset.Row, error) {
+	if p.identity {
+		return r, nil
+	}
+	out := make(rowset.Row, len(p.items))
+	if err := p.projectInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// projectInto shapes one source row into the caller-provided output row (the
+// batch path carves output rows out of one per-batch arena allocation).
+func (p *projectCursor) projectInto(r, out rowset.Row) error {
+	p.env.Row = r
+	for i, it := range p.items {
+		if o := p.ords[i]; o >= 0 {
+			out[i] = r[o] // already canonical: coerced on insert or normalized upstream
+			continue
+		}
+		v, err := Eval(it.Expr, p.env)
+		if err != nil {
+			return err
+		}
+		out[i] = rowset.Normalize(v)
+	}
+	return nil
+}
+
+// keysFor computes the ORDER BY keys for one output row and its source row.
+func (p *projectCursor) keysFor(out, src rowset.Row) (rowset.Row, error) {
+	keys := make(rowset.Row, len(p.orderPlan))
+	if err := p.keysInto(out, src, keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// keysInto fills the caller-provided key row for one output/source row pair.
+func (p *projectCursor) keysInto(out, src, keys rowset.Row) error {
+	p.env.Row = src
+	for i, pe := range p.orderPlan {
+		if pe.outOrd >= 0 {
+			keys[i] = out[pe.outOrd]
+			continue
+		}
+		v, err := Eval(pe.expr, p.env)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	return nil
+}
+
+// NextBatch projects a whole source batch. Identity projections with no
+// ORDER BY pass the source batch through untouched (selection vector and
+// all); otherwise output rows are assembled into a reused buffer. When an
+// order plan is active, batchKeys() exposes the keys for the returned
+// batch's live rows, valid until the next pull.
+func (p *projectCursor) NextBatch() (rowset.Batch, error) {
+	if p.bsrc == nil {
+		p.bsrc = rowset.BatchCursorOf(p.src)
+	}
+	b, err := p.bsrc.NextBatch()
+	if err != nil || b.Empty() {
+		return b, err
+	}
+	if p.identity && p.orderPlan == nil {
+		return b, nil
+	}
+	n := b.Len()
+	// Output rows and key rows are carved out of one fresh arena allocation
+	// per batch instead of one per row. The arenas must be fresh (not reused
+	// buffers): downstream drains retain the individual rows.
+	kk := len(p.orderPlan)
+	var keyArena rowset.Row
+	if p.orderPlan != nil {
+		p.keyBuf = p.keyBuf[:0]
+		keyArena = make(rowset.Row, n*kk)
+	}
+	if p.identity {
+		for i := 0; i < n; i++ {
+			r := b.Row(i)
+			keys := keyArena[i*kk : (i+1)*kk : (i+1)*kk]
+			if err := p.keysInto(r, r, keys); err != nil {
+				return rowset.Batch{}, err
+			}
+			p.keyBuf = append(p.keyBuf, keys)
+		}
+		return b, nil
+	}
+	if cap(p.outBuf) < n {
+		p.outBuf = make([]rowset.Row, 0, n)
+	}
+	p.outBuf = p.outBuf[:0]
+	w := len(p.items)
+	arena := make(rowset.Row, n*w)
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		out := arena[i*w : (i+1)*w : (i+1)*w]
+		if err := p.projectInto(r, out); err != nil {
+			return rowset.Batch{}, err
+		}
+		p.outBuf = append(p.outBuf, out)
+		if p.orderPlan != nil {
+			keys := keyArena[i*kk : (i+1)*kk : (i+1)*kk]
+			if err := p.keysInto(out, r, keys); err != nil {
+				return rowset.Batch{}, err
+			}
+			p.keyBuf = append(p.keyBuf, keys)
+		}
+	}
+	return rowset.Batch{Rows: p.outBuf}, nil
+}
+
+// batchKeys returns the ORDER BY keys parallel to the live rows of the batch
+// last returned by NextBatch.
+func (p *projectCursor) batchKeys() []rowset.Row { return p.keyBuf }
 
 func (p *projectCursor) Schema() *rowset.Schema { return p.schema }
 func (p *projectCursor) Close() error           { return p.src.Close() }
@@ -158,19 +304,56 @@ func descFlags(order []OrderItem) []bool {
 
 // drainWithKeys pulls the projection to exhaustion, collecting output rows
 // and their parallel sort keys (read off proj after each pull — cur may be a
-// tracing wrapper around proj).
-func drainWithKeys(cur rowset.Cursor, proj *projectCursor) ([]rowset.Row, []rowset.Row, error) {
+// tracing wrapper around proj). Batch-capable pipelines drain batch-at-a-time,
+// reading proj.batchKeys() after each batch; batches reports how many batches
+// flowed (0 on the row path).
+func drainWithKeys(cur rowset.Cursor, proj *projectCursor) (outs, keys []rowset.Row, batches int64, err error) {
 	defer cur.Close() //nolint:errcheck // Close after exhaustion is a no-op
-	var outs, keys []rowset.Row
-	for {
-		r, err := cur.Next()
-		if err != nil {
-			return nil, nil, err
+	keyed := len(proj.orderPlan) > 0
+	n := cursorSize(cur)
+	if n > 0 {
+		outs = make([]rowset.Row, 0, n) // upper bound: filters shrink it
+		if keyed {
+			keys = make([]rowset.Row, 0, n)
 		}
-		if r == nil {
-			return outs, keys, nil
-		}
-		outs = append(outs, r)
-		keys = append(keys, proj.lastKeys)
 	}
+	if bc, ok := cur.(rowset.BatchCursor); ok && (n < 0 || n > smallDrainSize) {
+		for {
+			b, err := bc.NextBatch()
+			if err != nil {
+				return nil, nil, batches, err
+			}
+			if b.Empty() {
+				break
+			}
+			batches++
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				outs = append(outs, b.Row(i))
+			}
+			if keyed {
+				keys = append(keys, proj.batchKeys()...)
+			}
+		}
+	} else {
+		for {
+			r, err := cur.Next()
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if r == nil {
+				break
+			}
+			outs = append(outs, r)
+			if keyed {
+				keys = append(keys, proj.lastKeys)
+			}
+		}
+	}
+	// keyOrds fast path: no keys flowed per row; gather them from the
+	// projected output columns in one pass.
+	if proj.keyOrds != nil {
+		keys = keysForOrds(outs, proj.keyOrds)
+	}
+	return outs, keys, batches, nil
 }

@@ -62,17 +62,39 @@ func (c *sliceCursor) Close() error {
 // Size reports the exact number of rows the cursor will yield.
 func (c *sliceCursor) Size() int { return len(c.rows) }
 
+// NextBatch yields zero-copy subslices of the backing rows.
+func (c *sliceCursor) NextBatch() (rowset.Batch, error) {
+	if c.i >= len(c.rows) {
+		return rowset.Batch{}, nil
+	}
+	hi := c.i + rowset.DefaultBatchSize
+	if hi > len(c.rows) {
+		hi = len(c.rows)
+	}
+	b := rowset.Batch{Rows: c.rows[c.i:hi]}
+	c.i = hi
+	return b, nil
+}
+
 // schemaCursor renames a stream's schema (table columns -> "alias.column")
 // without touching the rows.
 type schemaCursor struct {
 	src    rowset.Cursor
 	schema *rowset.Schema
+	bsrc   rowset.BatchCursor
 }
 
 func (c *schemaCursor) Next() (rowset.Row, error) { return c.src.Next() }
 func (c *schemaCursor) Schema() *rowset.Schema    { return c.schema }
 func (c *schemaCursor) Close() error              { return c.src.Close() }
 func (c *schemaCursor) Size() int                 { return cursorSize(c.src) }
+
+func (c *schemaCursor) NextBatch() (rowset.Batch, error) {
+	if c.bsrc == nil {
+		c.bsrc = rowset.BatchCursorOf(c.src)
+	}
+	return c.bsrc.NextBatch()
+}
 
 // cancelCursor threads context cancellation into the pull pipeline: Next
 // polls ctx.Done() every pollEvery rows, so a cancelled statement stops
@@ -85,6 +107,14 @@ type cancelCursor struct {
 	ctx  context.Context
 	done <-chan struct{}
 	n    uint
+
+	// batch mode: upstream batches are doled out in sub-batch windows of at
+	// most pollEvery rows, with a poll before each window, so cancellation
+	// latency stays at the row path's bound instead of stretching by the
+	// batch size.
+	bsrc    rowset.BatchCursor
+	pending rowset.Batch
+	wlo     int
 }
 
 // pollEvery is the row stride between cancellation polls: frequent enough
@@ -104,6 +134,36 @@ func (c *cancelCursor) Next() (rowset.Row, error) {
 	return c.src.Next()
 }
 
+func (c *cancelCursor) NextBatch() (rowset.Batch, error) {
+	if c.bsrc == nil {
+		c.bsrc = rowset.BatchCursorOf(c.src)
+	}
+	for {
+		// One poll per loop turn: before the first window of every upstream
+		// batch (which also aborts a pre-cancelled statement before any row
+		// flows) and again before each subsequent window.
+		select {
+		case <-c.done:
+			return rowset.Batch{}, c.ctx.Err()
+		default:
+		}
+		if c.wlo < c.pending.Len() {
+			hi := c.wlo + pollEvery
+			if hi > c.pending.Len() {
+				hi = c.pending.Len()
+			}
+			b := c.pending.Slice(c.wlo, hi)
+			c.wlo = hi
+			return b, nil
+		}
+		b, err := c.bsrc.NextBatch()
+		if err != nil || b.Empty() {
+			return b, err
+		}
+		c.pending, c.wlo = b, 0
+	}
+}
+
 func (c *cancelCursor) Schema() *rowset.Schema { return c.src.Schema() }
 func (c *cancelCursor) Close() error           { return c.src.Close() }
 func (c *cancelCursor) Size() int              { return cursorSize(c.src) }
@@ -121,18 +181,60 @@ func cursorSize(c rowset.Cursor) int {
 	return -1
 }
 
+// smallDrainSize is the source cardinality below which drains stay
+// row-at-a-time even over a batch-capable pipeline: the batch path's fixed
+// per-statement setup (adapter wrappers, selection vectors, output arenas)
+// costs more than the per-row interface calls it amortizes. Indexed point
+// lookups — whose probe gives an exact size hint of a few rows — are the
+// case that matters.
+const smallDrainSize = 64
+
 // drainRows pulls a cursor to exhaustion, returning the yielded rows. The
-// cursor is closed in every case.
+// cursor is closed in every case. Batch-capable cursors drain batch-at-a-time
+// (one interface call per batch instead of per row); live rows are copied out
+// of the producer-owned batches, which is safe to retain because engine rows
+// are immutable.
 func drainRows(c rowset.Cursor) ([]rowset.Row, error) {
+	rows, _, err := drainRowsCounted(c)
+	return rows, err
+}
+
+// drainRowsCounted is drainRows reporting how many batches flowed (0 on the
+// row path), for the engine's sql_batches_total counter.
+func drainRowsCounted(c rowset.Cursor) ([]rowset.Row, int64, error) {
 	defer c.Close() //nolint:errcheck // Close after exhaustion is a no-op
 	var rows []rowset.Row
+	n := cursorSize(c)
+	if n > 0 {
+		rows = make([]rowset.Row, 0, n) // upper bound: filters shrink it
+	}
+	if bc, ok := c.(rowset.BatchCursor); ok && (n < 0 || n > smallDrainSize) {
+		var batches int64
+		for {
+			b, err := bc.NextBatch()
+			if err != nil {
+				return nil, batches, err
+			}
+			if b.Empty() {
+				return rows, batches, nil
+			}
+			batches++
+			if b.Sel == nil {
+				rows = append(rows, b.Rows...)
+			} else {
+				for _, i := range b.Sel {
+					rows = append(rows, b.Rows[i])
+				}
+			}
+		}
+	}
 	for {
 		r, err := c.Next()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if r == nil {
-			return rows, nil
+			return rows, 0, nil
 		}
 		rows = append(rows, r)
 	}
@@ -153,6 +255,10 @@ type opCursor struct {
 	rows    int64
 	timed   bool
 	elapsed time.Duration
+
+	bsrc    rowset.BatchCursor
+	batches int64
+	labeled bool
 }
 
 // traced wraps c with span accounting, or returns c unchanged when the
@@ -181,6 +287,29 @@ func (o *opCursor) Next() (rowset.Row, error) {
 	return r, err
 }
 
+// NextBatch accounts batch pulls the same way Next accounts rows, and also
+// counts batches so the span label can record the operator's batch fan-in.
+func (o *opCursor) NextBatch() (rowset.Batch, error) {
+	if o.bsrc == nil {
+		o.bsrc = rowset.BatchCursorOf(o.src)
+	}
+	var start time.Time
+	if o.timed {
+		start = time.Now()
+	}
+	b, err := o.bsrc.NextBatch()
+	if o.timed {
+		o.elapsed += time.Since(start)
+	}
+	if !b.Empty() {
+		o.rows += int64(b.Len())
+		o.batches++
+	} else {
+		o.flush()
+	}
+	return b, err
+}
+
 func (o *opCursor) Schema() *rowset.Schema { return o.src.Schema() }
 
 func (o *opCursor) Close() error {
@@ -195,6 +324,14 @@ func (o *opCursor) flush() {
 	if o.timed {
 		o.sp.Elapsed = o.elapsed
 	}
+	if o.batches > 0 && !o.labeled {
+		o.labeled = true
+		label := fmt.Sprintf("batches=%d", o.batches)
+		if o.sp.Label != "" {
+			label = o.sp.Label + " " + label
+		}
+		o.sp.SetLabel(label)
+	}
 }
 
 // ---------- filter ----------
@@ -203,10 +340,21 @@ type filterCursor struct {
 	src  rowset.Cursor
 	cond Expr // nil passes everything (the whole WHERE was pushed into a scan)
 	env  *Env
+
+	// pred is the compiled form of cond when the predicate compiler admits
+	// it (see pred.go): same rows pass, no Env, no error paths.
+	pred func(rowset.Row) bool
+
+	bsrc rowset.BatchCursor
+	sel  []int
 }
 
 func newFilterCursor(src rowset.Cursor, cond Expr) *filterCursor {
-	return &filterCursor{src: src, cond: cond, env: &Env{Schema: src.Schema()}}
+	c := &filterCursor{src: src, cond: cond, env: &Env{Schema: src.Schema()}}
+	if cond != nil {
+		c.pred, _ = compilePred(cond, src.Schema())
+	}
+	return c
 }
 
 func (c *filterCursor) Next() (rowset.Row, error) {
@@ -217,6 +365,12 @@ func (c *filterCursor) Next() (rowset.Row, error) {
 		}
 		if c.cond == nil {
 			return r, nil
+		}
+		if c.pred != nil {
+			if c.pred(r) {
+				return r, nil
+			}
+			continue
 		}
 		c.env.Row = r
 		v, err := Eval(c.cond, c.env)
@@ -233,8 +387,74 @@ func (c *filterCursor) Next() (rowset.Row, error) {
 	}
 }
 
+// NextBatch filters a whole upstream batch with a selection vector: survivors
+// are marked, not copied. The returned batch aliases the upstream batch's
+// rows, which stay valid until this cursor's next pull — exactly the window
+// the ownership rule grants the consumer.
+func (c *filterCursor) NextBatch() (rowset.Batch, error) {
+	if c.bsrc == nil {
+		c.bsrc = rowset.BatchCursorOf(c.src)
+	}
+	for {
+		b, err := c.bsrc.NextBatch()
+		if err != nil || b.Empty() {
+			return b, err
+		}
+		if c.cond == nil {
+			return b, nil
+		}
+		sel := c.sel[:0]
+		if c.pred != nil {
+			if b.Sel == nil {
+				for i, r := range b.Rows {
+					if c.pred(r) {
+						sel = append(sel, i)
+					}
+				}
+			} else {
+				for _, i := range b.Sel {
+					if c.pred(b.Rows[i]) {
+						sel = append(sel, i)
+					}
+				}
+			}
+		} else {
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				c.env.Row = r
+				v, err := Eval(c.cond, c.env)
+				if err != nil {
+					return rowset.Batch{}, err
+				}
+				ok, err := Truthy(v)
+				if err != nil {
+					return rowset.Batch{}, err
+				}
+				if !ok {
+					continue
+				}
+				if b.Sel == nil {
+					sel = append(sel, i)
+				} else {
+					sel = append(sel, b.Sel[i])
+				}
+			}
+		}
+		c.sel = sel
+		if len(sel) == 0 {
+			continue // fully filtered batch: keep pulling
+		}
+		return rowset.Batch{Rows: b.Rows, Sel: sel}, nil
+	}
+}
+
 func (c *filterCursor) Schema() *rowset.Schema { return c.src.Schema() }
 func (c *filterCursor) Close() error           { return c.src.Close() }
+
+// Size forwards the source's cardinality as an upper bound (the filter can
+// only shrink it) — callers of cursorSize already treat it as a hint.
+func (c *filterCursor) Size() int { return cursorSize(c.src) }
 
 // ---------- limit / distinct ----------
 
@@ -603,6 +823,13 @@ func (e *Engine) buildSourceCursor(t *obs.Trace, sel *SelectStmt) (rowset.Cursor
 			acc.Close()   //nolint:errcheck // already failing
 			right.Close() //nolint:errcheck // already failing
 			return nil, nil, err
+		}
+		// Large hash-join builds precompute their keys on parallel workers.
+		switch hj := jc.(type) {
+		case *hashJoinStream:
+			hj.workers = e.vecWorkers()
+		case *hashJoinBuildLeft:
+			hj.workers = e.vecWorkers()
 		}
 		sp := t.StartSpan("join", joinLabel(cs.ref.Kind, strategy))
 		t.EndSpan(sp)

@@ -10,6 +10,7 @@ import "repro/tools/dmlint/internal/analysis"
 
 // All lists every analyzer the dmlint driver runs, in output order.
 var All = []*analysis.Analyzer{
+	BatchOwn,
 	CursorClose,
 	CtxFlow,
 	LockCheck,

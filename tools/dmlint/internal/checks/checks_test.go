@@ -45,6 +45,10 @@ func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck"), "repro/internal/lockfixture", LockCheck)
 }
 
+func TestBatchOwn(t *testing.T) {
+	analysistest.Run(t, fixture("batchown"), "repro/internal/batchfixture", BatchOwn)
+}
+
 func TestCursorClose(t *testing.T) {
 	analysistest.Run(t, fixture("cursorclose"), "repro/internal/cursorfixture", CursorClose)
 }

@@ -1,0 +1,101 @@
+// Package batchfixture exercises the batchown analyzer: a Batch returned
+// by NextBatch (and its Rows/Sel slices) is producer-owned scratch and must
+// not be retained past the next NextBatch/Close — storing it to a field,
+// element, channel, or composite literal is a finding; copying the rows out
+// (splat append, b.Row(i)) is the sanctioned idiom.
+package batchfixture
+
+import "repro/internal/rowset"
+
+func open() rowset.BatchCursor { return nil }
+
+type sink struct {
+	last rowset.Batch
+	rows []rowset.Row
+	sel  []int
+	all  [][]rowset.Row
+}
+
+// producer's own NextBatch legitimately returns its reused field buffer.
+func (s *sink) NextBatch() (rowset.Batch, error) {
+	return rowset.Batch{Rows: s.rows, Sel: s.sel}, nil
+}
+
+func leakBatchField(s *sink) error {
+	bc := open()
+	b, err := bc.NextBatch()
+	if err != nil {
+		return err
+	}
+	s.last = b // want "stored outside the pull loop"
+	return nil
+}
+
+func leakRowsField(s *sink) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	s.rows = b.Rows // want "stored outside the pull loop"
+}
+
+func leakSelField(s *sink) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	s.sel = b.Sel // want "stored outside the pull loop"
+}
+
+func leakThroughAlias(s *sink) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	rows := b.Rows
+	s.rows = rows // want "stored outside the pull loop"
+}
+
+func leakAppendByReference(s *sink) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	s.all = append(s.all, b.Rows) // want "appended by reference"
+}
+
+func leakChannelSend(ch chan rowset.Batch) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	ch <- b // want "sent on a channel"
+}
+
+func leakCompositeLit() *sink {
+	bc := open()
+	b, _ := bc.NextBatch()
+	return &sink{last: b} // want "captured in a composite literal"
+}
+
+func goodSplatAppend(s *sink) {
+	bc := open()
+	for {
+		b, err := bc.NextBatch()
+		if err != nil || b.Empty() {
+			return
+		}
+		s.rows = append(s.rows, b.Rows...) // copies the Row headers: fine
+	}
+}
+
+func goodRowRetention(s *sink) {
+	bc := open()
+	b, _ := bc.NextBatch()
+	for i := 0; i < b.Len(); i++ {
+		s.rows = append(s.rows, b.Row(i)) // individual rows are retainable
+	}
+}
+
+func goodLocalUse() int {
+	bc := open()
+	n := 0
+	for {
+		b, err := bc.NextBatch()
+		if err != nil || b.Empty() {
+			return n
+		}
+		rows := b.Rows // local alias, consumed before the next pull
+		n += len(rows)
+	}
+}
